@@ -1,0 +1,21 @@
+# Convenience targets for the CT-Index reproduction.
+
+.PHONY: install test bench results clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The final artifact pair recorded in the repository root.
+results:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .benchmarks build dist src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

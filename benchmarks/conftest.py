@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper; the rendered
+tables are printed to the captured output *and* persisted under
+``results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered experiment table under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    return _save

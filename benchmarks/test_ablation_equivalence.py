@@ -1,0 +1,32 @@
+"""Ablation (DESIGN.md §5) — equivalence relation elimination inside CT.
+
+The paper folds twin nodes before indexing ("we have integrated it into
+our proposed CT-Index").  This bench quantifies what the folding buys:
+fewer indexed nodes and a smaller index at equal answers.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import ablation_equivalence
+from repro.core.ct_index import CTIndex
+
+
+def test_ablation_equivalence(benchmark, save_table):
+    rows, text = ablation_equivalence()
+    print("\n" + text)
+    save_table("ablation_equivalence", text)
+
+    by_variant = {str(r["variant"]): r for r in rows}
+    with_reduction = by_variant["with twin reduction"]
+    without = by_variant["without"]
+    assert int(str(with_reduction["indexed_nodes"])) < int(str(without["indexed_nodes"]))
+    assert int(str(with_reduction["entries"])) <= int(str(without["entries"]))
+
+    graph = load_dataset("talk")
+    benchmark.pedantic(
+        lambda: CTIndex.build(graph, 20, use_equivalence_reduction=True),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,38 @@
+"""Ablation (DESIGN.md §5) — the extension operation of Lemma 9.
+
+CT queries in Cases 3-4 can either materialize extended label sets
+(O(d) core-label scans) or enumerate the interface Cartesian product
+(O(d²) core queries).  Lemma 9 proves they agree; this bench shows the
+extension's probe count advantage.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import ablation_extension
+from repro.bench.workloads import random_pairs
+from repro.core.ct_index import CTIndex
+
+
+def test_ablation_extension(benchmark, save_table):
+    rows, text = ablation_extension()
+    print("\n" + text)
+    save_table("ablation_extension", text)
+
+    by_variant = {str(r["variant"]): r for r in rows}
+    ext_probes = float(str(by_variant["extension (Lemma 9)"]["core_probes_per_query"]))
+    naive_probes = float(str(by_variant["naive 4-hop product"]["core_probes_per_query"]))
+    # The extension needs strictly fewer core probes (O(d) vs O(d²)).
+    assert ext_probes < naive_probes
+
+    graph = load_dataset("epin")
+    index = CTIndex.build(graph, 50)
+    workload = random_pairs(graph, 500, seed=zlib.crc32(b"ablation-ext"))
+
+    def run_extension_queries():
+        for s, t in workload.pairs:
+            index.distance(s, t)
+
+    benchmark(run_extension_queries)

@@ -1,0 +1,26 @@
+"""Ablation — PLL vs PSL construction schedule (paper line 33, [17]).
+
+Both schedules produce identical canonical label sets under the same
+vertex order; this bench records their (single-threaded) build costs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import ablation_psl_backend
+from repro.graphs.reductions import eliminate_equivalent_nodes
+from repro.labeling.psl import build_psl
+
+
+def test_ablation_psl_backend(benchmark, save_table):
+    rows, text = ablation_psl_backend()
+    print("\n" + text)
+    save_table("ablation_psl_backend", text)
+
+    entries = {str(r["backend"]): int(str(r["entries"])) for r in rows}
+    values = list(entries.values())
+    # The two schedules build identical label sets (same total size).
+    assert values[0] == values[1], entries
+
+    reduced = eliminate_equivalent_nodes(load_dataset("talk")).reduced
+    benchmark.pedantic(lambda: build_psl(reduced), rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,52 @@
+"""Exp 1 / Figure 7 — index size of PSL+ (CT-0), CT-20, CT-100, PSL*.
+
+Paper shape being reproduced: CT-100 is the only method that completes
+on every graph; PSL+ runs out of memory on the 6 largest, PSL* and
+CT-20 on the 2 largest; where PSL+ completes, CT-100 is severalfold
+smaller.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import exp1_index_size
+from repro.bench.runner import MAIN_METHODS, main_sweep
+from repro.core.ct_index import CTIndex
+
+
+def test_exp1_index_size(benchmark, save_table):
+    rows, text = exp1_index_size()
+    print("\n" + text)
+    save_table("exp1_index_size", text)
+    from repro.bench.charts import horizontal_bar_chart
+    from repro.bench.runner import MAIN_METHODS
+
+    chart = horizontal_bar_chart(
+        rows,
+        label="dataset",
+        series=list(MAIN_METHODS),
+        title="Figure analogue — index size (MB)",
+    )
+    save_table("exp1_index_size_chart", chart)
+
+    results = main_sweep()
+    by_key = {(r.dataset, r.method): r for r in results}
+    # CT-100 completes on every dataset (the paper's headline claim).
+    assert all(by_key[(row["dataset"], "CT-100")].ok for row in rows)
+    # The largest graphs reproduce the OM pattern.
+    assert not by_key[("uk07", "PSL+ (CT-0)")].ok
+    assert not by_key[("uk07", "CT-20")].ok
+    assert not by_key[("uk07", "PSL*")].ok
+    # Where PSL+ completes, CT-100 is smaller.
+    completed = [
+        (by_key[(r.dataset, "PSL+ (CT-0)")], by_key[(r.dataset, "CT-100")])
+        for r in results
+        if r.method == "CT-100" and by_key[(r.dataset, "PSL+ (CT-0)")].ok
+    ]
+    assert all(ct.size_mb < psl.size_mb for psl, ct in completed)
+
+    # Representative costed operation behind this figure: one CT-100 build.
+    graph = load_dataset("talk")
+    benchmark.pedantic(
+        lambda: CTIndex.build(graph, 100), rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,57 @@
+"""Exp 3 / Figure 9 — average query time over random workloads.
+
+Paper shape: PSL+ is fastest, PSL* sits in between, CT pays a mild
+premium that stays far below a millisecond even on the largest graph
+(the paper reports 0.39 ms on UK07 at d = 100).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import exp3_query_time
+from repro.bench.runner import build_method, main_sweep
+from repro.bench.workloads import random_pairs
+
+
+def test_exp3_query_time(benchmark, save_table):
+    rows, text = exp3_query_time()
+    print("\n" + text)
+    save_table("exp3_query_time", text)
+    from repro.bench.charts import horizontal_bar_chart
+    from repro.bench.runner import MAIN_METHODS
+
+    chart = horizontal_bar_chart(
+        rows,
+        label="dataset",
+        series=list(MAIN_METHODS),
+        title="Figure analogue — query time (s)",
+    )
+    save_table("exp3_query_time_chart", chart)
+
+    results = main_sweep()
+    by_key = {(r.dataset, r.method): r for r in results}
+    for result in results:
+        if result.ok:
+            # Every completed method answers in well under a millisecond.
+            assert result.query_seconds < 1e-3, (
+                f"{result.method} on {result.dataset}: {result.query_seconds:.2e}s/query"
+            )
+    # PSL+ is the query-time winner wherever it completes (paper: CT-100
+    # is on average 7.55x slower).
+    for dataset in ("talk", "epin", "fb", "twit"):
+        psl = by_key[(dataset, "PSL+ (CT-0)")]
+        ct = by_key[(dataset, "CT-100")]
+        assert psl.query_seconds < ct.query_seconds
+
+    graph = load_dataset("lj")
+    index = build_method("CT-100", graph)
+    workload = random_pairs(graph, 1000, seed=zlib.crc32(b"exp3-bench"))
+
+    def run_queries():
+        distance = index.distance
+        for s, t in workload.pairs:
+            distance(s, t)
+
+    benchmark(run_queries)

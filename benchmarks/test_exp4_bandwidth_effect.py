@@ -1,0 +1,55 @@
+"""Exp 4 / Figure 10 — the effect of the bandwidth d.
+
+Paper shapes: index size falls as d grows, with the marginal gain
+shrinking toward d = 100 (Figure 10a); index time does not explode
+(10b); query time rises only mildly and stays sub-millisecond (10c).
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import EXP4_BANDWIDTHS, exp4_bandwidth_effect
+from repro.core.ct_index import CTIndex
+
+
+def test_exp4_bandwidth_effect(benchmark, save_table):
+    rows, text = exp4_bandwidth_effect()
+    print("\n" + text)
+    save_table("exp4_bandwidth_effect", text)
+    from repro.bench.charts import horizontal_bar_chart
+    from repro.bench.reporting import pivot
+
+    wide = pivot(rows, "d", "dataset", "size_mb")
+    chart = horizontal_bar_chart(
+        wide,
+        label="d",
+        series=[str(r["dataset"]) for r in rows[:: len(EXP4_BANDWIDTHS)]],
+        title="Figure 10(a) analogue — index size (MB) vs bandwidth d",
+    )
+    save_table("exp4_bandwidth_effect_chart", chart)
+
+    by_dataset: dict[str, dict[int, dict]] = {}
+    for row in rows:
+        by_dataset.setdefault(str(row["dataset"]), {})[int(str(row["d"]))] = row
+
+    for dataset, sweep in by_dataset.items():
+        sizes = {
+            d: float(str(sweep[d]["size_mb"]))
+            for d in EXP4_BANDWIDTHS
+            if sweep[d]["size_mb"] != "OM"
+        }
+        if 0 in sizes and 100 in sizes:
+            # The d=100 index is substantially smaller than d=0 (Figure 10a).
+            assert sizes[100] < sizes[0] * 0.7, f"{dataset}: {sizes}"
+        queries = {
+            d: float(str(sweep[d]["query_s"]))
+            for d in EXP4_BANDWIDTHS
+            if sweep[d]["query_s"] != "OM"
+        }
+        # Query time stays far below a millisecond at every d (Figure 10c).
+        assert all(q < 1e-3 for q in queries.values()), f"{dataset}: {queries}"
+
+    graph = load_dataset("dblp")
+    benchmark.pedantic(
+        lambda: CTIndex.build(graph, 50), rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,54 @@
+"""Exp 5 / Figures 11-13 — scalability over 20%..100% induced subgraphs.
+
+Paper shape: size, index time, and query time all grow smoothly with
+the node fraction for every method; CT stays below PSL+ in size at
+every fraction where PSL+ completes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import exp5_scalability
+from repro.bench.workloads import node_fractions
+from repro.core.ct_index import CTIndex
+
+
+def test_exp5_scalability(benchmark, save_table):
+    rows, text = exp5_scalability()
+    print("\n" + text)
+    save_table("exp5_scalability", text)
+
+    # Per (dataset, method): completed sizes must be non-decreasing-ish in
+    # the fraction (smooth growth; 10% slack for twin-folding noise).
+    series: dict[tuple[str, str], list[float]] = {}
+    for row in rows:
+        if row["size_mb"] == "OM":
+            continue
+        key = (str(row["dataset"]), str(row["method"]))
+        series.setdefault(key, []).append(float(str(row["size_mb"])))
+    for key, sizes in series.items():
+        for smaller, larger in zip(sizes, sizes[1:]):
+            assert larger >= smaller * 0.9, f"{key}: sizes shrank {sizes}"
+
+    # CT-20 never exceeds a completed PSL+ at the same fraction.  (CT-100
+    # can exceed PSL+ on the tiniest 20% subgraphs, whose cores are nearly
+    # empty — the paper never evaluates CT-100 at that scale.)
+    by_cell = {
+        (str(r["dataset"]), str(r["fraction"]), str(r["method"])): r for r in rows
+    }
+    for (dataset, fraction, method), row in by_cell.items():
+        if method != "PSL+ (CT-0)" or row["size_mb"] == "OM":
+            continue
+        ct_row = by_cell[(dataset, fraction, "CT-20")]
+        if ct_row["size_mb"] != "OM":
+            assert float(str(ct_row["size_mb"])) <= float(str(row["size_mb"])), (
+                dataset,
+                fraction,
+            )
+
+    graph = load_dataset("dblp")
+    nodes = node_fractions(graph, [0.4], seed=123)[0]
+    subgraph, _ = graph.induced_subgraph(nodes)
+    benchmark.pedantic(
+        lambda: CTIndex.build(subgraph, 20), rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,40 @@
+"""Exp 7 / Figure 14 — determining the bandwidth under a memory limit.
+
+Paper shape: a larger memory limit yields a smaller chosen d, reaching
+d = 0 once the full 2-hop labeling fits; the search completes within a
+small number of construction probes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import exp7_bandwidth_search
+from repro.core.bandwidth import find_bandwidth
+
+
+def test_exp7_bandwidth_search(benchmark, save_table):
+    rows, text = exp7_bandwidth_search()
+    print("\n" + text)
+    save_table("exp7_bandwidth_search", text)
+
+    by_dataset: dict[str, list[dict]] = {}
+    for row in rows:
+        by_dataset.setdefault(str(row["dataset"]), []).append(row)
+    for dataset, sweep in by_dataset.items():
+        chosen = [int(str(r["chosen_d"])) for r in sweep]
+        # Larger memory => no larger d (monotone non-increasing).
+        for earlier, later in zip(chosen, chosen[1:]):
+            assert later <= earlier, f"{dataset}: chosen d not monotone {chosen}"
+        # The most generous limit lets the pure 2-hop labeling fit.
+        assert chosen[-1] == 0, f"{dataset}: largest limit still needs d={chosen[-1]}"
+        # Every found index respects its limit.
+        for row in sweep:
+            assert float(str(row["final_size_mb"])) <= float(str(row["memory_mb"]))
+
+    graph = load_dataset("talk")
+    benchmark.pedantic(
+        lambda: find_bandwidth(graph, int(1e6)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

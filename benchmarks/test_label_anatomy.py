@@ -1,0 +1,32 @@
+"""Supplementary — the label anatomy behind Theorem 2's size terms.
+
+As ``d`` grows, entries migrate from the core 2-hop labels into the
+tree-index's ancestor-chain and interface terms; the core's share of
+the index falls accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import label_anatomy
+from repro.core.ct_index import CTIndex
+from repro.labeling.analysis import analyze_ct_index
+
+
+def test_label_anatomy(benchmark, save_table):
+    rows, text = label_anatomy()
+    print("\n" + text)
+    save_table("label_anatomy", text)
+
+    by_d = {int(str(r["d"])): r for r in rows}
+    # At d=0 the index is 100% core; with d the core share strictly falls.
+    assert float(str(by_d[0]["core_share"])) == 1.0
+    shares = [float(str(by_d[d]["core_share"])) for d in sorted(by_d)]
+    assert shares == sorted(shares, reverse=True), shares
+    # The tree terms appear once d > 0.
+    assert int(str(by_d[100]["ancestor_entries"])) > 0
+    assert int(str(by_d[100]["interface_entries"])) > 0
+
+    graph = load_dataset("talk")
+    index = CTIndex.build(graph, 20)
+    benchmark(lambda: analyze_ct_index(index))

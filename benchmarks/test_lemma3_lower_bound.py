@@ -1,0 +1,29 @@
+"""Lemma 3 / Figure 3 — the Ω(n·d) lower bound on 2-hop index size.
+
+Paper claim: on the rolling-cliques gadget (treewidth >= d-1), *any*
+2-hop labeling stores Ω(n·d) entries.  Empirically, PLL's entry count
+divided by n·d stays bounded below by a positive constant as n and d
+grow — the index genuinely scales with the treewidth, which is the
+whole motivation for CT-Index.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import lemma3_lower_bound
+from repro.graphs.generators.worst_case import rolling_cliques_graph
+from repro.labeling.pll import build_pll
+
+
+def test_lemma3_lower_bound(benchmark, save_table):
+    rows, text = lemma3_lower_bound()
+    print("\n" + text)
+    save_table("lemma3_lower_bound", text)
+
+    ratios = [float(str(r["entries_per_nd"])) for r in rows]
+    # The per-(n·d) density is bounded below: the index is Ω(n·d).
+    assert min(ratios) > 0.15, f"ratios collapsed: {ratios}"
+    # And it does not blow past O(n·d·log n) either (sanity upper bound).
+    assert max(ratios) < 5.0, f"ratios exploded: {ratios}"
+
+    graph = rolling_cliques_graph(6, 16)
+    benchmark.pedantic(lambda: build_pll(graph), rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,39 @@
+"""Supplementary — core/forest anatomy vs bandwidth (paper footnotes 2-3).
+
+The paper's structural claims behind the trade-off: interfaces never
+exceed d nodes, the boundary λ grows with d, and the forest height h_F
+stays modest over the whole d <= 100 range (footnote 3: average below
+600 on the real graphs).
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import load_dataset
+from repro.bench.experiments import structure_profile
+from repro.treedec.core_tree import core_tree_decomposition
+
+
+def test_structure_profile(benchmark, save_table):
+    rows, text = structure_profile()
+    print("\n" + text)
+    save_table("structure_profile", text)
+
+    by_dataset: dict[str, list[dict]] = {}
+    for row in rows:
+        by_dataset.setdefault(str(row["dataset"]), []).append(row)
+    for dataset, sweep in by_dataset.items():
+        lambdas = [int(str(r["lambda"])) for r in sweep]
+        # λ is non-decreasing in d.
+        assert lambdas == sorted(lambdas), (dataset, lambdas)
+        for row in sweep:
+            d = int(str(row["d"]))
+            assert int(str(row["max_interface"])) <= d
+            # h_F stays modest (paper footnote 3; our graphs are ~10^3
+            # nodes, so "modest" means well below the boundary size).
+            if d > 0:
+                assert int(str(row["h_F"])) < max(1, int(str(row["lambda"])))
+
+    graph = load_dataset("fb")
+    benchmark.pedantic(
+        lambda: core_tree_decomposition(graph, 50), rounds=1, iterations=1, warmup_rounds=0
+    )

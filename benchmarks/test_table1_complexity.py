@@ -1,0 +1,46 @@
+"""Table 1 — labelings with tree decomposition, measured.
+
+Paper shape (Table 1 columns, empirically): H2H's index grows with
+n·(decomposition height) and is the largest on core-periphery graphs;
+CD pays O(n·m) index *time*; CT keeps both index size and time low and
+answers with O(d) core probes per query (its "4 hops").
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.bench.experiments import table1_complexity
+from repro.bench.runner import build_method
+from repro.bench.workloads import random_pairs
+from repro.bench.datasets import dataset_spec
+from repro.graphs.generators.core_periphery import core_periphery_graph, scaled_config
+
+
+def test_table1_complexity(benchmark, save_table):
+    rows, text = table1_complexity()
+    print("\n" + text)
+    save_table("table1_complexity", text)
+
+    by_cell = {(int(str(r["n"])), str(r["method"])): r for r in rows}
+    sizes = sorted({int(str(r["n"])) for r in rows})
+    largest = sizes[-1]
+    h2h = by_cell[(largest, "H2H")]
+    cd = by_cell[(largest, "CD-20")]
+    ct = by_cell[(largest, "CT-20")]
+    assert "entries" in ct and "entries" in h2h and "entries" in cd
+    # CT's index is the smallest of the three on the largest instance.
+    assert int(str(ct["entries"])) < int(str(h2h["entries"]))
+    assert int(str(ct["entries"])) < int(str(cd["entries"]))
+    # CD's O(n·m) indexing is the slowest.
+    assert float(str(cd["index_s"])) > float(str(ct["index_s"]))
+
+    graph = core_periphery_graph(scaled_config(dataset_spec("dblp").config, 0.1), seed=777)
+    index = build_method("H2H", graph)
+    workload = random_pairs(graph, 500, seed=zlib.crc32(b"table1-bench"))
+
+    def run_queries():
+        for s, t in workload.pairs:
+            index.distance(s, t)
+
+    benchmark(run_queries)

@@ -1,0 +1,61 @@
+"""Web-graph scenario: indexing under a memory budget (the paper's Exp 7).
+
+Run with::
+
+    python examples/web_graph_memory_budget.py
+
+The paper's headline result is indexing graphs that 2-hop labeling
+cannot fit in memory.  This example takes the ``uk02`` registry graph (a
+web-graph analogue), shows PSL+ running out of memory under a budget,
+and then uses the bandwidth binary search to find the smallest ``d``
+whose CT-Index fits — exactly the deployment workflow Section 5
+describes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import dataset_spec, load_dataset
+from repro.core.bandwidth import find_bandwidth
+from repro.exceptions import OverMemoryError
+from repro.labeling.base import MemoryBudget
+from repro.labeling.psl_variants import build_psl_plus
+
+
+def main() -> None:
+    spec = dataset_spec("uk02")
+    graph = load_dataset("uk02")
+    print(f"dataset uk02 — synthetic analogue of {spec.paper_name}")
+    print(f"  n = {graph.n}, m = {graph.m}\n")
+
+    budget_mb = 1.0
+    print(f"memory budget: {budget_mb} MB (modeled, 8 bytes per label entry)")
+
+    try:
+        build_psl_plus(graph, budget=MemoryBudget.from_megabytes(budget_mb))
+        print("PSL+ unexpectedly fit!")
+    except OverMemoryError as exc:
+        print(
+            f"PSL+ aborts with OM after {exc.modeled_bytes / 1e6:.2f} MB of labels "
+            "— the paper's Figure 7 outcome for large web graphs"
+        )
+
+    result = find_bandwidth(graph, int(budget_mb * 1e6))
+    print(f"\nbandwidth search (Exp 7): smallest feasible d = {result.bandwidth}")
+    for probe in result.probes:
+        verdict = "fits" if probe.feasible else "OM  "
+        print(
+            f"  probe d={probe.bandwidth:<4d} {verdict} "
+            f"modeled {probe.modeled_bytes / 1e6:6.3f} MB in {probe.seconds:.2f}s"
+        )
+    index = result.index
+    print(
+        f"\nfinal index: {index.method_name}, {index.size_bytes() / 1e6:.3f} MB, "
+        f"core {index.core_size} nodes / forest {index.boundary} nodes"
+    )
+    sample = [(0, graph.n - 1), (5, graph.n // 2), (17, graph.n // 3)]
+    for s, t in sample:
+        print(f"  dist({s}, {t}) = {index.distance(s, t)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot take the
+PEP 660 editable path; ``pip install -e . --no-use-pep517`` uses this
+shim instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

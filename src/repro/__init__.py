@@ -1,0 +1,57 @@
+"""CT-Index: scaling up distance labeling on graphs with core-periphery properties.
+
+A from-scratch Python reproduction of the SIGMOD 2020 paper by Li, Qiao,
+Qin, Zhang, Chang, and Lin.  The package ships:
+
+* :mod:`repro.graphs` — the graph substrate (types, I/O, traversal,
+  generators, twin reduction);
+* :mod:`repro.treedec` — minimum-degree-elimination tree decompositions,
+  the core-tree split, and O(1) LCA;
+* :mod:`repro.labeling` — PLL / PSL / PSL+ / PSL* 2-hop labelings and
+  the H2H and CD baselines;
+* :mod:`repro.core` — the paper's contribution, the CT-Index;
+* :mod:`repro.bench` — the experiment harness that regenerates every
+  table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import CTIndex
+    from repro.graphs.generators import core_periphery_graph, CorePeripheryConfig
+
+    graph = core_periphery_graph(CorePeripheryConfig(), seed=7)
+    index = CTIndex.build(graph, bandwidth=20)
+    index.distance(0, graph.n - 1)
+"""
+
+from repro.core import CTIndex, build_ct_index
+from repro.exceptions import (
+    DecompositionError,
+    GraphError,
+    IndexConstructionError,
+    OverMemoryError,
+    QueryError,
+    ReproError,
+    SerializationError,
+)
+from repro.graphs import Graph, GraphBuilder
+from repro.paths import distance_many, is_shortest_path, shortest_path
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTIndex",
+    "DecompositionError",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "IndexConstructionError",
+    "OverMemoryError",
+    "QueryError",
+    "ReproError",
+    "SerializationError",
+    "__version__",
+    "build_ct_index",
+    "distance_many",
+    "is_shortest_path",
+    "shortest_path",
+]

@@ -1,0 +1,61 @@
+"""Benchmark harness: datasets, workloads, and experiment drivers."""
+
+from repro.bench.charts import horizontal_bar_chart
+from repro.bench.datasets import (
+    EXP4_DATASETS,
+    EXP6_DATASETS,
+    EXP7_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+from repro.bench.experiments import run_experiment
+from repro.bench.memory import deep_size_of, memory_report
+from repro.bench.reporting import format_table, pivot
+from repro.bench.runner import (
+    BENCH_MEMORY_LIMIT_MB,
+    BENCH_QUERY_COUNT,
+    MAIN_METHODS,
+    MethodResult,
+    build_method,
+    main_sweep,
+    measure_query_seconds,
+    run_method,
+)
+from repro.bench.workloads import (
+    QueryWorkload,
+    distinct_random_pairs,
+    node_fractions,
+    random_pairs,
+    stratified_pairs,
+)
+
+__all__ = [
+    "BENCH_MEMORY_LIMIT_MB",
+    "BENCH_QUERY_COUNT",
+    "EXP4_DATASETS",
+    "EXP6_DATASETS",
+    "EXP7_DATASETS",
+    "DatasetSpec",
+    "MAIN_METHODS",
+    "MethodResult",
+    "QueryWorkload",
+    "build_method",
+    "dataset_names",
+    "deep_size_of",
+    "dataset_spec",
+    "distinct_random_pairs",
+    "format_table",
+    "horizontal_bar_chart",
+    "load_dataset",
+    "main_sweep",
+    "measure_query_seconds",
+    "memory_report",
+    "node_fractions",
+    "pivot",
+    "random_pairs",
+    "run_experiment",
+    "run_method",
+    "stratified_pairs",
+]

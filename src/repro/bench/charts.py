@@ -1,0 +1,95 @@
+"""Plain-text chart rendering for the experiment figures.
+
+The paper's figures are (mostly log-scale) grouped bar charts over
+datasets; this module renders the same data as horizontal ASCII bars so
+the benches can persist a figure-shaped artifact next to each table
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def horizontal_bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    label: str,
+    series: Sequence[str],
+    title: str | None = None,
+    width: int = 46,
+    log_scale: bool = True,
+    missing: str = "OM",
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``rows`` are dict rows; ``label`` names the group column (e.g.
+    ``dataset``) and ``series`` the value columns (e.g. methods).  Cells
+    equal to ``missing`` (or absent / non-numeric) render as the marker
+    instead of a bar.  With ``log_scale`` the bar length is proportional
+    to the log of the value, matching the paper's axes.
+    """
+    values: list[tuple[str, str, float | None]] = []
+    for row in rows:
+        group = str(row.get(label, ""))
+        for name in series:
+            raw = row.get(name)
+            values.append((group, name, _as_number(raw, missing)))
+    finite = [v for _, _, v in values if v is not None and v > 0]
+    if not finite:
+        return (title + "\n") if title else ""
+    low, high = min(finite), max(finite)
+
+    def bar_length(value: float) -> int:
+        if high == low:
+            return width
+        if log_scale:
+            span = math.log10(high) - math.log10(low)
+            if span == 0:
+                return width
+            fraction = (math.log10(value) - math.log10(low)) / span
+        else:
+            fraction = (value - low) / (high - low)
+        return max(1, round(1 + fraction * (width - 1)))
+
+    name_width = max(len(name) for _, name, _ in values)
+    group_width = max(len(group) for group, _, _ in values)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    previous_group: str | None = None
+    for group, name, value in values:
+        prefix = group.ljust(group_width) if group != previous_group else " " * group_width
+        previous_group = group
+        if value is None:
+            lines.append(f"{prefix}  {name.ljust(name_width)}  {missing}")
+        else:
+            bar = "#" * bar_length(value)
+            lines.append(f"{prefix}  {name.ljust(name_width)}  {bar} {_format(value)}")
+    scale = "log" if log_scale else "linear"
+    lines.append("")
+    lines.append(f"({scale} scale; range {_format(low)} .. {_format(high)})")
+    return "\n".join(lines) + "\n"
+
+
+def _as_number(raw: object, missing: str) -> float | None:
+    if raw is None:
+        return None
+    text = str(raw)
+    if text == missing:
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    if value <= 0:
+        return None
+    return value
+
+
+def _format(value: float) -> str:
+    if value >= 1000 or value < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.3g}"

@@ -1,0 +1,151 @@
+"""Synthetic dataset registry mirroring the paper's Table 2.
+
+Every entry is a deterministic core-periphery graph (DESIGN.md §3) named
+after one of the paper's datasets.  Sizes grow over the registry the way
+the paper's table does — ``talk`` is the smallest, ``uk07`` the largest —
+scaled down to what a pure-Python build can index in seconds.  The two
+largest entries are sized so that, under the benchmark memory budget,
+PSL+ (and for the largest also CT-20) hit the paper's "OM" outcome while
+CT-100 completes, reproducing the scalability story of Exp 1.
+
+Graph *kinds* tune the mixture:
+
+* ``social`` — heavy fringe, moderate communities (social networks);
+* ``web`` — larger near-clique communities (web graphs contain cliques
+  of thousands of nodes, the paper's footnote 2);
+* ``coauthor`` — many small cliques (coauthorship).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.exceptions import GraphError
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.graphs.graph import Graph
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """One registry entry.
+
+    ``paper_nodes`` / ``paper_edges`` record the size of the real
+    dataset the entry stands in for (from Table 2), for reporting.
+    """
+
+    name: str
+    paper_name: str
+    kind: str
+    config: CorePeripheryConfig
+    seed: int
+    paper_nodes: int
+    paper_edges: int
+
+
+def _social(core: int, communities: int, fringe: int, max_comm: int = 60) -> CorePeripheryConfig:
+    return CorePeripheryConfig(
+        core_size=core,
+        core_density=0.35,
+        community_count=communities,
+        community_size_min=5,
+        community_size_max=max_comm,
+        community_size_exponent=2.0,
+        community_density=0.75,
+        community_anchors=3,
+        fringe_size=fringe,
+        fringe_core_bias=0.85,
+        fringe_extra_edge_prob=0.15,
+    )
+
+
+def _web(core: int, communities: int, fringe: int, max_comm: int = 110) -> CorePeripheryConfig:
+    return CorePeripheryConfig(
+        core_size=core,
+        core_density=0.4,
+        community_count=communities,
+        community_size_min=6,
+        community_size_max=max_comm,
+        community_size_exponent=1.8,
+        community_density=0.8,
+        community_anchors=3,
+        fringe_size=fringe,
+        fringe_core_bias=0.8,
+        fringe_extra_edge_prob=0.1,
+    )
+
+
+def _coauthor(core: int, communities: int, fringe: int) -> CorePeripheryConfig:
+    return CorePeripheryConfig(
+        core_size=core,
+        core_density=0.3,
+        community_count=communities,
+        community_size_min=3,
+        community_size_max=25,
+        community_size_exponent=2.2,
+        community_density=0.9,
+        community_anchors=2,
+        fringe_size=fringe,
+        fringe_core_bias=0.9,
+        fringe_extra_edge_prob=0.2,
+    )
+
+
+_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    if spec.name in _REGISTRY:
+        raise GraphError(f"duplicate dataset name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+
+
+_register(DatasetSpec("talk", "TALK (Wikitalk)", "social", _social(250, 12, 900), 101, 2_394_385, 5_021_410))
+_register(DatasetSpec("amaz", "AMAZ (Amazon)", "social", _social(260, 15, 1100), 102, 735_323, 5_158_388))
+_register(DatasetSpec("yout", "YOUT (Youtube)", "social", _social(280, 16, 1300), 103, 3_223_589, 9_375_374))
+_register(DatasetSpec("epin", "EPIN (Epinions)", "social", _social(300, 18, 1500), 104, 755_762, 13_396_320))
+_register(DatasetSpec("dblp", "DBLP", "coauthor", _coauthor(320, 40, 1700), 105, 1_314_050, 18_986_618))
+_register(DatasetSpec("pok", "POK (Pokec)", "social", _social(340, 20, 2000), 106, 1_632_803, 30_622_564))
+_register(DatasetSpec("fb", "FB (Facebook)", "social", _social(360, 24, 2400), 107, 58_790_783, 92_208_195))
+_register(DatasetSpec("lj", "LJ (Ljournal)", "social", _social(380, 26, 2800), 108, 5_363_260, 79_023_142))
+_register(DatasetSpec("twit", "TWIT (Twitter)", "social", _social(400, 28, 3200, max_comm=80), 109, 21_297_772, 265_025_809))
+_register(DatasetSpec("uk02", "UK02 (UK-2002)", "web", _web(400, 26, 3400), 110, 18_520_486, 298_113_762))
+_register(DatasetSpec("arab", "ARAB (Arabic)", "web", _web(420, 28, 3800), 111, 22_744_080, 639_999_458))
+_register(DatasetSpec("uk05", "UK05 (UK-2005)", "web", _web(440, 30, 4200), 112, 39_459_925, 936_364_282))
+_register(DatasetSpec("wb", "WB (Webbase)", "web", _web(460, 32, 4800), 113, 118_142_155, 1_019_903_190))
+_register(DatasetSpec("uk0705", "UK0705 (UK-07-05)", "web", _web(530, 72, 11400), 114, 105_896_555, 3_738_733_648))
+_register(DatasetSpec("uk07", "UK07 (UK-2007)", "web", _web(550, 68, 13000), 115, 133_633_040, 5_507_679_822))
+
+#: The six datasets of the bandwidth-effect / scalability experiments
+#: (Figures 10-13 use DBLP, FB, TWIT, UK02, UK05, WB).
+EXP4_DATASETS = ("dblp", "fb", "twit", "uk02", "uk05", "wb")
+
+#: Exp 6 compares CT with CD on the two smallest graphs (Table 3).
+EXP6_DATASETS = ("talk", "epin")
+
+#: Exp 7 searches the bandwidth on LJ and ARAB (Figure 14).
+EXP7_DATASETS = ("lj", "arab")
+
+
+def dataset_names() -> list[str]:
+    """All registry names, smallest graph first."""
+    return list(_REGISTRY)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Spec for ``name``; raises :class:`GraphError` for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise GraphError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+@functools.lru_cache(maxsize=None)
+def load_dataset(name: str) -> Graph:
+    """Generate (and cache) the graph for a registry entry."""
+    spec = dataset_spec(name)
+    return core_periphery_graph(spec.config, spec.seed)

@@ -1,0 +1,57 @@
+"""Actual in-process memory measurement.
+
+The benchmark harness reports *modeled* sizes (8 bytes per entry, the
+paper's C++ layout).  This module measures the real CPython footprint of
+an index by deep ``sys.getsizeof`` traversal, so EXPERIMENTS.md can
+state how far apart the two accountings sit (Python's boxed ints and
+dicts cost roughly an order of magnitude more than the model — which is
+precisely why the size *model* is used for the paper comparisons).
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Mapping
+
+
+def deep_size_of(obj: object) -> int:
+    """Total bytes of ``obj`` and everything reachable from it.
+
+    Follows containers, instance ``__dict__``/``__slots__``, and
+    dataclasses; shared sub-objects are counted once.  Class objects,
+    modules, and functions are skipped (they are not index payload).
+    """
+    seen: set[int] = set()
+    stack = [obj]
+    total = 0
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        if isinstance(current, (type, sys.__class__)) or callable(current):
+            continue
+        total += sys.getsizeof(current)
+        if isinstance(current, Mapping):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+        if hasattr(current, "__dict__"):
+            stack.append(vars(current))
+        slots = getattr(type(current), "__slots__", ())
+        for name in slots:
+            if hasattr(current, name):
+                stack.append(getattr(current, name))
+    return total
+
+
+def memory_report(index) -> dict[str, float]:
+    """Modeled vs actual footprint of a distance index, in MB."""
+    modeled = index.size_bytes() / 1e6
+    actual = deep_size_of(index) / 1e6
+    return {
+        "modeled_mb": round(modeled, 3),
+        "actual_python_mb": round(actual, 3),
+        "overhead_factor": round(actual / modeled, 1) if modeled else 0.0,
+    }

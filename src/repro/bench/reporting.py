@@ -1,0 +1,72 @@
+"""Plain-text table rendering for the experiment drivers.
+
+The harness prints each figure/table of the paper as an aligned ASCII
+table (rows = datasets, columns = methods or parameters), which is what
+EXPERIMENTS.md records next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` fixes the column order (defaults to the keys of the
+    first row); missing cells render empty.
+    """
+    if not rows:
+        return (title + "\n") if title else ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines) + "\n"
+
+
+def pivot(
+    rows: Sequence[Mapping[str, object]],
+    index: str,
+    column: str,
+    value: str,
+) -> list[dict[str, object]]:
+    """Reshape long-form rows into one row per ``index`` value.
+
+    Example: pivot MethodResults into one row per dataset with one
+    column per method.
+    """
+    ordered_index: list[object] = []
+    table: dict[object, dict[str, object]] = {}
+    for row in rows:
+        key = row[index]
+        if key not in table:
+            table[key] = {index: key}
+            ordered_index.append(key)
+        table[key][str(row[column])] = row[value]
+    return [table[key] for key in ordered_index]
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,179 @@
+"""Shared machinery of the experiment drivers.
+
+``run_method`` builds one index (under the benchmark memory budget) and
+measures its average query time; ``main_sweep`` runs the paper's method
+lineup (PSL+, CT-20, CT-100, PSL*) over a dataset list once and caches
+the outcome, because Exps 1-3 are three views (size / index time /
+query time) of the same sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import time
+
+from repro.exceptions import OverMemoryError, ReproError
+from repro.graphs.graph import Graph
+from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.labeling.cd import build_cd
+from repro.labeling.h2h import build_h2h
+from repro.labeling.pll import build_pll
+from repro.labeling.psl import build_psl
+from repro.labeling.psl_variants import build_psl_plus, build_psl_star
+from repro.core.ct_index import CTIndex
+from repro.bench.datasets import load_dataset
+from repro.bench.workloads import QueryWorkload, random_pairs
+
+#: Modeled memory budget for the standard benchmark runs, in MB.  Chosen
+#: so the largest registry graphs reproduce the paper's "OM" outcomes:
+#: PSL+ fails on the biggest entries while CT-100 completes everywhere.
+BENCH_MEMORY_LIMIT_MB = 1.85
+
+#: Queries measured per (dataset, method); the paper uses 10^6, scaled
+#: down with the graphs (DESIGN.md §3).
+BENCH_QUERY_COUNT = 2000
+
+#: The method lineup of Figures 7-9 (Exps 1-3).
+MAIN_METHODS = ("PSL+ (CT-0)", "CT-20", "CT-100", "PSL*")
+
+
+@dataclasses.dataclass
+class MethodResult:
+    """Outcome of building + querying one method on one dataset."""
+
+    dataset: str
+    method: str
+    status: str  # "ok" or "OM"
+    entries: int = 0
+    size_mb: float = 0.0
+    build_seconds: float = 0.0
+    query_seconds: float = 0.0
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def cell(self, metric: str) -> str:
+        """Human-readable cell for one metric ('size'/'build'/'query')."""
+        if not self.ok:
+            return "OM"
+        if metric == "size":
+            return f"{self.size_mb:.3f}"
+        if metric == "build":
+            return f"{self.build_seconds:.2f}"
+        if metric == "query":
+            return f"{self.query_seconds:.2e}"
+        raise ReproError(f"unknown metric {metric!r}")
+
+
+def build_method(
+    method: str, graph: Graph, *, limit_mb: float | None = None
+) -> DistanceIndex:
+    """Build the index named by ``method`` ("CT-20", "PSL*", "CD-100", ...).
+
+    Raises :class:`OverMemoryError` when the modeled size exceeds the
+    budget.
+    """
+    budget = (
+        MemoryBudget.from_megabytes(limit_mb) if limit_mb is not None else MemoryBudget.unlimited()
+    )
+    normalized = method.split(" ")[0]  # "PSL+ (CT-0)" -> "PSL+"
+    if normalized.startswith("CT-"):
+        bandwidth = int(normalized.removeprefix("CT-"))
+        return CTIndex.build(graph, bandwidth, budget=budget)
+    if normalized.startswith("CD-"):
+        bandwidth = int(normalized.removeprefix("CD-"))
+        return build_cd(graph, bandwidth, budget=budget)
+    if normalized == "PSL+":
+        return build_psl_plus(graph, budget=budget)
+    if normalized == "PSL*":
+        return build_psl_star(graph, budget=budget)
+    if normalized == "PLL":
+        return build_pll(graph, budget=budget)
+    if normalized == "PSL":
+        return build_psl(graph, budget=budget)
+    if normalized == "H2H":
+        return build_h2h(graph, budget=budget)
+    raise ReproError(f"unknown method {method!r}")
+
+
+def measure_query_seconds(index: DistanceIndex, workload: QueryWorkload) -> float:
+    """Average seconds per query over the workload."""
+    if not workload.pairs:
+        return 0.0
+    distance = index.distance
+    started = time.perf_counter()
+    for s, t in workload.pairs:
+        distance(s, t)
+    return (time.perf_counter() - started) / len(workload.pairs)
+
+
+def run_method(
+    dataset: str,
+    graph: Graph,
+    method: str,
+    workload: QueryWorkload,
+    *,
+    limit_mb: float | None = BENCH_MEMORY_LIMIT_MB,
+) -> MethodResult:
+    """Build ``method`` on ``graph`` and measure it; "OM" on budget overflow."""
+    try:
+        index = build_method(method, graph, limit_mb=limit_mb)
+    except OverMemoryError as exc:
+        return MethodResult(
+            dataset=dataset,
+            method=method,
+            status="OM",
+            extra={"modeled_bytes_at_abort": exc.modeled_bytes},
+        )
+    stats = index.stats()
+    query_seconds = measure_query_seconds(index, workload)
+    return MethodResult(
+        dataset=dataset,
+        method=method,
+        status="ok",
+        entries=stats.entries,
+        size_mb=stats.megabytes,
+        build_seconds=stats.build_seconds,
+        query_seconds=query_seconds,
+        extra=dict(stats.extra),
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _main_sweep_cached(
+    datasets: tuple[str, ...],
+    methods: tuple[str, ...],
+    limit_mb: float,
+    query_count: int,
+) -> tuple[MethodResult, ...]:
+    import zlib
+
+    results: list[MethodResult] = []
+    for name in datasets:
+        graph = load_dataset(name)
+        # crc32 rather than hash(): stable across processes regardless of
+        # PYTHONHASHSEED, so workloads are reproducible run-to-run.
+        workload = random_pairs(graph, query_count, seed=zlib.crc32(name.encode()))
+        for method in methods:
+            results.append(
+                run_method(name, graph, method, workload, limit_mb=limit_mb)
+            )
+    return tuple(results)
+
+
+def main_sweep(
+    datasets: tuple[str, ...] | None = None,
+    methods: tuple[str, ...] = MAIN_METHODS,
+    *,
+    limit_mb: float = BENCH_MEMORY_LIMIT_MB,
+    query_count: int = BENCH_QUERY_COUNT,
+) -> list[MethodResult]:
+    """The shared Exp 1-3 sweep (cached per parameter set)."""
+    if datasets is None:
+        from repro.bench.datasets import dataset_names
+
+        datasets = tuple(dataset_names())
+    return list(_main_sweep_cached(tuple(datasets), tuple(methods), limit_mb, query_count))

@@ -1,0 +1,87 @@
+"""Query workload generation for the benchmark harness.
+
+The paper measures the average over 10^6 uniform random queries per
+graph; at our scale a few thousand seeded pairs give stable means.
+Stratified workloads (per CT query case) support the case-coverage
+ablations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible list of query pairs over one graph."""
+
+    name: str
+    pairs: tuple[tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def random_pairs(graph: Graph, count: int, seed: int) -> QueryWorkload:
+    """``count`` uniform random (s, t) pairs (s == t allowed, as in the paper)."""
+    rng = random.Random(seed)
+    n = graph.n
+    pairs = tuple((rng.randrange(n), rng.randrange(n)) for _ in range(count))
+    return QueryWorkload(name=f"random-{count}", pairs=pairs)
+
+
+def distinct_random_pairs(graph: Graph, count: int, seed: int) -> QueryWorkload:
+    """Random pairs with ``s != t`` (for workloads where self-queries are noise)."""
+    rng = random.Random(seed)
+    n = graph.n
+    if n < 2:
+        return QueryWorkload(name=f"distinct-{count}", pairs=())
+    pairs = []
+    while len(pairs) < count:
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        if s != t:
+            pairs.append((s, t))
+    return QueryWorkload(name=f"distinct-{count}", pairs=tuple(pairs))
+
+
+def stratified_pairs(
+    graph: Graph,
+    group_a: Sequence[int],
+    group_b: Sequence[int],
+    count: int,
+    seed: int,
+    name: str = "stratified",
+) -> QueryWorkload:
+    """Pairs with one endpoint drawn from each group (e.g. core × tree)."""
+    rng = random.Random(seed)
+    if not group_a or not group_b:
+        return QueryWorkload(name=name, pairs=())
+    pairs = tuple(
+        (group_a[rng.randrange(len(group_a))], group_b[rng.randrange(len(group_b))])
+        for _ in range(count)
+    )
+    return QueryWorkload(name=name, pairs=pairs)
+
+
+def node_fractions(graph: Graph, fractions: Sequence[float], seed: int) -> list[list[int]]:
+    """Exp 5 node groups: random equal split, cumulative prefixes.
+
+    The paper divides nodes into 5 equal random groups and evaluates the
+    induced subgraph of the first k groups.  Returns one (sorted) node
+    list per requested cumulative fraction.
+    """
+    rng = random.Random(seed)
+    permutation = list(graph.nodes())
+    rng.shuffle(permutation)
+    result = []
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside (0, 1]")
+        take = max(1, round(fraction * graph.n))
+        result.append(sorted(permutation[:take]))
+    return result

@@ -1,0 +1,69 @@
+"""LRU caching wrapper for distance indexes.
+
+Production query streams are heavily skewed (hot landmark pairs, repeat
+lookups); a small LRU in front of any :class:`DistanceIndex` converts
+repeats into dictionary hits without touching the index.  The wrapper
+is itself a ``DistanceIndex``, so it composes with everything else
+(path reconstruction, the bench runner, ...).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Weight
+from repro.labeling.base import DistanceIndex
+
+
+class CachedDistanceIndex(DistanceIndex):
+    """A bounded LRU cache over another index's ``distance``.
+
+    Keys are unordered pairs (undirected indexes answer symmetrically);
+    pass ``symmetric=False`` when wrapping a directed oracle.
+    """
+
+    method_name = "cached"
+
+    def __init__(
+        self, inner: DistanceIndex, capacity: int = 65536, *, symmetric: bool = True
+    ) -> None:
+        if capacity < 1:
+            raise ReproError(f"cache capacity must be positive, got {capacity}")
+        self.inner = inner
+        self.capacity = capacity
+        self.symmetric = symmetric
+        self.method_name = f"cached({inner.method_name})"
+        self.hits = 0
+        self.misses = 0
+        self._cache: OrderedDict[tuple[int, int], Weight] = OrderedDict()
+
+    def distance(self, s: int, t: int) -> Weight:
+        key = (t, s) if self.symmetric and t < s else (s, t)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.misses += 1
+        value = self.inner.distance(s, t)
+        self._cache[key] = value
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return value
+
+    def size_entries(self) -> int:
+        """The wrapped index's entries (the cache is working memory)."""
+        return self.inner.size_entries()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop the cached answers and reset the hit/miss counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

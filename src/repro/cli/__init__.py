@@ -1,0 +1,5 @@
+"""Command-line interface (``repro`` / ``python -m repro``)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

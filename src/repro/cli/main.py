@@ -1,0 +1,273 @@
+"""``repro`` command-line tool.
+
+Subcommands::
+
+    repro stats GRAPH                     structural summary of an edge list
+    repro build GRAPH -d 20 -o IDX.json   build and save a CT-Index
+    repro query IDX.json S T [S T ...]    answer distance queries
+    repro find-bandwidth GRAPH --memory-mb 2
+    repro generate DATASET -o GRAPH       dump a registry dataset
+    repro bench EXPERIMENT                run one paper experiment driver
+    repro datasets                        list the dataset registry
+
+Exit status is 0 on success, 1 on a handled library error, 2 on bad
+arguments (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import INF
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CT-Index: distance labeling for core-periphery graphs (SIGMOD 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    p_stats = sub.add_parser("stats", help="print a structural summary of an edge-list graph")
+    p_stats.add_argument("graph", help="edge-list file (u v [w] per line)")
+    p_stats.set_defaults(handler=_cmd_stats)
+
+    p_build = sub.add_parser("build", help="build a CT-Index over an edge-list graph")
+    p_build.add_argument("graph")
+    p_build.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_build.add_argument("-o", "--output", required=True, help="where to save the index (JSON)")
+    p_build.add_argument(
+        "--no-reduction", action="store_true", help="skip the equivalence (twin) reduction"
+    )
+    p_build.add_argument(
+        "--memory-mb", type=float, default=None, help="abort if the modeled size exceeds this"
+    )
+    p_build.set_defaults(handler=_cmd_build)
+
+    p_query = sub.add_parser("query", help="answer distance queries from a saved index")
+    p_query.add_argument("index")
+    p_query.add_argument("nodes", nargs="+", type=int, help="pairs: s1 t1 s2 t2 ...")
+    p_query.set_defaults(handler=_cmd_query)
+
+    p_path = sub.add_parser("path", help="reconstruct a shortest path from a saved index")
+    p_path.add_argument("index")
+    p_path.add_argument("source", type=int)
+    p_path.add_argument("target", type=int)
+    p_path.set_defaults(handler=_cmd_path)
+
+    p_find = sub.add_parser(
+        "find-bandwidth", help="binary-search the smallest bandwidth fitting a memory limit"
+    )
+    p_find.add_argument("graph")
+    p_find.add_argument("--memory-mb", type=float, required=True)
+    p_find.set_defaults(handler=_cmd_find_bandwidth)
+
+    p_gen = sub.add_parser("generate", help="write a registry dataset as an edge list")
+    p_gen.add_argument("dataset")
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.set_defaults(handler=_cmd_generate)
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment driver")
+    p_bench.add_argument("experiment", help="exp1..exp7, table1, lemma3, ablation-*")
+    p_bench.set_defaults(handler=_cmd_bench)
+
+    p_list = sub.add_parser("datasets", help="list the synthetic dataset registry")
+    p_list.set_defaults(handler=_cmd_datasets)
+
+    p_audit = sub.add_parser("audit", help="self-check a saved index against its graph")
+    p_audit.add_argument("index")
+    p_audit.add_argument("--samples", type=int, default=200)
+    p_audit.set_defaults(handler=_cmd_audit)
+
+    p_compare = sub.add_parser(
+        "compare", help="build several methods over one graph and print the lineup"
+    )
+    p_compare.add_argument("graph")
+    p_compare.add_argument(
+        "--methods",
+        default="PSL+,PSL*,CT-20,CT-100",
+        help="comma-separated method names (PSL+, PSL*, PLL, PSL, H2H, CT-<d>, CD-<d>)",
+    )
+    p_compare.add_argument("--queries", type=int, default=1000)
+    p_compare.set_defaults(handler=_cmd_compare)
+
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graphs.io import read_edge_list
+    from repro.graphs.statistics import summarize
+
+    graph, _ = read_edge_list(args.graph)
+    summary = summarize(graph)
+    for key, value in summary.as_row().items():
+        print(f"{key:16s} {value}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.ct_index import CTIndex
+    from repro.core.serialization import save_ct_index
+    from repro.graphs.io import read_edge_list
+    from repro.labeling.base import MemoryBudget
+
+    graph, _ = read_edge_list(args.graph)
+    budget = (
+        MemoryBudget.from_megabytes(args.memory_mb) if args.memory_mb is not None else None
+    )
+    index = CTIndex.build(
+        graph,
+        args.bandwidth,
+        use_equivalence_reduction=not args.no_reduction,
+        budget=budget,
+    )
+    save_ct_index(index, args.output)
+    stats = index.stats()
+    print(
+        f"built CT-{args.bandwidth} on n={graph.n} m={graph.m}: "
+        f"{stats.entries} entries ({stats.megabytes:.3f} MB modeled) "
+        f"in {stats.build_seconds:.2f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_ct_index
+
+    if len(args.nodes) % 2 != 0:
+        print("error: provide an even number of node ids (s t pairs)", file=sys.stderr)
+        return 2
+    index = load_ct_index(args.index)
+    started = time.perf_counter()
+    for i in range(0, len(args.nodes), 2):
+        s, t = args.nodes[i], args.nodes[i + 1]
+        distance = index.distance(s, t)
+        text = "unreachable" if distance == INF else str(distance)
+        print(f"dist({s}, {t}) = {text}")
+    elapsed = time.perf_counter() - started
+    print(f"({len(args.nodes) // 2} queries in {elapsed * 1e3:.2f} ms)")
+    return 0
+
+
+def _cmd_path(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_ct_index
+    from repro.paths import path_length, shortest_path
+
+    index = load_ct_index(args.index)
+    path = shortest_path(index, index.graph, args.source, args.target)
+    if path is None:
+        print(f"{args.source} cannot reach {args.target}")
+        return 0
+    print(" -> ".join(str(v) for v in path))
+    print(f"length {path_length(index.graph, path)} over {len(path) - 1} edges")
+    return 0
+
+
+def _cmd_find_bandwidth(args: argparse.Namespace) -> int:
+    from repro.core.bandwidth import find_bandwidth
+    from repro.graphs.io import read_edge_list
+
+    graph, _ = read_edge_list(args.graph)
+    result = find_bandwidth(graph, int(args.memory_mb * 1e6))
+    print(f"smallest feasible bandwidth: d = {result.bandwidth}")
+    print(f"search took {result.seconds:.2f}s over {len(result.probes)} construction probes:")
+    for probe in result.probes:
+        verdict = "fits" if probe.feasible else "OM"
+        print(
+            f"  d={probe.bandwidth:<6d} {verdict:4s} "
+            f"modeled={probe.modeled_bytes / 1e6:.3f} MB in {probe.seconds:.2f}s"
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.bench.datasets import dataset_spec, load_dataset
+    from repro.graphs.io import write_edge_list
+
+    spec = dataset_spec(args.dataset)
+    graph = load_dataset(args.dataset)
+    write_edge_list(
+        graph, args.output, header=f"synthetic analogue of {spec.paper_name} (seed {spec.seed})"
+    )
+    print(f"wrote {args.output}: n={graph.n} m={graph.m}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import run_experiment
+
+    try:
+        _, text = run_experiment(args.experiment)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(text)
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_ct_index
+    from repro.core.validation import audit_ct_index
+
+    index = load_ct_index(args.index)
+    report = audit_ct_index(index, samples=args.samples)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.bench.runner import build_method, measure_query_seconds
+    from repro.bench.workloads import random_pairs
+    from repro.graphs.io import read_edge_list
+
+    graph, _ = read_edge_list(args.graph)
+    workload = random_pairs(graph, args.queries, seed=12345)
+    rows = []
+    for method in (m.strip() for m in args.methods.split(",") if m.strip()):
+        index = build_method(method, graph)
+        rows.append(
+            {
+                "method": method,
+                "entries": index.size_entries(),
+                "size_mb": round(index.size_bytes() / 1e6, 3),
+                "index_s": round(index.build_seconds, 2),
+                "query_s": f"{measure_query_seconds(index, workload):.2e}",
+            }
+        )
+    print(format_table(rows, ["method", "entries", "size_mb", "index_s", "query_s"]))
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.bench.datasets import dataset_names, dataset_spec, load_dataset
+
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        graph = load_dataset(name)
+        print(
+            f"{name:8s} {spec.kind:9s} n={graph.n:<7d} m={graph.m:<8d} "
+            f"(stands in for {spec.paper_name}: n={spec.paper_nodes:,}, m={spec.paper_edges:,})"
+        )
+    return 0

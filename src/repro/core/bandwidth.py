@@ -1,0 +1,151 @@
+"""Choosing the bandwidth ``d`` under a memory limit (Section 5 / Exp 7).
+
+The paper's guidance: ``d = 0`` gives the best query time, so pick the
+*smallest* ``d`` whose index fits in memory.  Each probe actually
+attempts the construction under a
+:class:`~repro.labeling.base.MemoryBudget`, so an infeasible ``d``
+aborts early with the paper's "OM" outcome instead of building a
+too-large index to completion.
+
+The search first tries ``d = 0``; failing that, it scans ``d = 1, 2, 4,
+8, ...`` (the paper's "double d_ub when a feasible d cannot be found")
+until a feasible bandwidth brackets the answer, then binary-searches the
+bracketed interval.  Bracketing from below matters in practice: the
+index size is not globally monotone in ``d`` (a very large ``d``
+eliminates the dense core itself into quadratic chains), so "double a
+fixed large upper bound" can overshoot past every feasible region.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import time
+
+from repro.exceptions import IndexConstructionError, OverMemoryError
+from repro.graphs.graph import Graph
+from repro.labeling.base import MemoryBudget
+from repro.core.ct_index import CTIndex
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthProbe:
+    """One construction attempt during the search."""
+
+    bandwidth: int
+    feasible: bool
+    modeled_bytes: int
+    seconds: float
+
+
+@dataclasses.dataclass
+class BandwidthSearchResult:
+    """Outcome of :func:`find_bandwidth`.
+
+    Attributes
+    ----------
+    bandwidth:
+        The smallest feasible ``d`` found.
+    index:
+        The CT-Index built at that ``d`` (fits the budget).
+    probes:
+        Every construction attempt, in order.
+    seconds:
+        Total wall-clock time of the search.
+    """
+
+    bandwidth: int
+    index: CTIndex
+    probes: list[BandwidthProbe]
+    seconds: float
+
+
+def find_bandwidth(
+    graph: Graph,
+    memory_limit_bytes: int,
+    *,
+    max_upper_bound: int = 100_000,
+    use_equivalence_reduction: bool = True,
+) -> BandwidthSearchResult:
+    """Search the smallest bandwidth whose CT-Index fits the memory limit.
+
+    Raises :class:`IndexConstructionError` when no bandwidth up to
+    ``max_upper_bound`` fits (the graph simply needs more memory).
+    """
+    started = time.perf_counter()
+    probes: list[BandwidthProbe] = []
+    built: dict[int, CTIndex] = {}
+
+    def attempt(d: int) -> bool:
+        probe_start = time.perf_counter()
+        budget = MemoryBudget(limit_bytes=memory_limit_bytes)
+        try:
+            index = CTIndex.build(
+                graph,
+                d,
+                use_equivalence_reduction=use_equivalence_reduction,
+                budget=budget,
+            )
+        except OverMemoryError as exc:
+            logger.debug(
+                "bandwidth probe d=%d OM at %.3f MB (limit %.3f MB)",
+                d,
+                exc.modeled_bytes / 1e6,
+                memory_limit_bytes / 1e6,
+            )
+            probes.append(
+                BandwidthProbe(
+                    bandwidth=d,
+                    feasible=False,
+                    modeled_bytes=exc.modeled_bytes,
+                    seconds=time.perf_counter() - probe_start,
+                )
+            )
+            return False
+        built[d] = index
+        probes.append(
+            BandwidthProbe(
+                bandwidth=d,
+                feasible=True,
+                modeled_bytes=index.size_bytes(),
+                seconds=time.perf_counter() - probe_start,
+            )
+        )
+        return True
+
+    def finish(best: int) -> BandwidthSearchResult:
+        return BandwidthSearchResult(
+            bandwidth=best,
+            index=built[best],
+            probes=probes,
+            seconds=time.perf_counter() - started,
+        )
+
+    # Fast path: d = 0 (pure 2-hop labeling) already fits.
+    if attempt(0):
+        return finish(0)
+
+    # Geometric scan: bracket the first feasible d between the last
+    # failure and the first success.
+    last_failure = 0
+    high = 1
+    while not attempt(high):
+        last_failure = high
+        if high >= max_upper_bound:
+            raise IndexConstructionError(
+                f"no bandwidth up to {high} fits in {memory_limit_bytes} bytes"
+            )
+        high = min(high * 2, max_upper_bound)
+
+    # Binary search the smallest feasible d in (last_failure, high].
+    low = last_failure + 1
+    best = high
+    while low < best:
+        mid = (low + best) // 2
+        if attempt(mid):
+            best = mid
+        else:
+            low = mid + 1
+    return finish(best)

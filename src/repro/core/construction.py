@@ -1,0 +1,238 @@
+"""CT-Index construction — Algorithm 1 of the paper.
+
+The pipeline:
+
+1. bandwidth-bounded weighted MDE (lines 1-17, in
+   :mod:`repro.treedec.elimination`);
+2. core-tree structure: parents ``f(i)``, roots ``r(i)``, interfaces
+   (lines 18-28, in :mod:`repro.treedec.core_tree`);
+3. **tree-index**: λ-local distances from every forest node to its tree
+   ancestors and to its tree's interface (lines 19-32, this module);
+4. **core-index**: PLL (pruned Dijkstra) on the weighted reduced graph
+   ``G_{λ+1}`` (line 33).
+
+The tree labels are computed in *reverse* elimination order, so the
+recursion of Lemma 15 always reads already-final values: the λ-local
+distance from ``v_i`` to a target ``u`` is either the recorded wedge
+weight ``δ⁻(u)`` (when ``u ∈ N_i``) or routes through a tree neighbor
+``v_j`` as ``δ⁻(v_j) + δ^T(v_j, u)``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from repro.exceptions import IndexConstructionError
+from repro.graphs.graph import INF, Graph, Weight
+from repro.labeling.base import MemoryBudget
+from repro.labeling.ordering import degree_order
+from repro.labeling.pll import PrunedLandmarkLabeling, build_pll
+from repro.treedec.core_tree import CoreTreeDecomposition, core_tree_decomposition
+
+logger = logging.getLogger(__name__)
+
+
+class TreeIndex:
+    """The forest half of a CT-Index: λ-local distance labels.
+
+    ``labels[pos]`` maps every *target* of the forest node eliminated at
+    ``pos`` — its ancestors within its tree plus its tree's interface
+    nodes — to the λ-local distance δ^T.
+    """
+
+    def __init__(
+        self, decomposition: CoreTreeDecomposition, labels: list[dict[int, Weight]]
+    ) -> None:
+        self.decomposition = decomposition
+        self.labels = labels
+
+    def size_entries(self) -> int:
+        """Stored (target, distance) pairs."""
+        return sum(len(label) for label in self.labels)
+
+    def local_distance(self, pos: int, target: int) -> Weight:
+        """δ^T from the node at ``pos`` to ``target`` (0 for itself).
+
+        ``target`` must be one of the node's stored targets (an ancestor
+        in its tree, an interface node, or the node itself); anything
+        else returns INF, which is safe for the min-combining callers.
+        """
+        if self.decomposition.node_at(pos) == target:
+            return 0
+        return self.labels[pos].get(target, INF)
+
+
+def build_tree_index(
+    decomposition: CoreTreeDecomposition,
+    *,
+    budget: MemoryBudget | None = None,
+) -> TreeIndex:
+    """Compute the λ-local distance labels (Algorithm 1, lines 19-32)."""
+    if budget is None:
+        budget = MemoryBudget.unlimited()
+    elimination = decomposition.elimination
+    position = decomposition.position
+    node_at = decomposition.node_at
+    boundary = decomposition.boundary
+    labels: list[dict[int, Weight]] = [{} for _ in range(boundary)]
+
+    def lookup(pos_j: int, target: int) -> Weight:
+        """δ^T(v_j, target), reading whichever endpoint stores the pair.
+
+        Targets on the ancestor chain of the node being processed are
+        comparable with ``v_j``: one of the two is the other's ancestor
+        and therefore stores the distance (interface targets are always
+        stored at ``v_j``).
+        """
+        node_j = node_at(pos_j)
+        if node_j == target:
+            return 0
+        stored = labels[pos_j].get(target)
+        if stored is not None:
+            return stored
+        pos_target = position[target]
+        if pos_target is None:
+            raise IndexConstructionError(
+                f"interface target {target} missing from labels of position {pos_j}"
+            )
+        return labels[pos_target][node_j]
+
+    for pos in range(boundary - 1, -1, -1):
+        step = elimination.steps[pos]
+        root = decomposition.root[pos]
+        interface = decomposition.interface[root]
+        label: dict[int, Weight] = {}
+
+        if decomposition.parent[pos] is None:
+            # Root bag: every neighbor is an interface (core) node and the
+            # recorded wedge weight is already the λ-local distance
+            # (Lemma 14 / line 25).
+            label.update(step.local_distance)
+        else:
+            tree_neighbors = [
+                (u, position[u]) for u in step.neighbors if position[u] is not None
+            ]
+            # Line 29-30: targets that are direct neighbors.
+            for u in step.neighbors:
+                best = step.local_distance[u]
+                for v_j, pos_j in tree_neighbors:
+                    if v_j == u:
+                        continue
+                    assert pos_j is not None
+                    through = step.local_distance[v_j] + lookup(pos_j, u)
+                    if through < best:
+                        best = through
+                label[u] = best
+            # Line 31-32: remaining targets (ancestors beyond N_i and the
+            # rest of the interface).
+            chain_targets = [node_at(p) for p in decomposition.ancestors_of(pos)]
+            for u in _iter_missing(chain_targets, interface, label):
+                best: Weight = INF
+                for v_j, pos_j in tree_neighbors:
+                    assert pos_j is not None
+                    through = step.local_distance[v_j] + lookup(pos_j, u)
+                    if through < best:
+                        best = through
+                label[u] = best
+        budget.charge(len(label))
+        labels[pos] = label
+
+    return TreeIndex(decomposition, labels)
+
+
+def _iter_missing(
+    chain_targets: list[int], interface: tuple[int, ...], label: dict[int, Weight]
+):
+    """Targets of lines 31-32: chain ancestors and interface not yet labeled."""
+    for u in chain_targets:
+        if u not in label:
+            yield u
+    for u in interface:
+        if u not in label:
+            yield u
+
+
+def build_core_index(
+    decomposition: CoreTreeDecomposition,
+    *,
+    budget: MemoryBudget | None = None,
+    core_order: str = "degree",
+    core_backend: str = "pll",
+) -> tuple[PrunedLandmarkLabeling, list[int], dict[int, int]]:
+    """2-hop labeling on the weighted reduced core graph ``G_{λ+1}`` (line 33).
+
+    ``core_order`` selects the hub order: ``"degree"`` (the practical
+    default, as in PSL) or ``"elimination"`` — the reverse of a continued
+    MDE run over the core, the order behind the paper's Theorem 4.4
+    bound and the one its Figure 5 example uses.
+
+    ``core_backend`` selects the construction schedule — the paper's
+    line 33 says "PLL (or PSL equivalently)".  ``"psl"`` uses the
+    round-synchronous propagation when the core graph is unweighted
+    (d = 0, no fill-in shortcuts) and falls back to pruned-Dijkstra PLL
+    otherwise, since PSL's levels are hop counts.  Both backends build
+    the same canonical label sets.
+
+    Returns ``(core_labeling, originals, compact)``: the 2-hop index
+    over the compacted core graph, the original node id per compact id,
+    and the reverse map.
+    """
+    core_graph, originals = decomposition.core_graph()
+    if core_order == "degree":
+        order = degree_order(core_graph)
+    elif core_order == "elimination":
+        from repro.treedec.elimination import minimum_degree_elimination
+
+        continued = minimum_degree_elimination(core_graph, bandwidth=None)
+        order = list(reversed(continued.eliminated_order()))
+    else:
+        raise IndexConstructionError(
+            f"unknown core order {core_order!r}; expected 'degree' or 'elimination'"
+        )
+    if core_backend not in ("pll", "psl"):
+        raise IndexConstructionError(
+            f"unknown core backend {core_backend!r}; expected 'pll' or 'psl'"
+        )
+    if core_backend == "psl" and core_graph.unweighted:
+        from repro.labeling.psl import build_psl
+
+        psl = build_psl(core_graph, order, budget=budget)
+        labeling = PrunedLandmarkLabeling(core_graph, psl.labels, psl.order)
+        labeling.build_seconds = psl.build_seconds
+    else:
+        labeling = build_pll(core_graph, order, budget=budget)
+    compact = {orig: i for i, orig in enumerate(originals)}
+    return labeling, originals, compact
+
+
+def construct(
+    graph: Graph,
+    bandwidth: int,
+    *,
+    budget: MemoryBudget | None = None,
+    core_order: str = "degree",
+    core_backend: str = "pll",
+) -> tuple[CoreTreeDecomposition, TreeIndex, PrunedLandmarkLabeling, list[int], dict[int, int], float]:
+    """Run the full Algorithm 1 and return all the pieces plus build time."""
+    started = time.perf_counter()
+    if budget is None:
+        budget = MemoryBudget.unlimited()
+    decomposition = core_tree_decomposition(graph, bandwidth)
+    tree_index = build_tree_index(decomposition, budget=budget)
+    core_index, originals, compact = build_core_index(
+        decomposition, budget=budget, core_order=core_order, core_backend=core_backend
+    )
+    elapsed = time.perf_counter() - started
+    logger.debug(
+        "CT constructed: d=%d lambda=%d core=%d h_F=%d tree_entries=%d "
+        "core_entries=%d in %.3fs",
+        bandwidth,
+        decomposition.boundary,
+        len(decomposition.core_nodes),
+        decomposition.forest_height(),
+        tree_index.size_entries(),
+        core_index.size_entries(),
+        elapsed,
+    )
+    return decomposition, tree_index, core_index, originals, compact, elapsed

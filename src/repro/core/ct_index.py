@@ -1,0 +1,411 @@
+"""The CT-Index: the paper's core contribution (Sections 4.4-4.5).
+
+:class:`CTIndex` answers exact distance queries using the four-case
+dispatch of Section 4.5:
+
+* **Case 1** — both nodes in the core: one 2-hop query on the core index.
+* **Case 2** — one node in a tree: minimize over the ≤ d interface nodes
+  of the tree (tree-label hop + core query).
+* **Case 3** — nodes in different trees: build both *extended label
+  sets* (Lemma 9) and intersect them — O(d) core-label scans instead of
+  the naive O(d²) interface product.
+* **Case 4** — nodes in the same tree: the better of the 2-hop local
+  answer through the LCA bag (``d2``) and the 4-hop answer through the
+  core (``d4``, again via extended labels).
+
+Query-case counters and core-probe counters are kept for the benchmark
+harness and the Lemma 9 ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.exceptions import QueryError
+from repro.graphs.graph import INF, Graph, Weight
+from repro.graphs.reductions import (
+    EquivalenceReduction,
+    eliminate_equivalent_nodes,
+    reduction_identity,
+)
+from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.labeling.pll import PrunedLandmarkLabeling
+from repro.core.construction import TreeIndex, construct
+
+
+class CTIndex(DistanceIndex):
+    """Core-Tree distance index over a graph.
+
+    Build with :meth:`CTIndex.build` (or :func:`build_ct_index`)::
+
+        index = CTIndex.build(graph, bandwidth=20)
+        index.distance(s, t)
+
+    The ``bandwidth`` is the paper's ``d``: 0 keeps the whole graph in
+    the core (CT-0 ≡ PSL+/PLL); larger values move more of the graph
+    into the cheap tree-index at a mild query-time cost.
+    """
+
+    method_name = "CT"
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth: int,
+        reduction: EquivalenceReduction,
+        tree_index: TreeIndex,
+        core_index: PrunedLandmarkLabeling,
+        core_originals: list[int],
+        core_compact: dict[int, int],
+    ) -> None:
+        self.graph = graph
+        self.bandwidth = bandwidth
+        self.reduction = reduction
+        self.tree_index = tree_index
+        self.core_index = core_index
+        self._core_originals = core_originals
+        self._core_compact = core_compact
+        self.method_name = f"CT-{bandwidth}"
+        #: Query-case histogram: keys "case1" .. "case4".
+        self.case_counts: Counter[str] = Counter()
+        #: How many core-label scans the queries performed (Lemma 9 metric).
+        self.core_probes = 0
+
+    # ------------------------------------------------------------------
+    # Build entry points
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        bandwidth: int,
+        *,
+        use_equivalence_reduction: bool = True,
+        budget: MemoryBudget | None = None,
+        core_order: str = "degree",
+        core_backend: str = "pll",
+    ) -> "CTIndex":
+        """Construct a CT-Index (Algorithm 1).
+
+        Parameters
+        ----------
+        graph:
+            The graph to index.
+        bandwidth:
+            The paper's ``d``; trades index size against query time.
+        use_equivalence_reduction:
+            Fold twin nodes before indexing (the paper integrates the
+            PSL+ reduction into CT-Index); automatic no-op on weighted
+            graphs.
+        budget:
+            Optional memory budget; exceeding it raises
+            :class:`~repro.exceptions.OverMemoryError` mid-build (the
+            paper's "OM" outcome).
+        core_order:
+            Hub order for the core 2-hop labeling: ``"degree"`` (PSL's
+            practical choice, the default) or ``"elimination"`` (the
+            theory order of Theorem 4.4 [2]).
+        core_backend:
+            ``"pll"`` (pruned searches) or ``"psl"`` (round-synchronous
+            propagation where applicable) — the paper's line 33 treats
+            them as interchangeable.
+        """
+        started = time.perf_counter()
+        if use_equivalence_reduction:
+            reduction = eliminate_equivalent_nodes(graph)
+        else:
+            reduction = reduction_identity(graph)
+        decomposition, tree_index, core_index, originals, compact, _ = construct(
+            reduction.reduced,
+            bandwidth,
+            budget=budget,
+            core_order=core_order,
+            core_backend=core_backend,
+        )
+        del decomposition  # reachable through tree_index
+        index = cls(
+            graph=graph,
+            bandwidth=bandwidth,
+            reduction=reduction,
+            tree_index=tree_index,
+            core_index=core_index,
+            core_originals=originals,
+            core_compact=compact,
+        )
+        index.build_seconds = time.perf_counter() - started
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def decomposition(self):
+        """The underlying :class:`CoreTreeDecomposition`."""
+        return self.tree_index.decomposition
+
+    @property
+    def boundary(self) -> int:
+        """λ — number of forest nodes (in the reduced graph)."""
+        return self.decomposition.boundary
+
+    @property
+    def core_size(self) -> int:
+        """|B_c| — number of core nodes."""
+        return len(self._core_originals)
+
+    @property
+    def core_originals(self) -> list[int]:
+        """Reduced-graph node id per compact core-graph node."""
+        return self._core_originals
+
+    def forest_height(self) -> int:
+        """h_F of the forest."""
+        return self.decomposition.forest_height()
+
+    def size_entries(self) -> int:
+        """Tree labels plus core labels, in entries."""
+        return self.tree_index.size_entries() + self.core_index.size_entries()
+
+    def stats(self):
+        stats = super().stats()
+        extra = dict(stats.extra)
+        extra.update(
+            boundary=self.boundary,
+            core_size=self.core_size,
+            forest_height=self.forest_height(),
+            tree_entries=self.tree_index.size_entries(),
+            core_entries=self.core_index.size_entries(),
+        )
+        return type(stats)(
+            method=stats.method,
+            entries=stats.entries,
+            bytes=stats.bytes,
+            build_seconds=stats.build_seconds,
+            extra=extra,
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the query-case and core-probe counters."""
+        self.case_counts.clear()
+        self.core_probes = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def distance(self, s: int, t: int) -> Weight:
+        """Exact distance between original-graph nodes ``s`` and ``t``."""
+        if not 0 <= s < self.graph.n or not 0 <= t < self.graph.n:
+            raise QueryError(f"query nodes ({s}, {t}) out of range")
+        if s == t:
+            return 0
+        rs = self.reduction.representative[s]
+        rt = self.reduction.representative[t]
+        if rs == rt:
+            return self.reduction.class_distance(s, t)
+        return self._reduced_distance(rs, rt)
+
+    def distances_from(self, s: int, targets) -> list[Weight]:
+        """One-to-many queries from ``s``, reusing per-source state.
+
+        For a forest source the extension operation (the O(d) part of
+        Cases 3-4) is computed once and shared across the whole batch,
+        so large batches cost roughly one label intersection per target.
+        """
+        if not 0 <= s < self.graph.n:
+            raise QueryError(f"source {s} out of range")
+        rs = self.reduction.representative[s]
+        pos_s = self.decomposition.position[rs]
+        ext_s: dict[int, Weight] | None = None
+        results: list[Weight] = []
+        for t in targets:
+            if not 0 <= t < self.graph.n:
+                raise QueryError(f"target {t} out of range")
+            if t == s:
+                results.append(0)
+                continue
+            rt = self.reduction.representative[t]
+            if rs == rt:
+                results.append(self.reduction.class_distance(s, t))
+                continue
+            pos_t = self.decomposition.position[rt]
+            if pos_s is None:
+                # Core source: the generic dispatch is already cheap.
+                results.append(self._reduced_distance(rs, rt))
+                continue
+            if pos_t is None:
+                self.case_counts["case2"] += 1
+                results.append(self._tree_to_core(rs, pos_s, rt))
+                continue
+            if ext_s is None:
+                ext_s = self._extended_labels(pos_s)
+            if self.decomposition.same_tree(pos_s, pos_t):
+                self.case_counts["case4"] += 1
+                meet = self.decomposition.lca(pos_s, pos_t)
+                d2: Weight = INF
+                for u in self.decomposition.bag_members(meet):
+                    left = self.tree_index.local_distance(pos_s, u)
+                    if left == INF:
+                        continue
+                    right = self.tree_index.local_distance(pos_t, u)
+                    if left + right < d2:
+                        d2 = left + right
+                d4 = _dict_intersection(ext_s, self._extended_labels(pos_t))
+                results.append(min(d2, d4))
+            else:
+                self.case_counts["case3"] += 1
+                results.append(_dict_intersection(ext_s, self._extended_labels(pos_t)))
+        return results
+
+    def distance_naive_4hop(self, s: int, t: int) -> Weight:
+        """Like :meth:`distance` but evaluating Equation 1 directly.
+
+        Cases 3-4 enumerate the full interface Cartesian product (O(d²)
+        core queries) instead of using the extension operation.  Exists
+        for the Lemma 9 ablation and its equivalence tests.
+        """
+        if s == t:
+            return 0
+        rs = self.reduction.representative[s]
+        rt = self.reduction.representative[t]
+        if rs == rt:
+            return self.reduction.class_distance(s, t)
+        return self._reduced_distance(rs, rt, naive=True)
+
+    def _reduced_distance(self, s: int, t: int, *, naive: bool = False) -> Weight:
+        position = self.decomposition.position
+        pos_s = position[s]
+        pos_t = position[t]
+        if pos_s is None and pos_t is None:
+            self.case_counts["case1"] += 1
+            return self._core_distance(s, t)
+        if pos_s is None:
+            s, t = t, s
+            pos_s, pos_t = pos_t, pos_s
+        assert pos_s is not None
+        if pos_t is None:
+            self.case_counts["case2"] += 1
+            return self._tree_to_core(s, pos_s, t)
+        if self.decomposition.same_tree(pos_s, pos_t):
+            self.case_counts["case4"] += 1
+            return self._same_tree(s, pos_s, t, pos_t, naive)
+        self.case_counts["case3"] += 1
+        return self._cross_tree(s, pos_s, t, pos_t, naive)
+
+    # -- Case helpers ---------------------------------------------------
+
+    def _core_distance(self, u: int, v: int) -> Weight:
+        """2-hop query between two core nodes (original ids)."""
+        self.core_probes += 1
+        if u == v:
+            return 0
+        return self.core_index.distance(self._core_compact[u], self._core_compact[v])
+
+    def _tree_to_core(self, s: int, pos_s: int, t: int) -> Weight:
+        interface = self.decomposition.interface[self.decomposition.root[pos_s]]
+        best: Weight = INF
+        for u in interface:
+            du = self.tree_index.local_distance(pos_s, u)
+            if du == INF:
+                continue
+            total = du + self._core_distance(u, t)
+            if total < best:
+                best = total
+        return best
+
+    def _cross_tree(self, s: int, pos_s: int, t: int, pos_t: int, naive: bool) -> Weight:
+        if naive:
+            return self._naive_interface_product(pos_s, pos_t)
+        ext_s = self._extended_labels(pos_s)
+        ext_t = self._extended_labels(pos_t)
+        return _dict_intersection(ext_s, ext_t)
+
+    def _same_tree(self, s: int, pos_s: int, t: int, pos_t: int, naive: bool) -> Weight:
+        # d2: the 2-hop local answer through the LCA bag.
+        meet = self.decomposition.lca(pos_s, pos_t)
+        d2: Weight = INF
+        for u in self.decomposition.bag_members(meet):
+            left = self.tree_index.local_distance(pos_s, u)
+            if left == INF:
+                continue
+            right = self.tree_index.local_distance(pos_t, u)
+            if left + right < d2:
+                d2 = left + right
+        # d4: detour through the core (both endpoints share one interface).
+        if naive:
+            d4 = self._naive_interface_product(pos_s, pos_t)
+        else:
+            ext_s = self._extended_labels(pos_s)
+            ext_t = self._extended_labels(pos_t)
+            d4 = _dict_intersection(ext_s, ext_t)
+        return min(d2, d4)
+
+    def _extended_labels(self, pos: int) -> dict[int, Weight]:
+        """Extension operation: union of interface core labels, shifted.
+
+        Returns ``hub rank -> extended distance`` (Section 4.5); costs
+        O(d) core-label scans.
+        """
+        interface = self.decomposition.interface[self.decomposition.root[pos]]
+        extended: dict[int, Weight] = {}
+        labels = self.core_index.labels
+        for u in interface:
+            du = self.tree_index.local_distance(pos, u)
+            if du == INF:
+                continue
+            self.core_probes += 1
+            for hub_rank, dist in labels.iter_rank_entries(self._core_compact[u]):
+                total = du + dist
+                old = extended.get(hub_rank)
+                if old is None or total < old:
+                    extended[hub_rank] = total
+        return extended
+
+    def _naive_interface_product(self, pos_s: int, pos_t: int) -> Weight:
+        """Equation 1 evaluated directly over N_{r(s)} × N_{r(t)}."""
+        interface_s = self.decomposition.interface[self.decomposition.root[pos_s]]
+        interface_t = self.decomposition.interface[self.decomposition.root[pos_t]]
+        best: Weight = INF
+        for u in interface_s:
+            du = self.tree_index.local_distance(pos_s, u)
+            if du == INF:
+                continue
+            for w in interface_t:
+                dw = self.tree_index.local_distance(pos_t, w)
+                if dw == INF:
+                    continue
+                total = du + self._core_distance(u, w) + dw
+                if total < best:
+                    best = total
+        return best
+
+
+def _dict_intersection(map_a: dict[int, Weight], map_b: dict[int, Weight]) -> Weight:
+    """min over shared keys of the two maps' value sums."""
+    if len(map_a) > len(map_b):
+        map_a, map_b = map_b, map_a
+    best: Weight = INF
+    for key, da in map_a.items():
+        db = map_b.get(key)
+        if db is not None and da + db < best:
+            best = da + db
+    return best
+
+
+def build_ct_index(
+    graph: Graph,
+    bandwidth: int,
+    *,
+    use_equivalence_reduction: bool = True,
+    budget: MemoryBudget | None = None,
+) -> CTIndex:
+    """Functional alias of :meth:`CTIndex.build`."""
+    return CTIndex.build(
+        graph,
+        bandwidth,
+        use_equivalence_reduction=use_equivalence_reduction,
+        budget=budget,
+    )

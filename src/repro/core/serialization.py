@@ -1,0 +1,207 @@
+"""Persistent storage of built CT-Indexes.
+
+Indexes are saved as a single JSON document (versioned, self-contained:
+it embeds the reduced graph, the decomposition skeleton, the tree
+labels, and the core labels), so a saved index can be reloaded and
+queried without touching the original graph file.  JSON keeps the format
+inspectable and avoids pickle's arbitrary-code-execution hazard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ReproError, SerializationError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+from repro.graphs.reductions import EquivalenceReduction
+from repro.labeling.hub_labels import HubLabeling
+from repro.labeling.pll import PrunedLandmarkLabeling
+from repro.core.construction import TreeIndex
+from repro.core.ct_index import CTIndex
+from repro.treedec.elimination import EliminationResult, EliminationStep
+
+PathLike = Union[str, os.PathLike]
+
+FORMAT_VERSION = 1
+
+
+def save_ct_index(index: CTIndex, path: PathLike) -> None:
+    """Write ``index`` to ``path`` as JSON."""
+    document = {
+        "format": "repro-ct-index",
+        "version": FORMAT_VERSION,
+        "bandwidth": index.bandwidth,
+        "build_seconds": index.build_seconds,
+        "graph": _encode_graph(index.graph),
+        "reduction": _encode_reduction(index.reduction),
+        "elimination": _encode_elimination(index.decomposition.elimination),
+        "tree_labels": [_encode_weight_map(label) for label in index.tree_index.labels],
+        "core": _encode_core(index),
+    }
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_ct_index(path: PathLike) -> CTIndex:
+    """Reload a CT-Index written by :func:`save_ct_index`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read index file {path}: {exc}") from exc
+    if document.get("format") != "repro-ct-index":
+        raise SerializationError(f"{path} is not a CT-Index file")
+    if document.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported index format version {document.get('version')!r}"
+        )
+
+    try:
+        graph = _decode_graph(document["graph"])
+        reduction = _decode_reduction(document["reduction"], graph)
+        elimination = _decode_elimination(document["elimination"], reduction.reduced)
+        from repro.treedec.core_tree import core_tree_decomposition
+
+        decomposition = core_tree_decomposition(
+            reduction.reduced, document["bandwidth"], elimination=elimination
+        )
+        tree_labels = [_decode_weight_map(label) for label in document["tree_labels"]]
+        tree_index = TreeIndex(decomposition, tree_labels)
+        core_index, originals, compact = _decode_core(document["core"])
+        index = CTIndex(
+            graph=graph,
+            bandwidth=document["bandwidth"],
+            reduction=reduction,
+            tree_index=tree_index,
+            core_index=core_index,
+            core_originals=originals,
+            core_compact=compact,
+        )
+        index.build_seconds = float(document.get("build_seconds", 0.0))
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError, ReproError) as exc:
+        # Truncated or hand-edited documents surface as one library error
+        # rather than leaking internal decoding exceptions.
+        raise SerializationError(f"corrupt CT-Index document in {path}: {exc!r}") from exc
+    return index
+
+
+# ----------------------------------------------------------------------
+# Encoding helpers
+# ----------------------------------------------------------------------
+
+
+def _encode_graph(graph: Graph) -> dict:
+    return {
+        "n": graph.n,
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+    }
+
+
+def _decode_graph(payload: dict) -> Graph:
+    builder = GraphBuilder(int(payload["n"]))
+    for u, v, w in payload["edges"]:
+        builder.add_edge(int(u), int(v), w)
+    return builder.build()
+
+
+def _encode_reduction(reduction: EquivalenceReduction) -> dict:
+    return {
+        "reduced_graph": _encode_graph(reduction.reduced),
+        "representative": reduction.representative,
+        "originals": reduction.originals,
+        "twin_kind": reduction.twin_kind,
+    }
+
+
+def _decode_reduction(payload: dict, original: Graph) -> EquivalenceReduction:
+    return EquivalenceReduction(
+        original=original,
+        reduced=_decode_graph(payload["reduced_graph"]),
+        representative=[int(v) for v in payload["representative"]],
+        originals=[int(v) for v in payload["originals"]],
+        twin_kind=list(payload["twin_kind"]),
+    )
+
+
+def _encode_elimination(elimination: EliminationResult) -> dict:
+    return {
+        "bandwidth": elimination.bandwidth,
+        "steps": [
+            {
+                "node": step.node,
+                "neighbors": list(step.neighbors),
+                "local_distance": _encode_weight_map(step.local_distance),
+            }
+            for step in elimination.steps
+        ],
+        "core_nodes": elimination.core_nodes,
+        "core_adjacency": {
+            str(v): _encode_weight_map(row) for v, row in elimination.core_adjacency.items()
+        },
+    }
+
+
+def _decode_elimination(payload: dict, graph: Graph) -> EliminationResult:
+    steps = [
+        EliminationStep(
+            node=int(raw["node"]),
+            neighbors=tuple(int(u) for u in raw["neighbors"]),
+            local_distance=_decode_weight_map(raw["local_distance"]),
+        )
+        for raw in payload["steps"]
+    ]
+    position: list[int | None] = [None] * graph.n
+    for i, step in enumerate(steps):
+        position[step.node] = i
+    return EliminationResult(
+        graph=graph,
+        steps=steps,
+        position=position,
+        core_nodes=[int(v) for v in payload["core_nodes"]],
+        core_adjacency={
+            int(v): _decode_weight_map(row) for v, row in payload["core_adjacency"].items()
+        },
+        bandwidth=payload["bandwidth"],
+    )
+
+
+def _encode_core(index: CTIndex) -> dict:
+    labels = index.core_index.labels
+    per_node = []
+    for v in range(labels.n):
+        entries = list(labels.iter_rank_entries(v))
+        per_node.append([[rank, dist] for rank, dist in entries])
+    return {
+        "originals": index.core_originals,
+        "order": index.core_index.order,
+        "labels": per_node,
+        "graph": _encode_graph(index.core_index.graph),
+    }
+
+
+def _decode_core(payload: dict) -> tuple[PrunedLandmarkLabeling, list[int], dict[int, int]]:
+    graph = _decode_graph(payload["graph"])
+    order = [int(v) for v in payload["order"]]
+    labels = HubLabeling(order)
+    for v, entries in enumerate(payload["labels"]):
+        for rank, dist in entries:
+            labels.append_entry(v, int(rank), dist)
+    originals = [int(v) for v in payload["originals"]]
+    compact = {orig: i for i, orig in enumerate(originals)}
+    return PrunedLandmarkLabeling(graph, labels, order), originals, compact
+
+
+def _encode_weight_map(mapping: dict) -> dict:
+    return {str(k): v for k, v in mapping.items()}
+
+
+def _decode_weight_map(payload: dict) -> dict:
+    return {int(k): v for k, v in payload.items()}

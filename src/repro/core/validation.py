@@ -1,0 +1,113 @@
+"""Self-checks for built CT-Indexes.
+
+A distance index that silently returns wrong answers is worse than no
+index; operators of a long-lived deployment want a cheap way to audit
+one.  :func:`audit_ct_index` cross-checks a built index against its own
+graph (sampled online searches), its own structure (decomposition
+invariants), and its own theory (the Lemma 6 size bound), and returns a
+machine-readable report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ReproError
+from repro.graphs.graph import INF
+from repro.graphs.traversal import pairwise_distance
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditReport:
+    """Outcome of :func:`audit_ct_index`."""
+
+    sampled_queries: int
+    mismatches: int
+    structure_ok: bool
+    bounds_ok: bool
+    case_counts: dict[str, int]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return self.mismatches == 0 and self.structure_ok and self.bounds_ok
+
+    def summary(self) -> str:
+        """One-paragraph human-readable verdict."""
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"{verdict}: {self.sampled_queries} sampled queries, "
+            f"{self.mismatches} mismatches; structure "
+            f"{'ok' if self.structure_ok else 'BROKEN'}; size bounds "
+            f"{'ok' if self.bounds_ok else 'VIOLATED'}; "
+            f"case mix {self.case_counts} ({self.seconds:.2f}s)"
+        )
+
+
+def audit_ct_index(
+    index: CTIndex,
+    *,
+    samples: int = 200,
+    seed: int = 0,
+    raise_on_failure: bool = False,
+) -> AuditReport:
+    """Audit ``index`` against its graph, structure, and theory.
+
+    Parameters
+    ----------
+    index:
+        The index to audit; its :attr:`CTIndex.graph` is the oracle.
+    samples:
+        Number of random query pairs cross-checked with bidirectional
+        online search.
+    seed:
+        Workload seed (the audit is deterministic).
+    raise_on_failure:
+        Raise :class:`ReproError` instead of returning a failing report.
+    """
+    started = time.perf_counter()
+    graph = index.graph
+    rng = random.Random(seed)
+
+    index.reset_counters()
+    mismatches = 0
+    sampled = 0
+    if graph.n > 0:
+        for _ in range(samples):
+            s = rng.randrange(graph.n)
+            t = rng.randrange(graph.n)
+            sampled += 1
+            expected = pairwise_distance(graph, s, t)
+            got = index.distance(s, t)
+            if got != expected and not (got == INF and expected == INF):
+                mismatches += 1
+
+    structure_ok = True
+    try:
+        index.decomposition.validate()
+    except ReproError:
+        structure_ok = False
+
+    bounds_ok = True
+    try:
+        from repro.theory import verify_ct_bounds
+
+        verify_ct_bounds(index)
+    except ReproError:
+        bounds_ok = False
+
+    report = AuditReport(
+        sampled_queries=sampled,
+        mismatches=mismatches,
+        structure_ok=structure_ok,
+        bounds_ok=bounds_ok,
+        case_counts=dict(index.case_counts),
+        seconds=time.perf_counter() - started,
+    )
+    if raise_on_failure and not report.ok:
+        raise ReproError(f"index audit failed: {report.summary()}")
+    return report

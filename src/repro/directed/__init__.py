@@ -1,0 +1,16 @@
+"""Directed-graph extension of the CT-Index (the paper's Section 2 remark)."""
+
+from repro.directed.ct import DirectedCTIndex, build_directed_ct_index
+from repro.directed.elimination import (
+    DirectedEliminationResult,
+    DirectedEliminationStep,
+    directed_minimum_degree_elimination,
+)
+
+__all__ = [
+    "DirectedCTIndex",
+    "DirectedEliminationResult",
+    "DirectedEliminationStep",
+    "build_directed_ct_index",
+    "directed_minimum_degree_elimination",
+]

@@ -1,0 +1,358 @@
+"""Directed CT-Index.
+
+The paper states (Section 2) that its techniques extend to directed
+graphs; this module is that extension, built from three observations:
+
+1. the *skeleton* (forest, core, interfaces, LCA) can be taken from the
+   underlying undirected structure, because a directed path is in
+   particular an undirected path and therefore crosses the same
+   bag separators (Lemma 1 applies verbatim);
+2. the *distances* must stay directed: the elimination records
+   directional local distances δ⁻(u → v_i) / δ⁻(v_i → w) and the tree
+   labels split into an **out** side (node → target) and an **in** side
+   (target → node), each following the directed form of Lemma 15;
+3. the *core* is a directed 2-hop labeling
+   (:mod:`repro.labeling.directed_pll`) over the reduced core digraph,
+   whose arcs carry λ-local directed distances (directed Lemma 7).
+
+Queries dispatch over the same four cases as the undirected index, with
+``L_out``-side extensions on the source and ``L_in``-side extensions on
+the target (the directed Lemma 9).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.directed.elimination import (
+    DirectedEliminationResult,
+    directed_minimum_degree_elimination,
+)
+from repro.exceptions import QueryError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import INF, Weight
+from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.labeling.directed_pll import DirectedPLL, build_directed_pll
+from repro.treedec.lca import ForestLCA
+
+
+class DirectedCTIndex(DistanceIndex):
+    """Exact directed-distance index with the CT core/forest split."""
+
+    method_name = "CT-directed"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        elimination: DirectedEliminationResult,
+        parent: list[int | None],
+        root: list[int],
+        interface: dict[int, tuple[int, ...]],
+        out_labels: list[dict[int, Weight]],
+        in_labels: list[dict[int, Weight]],
+        core_index: DirectedPLL,
+        core_originals: list[int],
+    ) -> None:
+        self.graph = graph
+        self.elimination = elimination
+        self.parent = parent
+        self.root = root
+        self.interface = interface
+        #: out_labels[pos][target] = local distance node -> target.
+        self.out_labels = out_labels
+        #: in_labels[pos][target] = local distance target -> node.
+        self.in_labels = in_labels
+        self.core_index = core_index
+        self._core_compact = {orig: i for i, orig in enumerate(core_originals)}
+        self._lca = ForestLCA(parent)
+        self.method_name = f"CT-directed-{elimination.bandwidth}"
+
+    # ------------------------------------------------------------------
+
+    @property
+    def bandwidth(self) -> int:
+        return self.elimination.bandwidth
+
+    @property
+    def boundary(self) -> int:
+        return self.elimination.boundary
+
+    @property
+    def core_size(self) -> int:
+        return len(self._core_compact)
+
+    def size_entries(self) -> int:
+        tree = sum(len(label) for label in self.out_labels)
+        tree += sum(len(label) for label in self.in_labels)
+        return tree + self.core_index.size_entries()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def distance(self, s: int, t: int) -> Weight:
+        """Exact directed distance from ``s`` to ``t``."""
+        if not 0 <= s < self.graph.n or not 0 <= t < self.graph.n:
+            raise QueryError(f"query nodes ({s}, {t}) out of range")
+        if s == t:
+            return 0
+        position = self.elimination.position
+        pos_s = position[s]
+        pos_t = position[t]
+        if pos_s is None and pos_t is None:
+            return self._core_distance(s, t)
+        if pos_s is not None and pos_t is None:
+            return self._tree_to_core(s, pos_s, t)
+        if pos_s is None:
+            assert pos_t is not None
+            return self._core_to_tree(s, t, pos_t)
+        assert pos_s is not None and pos_t is not None
+        if self._lca.same_tree(pos_s, pos_t):
+            return self._same_tree(s, pos_s, t, pos_t)
+        return self._cross_tree(pos_s, pos_t)
+
+    # -- case helpers ---------------------------------------------------
+
+    def _core_distance(self, u: int, v: int) -> Weight:
+        if u == v:
+            return 0
+        return self.core_index.distance(self._core_compact[u], self._core_compact[v])
+
+    def _out_local(self, pos: int, target: int) -> Weight:
+        """Local distance node-at-pos -> target (0 for itself)."""
+        if self.elimination.steps[pos].node == target:
+            return 0
+        return self.out_labels[pos].get(target, INF)
+
+    def _in_local(self, pos: int, target: int) -> Weight:
+        """Local distance target -> node-at-pos (0 for itself)."""
+        if self.elimination.steps[pos].node == target:
+            return 0
+        return self.in_labels[pos].get(target, INF)
+
+    def _tree_to_core(self, s: int, pos_s: int, t: int) -> Weight:
+        best: Weight = INF
+        for u in self.interface[self.root[pos_s]]:
+            head = self._out_local(pos_s, u)
+            if head == INF:
+                continue
+            total = head + self._core_distance(u, t)
+            if total < best:
+                best = total
+        return best
+
+    def _core_to_tree(self, s: int, t: int, pos_t: int) -> Weight:
+        best: Weight = INF
+        for w in self.interface[self.root[pos_t]]:
+            tail = self._in_local(pos_t, w)
+            if tail == INF:
+                continue
+            total = self._core_distance(s, w) + tail
+            if total < best:
+                best = total
+        return best
+
+    def _cross_tree(self, pos_s: int, pos_t: int) -> Weight:
+        ext_out = self._extended_out(pos_s)
+        ext_in = self._extended_in(pos_t)
+        return _dict_intersection(ext_out, ext_in)
+
+    def _same_tree(self, s: int, pos_s: int, t: int, pos_t: int) -> Weight:
+        meet = self._lca.lca(pos_s, pos_t)
+        step = self.elimination.steps[meet]
+        d2: Weight = INF
+        for u in (step.node,) + step.neighbors:
+            head = self._out_local(pos_s, u)
+            if head == INF:
+                continue
+            tail = self._in_local(pos_t, u)
+            if head + tail < d2:
+                d2 = head + tail
+        d4 = _dict_intersection(self._extended_out(pos_s), self._extended_in(pos_t))
+        return min(d2, d4)
+
+    def _extended_out(self, pos: int) -> dict[int, Weight]:
+        """Directed extension, source side: shifted out-labels of the interface."""
+        extended: dict[int, Weight] = {}
+        for u in self.interface[self.root[pos]]:
+            head = self._out_local(pos, u)
+            if head == INF:
+                continue
+            compact = self._core_compact[u]
+            for rank, dist in self.core_index.out_labels.iter_rank_entries(compact):
+                total = head + dist
+                old = extended.get(rank)
+                if old is None or total < old:
+                    extended[rank] = total
+        return extended
+
+    def _extended_in(self, pos: int) -> dict[int, Weight]:
+        """Directed extension, target side: shifted in-labels of the interface."""
+        extended: dict[int, Weight] = {}
+        for w in self.interface[self.root[pos]]:
+            tail = self._in_local(pos, w)
+            if tail == INF:
+                continue
+            compact = self._core_compact[w]
+            for rank, dist in self.core_index.in_labels.iter_rank_entries(compact):
+                total = tail + dist
+                old = extended.get(rank)
+                if old is None or total < old:
+                    extended[rank] = total
+        return extended
+
+
+def build_directed_ct_index(
+    graph: DiGraph,
+    bandwidth: int,
+    *,
+    budget: MemoryBudget | None = None,
+) -> DirectedCTIndex:
+    """Build a directed CT-Index over ``graph`` at ``bandwidth``."""
+    started = time.perf_counter()
+    if budget is None:
+        budget = MemoryBudget.unlimited()
+    elimination = directed_minimum_degree_elimination(graph, bandwidth)
+    parent, root, interface = _derive_structure(elimination)
+    out_labels, in_labels = _build_tree_labels(elimination, parent, root, interface, budget)
+    core_digraph, originals = elimination.core_digraph()
+    core_index = build_directed_pll(core_digraph, budget=budget)
+    index = DirectedCTIndex(
+        graph=graph,
+        elimination=elimination,
+        parent=parent,
+        root=root,
+        interface=interface,
+        out_labels=out_labels,
+        in_labels=in_labels,
+        core_index=core_index,
+        core_originals=originals,
+    )
+    index.build_seconds = time.perf_counter() - started
+    return index
+
+
+def _derive_structure(
+    elimination: DirectedEliminationResult,
+) -> tuple[list[int | None], list[int], dict[int, tuple[int, ...]]]:
+    """Parents f(i), roots r(i), and interfaces over the undirected skeleton."""
+    position = elimination.position
+    boundary = elimination.boundary
+    parent: list[int | None] = [None] * boundary
+    root: list[int] = [0] * boundary
+    interface: dict[int, tuple[int, ...]] = {}
+    for pos in range(boundary - 1, -1, -1):
+        step = elimination.steps[pos]
+        tree_positions = [position[u] for u in step.neighbors if position[u] is not None]
+        parent[pos] = min(tree_positions) if tree_positions else None  # type: ignore[type-var]
+    for pos in range(boundary - 1, -1, -1):
+        p = parent[pos]
+        if p is None:
+            root[pos] = pos
+            step = elimination.steps[pos]
+            interface[pos] = tuple(sorted(step.neighbors))
+        else:
+            root[pos] = root[p]
+    return parent, root, interface
+
+
+def _build_tree_labels(
+    elimination: DirectedEliminationResult,
+    parent: list[int | None],
+    root: list[int],
+    interface: dict[int, tuple[int, ...]],
+    budget: MemoryBudget,
+) -> tuple[list[dict[int, Weight]], list[dict[int, Weight]]]:
+    """Directional λ-local labels (the directed lines 19-32)."""
+    position = elimination.position
+    boundary = elimination.boundary
+    out_labels: list[dict[int, Weight]] = [{} for _ in range(boundary)]
+    in_labels: list[dict[int, Weight]] = [{} for _ in range(boundary)]
+
+    def node_at(pos: int) -> int:
+        return elimination.steps[pos].node
+
+    def lookup_out(pos_j: int, target: int) -> Weight:
+        """Local distance node-at-pos_j -> target via either endpoint."""
+        if node_at(pos_j) == target:
+            return 0
+        stored = out_labels[pos_j].get(target)
+        if stored is not None:
+            return stored
+        pos_target = position[target]
+        if pos_target is None:
+            return INF  # interface target not locally out-reachable from v_j
+        return in_labels[pos_target].get(node_at(pos_j), INF)
+
+    def lookup_in(pos_j: int, target: int) -> Weight:
+        """Local distance target -> node-at-pos_j via either endpoint."""
+        if node_at(pos_j) == target:
+            return 0
+        stored = in_labels[pos_j].get(target)
+        if stored is not None:
+            return stored
+        pos_target = position[target]
+        if pos_target is None:
+            return INF
+        return out_labels[pos_target].get(node_at(pos_j), INF)
+
+    def chain_targets(pos: int) -> list[int]:
+        chain: list[int] = []
+        p = parent[pos]
+        while p is not None:
+            chain.append(node_at(p))
+            p = parent[p]
+        return chain
+
+    for pos in range(boundary - 1, -1, -1):
+        step = elimination.steps[pos]
+        targets = chain_targets(pos)
+        for u in interface[root[pos]]:
+            if u not in targets:
+                targets.append(u)
+        tree_out = [
+            (v_j, position[v_j])
+            for v_j in step.local_out
+            if position[v_j] is not None
+        ]
+        tree_in = [
+            (v_j, position[v_j]) for v_j in step.local_in if position[v_j] is not None
+        ]
+        out_label: dict[int, Weight] = {}
+        in_label: dict[int, Weight] = {}
+        for target in targets:
+            best_out = step.local_out.get(target, INF)
+            for v_j, pos_j in tree_out:
+                if v_j == target:
+                    continue
+                assert pos_j is not None
+                through = step.local_out[v_j] + lookup_out(pos_j, target)
+                if through < best_out:
+                    best_out = through
+            if best_out != INF:
+                out_label[target] = best_out
+            best_in = step.local_in.get(target, INF)
+            for v_j, pos_j in tree_in:
+                if v_j == target:
+                    continue
+                assert pos_j is not None
+                through = lookup_in(pos_j, target) + step.local_in[v_j]
+                if through < best_in:
+                    best_in = through
+            if best_in != INF:
+                in_label[target] = best_in
+        budget.charge(len(out_label) + len(in_label))
+        out_labels[pos] = out_label
+        in_labels[pos] = in_label
+    return out_labels, in_labels
+
+
+def _dict_intersection(map_a: dict[int, Weight], map_b: dict[int, Weight]) -> Weight:
+    if len(map_a) > len(map_b):
+        map_a, map_b = map_b, map_a
+    best: Weight = INF
+    for key, da in map_a.items():
+        db = map_b.get(key)
+        if db is not None and da + db < best:
+            best = da + db
+    return best

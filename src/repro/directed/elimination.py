@@ -1,0 +1,180 @@
+"""Directed weighted minimum-degree elimination.
+
+The directed analogue of Algorithm 1's lines 1-17.  The elimination
+*order* is driven by the underlying undirected degree (|in ∪ out|), so
+the bag/forest/core skeleton is exactly the undirected core-tree
+decomposition of the digraph's shadow graph — which is what makes the
+separator arguments carry over: every directed path is in particular an
+undirected path, so it crosses the same separators.
+
+Distances stay directed throughout: eliminating ``v`` adds, for every
+in-neighbor ``u`` and out-neighbor ``w``, the shortcut arc ``u → w``
+weighted ``δ(u → v) + δ(v → w)`` (kept only if shorter than an existing
+arc).  The recorded per-step weights are therefore *directed* local
+distances: ``local_in[u] = δ⁻(u → v_i)`` and
+``local_out[w] = δ⁻(v_i → w)`` — the directed Lemma 14.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+from repro.exceptions import DecompositionError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Weight
+
+
+@dataclasses.dataclass
+class DirectedEliminationStep:
+    """One directed MDE round.
+
+    ``neighbors`` is the *undirected* transient neighborhood (the bag is
+    ``{v_i} ∪ neighbors``); ``local_in``/``local_out`` carry the
+    directed local distances into and out of ``v_i`` (a neighbor absent
+    from one of the maps is unreachable in that direction locally).
+    """
+
+    node: int
+    neighbors: tuple[int, ...]
+    local_in: dict[int, Weight]
+    local_out: dict[int, Weight]
+
+
+@dataclasses.dataclass
+class DirectedEliminationResult:
+    """Deliverables of a bounded directed MDE run."""
+
+    graph: DiGraph
+    steps: list[DirectedEliminationStep]
+    position: list[int | None]
+    core_nodes: list[int]
+    core_out_adjacency: dict[int, dict[int, Weight]]
+    bandwidth: int
+
+    @property
+    def boundary(self) -> int:
+        """λ — the number of eliminated nodes."""
+        return len(self.steps)
+
+    def core_digraph(self) -> tuple[DiGraph, list[int]]:
+        """Compact the reduced directed core graph.
+
+        Returns ``(digraph, originals)`` like the undirected counterpart.
+        """
+        originals = self.core_nodes
+        compact = {v: i for i, v in enumerate(originals)}
+        arcs = []
+        for u, row in self.core_out_adjacency.items():
+            for w, weight in row.items():
+                arcs.append((compact[u], compact[w], weight))
+        return DiGraph.from_arcs(len(originals), arcs), list(originals)
+
+
+def directed_minimum_degree_elimination(
+    graph: DiGraph, bandwidth: int
+) -> DirectedEliminationResult:
+    """Run bounded directed MDE on ``graph``.
+
+    Elimination stops once the minimum undirected degree exceeds
+    ``bandwidth`` (the same stopping rule as the undirected Section 4.3).
+    """
+    if bandwidth < 0:
+        raise DecompositionError(f"bandwidth must be non-negative, got {bandwidth}")
+
+    out_adj: list[dict[int, Weight] | None] = [
+        dict(graph.out_neighbors(v)) for v in graph.nodes()
+    ]
+    in_adj: list[dict[int, Weight] | None] = [
+        dict(graph.in_neighbors(v)) for v in graph.nodes()
+    ]
+    # Undirected skeleton: drives the order, bags, and fill-in.  It must
+    # receive the FULL clique over every eliminated bag — not only the
+    # pairs with a directed shortcut — so the Lemma 2 ancestor property
+    # (every bag member is a chain ancestor or core) survives in the
+    # directed setting.  The skeleton is always a superset of the
+    # directed adjacency.
+    skeleton: list[set[int] | None] = [
+        set(dict(graph.out_neighbors(v))) | set(dict(graph.in_neighbors(v)))
+        for v in graph.nodes()
+    ]
+
+    heap = [(len(skeleton[v] or ()), v) for v in graph.nodes()]
+    heapq.heapify(heap)
+    steps: list[DirectedEliminationStep] = []
+    position: list[int | None] = [None] * graph.n
+
+    while heap:
+        degree, v = heapq.heappop(heap)
+        row = skeleton[v]
+        if row is None or degree != len(row):
+            continue  # eliminated or stale entry
+        if degree > bandwidth:
+            break
+        out_row = out_adj[v]
+        in_row = in_adj[v]
+        assert out_row is not None and in_row is not None
+        neighbors = tuple(sorted(row))
+        local_in = dict(in_row)
+        local_out = dict(out_row)
+        position[v] = len(steps)
+        steps.append(
+            DirectedEliminationStep(
+                node=v, neighbors=neighbors, local_in=local_in, local_out=local_out
+            )
+        )
+
+        # Detach v from skeleton and directed adjacencies.
+        for u in neighbors:
+            skeleton_u = skeleton[u]
+            assert skeleton_u is not None
+            skeleton_u.discard(v)
+        for w in out_row:
+            in_w = in_adj[w]
+            assert in_w is not None
+            del in_w[v]
+        for u in in_row:
+            out_u = out_adj[u]
+            assert out_u is not None
+            del out_u[v]
+        skeleton[v] = None
+        out_adj[v] = None
+        in_adj[v] = None
+        # Skeleton fill-in: the full clique over the bag.
+        for a_index, u in enumerate(neighbors):
+            skeleton_u = skeleton[u]
+            assert skeleton_u is not None
+            for w in neighbors[a_index + 1 :]:
+                skeleton_u.add(w)
+                skeleton_w = skeleton[w]
+                assert skeleton_w is not None
+                skeleton_w.add(u)
+        # Directed shortcuts u -> w through v where directed wedges exist.
+        for u, du in local_in.items():
+            out_u = out_adj[u]
+            assert out_u is not None
+            for w, dw in local_out.items():
+                if u == w:
+                    continue
+                through = du + dw
+                old = out_u.get(w)
+                if old is None or through < old:
+                    out_u[w] = through
+                    in_w = in_adj[w]
+                    assert in_w is not None
+                    in_w[u] = through
+        for u in neighbors:
+            skeleton_u = skeleton[u]
+            assert skeleton_u is not None
+            heapq.heappush(heap, (len(skeleton_u), u))
+
+    core_nodes = sorted(v for v in graph.nodes() if position[v] is None)
+    core_out = {v: dict(out_adj[v] or {}) for v in core_nodes}
+    return DirectedEliminationResult(
+        graph=graph,
+        steps=steps,
+        position=position,
+        core_nodes=core_nodes,
+        core_out_adjacency=core_out,
+        bandwidth=bandwidth,
+    )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch one type to shield themselves from any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation receives bad nodes."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when an edge-list file cannot be parsed."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a tree decomposition is invalid or cannot be produced."""
+
+
+class IndexConstructionError(ReproError):
+    """Raised when a distance index cannot be built from its inputs."""
+
+
+class OverMemoryError(IndexConstructionError):
+    """Raised when construction exceeds a configured memory budget.
+
+    This mirrors the "OM" (out-of-memory) outcome in the paper's
+    experiments: an index whose modeled size exceeds the budget is
+    abandoned mid-construction rather than completed.
+    """
+
+    def __init__(self, message: str, modeled_bytes: int, limit_bytes: int) -> None:
+        super().__init__(message)
+        self.modeled_bytes = modeled_bytes
+        self.limit_bytes = limit_bytes
+
+
+class QueryError(ReproError):
+    """Raised when a distance query is issued against an unusable index."""
+
+
+class SerializationError(ReproError):
+    """Raised when an index cannot be saved to or loaded from disk."""

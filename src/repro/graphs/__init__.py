@@ -1,0 +1,50 @@
+"""Graph substrate: the data structures and algorithms every index builds on."""
+
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.digraph import DiGraph, backward_distances, forward_distances
+from repro.graphs.graph import INF, Graph, Weight
+from repro.graphs.interop import digraph_from_networkx, from_networkx, to_networkx
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.reductions import (
+    EquivalenceReduction,
+    eliminate_equivalent_nodes,
+    reduction_identity,
+)
+from repro.graphs.statistics import GraphSummary, degeneracy, summarize
+from repro.graphs.traversal import (
+    all_pairs_distances,
+    bfs_distances,
+    connected_components,
+    dijkstra_distances,
+    is_connected,
+    pairwise_distance,
+    single_source_distances,
+)
+
+__all__ = [
+    "DiGraph",
+    "INF",
+    "Graph",
+    "GraphBuilder",
+    "GraphSummary",
+    "EquivalenceReduction",
+    "Weight",
+    "all_pairs_distances",
+    "backward_distances",
+    "bfs_distances",
+    "connected_components",
+    "degeneracy",
+    "digraph_from_networkx",
+    "dijkstra_distances",
+    "eliminate_equivalent_nodes",
+    "forward_distances",
+    "from_networkx",
+    "is_connected",
+    "pairwise_distance",
+    "read_edge_list",
+    "reduction_identity",
+    "single_source_distances",
+    "summarize",
+    "to_networkx",
+    "write_edge_list",
+]

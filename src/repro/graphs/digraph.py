@@ -1,0 +1,168 @@
+"""Directed graph support.
+
+The paper treats undirected graphs and notes (Section 2) that its
+techniques "easily extend to directed graphs".  This module supplies
+that extension's substrate: a directed simple graph with out/in
+adjacency, plus forward/backward single-source searches.  The directed
+2-hop labeling itself lives in :mod:`repro.labeling.directed_pll`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import INF, Weight
+
+
+class DiGraph:
+    """A directed, weighted, simple graph on nodes ``0 .. n-1``.
+
+    At most one arc per ordered pair; no self-loops.  Build with
+    :meth:`from_arcs`, which normalizes duplicates (keeping the minimum
+    weight) and drops loops.
+    """
+
+    __slots__ = ("_n", "_m", "_out_ids", "_out_weights", "_in_ids", "_in_weights", "_unweighted")
+
+    def __init__(
+        self,
+        n: int,
+        arcs: dict[tuple[int, int], Weight],
+        *,
+        unweighted: bool,
+    ) -> None:
+        self._n = n
+        out_adj: list[list[tuple[int, Weight]]] = [[] for _ in range(n)]
+        in_adj: list[list[tuple[int, Weight]]] = [[] for _ in range(n)]
+        for (u, v), w in arcs.items():
+            out_adj[u].append((v, w))
+            in_adj[v].append((u, w))
+        self._out_ids = [tuple(x for x, _ in sorted(row)) for row in out_adj]
+        self._out_weights = [tuple(w for _, w in sorted(row)) for row in out_adj]
+        self._in_ids = [tuple(x for x, _ in sorted(row)) for row in in_adj]
+        self._in_weights = [tuple(w for _, w in sorted(row)) for row in in_adj]
+        self._m = len(arcs)
+        self._unweighted = unweighted
+
+    @classmethod
+    def from_arcs(cls, n: int, arcs: Iterable[tuple[int, ...]]) -> "DiGraph":
+        """Build from ``(u, v)`` / ``(u, v, w)`` tuples (u -> v)."""
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        normalized: dict[tuple[int, int], Weight] = {}
+        unweighted = True
+        for arc in arcs:
+            if len(arc) == 2:
+                u, v = arc  # type: ignore[misc]
+                w: Weight = 1
+            elif len(arc) == 3:
+                u, v, w = arc  # type: ignore[misc]
+            else:
+                raise GraphError(f"arc {arc!r} must be (u, v) or (u, v, w)")
+            if not 0 <= u < n or not 0 <= v < n:
+                raise GraphError(f"arc ({u}, {v}) has a node outside 0..{n - 1}")
+            if w <= 0:
+                raise GraphError(f"arc ({u}, {v}) has non-positive weight {w}")
+            if u == v:
+                continue  # drop self-loops
+            key = (u, v)
+            old = normalized.get(key)
+            if old is None or w < old:
+                normalized[key] = w
+        unweighted = all(w == 1 for w in normalized.values())
+        return cls(n, normalized, unweighted=unweighted)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of arcs."""
+        return self._m
+
+    @property
+    def unweighted(self) -> bool:
+        """True when every arc weight is exactly 1."""
+        return self._unweighted
+
+    def nodes(self) -> range:
+        """All node ids."""
+        return range(self._n)
+
+    def out_neighbors(self, v: int) -> Iterator[tuple[int, Weight]]:
+        """``(successor, weight)`` pairs of ``v``."""
+        self._check(v)
+        return zip(self._out_ids[v], self._out_weights[v])
+
+    def in_neighbors(self, v: int) -> Iterator[tuple[int, Weight]]:
+        """``(predecessor, weight)`` pairs of ``v``."""
+        self._check(v)
+        return zip(self._in_ids[v], self._in_weights[v])
+
+    def out_degree(self, v: int) -> int:
+        self._check(v)
+        return len(self._out_ids[v])
+
+    def in_degree(self, v: int) -> int:
+        self._check(v)
+        return len(self._in_ids[v])
+
+    def arcs(self) -> Iterator[tuple[int, int, Weight]]:
+        """Every arc once as ``(u, v, w)``."""
+        for u in range(self._n):
+            yield from ((u, v, w) for v, w in zip(self._out_ids[u], self._out_weights[u]))
+
+    def reversed(self) -> "DiGraph":
+        """The graph with every arc flipped."""
+        return DiGraph.from_arcs(self._n, ((v, u, w) for u, v, w in self.arcs()))
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self._n}, m={self._m})"
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise GraphError(f"node {v} is out of range for a {self._n}-node digraph")
+
+
+def forward_distances(graph: DiGraph, source: int) -> list[Weight]:
+    """Distances from ``source`` along arc directions."""
+    return _search(graph, source, forward=True)
+
+
+def backward_distances(graph: DiGraph, source: int) -> list[Weight]:
+    """Distances *to* ``source`` (i.e. from every node, along arcs)."""
+    return _search(graph, source, forward=False)
+
+
+def _search(graph: DiGraph, source: int, *, forward: bool) -> list[Weight]:
+    neighbors = graph.out_neighbors if forward else graph.in_neighbors
+    dist: list[Weight] = [INF] * graph.n
+    dist[source] = 0
+    if graph.unweighted:
+        queue: deque[int] = deque([source])
+        while queue:
+            v = queue.popleft()
+            nd = dist[v] + 1
+            for u, _ in neighbors(v):
+                if dist[u] == INF:
+                    dist[u] = nd
+                    queue.append(u)
+        return dist
+    heap: list[tuple[Weight, int]] = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for u, w in neighbors(v):
+            nd = d + w
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, u))
+    return dist

@@ -1,0 +1,68 @@
+"""Deterministic graph generators for tests, examples, and benchmarks."""
+
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+    scaled_config,
+)
+from repro.graphs.generators.power_law import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    power_law_cluster_graph,
+    power_law_weights,
+)
+from repro.graphs.generators.primitives import (
+    binary_tree_graph,
+    clique_graph,
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.geometric import random_geometric_graph
+from repro.graphs.generators.rmat import GRAPH500_PROBS, rmat_graph
+from repro.graphs.generators.random_graphs import (
+    caveman_graph,
+    connected_gnp_graph,
+    gnm_graph,
+    gnp_graph,
+    random_tree,
+    random_weighted,
+)
+from repro.graphs.generators.worst_case import (
+    rolling_cliques_distance,
+    rolling_cliques_graph,
+    rolling_cliques_group,
+)
+
+__all__ = [
+    "CorePeripheryConfig",
+    "GRAPH500_PROBS",
+    "barabasi_albert_graph",
+    "binary_tree_graph",
+    "caveman_graph",
+    "chung_lu_graph",
+    "clique_graph",
+    "complete_bipartite_graph",
+    "connected_gnp_graph",
+    "core_periphery_graph",
+    "cycle_graph",
+    "gnm_graph",
+    "gnp_graph",
+    "grid_graph",
+    "lollipop_graph",
+    "path_graph",
+    "power_law_cluster_graph",
+    "power_law_weights",
+    "random_geometric_graph",
+    "random_tree",
+    "random_weighted",
+    "rmat_graph",
+    "rolling_cliques_distance",
+    "rolling_cliques_graph",
+    "rolling_cliques_group",
+    "scaled_config",
+    "star_graph",
+]

@@ -1,0 +1,202 @@
+"""Synthetic graphs with an explicit core-periphery structure.
+
+The paper's datasets (social networks and web graphs) share one shape
+that drives every experiment: a dense core whose elimination width blows
+past any practical bandwidth, surrounded by a sparse periphery that
+eliminates at small degree.  Real billion-edge graphs are out of reach
+for a pure-Python build, so this module synthesizes that shape at a
+controllable scale (see DESIGN.md §3 for the substitution argument):
+
+* a dense Erdős–Rényi **core** whose minimum fill-in degree stays above
+  every tested bandwidth, so it survives into ``B_c`` at all ``d``;
+* **communities** — near-cliques with power-law sizes, stitched to the
+  core by a handful of anchor edges.  These are the bandwidth lever: a
+  community of size ``s`` sits (expensively) in the core while
+  ``d ≲ s`` and is eliminated (cheaply — quadratic chain, tiny
+  interface) once ``d`` exceeds its fill-in degree.  Web-graph cliques
+  play exactly this role in the paper (footnote 2);
+* a tree-like **fringe** attached mostly to the core (eliminated at
+  ``d = 2``, and kept shallow so growing ``d`` does not deepen its
+  ancestor chains).
+
+The resulting CT-Index profile matches the paper's Figure 10: index
+size falls monotonically in ``d`` with diminishing marginal gain, while
+query time mildly rises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+@dataclasses.dataclass(frozen=True)
+class CorePeripheryConfig:
+    """Parameters of the synthetic core-periphery generator.
+
+    Attributes
+    ----------
+    core_size / core_density:
+        The dense ER core.  Its minimum degree is roughly
+        ``core_density * core_size``; keep that product above the largest
+        bandwidth you intend to test so the core survives elimination.
+    community_count:
+        Number of near-clique communities.
+    community_size_min / community_size_max / community_size_exponent:
+        Community sizes follow a truncated power law over this range.
+    community_density:
+        Edge probability inside a community (a spanning path keeps it
+        connected regardless).
+    community_anchors:
+        Core edges stitching each community to the core.
+    fringe_size:
+        Tree-like periphery nodes.
+    fringe_core_bias:
+        Probability a fringe node attaches to the core rather than to an
+        arbitrary earlier node; high values keep fringe chains shallow.
+    fringe_extra_edge_prob:
+        Probability of one extra fringe edge (small periphery cycles).
+    """
+
+    core_size: int = 400
+    core_density: float = 0.35
+    community_count: int = 30
+    community_size_min: int = 5
+    community_size_max: int = 110
+    community_size_exponent: float = 2.0
+    community_density: float = 0.75
+    community_anchors: int = 3
+    fringe_size: int = 2000
+    fringe_core_bias: float = 0.85
+    fringe_extra_edge_prob: float = 0.15
+
+    def expected_min_core_degree(self) -> float:
+        """Rough minimum degree of the core (its elimination threshold)."""
+        return self.core_density * (self.core_size - 1)
+
+    def total_nodes_upper_bound(self) -> int:
+        """Loose upper bound on the node count of a generated graph."""
+        return self.core_size + self.community_count * self.community_size_max + self.fringe_size
+
+
+def core_periphery_graph(config: CorePeripheryConfig, seed: int) -> Graph:
+    """Generate a connected core-periphery graph from ``config`` and ``seed``."""
+    _validate(config)
+    rng = random.Random(seed)
+    community_sizes = [
+        _power_law_size(
+            rng,
+            config.community_size_min,
+            config.community_size_max,
+            config.community_size_exponent,
+        )
+        for _ in range(config.community_count)
+    ]
+    n = config.core_size + sum(community_sizes) + config.fringe_size
+    builder = GraphBuilder(n)
+
+    _build_core(builder, config, rng)
+    next_id = config.core_size
+    periphery_pool: list[int] = list(range(config.core_size))
+    for size in community_sizes:
+        members = list(range(next_id, next_id + size))
+        next_id += size
+        _build_community(builder, members, config, rng)
+        periphery_pool.extend(members)
+
+    for _ in range(config.fringe_size):
+        v = next_id
+        next_id += 1
+        builder.add_edge(v, _pick_parent(config, periphery_pool, rng))
+        if rng.random() < config.fringe_extra_edge_prob:
+            other = _pick_parent(config, periphery_pool, rng)
+            if other != v:
+                builder.add_edge(v, other)
+        periphery_pool.append(v)
+    return builder.build()
+
+
+def scaled_config(base: CorePeripheryConfig, scale: float) -> CorePeripheryConfig:
+    """Scale the node-count knobs of ``base`` by ``scale`` (densities kept).
+
+    Used to produce families of similar graphs of growing size (e.g. the
+    scalability experiment's registry entries).
+    """
+    if scale <= 0:
+        raise GraphError("scale must be positive")
+    return dataclasses.replace(
+        base,
+        core_size=max(3, round(base.core_size * scale)),
+        community_count=max(0, round(base.community_count * scale)),
+        fringe_size=max(0, round(base.fringe_size * scale)),
+    )
+
+
+def _validate(config: CorePeripheryConfig) -> None:
+    if config.core_size < 3:
+        raise GraphError("core must have at least 3 nodes")
+    if not 0.0 < config.core_density <= 1.0:
+        raise GraphError("core density must be in (0, 1]")
+    if config.community_size_min < 2 or config.community_size_max < config.community_size_min:
+        raise GraphError("community size range is invalid")
+    if not 0.0 < config.community_density <= 1.0:
+        raise GraphError("community density must be in (0, 1]")
+    if config.community_anchors < 1:
+        raise GraphError("communities need at least one core anchor")
+    if config.fringe_size < 0 or config.community_count < 0:
+        raise GraphError("sizes must be non-negative")
+    if not 0.0 <= config.fringe_core_bias <= 1.0:
+        raise GraphError("fringe core bias must be in [0, 1]")
+
+
+def _build_core(builder: GraphBuilder, config: CorePeripheryConfig, rng: random.Random) -> None:
+    # A Hamiltonian cycle over the core guarantees connectivity even at
+    # low densities; the ER edges on top provide the width blow-up.
+    size = config.core_size
+    for v in range(size):
+        builder.add_edge(v, (v + 1) % size)
+    for u in range(size):
+        for v in range(u + 1, size):
+            if rng.random() < config.core_density:
+                builder.add_edge(u, v)
+
+
+def _build_community(
+    builder: GraphBuilder,
+    members: list[int],
+    config: CorePeripheryConfig,
+    rng: random.Random,
+) -> None:
+    # Near-clique interior plus a spanning path for guaranteed connectivity.
+    builder.add_path(members)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if rng.random() < config.community_density:
+                builder.add_edge(u, v)
+    for _ in range(config.community_anchors):
+        builder.add_edge(rng.choice(members), rng.randrange(config.core_size))
+
+
+def _pick_parent(
+    config: CorePeripheryConfig, periphery_pool: list[int], rng: random.Random
+) -> int:
+    if rng.random() < config.fringe_core_bias:
+        return rng.randrange(config.core_size)
+    return periphery_pool[rng.randrange(len(periphery_pool))]
+
+
+def _power_law_size(rng: random.Random, low: int, high: int, exponent: float) -> int:
+    """Integer from [low, high] with P(s) roughly proportional to s^(-exponent)."""
+    if low == high:
+        return low
+    # Inverse-CDF sampling of the continuous power law, then truncation.
+    u = rng.random()
+    inv = 1.0 - exponent
+    a = low**inv
+    b = (high + 1) ** inv
+    value = (a + u * (b - a)) ** (1.0 / inv)
+    return max(low, min(high, int(value)))

@@ -1,0 +1,99 @@
+"""Random geometric ("road-like") graph generator.
+
+Road networks are near-planar with low treewidth and large diameter —
+the regime where H2H shines and the contrast class for the paper's
+core-periphery graphs.  A random geometric graph (nodes uniform in the
+unit square, edges between pairs within a radius, weights = rounded
+Euclidean lengths) mimics that structure without external map data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    seed: int,
+    *,
+    weighted: bool = True,
+    connect: bool = True,
+) -> Graph:
+    """Nodes uniform in [0,1]², edges within ``radius``.
+
+    Weights are Euclidean lengths scaled to integers 1..100 (``weighted``)
+    or 1 (hop metric).  With ``connect``, components are stitched by
+    adding an edge between the closest pair of each component and the
+    main one, preserving the geometric flavor.
+    """
+    if n < 1:
+        raise GraphError("need at least one node")
+    if radius <= 0:
+        raise GraphError("radius must be positive")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    builder = GraphBuilder(n)
+    # Grid-bucket the points so neighbor search is ~O(n) for small radii.
+    cell = max(radius, 1e-9)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i, (x, y) in enumerate(points):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(i)
+    radius_sq = radius * radius
+    for (bx, by), members in buckets.items():
+        neighborhood: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighborhood.extend(buckets.get((bx + dx, by + dy), ()))
+        for i in members:
+            xi, yi = points[i]
+            for j in neighborhood:
+                if j <= i:
+                    continue
+                xj, yj = points[j]
+                dist_sq = (xi - xj) ** 2 + (yi - yj) ** 2
+                if dist_sq <= radius_sq:
+                    builder.add_edge(i, j, _edge_weight(dist_sq, weighted))
+    graph = builder.build()
+    if not connect:
+        return graph
+    return _stitch_components(graph, points, weighted)
+
+
+def _edge_weight(dist_sq: float, weighted: bool) -> int:
+    if not weighted:
+        return 1
+    return max(1, round(math.sqrt(dist_sq) * 100))
+
+
+def _stitch_components(graph: Graph, points, weighted: bool) -> Graph:
+    from repro.graphs.traversal import connected_components
+
+    components = connected_components(graph)
+    if len(components) <= 1:
+        return graph
+    builder = GraphBuilder(graph.n)
+    builder.add_edges(graph.edges())
+    main = max(components, key=len)
+    for component in components:
+        if component is main:
+            continue
+        best_pair = None
+        best_dist_sq = math.inf
+        # Closest pair between the component and the main component;
+        # components are typically tiny, so the scan is cheap.
+        for u in component:
+            xu, yu = points[u]
+            for v in main:
+                d = (xu - points[v][0]) ** 2 + (yu - points[v][1]) ** 2
+                if d < best_dist_sq:
+                    best_dist_sq = d
+                    best_pair = (u, v)
+        assert best_pair is not None
+        builder.add_edge(*best_pair, _edge_weight(best_dist_sq, weighted))
+    return builder.build()

@@ -1,0 +1,95 @@
+"""Deterministic building-block graphs (paths, cycles, cliques, ...).
+
+These tiny families have known treewidths and distances, which makes them
+the backbone of the unit-test suite and of the theory-checking benches.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` nodes: 0 - 1 - ... - (n-1).  Treewidth 1 for n >= 2."""
+    builder = GraphBuilder(n)
+    builder.add_path(range(n))
+    return builder.build()
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` nodes.  Treewidth 2."""
+    if n < 3:
+        raise GraphError(f"a cycle needs at least 3 nodes, got {n}")
+    builder = GraphBuilder(n)
+    builder.add_path(range(n))
+    builder.add_edge(n - 1, 0)
+    return builder.build()
+
+
+def clique_graph(n: int) -> Graph:
+    """Complete graph on ``n`` nodes.  Treewidth n - 1."""
+    builder = GraphBuilder(n)
+    builder.add_clique(range(n))
+    return builder.build()
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Star with center 0 and ``n_leaves`` leaves.  Treewidth 1."""
+    builder = GraphBuilder(n_leaves + 1)
+    for leaf in range(1, n_leaves + 1):
+        builder.add_edge(0, leaf)
+    return builder.build()
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Complete bipartite graph K(a, b); sides are 0..a-1 and a..a+b-1."""
+    builder = GraphBuilder(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Axis-aligned grid; node ``(r, c)`` is ``r * cols + c``.
+
+    Grids are the library's stand-in for road networks: planar, low
+    treewidth (``min(rows, cols)``), large diameter.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    builder = GraphBuilder(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                builder.add_edge(v, v + 1)
+            if r + 1 < rows:
+                builder.add_edge(v, v + cols)
+    return builder.build()
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """Complete binary tree of the given depth (depth 0 = single node)."""
+    if depth < 0:
+        raise GraphError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    builder = GraphBuilder(n)
+    for child in range(1, n):
+        builder.add_edge(child, (child - 1) // 2)
+    return builder.build()
+
+
+def lollipop_graph(clique_size: int, tail_length: int) -> Graph:
+    """A clique with a path ("tail") attached — a tiny core-periphery graph.
+
+    Nodes ``0 .. clique_size-1`` form the clique; the tail hangs off node 0.
+    """
+    if clique_size < 1:
+        raise GraphError("clique size must be positive")
+    builder = GraphBuilder(clique_size + tail_length)
+    builder.add_clique(range(clique_size))
+    builder.add_path([0] + list(range(clique_size, clique_size + tail_length)))
+    return builder.build()

@@ -1,0 +1,142 @@
+"""Seeded random graph families (Erdős–Rényi, caveman, random weights).
+
+All generators take an explicit ``seed`` so every test, example, and
+benchmark in the repository is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+def gnp_graph(n: int, p: float, seed: int) -> Graph:
+    """Erdős–Rényi G(n, p): each pair is an edge independently with prob ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    builder = GraphBuilder(n)
+    if p >= 0.2:
+        # Dense regime: test every pair directly.
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < p:
+                    builder.add_edge(u, v)
+    elif p > 0.0:
+        # Sparse regime: geometric skipping over the pair sequence.
+        _gnp_sparse(builder, n, p, rng)
+    return builder.build()
+
+
+def gnm_graph(n: int, m: int, seed: int) -> Graph:
+    """Uniform random graph with exactly ``m`` distinct edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"{m} edges requested but only {max_edges} are possible")
+    rng = random.Random(seed)
+    builder = GraphBuilder(n)
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key not in chosen:
+            chosen.add(key)
+            builder.add_edge(*key)
+    return builder.build()
+
+
+def connected_gnp_graph(n: int, p: float, seed: int) -> Graph:
+    """G(n, p) made connected by linking consecutive components.
+
+    The patch edges join a random node of each component to a random node
+    of the next, which perturbs the degree sequence only slightly.
+    """
+    from repro.graphs.traversal import connected_components
+
+    graph = gnp_graph(n, p, seed)
+    components = connected_components(graph)
+    if len(components) <= 1:
+        return graph
+    rng = random.Random(seed ^ 0x5EED)
+    builder = GraphBuilder(n)
+    builder.add_edges((u, v, w) for u, v, w in graph.edges())
+    for first, second in zip(components, components[1:]):
+        builder.add_edge(rng.choice(first), rng.choice(second))
+    return builder.build()
+
+
+def caveman_graph(n_caves: int, cave_size: int, rewire_prob: float, seed: int) -> Graph:
+    """Connected caveman graph: cliques on a ring, with optional rewiring.
+
+    A classic community-structure benchmark; with small caves it is a
+    low-treewidth, highly clustered graph.
+    """
+    if n_caves < 1 or cave_size < 1:
+        raise GraphError("cave count and size must be positive")
+    rng = random.Random(seed)
+    n = n_caves * cave_size
+    builder = GraphBuilder(n)
+    for cave in range(n_caves):
+        base = cave * cave_size
+        members = range(base, base + cave_size)
+        builder.add_clique(members)
+    # Ring edges between consecutive caves.
+    for cave in range(n_caves):
+        u = cave * cave_size
+        v = ((cave + 1) % n_caves) * cave_size
+        if u != v:
+            builder.add_edge(u, v)
+    graph = builder.build()
+    if rewire_prob <= 0:
+        return graph
+    rewired = GraphBuilder(n)
+    for u, v, w in graph.edges():
+        if rng.random() < rewire_prob:
+            v = rng.randrange(n)
+            if v == u:
+                continue
+        rewired.add_edge(u, v, w)
+    return rewired.build()
+
+
+def random_weighted(graph: Graph, low: int, high: int, seed: int) -> Graph:
+    """Copy ``graph`` with integer edge weights drawn uniformly from [low, high]."""
+    if low < 1 or high < low:
+        raise GraphError("weights must satisfy 1 <= low <= high")
+    rng = random.Random(seed)
+    builder = GraphBuilder(graph.n)
+    for u, v, _ in graph.edges():
+        builder.add_edge(u, v, rng.randint(low, high))
+    return builder.build()
+
+
+def random_tree(n: int, seed: int) -> Graph:
+    """Uniform-ish random tree: node i attaches to a random earlier node."""
+    rng = random.Random(seed)
+    builder = GraphBuilder(n)
+    for v in range(1, n):
+        builder.add_edge(v, rng.randrange(v))
+    return builder.build()
+
+
+def _gnp_sparse(builder: GraphBuilder, n: int, p: float, rng: random.Random) -> None:
+    """Sample G(n, p) edges by geometric jumps over the ordered pair list."""
+    import math
+
+    log_q = math.log(1.0 - p)
+    v = 1
+    w = -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            builder.add_edge(v, w)

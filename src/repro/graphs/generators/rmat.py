@@ -1,0 +1,81 @@
+"""R-MAT (recursive matrix) graph generator.
+
+R-MAT (Chakrabarti, Zhan, Faloutsos 2004) is the standard synthetic
+model for web-like graphs: each edge lands in one quadrant of the
+adjacency matrix recursively with probabilities ``(a, b, c, d)``, which
+produces power-law degrees and community structure — the Graph500
+benchmark uses ``(0.57, 0.19, 0.19, 0.05)``.  The generator emits the
+undirected simple graph of the sampled arcs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+#: The Graph500 reference quadrant probabilities.
+GRAPH500_PROBS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int,
+    seed: int,
+    *,
+    probs: tuple[float, float, float, float] = GRAPH500_PROBS,
+    noise: float = 0.1,
+) -> Graph:
+    """R-MAT graph with ``2**scale`` nodes and ``edge_factor * n`` edge draws.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the node count (Graph500 convention).
+    edge_factor:
+        Edge draws per node; duplicates and loops are collapsed, so the
+        final simple-edge count is somewhat lower.
+    probs:
+        The ``(a, b, c, d)`` quadrant probabilities; must sum to 1.
+    noise:
+        Per-level multiplicative jitter of the probabilities (the
+        "smoothing" of the original paper that avoids degree staircases).
+    """
+    if scale < 1 or scale > 24:
+        raise GraphError(f"scale must be in 1..24, got {scale}")
+    if edge_factor < 1:
+        raise GraphError("edge factor must be positive")
+    if abs(sum(probs) - 1.0) > 1e-9 or any(p < 0 for p in probs):
+        raise GraphError(f"quadrant probabilities must be a distribution, got {probs}")
+    if not 0.0 <= noise < 1.0:
+        raise GraphError("noise must be in [0, 1)")
+
+    rng = random.Random(seed)
+    n = 1 << scale
+    builder = GraphBuilder(n)
+    a, b, c, _ = probs
+    for _ in range(edge_factor * n):
+        u = v = 0
+        for _level in range(scale):
+            u <<= 1
+            v <<= 1
+            # Jitter the quadrant split per level, renormalizing.
+            ja = a * (1 + noise * (rng.random() - 0.5))
+            jb = b * (1 + noise * (rng.random() - 0.5))
+            jc = c * (1 + noise * (rng.random() - 0.5))
+            total = ja + jb + jc + (1 - a - b - c) * (1 + noise * (rng.random() - 0.5))
+            r = rng.random() * total
+            if r < ja:
+                pass  # top-left: both bits 0
+            elif r < ja + jb:
+                v |= 1  # top-right
+            elif r < ja + jb + jc:
+                u |= 1  # bottom-left
+            else:
+                u |= 1
+                v |= 1  # bottom-right
+        if u != v:
+            builder.add_edge(u, v)
+    return builder.build()

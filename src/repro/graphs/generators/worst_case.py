@@ -1,0 +1,66 @@
+"""The Ω(nd) lower-bound gadget of Lemma 3: "rolling cliques".
+
+The paper proves that 2-hop labeling cannot beat an Ω(n·d) index size on
+graphs of treewidth ``d`` by constructing a ring of overlapping
+``d``-cliques: the ``n`` nodes are split into ``2k`` groups of ``d/2``
+nodes each, and every two cyclically-consecutive groups form a clique of
+size ``d``.  This module builds that graph so the lower bound can be
+checked empirically (see ``benchmarks/test_lemma3_lower_bound.py``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+def rolling_cliques_graph(k: int, d: int) -> Graph:
+    """Lemma 3 gadget with ``n = k * d`` nodes and treewidth >= d - 1.
+
+    Parameters mirror the proof: ``2k`` disjoint groups
+    ``C_0 .. C_{2k-1}`` of ``d/2`` nodes; for every ``i`` the union
+    ``C_i ∪ C_{(i+1) mod 2k}`` is a clique.  Group ``g`` holds nodes
+    ``g * d/2 .. (g+1) * d/2 - 1``.
+
+    ``d`` must be even and ``k >= 2`` so the ring has at least 4 groups.
+    """
+    if d < 2 or d % 2 != 0:
+        raise GraphError(f"d must be an even integer >= 2, got {d}")
+    if k < 2:
+        raise GraphError(f"k must be at least 2, got {k}")
+    half = d // 2
+    groups = 2 * k
+    n = k * d
+    builder = GraphBuilder(n)
+    for g in range(groups):
+        current = range(g * half, (g + 1) * half)
+        nxt_g = (g + 1) % groups
+        nxt = range(nxt_g * half, (nxt_g + 1) * half)
+        builder.add_clique(list(current) + list(nxt))
+    return builder.build()
+
+
+def rolling_cliques_group(node: int, d: int) -> int:
+    """Group index of ``node`` in a rolling-cliques graph with parameter ``d``."""
+    if d < 2 or d % 2 != 0:
+        raise GraphError(f"d must be an even integer >= 2, got {d}")
+    return node // (d // 2)
+
+
+def rolling_cliques_distance(s: int, t: int, k: int, d: int) -> int:
+    """Closed-form shortest distance in the rolling-cliques graph.
+
+    Every edge joins two nodes whose groups are equal or cyclically
+    consecutive, so one hop changes the group index by at most 1.  Nodes
+    in the same or adjacent groups share a clique (distance 1); otherwise
+    the distance equals the cyclic group gap, achieved by walking one
+    group per hop.
+    """
+    if s == t:
+        return 0
+    gs = rolling_cliques_group(s, d)
+    gt = rolling_cliques_group(t, d)
+    groups = 2 * k
+    gap = min((gs - gt) % groups, (gt - gs) % groups)
+    return max(1, gap)

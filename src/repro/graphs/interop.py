@@ -1,0 +1,67 @@
+"""NetworkX interoperability.
+
+NetworkX is the lingua franca for graph data in Python; these helpers
+move graphs in and out of it so downstream users can feed their existing
+pipelines into the indexes.  networkx is imported lazily — the core
+library never requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+def from_networkx(nx_graph: Any, *, weight_attribute: str = "weight") -> tuple[Graph, list]:
+    """Convert an undirected networkx graph.
+
+    Returns ``(graph, originals)``: node ``i`` of the returned graph
+    corresponds to ``originals[i]`` in the networkx graph (nodes are
+    sorted by their string representation for determinism).  Edge
+    weights are read from ``weight_attribute`` (missing → 1); directed
+    and multi-graphs are rejected.
+    """
+    if nx_graph.is_directed():
+        raise GraphError("from_networkx expects an undirected graph; see DiGraph.from_arcs")
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported; collapse parallel edges first")
+    originals = sorted(nx_graph.nodes(), key=repr)
+    compact = {node: i for i, node in enumerate(originals)}
+    builder = GraphBuilder(len(originals))
+    for u, v, data in nx_graph.edges(data=True):
+        builder.add_edge(compact[u], compact[v], data.get(weight_attribute, 1))
+    return builder.build(), originals
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` with ``weight`` edge attributes."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    for u, v, w in graph.edges():
+        nx_graph.add_edge(u, v, weight=w)
+    return nx_graph
+
+
+def digraph_from_networkx(nx_graph: Any, *, weight_attribute: str = "weight"):
+    """Convert a directed networkx graph to a :class:`DiGraph`.
+
+    Returns ``(digraph, originals)`` like :func:`from_networkx`.
+    """
+    from repro.graphs.digraph import DiGraph
+
+    if not nx_graph.is_directed():
+        raise GraphError("digraph_from_networkx expects a directed graph")
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported; collapse parallel arcs first")
+    originals = sorted(nx_graph.nodes(), key=repr)
+    compact = {node: i for i, node in enumerate(originals)}
+    arcs = [
+        (compact[u], compact[v], data.get(weight_attribute, 1))
+        for u, v, data in nx_graph.edges(data=True)
+    ]
+    return DiGraph.from_arcs(len(originals), arcs), originals

@@ -1,0 +1,94 @@
+"""Edge-list file input/output.
+
+The on-disk format mirrors the widely used whitespace-separated edge-list
+layout of SNAP / Network Repository / KONECT downloads: one edge per line
+(``u v`` or ``u v w``), with ``#`` and ``%`` comment lines ignored.  Node
+ids in a file may be arbitrary non-negative integers; they are compacted
+to ``0 .. n-1`` on load and the mapping is returned alongside the graph.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, os.PathLike]
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def read_edge_list(path: PathLike) -> tuple[Graph, list[int]]:
+    """Load an undirected graph from an edge-list file.
+
+    Returns ``(graph, original_ids)`` where ``original_ids[i]`` is the node
+    id that appeared in the file for compacted node ``i``.
+
+    Raises :class:`GraphFormatError` for malformed lines.
+    """
+    raw_edges: list[tuple[int, int, float]] = []
+    seen_ids: set[int] = set()
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = stripped.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{line_no}: expected 'u v' or 'u v w', got {stripped!r}"
+                )
+            try:
+                u = int(parts[0])
+                v = int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{line_no}: non-integer node id") from exc
+            if u < 0 or v < 0:
+                raise GraphFormatError(f"{path}:{line_no}: negative node id")
+            weight: float = 1
+            if len(parts) == 3:
+                try:
+                    weight = _parse_weight(parts[2])
+                except ValueError as exc:
+                    raise GraphFormatError(f"{path}:{line_no}: bad weight {parts[2]!r}") from exc
+            raw_edges.append((u, v, weight))
+            seen_ids.add(u)
+            seen_ids.add(v)
+    original_ids = sorted(seen_ids)
+    compact = {orig: i for i, orig in enumerate(original_ids)}
+    builder = GraphBuilder(len(original_ids))
+    for u, v, w in raw_edges:
+        builder.add_edge(compact[u], compact[v], w)
+    return builder.build(), original_ids
+
+
+def write_edge_list(graph: Graph, path: PathLike, *, header: str | None = None) -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    Weights are emitted only when the graph is weighted, so unweighted
+    graphs round-trip through the common two-column format.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes={graph.n} edges={graph.m}\n")
+        for u, v, w in graph.edges():
+            if graph.unweighted:
+                handle.write(f"{u} {v}\n")
+            else:
+                handle.write(f"{u} {v} {w}\n")
+
+
+def _parse_weight(token: str) -> float:
+    """Parse a weight token, preferring int when exact."""
+    value = float(token)
+    if value.is_integer():
+        return int(value)
+    return value

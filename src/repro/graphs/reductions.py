@@ -1,0 +1,190 @@
+"""Equivalence-relation elimination (the PSL+ twin reduction).
+
+Two nodes are *twins* when they have identical neighborhoods.  The paper
+(Section 7, "Algorithms") keeps a single representative per twin class:
+removing a twin cannot change any other pair's distance because every
+path through it can be rerouted through its representative at equal
+length.  Queries on the reduced graph are mapped back with a constant
+amount of bookkeeping:
+
+* **false twins** — ``N(u) = N(v)``, ``u`` and ``v`` not adjacent: two
+  distinct class members are at distance 2 (through any shared neighbor);
+* **true twins** — ``N(u) ∪ {u} = N(v) ∪ {v}``, adjacent: distance 1.
+
+The reduction is defined for unweighted graphs (all the paper's datasets
+are unweighted); weighted inputs are returned unreduced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import INF, Graph, Weight
+
+
+@dataclasses.dataclass(frozen=True)
+class EquivalenceReduction:
+    """Result of :func:`eliminate_equivalent_nodes`.
+
+    Attributes
+    ----------
+    original:
+        The input graph.
+    reduced:
+        The graph on one representative per twin class.
+    representative:
+        ``representative[v]`` is the reduced-graph node standing in for
+        original node ``v``.
+    originals:
+        ``originals[i]`` is the original node id kept for reduced node ``i``.
+    twin_kind:
+        ``twin_kind[v]`` is ``"true"`` / ``"false"`` for nodes folded into
+        a multi-member class and ``None`` for singleton classes.
+    """
+
+    original: Graph
+    reduced: Graph
+    representative: list[int]
+    originals: list[int]
+    twin_kind: list[str | None]
+
+    @property
+    def removed_count(self) -> int:
+        """How many nodes the reduction removed."""
+        return self.original.n - self.reduced.n
+
+    def class_distance(self, u: int, v: int) -> Weight:
+        """Distance between two original nodes sharing a representative."""
+        if self.representative[u] != self.representative[v]:
+            raise GraphError("nodes are not in the same equivalence class")
+        if u == v:
+            return 0
+        kind = self.twin_kind[u]
+        if kind == "true":
+            return 1
+        if kind == "false":
+            # Distinct false twins share every neighbor; an isolated twin
+            # class (no neighbors) is disconnected from itself only in the
+            # degenerate deg-0 case, which cannot be a multi-member class.
+            return 2
+        raise GraphError(f"node {u} is not part of a folded twin class")
+
+    def map_distance(self, s: int, t: int, reduced_distance: Weight) -> Weight:
+        """Translate a reduced-graph distance back to the original pair.
+
+        ``reduced_distance`` must be the distance between
+        ``representative[s]`` and ``representative[t]`` in the reduced
+        graph.  Handles the same-representative special case.
+        """
+        if s == t:
+            return 0
+        if self.representative[s] == self.representative[t]:
+            return self.class_distance(s, t)
+        return reduced_distance
+
+
+def eliminate_equivalent_nodes(graph: Graph) -> EquivalenceReduction:
+    """Collapse every twin class of ``graph`` to one representative.
+
+    A single pass folds both false twins (equal open neighborhoods) and
+    true twins (equal closed neighborhoods).  Weighted graphs are
+    returned unreduced because twin distances are no longer the constant
+    1 / 2 the query-time correction relies on.
+    """
+    identity = list(range(graph.n))
+    if not graph.unweighted:
+        return EquivalenceReduction(
+            original=graph,
+            reduced=graph,
+            representative=identity,
+            originals=identity.copy(),
+            twin_kind=[None] * graph.n,
+        )
+
+    false_classes: dict[tuple[int, ...], list[int]] = defaultdict(list)
+    true_classes: dict[tuple[int, ...], list[int]] = defaultdict(list)
+    for v in graph.nodes():
+        neighborhood = graph.neighbor_ids(v)
+        false_classes[neighborhood].append(v)
+        closed = tuple(sorted(neighborhood + (v,)))
+        true_classes[closed].append(v)
+
+    representative = identity.copy()
+    twin_kind: list[str | None] = [None] * graph.n
+    # False twins first; a node can belong to one false class and one true
+    # class, but the classes never mix (members of a false class are
+    # pairwise non-adjacent, of a true class pairwise adjacent).
+    for neighborhood, members in false_classes.items():
+        # Degree-0 nodes share the empty neighborhood but are mutually
+        # unreachable, so they must not be folded.
+        if len(members) > 1 and neighborhood:
+            keeper = members[0]
+            for v in members:
+                representative[v] = keeper
+                twin_kind[v] = "false"
+    for members in true_classes.values():
+        if len(members) > 1 and all(twin_kind[v] is None for v in members):
+            keeper = members[0]
+            for v in members:
+                representative[v] = keeper
+                twin_kind[v] = "true"
+
+    keepers = sorted({representative[v] for v in graph.nodes()})
+    compact = {orig: i for i, orig in enumerate(keepers)}
+    builder = GraphBuilder(len(keepers))
+    for u, v, w in graph.edges():
+        ru, rv = representative[u], representative[v]
+        if ru != rv:
+            builder.add_edge(compact[ru], compact[rv], w)
+    reduced = builder.build()
+    final_representative = [compact[representative[v]] for v in graph.nodes()]
+    return EquivalenceReduction(
+        original=graph,
+        reduced=reduced,
+        representative=final_representative,
+        originals=keepers,
+        twin_kind=twin_kind,
+    )
+
+
+def reduction_identity(graph: Graph) -> EquivalenceReduction:
+    """A no-op reduction, for code paths that make twin folding optional."""
+    identity = list(range(graph.n))
+    return EquivalenceReduction(
+        original=graph,
+        reduced=graph,
+        representative=identity,
+        originals=identity.copy(),
+        twin_kind=[None] * graph.n,
+    )
+
+
+def verify_reduction_distances(reduction: EquivalenceReduction, samples: int = 50) -> None:
+    """Assert (via BFS) that the reduction preserves sampled distances.
+
+    Debugging helper used in tests; raises :class:`GraphError` on the
+    first mismatch.
+    """
+    import random
+
+    from repro.graphs.traversal import single_source_distances
+
+    graph = reduction.original
+    if graph.n == 0:
+        return
+    rng = random.Random(0xC0FFEE)
+    reduced_cache: dict[int, list[Weight]] = {}
+    for _ in range(samples):
+        s = rng.randrange(graph.n)
+        t = rng.randrange(graph.n)
+        truth = single_source_distances(graph, s)[t]
+        rs = reduction.representative[s]
+        if rs not in reduced_cache:
+            reduced_cache[rs] = single_source_distances(reduction.reduced, rs)
+        reduced_distance = reduced_cache[rs][reduction.representative[t]]
+        mapped = reduction.map_distance(s, t, reduced_distance)
+        if mapped != truth and not (mapped == INF and truth == INF):
+            raise GraphError(f"reduction broke distance ({s}, {t}): {mapped} != {truth}")

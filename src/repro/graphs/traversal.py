@@ -1,0 +1,212 @@
+"""Shortest-path searches and connectivity on :class:`~repro.graphs.graph.Graph`.
+
+These routines are the ground truth every index in the library is tested
+against, and they double as the online-search baseline the paper's
+indexes are designed to beat.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterable
+
+from repro.graphs.graph import INF, Graph, Weight
+
+
+def bfs_distances(graph: Graph, source: int) -> list[Weight]:
+    """Hop distances from ``source`` to every node (INF when unreachable).
+
+    Only valid on unweighted graphs; weighted callers should use
+    :func:`dijkstra_distances`.
+    """
+    dist: list[Weight] = [INF] * graph.n
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        v = queue.popleft()
+        next_dist = dist[v] + 1
+        for u in graph.neighbor_ids(v):
+            if dist[u] == INF:
+                dist[u] = next_dist
+                queue.append(u)
+    return dist
+
+
+def dijkstra_distances(graph: Graph, source: int) -> list[Weight]:
+    """Weighted shortest-path distances from ``source`` to every node."""
+    dist: list[Weight] = [INF] * graph.n
+    dist[source] = 0
+    heap: list[tuple[Weight, int]] = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for u, w in graph.neighbors(v):
+            nd = d + w
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, u))
+    return dist
+
+
+def single_source_distances(graph: Graph, source: int) -> list[Weight]:
+    """Distances from ``source``, picking BFS or Dijkstra automatically."""
+    if graph.unweighted:
+        return bfs_distances(graph, source)
+    return dijkstra_distances(graph, source)
+
+
+def pairwise_distance(graph: Graph, s: int, t: int) -> Weight:
+    """Exact distance between one pair of nodes.
+
+    Runs a bidirectional search (BFS on unweighted graphs, Dijkstra
+    otherwise); this is the online-search baseline for a single query.
+    """
+    if s == t:
+        return 0
+    if graph.unweighted:
+        return _bidirectional_bfs(graph, s, t)
+    return _bidirectional_dijkstra(graph, s, t)
+
+
+def all_pairs_distances(graph: Graph) -> list[list[Weight]]:
+    """Full distance matrix; intended for small graphs and ground truth."""
+    return [single_source_distances(graph, v) for v in graph.nodes()]
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Connected components, each a sorted node list, ordered by smallest node."""
+    seen = [False] * graph.n
+    components: list[list[int]] = []
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        queue: deque[int] = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbor_ids(v):
+                if not seen[u]:
+                    seen[u] = True
+                    component.append(u)
+                    queue.append(u)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has at most one connected component."""
+    if graph.n <= 1:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def largest_component_subgraph(graph: Graph) -> tuple[Graph, list[int]]:
+    """Induced subgraph on the largest connected component.
+
+    Returns ``(subgraph, originals)`` like
+    :meth:`Graph.induced_subgraph`; ties break toward the component with
+    the smallest minimum node id.
+    """
+    components = connected_components(graph)
+    if not components:
+        return Graph.empty(0), []
+    largest = max(components, key=len)
+    return graph.induced_subgraph(largest)
+
+
+def eccentricity(graph: Graph, source: int) -> Weight:
+    """Largest finite distance from ``source`` (0 if isolated)."""
+    finite = [d for d in single_source_distances(graph, source) if d != INF]
+    return max(finite) if finite else 0
+
+
+def distances_to_targets(graph: Graph, source: int, targets: Iterable[int]) -> dict[int, Weight]:
+    """Distances from ``source`` to each node in ``targets``."""
+    wanted = set(targets)
+    dist = single_source_distances(graph, source)
+    return {t: dist[t] for t in wanted}
+
+
+def _bidirectional_bfs(graph: Graph, s: int, t: int) -> Weight:
+    dist_s: dict[int, int] = {s: 0}
+    dist_t: dict[int, int] = {t: 0}
+    frontier_s: list[int] = [s]
+    frontier_t: list[int] = [t]
+    best = INF
+    while frontier_s and frontier_t:
+        # Expand the smaller frontier for balance.
+        if len(frontier_s) <= len(frontier_t):
+            frontier, dist_here, dist_other = frontier_s, dist_s, dist_t
+            forward = True
+        else:
+            frontier, dist_here, dist_other = frontier_t, dist_t, dist_s
+            forward = False
+        next_frontier: list[int] = []
+        for v in frontier:
+            base = dist_here[v] + 1
+            for u in graph.neighbor_ids(v):
+                if u not in dist_here:
+                    dist_here[u] = base
+                    next_frontier.append(u)
+                    if u in dist_other:
+                        best = min(best, base + dist_other[u])
+        if forward:
+            frontier_s = next_frontier
+        else:
+            frontier_t = next_frontier
+        # A path not yet discovered must cross both frontiers, so it is at
+        # least as long as the sum of the two search radii; once that sum
+        # reaches the best meeting distance, the answer is final.
+        radius_sum = _frontier_depth(dist_s, frontier_s) + _frontier_depth(dist_t, frontier_t)
+        if best != INF and frontier_s and frontier_t and radius_sum >= best:
+            return best
+    return best
+
+
+def _frontier_depth(dist: dict[int, int], frontier: list[int]) -> int:
+    if not frontier:
+        return 0
+    return dist[frontier[0]]
+
+
+def _bidirectional_dijkstra(graph: Graph, s: int, t: int) -> Weight:
+    dist_s: dict[int, Weight] = {s: 0}
+    dist_t: dict[int, Weight] = {t: 0}
+    heap_s: list[tuple[Weight, int]] = [(0, s)]
+    heap_t: list[tuple[Weight, int]] = [(0, t)]
+    settled_s: set[int] = set()
+    settled_t: set[int] = set()
+    best = INF
+    while heap_s and heap_t:
+        if heap_s[0][0] + heap_t[0][0] >= best:
+            break
+        if heap_s[0][0] <= heap_t[0][0]:
+            best = _dijkstra_step(graph, heap_s, dist_s, settled_s, dist_t, best)
+        else:
+            best = _dijkstra_step(graph, heap_t, dist_t, settled_t, dist_s, best)
+    return best
+
+
+def _dijkstra_step(
+    graph: Graph,
+    heap: list[tuple[Weight, int]],
+    dist_here: dict[int, Weight],
+    settled: set[int],
+    dist_other: dict[int, Weight],
+    best: Weight,
+) -> Weight:
+    d, v = heapq.heappop(heap)
+    if v in settled:
+        return best
+    settled.add(v)
+    for u, w in graph.neighbors(v):
+        nd = d + w
+        if nd < dist_here.get(u, INF):
+            dist_here[u] = nd
+            heapq.heappush(heap, (nd, u))
+        if u in dist_other:
+            best = min(best, nd + dist_other[u])
+    return best

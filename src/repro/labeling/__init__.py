@@ -1,0 +1,54 @@
+"""2-hop labelings and baseline distance indexes."""
+
+from repro.labeling.analysis import CTAnatomy, LabelAnatomy, analyze_ct_index, analyze_labels
+from repro.labeling.base import BYTES_PER_ENTRY, DistanceIndex, IndexStats, MemoryBudget
+from repro.labeling.cd import CDIndex, build_cd
+from repro.labeling.directed_pll import DirectedPLL, build_directed_pll
+from repro.labeling.h2h import H2HIndex, build_h2h
+from repro.labeling.hub_labels import HubLabeling
+from repro.labeling.ordering import (
+    degeneracy_based_order,
+    degree_order,
+    elimination_based_order,
+    make_order,
+    random_order,
+)
+from repro.labeling.pll import PrunedLandmarkLabeling, build_pll
+from repro.labeling.psl import ParallelShortestPathLabeling, build_psl
+from repro.labeling.psl_variants import (
+    PslPlusIndex,
+    PslStarIndex,
+    build_psl_plus,
+    build_psl_star,
+)
+
+__all__ = [
+    "BYTES_PER_ENTRY",
+    "CDIndex",
+    "CTAnatomy",
+    "DirectedPLL",
+    "DistanceIndex",
+    "H2HIndex",
+    "HubLabeling",
+    "IndexStats",
+    "LabelAnatomy",
+    "MemoryBudget",
+    "ParallelShortestPathLabeling",
+    "PrunedLandmarkLabeling",
+    "PslPlusIndex",
+    "PslStarIndex",
+    "analyze_ct_index",
+    "analyze_labels",
+    "build_cd",
+    "build_directed_pll",
+    "build_h2h",
+    "build_pll",
+    "build_psl",
+    "build_psl_plus",
+    "build_psl_star",
+    "degeneracy_based_order",
+    "degree_order",
+    "elimination_based_order",
+    "make_order",
+    "random_order",
+]

@@ -1,0 +1,101 @@
+"""Anatomy of built labelings: label-size distributions and hub coverage.
+
+The paper's size arguments are all about *where* the label entries live
+(a few huge-core hubs vs many periphery nodes); this module measures
+that anatomy so benches and notebooks can inspect it — which hubs carry
+the index, how skewed the per-node label sizes are, and how a CT-Index's
+entries split across the core, the ancestor chains, and the interfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.core.ct_index import CTIndex
+from repro.labeling.hub_labels import HubLabeling
+
+
+@dataclasses.dataclass(frozen=True)
+class LabelAnatomy:
+    """Distributional summary of a 2-hop labeling."""
+
+    total_entries: int
+    max_label: int
+    mean_label: float
+    median_label: float
+    p90_label: float
+    top_hub_share: float  # fraction of entries naming the top-10 hubs
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "entries": self.total_entries,
+            "max_label": self.max_label,
+            "mean_label": round(self.mean_label, 2),
+            "median_label": self.median_label,
+            "p90_label": self.p90_label,
+            "top10_hub_share": round(self.top_hub_share, 3),
+        }
+
+
+def analyze_labels(labels: HubLabeling) -> LabelAnatomy:
+    """Measure the label-size distribution and hub concentration."""
+    sizes = [labels.label_size(v) for v in range(labels.n)]
+    if not sizes:
+        return LabelAnatomy(0, 0, 0.0, 0.0, 0.0, 0.0)
+    hub_counts: dict[int, int] = {}
+    for v in range(labels.n):
+        for rank, _ in labels.iter_rank_entries(v):
+            hub_counts[rank] = hub_counts.get(rank, 0) + 1
+    total = sum(sizes)
+    top10 = sum(sorted(hub_counts.values(), reverse=True)[:10])
+    ordered = sorted(sizes)
+    p90 = ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))]
+    return LabelAnatomy(
+        total_entries=total,
+        max_label=max(sizes),
+        mean_label=total / len(sizes),
+        median_label=float(statistics.median(sizes)),
+        p90_label=float(p90),
+        top_hub_share=(top10 / total) if total else 0.0,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CTAnatomy:
+    """Where a CT-Index's entries live (Theorem 2's three terms)."""
+
+    core_entries: int
+    ancestor_entries: int
+    interface_entries: int
+
+    @property
+    def total(self) -> int:
+        return self.core_entries + self.ancestor_entries + self.interface_entries
+
+    def as_row(self) -> dict[str, object]:
+        total = max(1, self.total)
+        return {
+            "core_entries": self.core_entries,
+            "ancestor_entries": self.ancestor_entries,
+            "interface_entries": self.interface_entries,
+            "core_share": round(self.core_entries / total, 3),
+        }
+
+
+def analyze_ct_index(index: CTIndex) -> CTAnatomy:
+    """Split a CT-Index's entries into core / ancestor / interface parts."""
+    decomposition = index.decomposition
+    ancestor_entries = 0
+    interface_entries = 0
+    for label in index.tree_index.labels:
+        for target in label:
+            if decomposition.position[target] is None:
+                interface_entries += 1
+            else:
+                ancestor_entries += 1
+    return CTAnatomy(
+        core_entries=index.core_index.size_entries(),
+        ancestor_entries=ancestor_entries,
+        interface_entries=interface_entries,
+    )

@@ -1,0 +1,116 @@
+"""Shared interface and size model for every distance index in the library.
+
+All indexes answer :meth:`DistanceIndex.distance` exactly and report
+their size through a common model so the paper's size comparisons are
+apples-to-apples: one stored label entry costs
+:data:`BYTES_PER_ENTRY` = 8 bytes (a 4-byte hub id plus a 4-byte
+distance, mirroring the C++ layout of the original implementation).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.graphs.graph import Weight
+
+#: Modeled bytes per stored (hub, distance) entry.
+BYTES_PER_ENTRY = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexStats:
+    """Size/time summary of a built index, used by the bench harness."""
+
+    method: str
+    entries: int
+    bytes: int
+    build_seconds: float
+    extra: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def megabytes(self) -> float:
+        """Modeled size in MB (10^6 bytes, as in the paper's figures)."""
+        return self.bytes / 1e6
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        row: dict[str, object] = {
+            "method": self.method,
+            "entries": self.entries,
+            "size_mb": round(self.megabytes, 3),
+            "build_seconds": round(self.build_seconds, 4),
+        }
+        row.update(self.extra)
+        return row
+
+
+class DistanceIndex(abc.ABC):
+    """An exact shortest-distance oracle over a fixed graph."""
+
+    #: Human-readable method name ("PLL", "CT-20", ...); subclasses override.
+    method_name = "index"
+
+    #: Wall-clock seconds spent building; set by the build functions.
+    build_seconds: float = 0.0
+
+    @abc.abstractmethod
+    def distance(self, s: int, t: int) -> Weight:
+        """Exact distance between ``s`` and ``t`` (INF when disconnected)."""
+
+    @abc.abstractmethod
+    def size_entries(self) -> int:
+        """Number of stored label entries."""
+
+    def size_bytes(self) -> int:
+        """Modeled index size in bytes."""
+        return BYTES_PER_ENTRY * self.size_entries()
+
+    def stats(self) -> IndexStats:
+        """Bundle size and build time into an :class:`IndexStats`."""
+        return IndexStats(
+            method=self.method_name,
+            entries=self.size_entries(),
+            bytes=self.size_bytes(),
+            build_seconds=self.build_seconds,
+        )
+
+
+@dataclasses.dataclass
+class MemoryBudget:
+    """Construction-time size guard reproducing the paper's "OM" outcome.
+
+    The budget tracks modeled entries; :meth:`charge` raises
+    :class:`~repro.exceptions.OverMemoryError` as soon as the modeled
+    byte size would exceed ``limit_bytes``.  ``limit_bytes=None`` means
+    unlimited (every charge succeeds).
+    """
+
+    limit_bytes: int | None = None
+    charged_entries: int = 0
+
+    def charge(self, entries: int = 1) -> None:
+        """Account for ``entries`` new label entries."""
+        self.charged_entries += entries
+        if self.limit_bytes is None:
+            return
+        modeled = self.charged_entries * BYTES_PER_ENTRY
+        if modeled > self.limit_bytes:
+            from repro.exceptions import OverMemoryError
+
+            raise OverMemoryError(
+                f"modeled index size {modeled} bytes exceeds the "
+                f"{self.limit_bytes}-byte budget",
+                modeled_bytes=modeled,
+                limit_bytes=self.limit_bytes,
+            )
+
+    @classmethod
+    def unlimited(cls) -> "MemoryBudget":
+        """A budget that never triggers."""
+        return cls(limit_bytes=None)
+
+    @classmethod
+    def from_megabytes(cls, megabytes: float) -> "MemoryBudget":
+        """Budget of ``megabytes`` × 10^6 bytes."""
+        return cls(limit_bytes=int(megabytes * 1e6))

@@ -1,0 +1,206 @@
+"""CD — the core-tree-decomposition labeling baseline ([3], [22]).
+
+CD uses the same core/forest split as CT-Index but stores **global**
+distances everywhere: every bag of the forest keeps the exact pairwise
+graph distances among its members, and the core keeps a full pairwise
+matrix.  That makes queries a simple upward dynamic program over the bag
+chain (``h_F`` hops), but costs ``O(n·m)`` index time (one BFS per node)
+and a quadratic core matrix — exactly the failure mode Table 1 and
+Exp 6 of the paper document.  It is implemented here as the faithful
+comparison baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graphs.graph import INF, Graph, Weight
+from repro.graphs.traversal import single_source_distances
+from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.treedec.core_tree import CoreTreeDecomposition, core_tree_decomposition
+
+
+class CDIndex(DistanceIndex):
+    """A built CD index."""
+
+    method_name = "CD"
+
+    def __init__(
+        self,
+        decomposition: CoreTreeDecomposition,
+        bag_distances: list[dict[tuple[int, int], Weight]],
+        core_distances: dict[tuple[int, int], Weight],
+    ) -> None:
+        self.decomposition = decomposition
+        #: bag_distances[pos]: exact graph distance for every member pair
+        #: (a, b) with a < b of the bag at ``pos``.
+        self.bag_distances = bag_distances
+        #: core_distances[(a, b)] with a < b: pairwise core distances.
+        self.core_distances = core_distances
+
+    @property
+    def graph(self) -> Graph:
+        return self.decomposition.graph
+
+    def size_entries(self) -> int:
+        bag_part = sum(len(pairs) for pairs in self.bag_distances)
+        return bag_part + len(self.core_distances)
+
+    def distance(self, s: int, t: int) -> Weight:
+        if s == t:
+            return 0
+        s_core = self.decomposition.is_core(s)
+        t_core = self.decomposition.is_core(t)
+        if s_core and t_core:
+            return self._core_pair(s, t)
+        if s_core:
+            s, t = t, s
+            s_core, t_core = t_core, s_core
+        if t_core:
+            chain = self._climb_to_root(s)
+            interface = self.decomposition.interface_of(s)
+            best: Weight = INF
+            for u in interface:
+                du = chain.get(u, INF)
+                total = du + self._core_pair(u, t)
+                if total < best:
+                    best = total
+            return best
+        pos_s = self.decomposition.position[s]
+        pos_t = self.decomposition.position[t]
+        assert pos_s is not None and pos_t is not None
+        if self.decomposition.same_tree(pos_s, pos_t):
+            meet = self.decomposition.lca(pos_s, pos_t)
+            map_s = self._climb(pos_s, stop=meet)
+            map_t = self._climb(pos_t, stop=meet)
+            best = INF
+            for u in self.decomposition.bag_members(meet):
+                total = map_s.get(u, INF) + map_t.get(u, INF)
+                if total < best:
+                    best = total
+            return best
+        map_s = self._climb_to_root(s)
+        map_t = self._climb_to_root(t)
+        interface_s = self.decomposition.interface_of(s)
+        interface_t = self.decomposition.interface_of(t)
+        best = INF
+        for u in interface_s:
+            du = map_s.get(u, INF)
+            if du == INF:
+                continue
+            for w in interface_t:
+                dw = map_t.get(w, INF)
+                if dw == INF:
+                    continue
+                total = du + self._core_pair(u, w) + dw
+                if total < best:
+                    best = total
+        return best
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _core_pair(self, a: int, b: int) -> Weight:
+        if a == b:
+            return 0
+        key = (a, b) if a < b else (b, a)
+        return self.core_distances.get(key, INF)
+
+    def _bag_pair(self, pos: int, a: int, b: int) -> Weight:
+        if a == b:
+            return 0
+        key = (a, b) if a < b else (b, a)
+        return self.bag_distances[pos].get(key, INF)
+
+    def _climb(self, pos: int, stop: int) -> dict[int, Weight]:
+        """DP up the bag chain from ``pos`` to bag ``stop`` inclusive.
+
+        Returns exact distances from the owner of bag ``pos`` to every
+        member of bag ``stop``; intermediate hops use each bag's stored
+        pairwise distances (the separator property keeps them exact).
+        """
+        node = self.decomposition.node_at(pos)
+        members = self.decomposition.bag_members(pos)
+        current = {u: self._bag_pair(pos, node, u) for u in members}
+        while pos != stop:
+            parent = self.decomposition.parent[pos]
+            assert parent is not None  # stop is an ancestor, so we cannot run out
+            parent_members = self.decomposition.bag_members(parent)
+            shared = [u for u in parent_members if u in current]
+            advanced: dict[int, Weight] = {}
+            for y in parent_members:
+                best: Weight = INF
+                for x in shared:
+                    total = current[x] + self._bag_pair(parent, x, y)
+                    if total < best:
+                        best = total
+                advanced[y] = best
+            current = advanced
+            pos = parent
+        return current
+
+    def _climb_to_root(self, s: int) -> dict[int, Weight]:
+        """Exact distances from forest node ``s`` to its root bag members."""
+        pos = self.decomposition.position[s]
+        assert pos is not None
+        root = self.decomposition.tree_of(s)
+        return self._climb(pos, stop=root)
+
+
+def build_cd(
+    graph: Graph,
+    bandwidth: int,
+    *,
+    budget: MemoryBudget | None = None,
+) -> CDIndex:
+    """Build the CD baseline at the given ``bandwidth``.
+
+    Runs one BFS/Dijkstra per graph node (the O(n·m) indexing cost the
+    paper attributes to this family), filling each bag's pairwise
+    distances and the core matrix.
+    """
+    started = time.perf_counter()
+    if budget is None:
+        budget = MemoryBudget.unlimited()
+    decomposition = core_tree_decomposition(graph, bandwidth)
+
+    # Occurrence lists: node -> positions of the bags containing it.
+    occurrences: dict[int, list[int]] = {}
+    for pos in range(decomposition.boundary):
+        for v in decomposition.bag_members(pos):
+            occurrences.setdefault(v, []).append(pos)
+
+    core_set = set(decomposition.core_nodes)
+    bag_distances: list[dict[tuple[int, int], Weight]] = [
+        {} for _ in range(decomposition.boundary)
+    ]
+    core_distances: dict[tuple[int, int], Weight] = {}
+
+    for v in graph.nodes():
+        v_occurrences = occurrences.get(v, [])
+        v_core = v in core_set
+        if not v_occurrences and not v_core:
+            continue
+        dist = single_source_distances(graph, v)
+        for pos in v_occurrences:
+            pairs = bag_distances[pos]
+            for u in decomposition.bag_members(pos):
+                if u <= v:
+                    continue
+                d = dist[u]
+                if d != INF:
+                    pairs[(v, u)] = d
+                    budget.charge()
+        if v_core:
+            for u in decomposition.core_nodes:
+                if u <= v:
+                    continue
+                d = dist[u]
+                if d != INF:
+                    core_distances[(v, u)] = d
+                    budget.charge()
+
+    index = CDIndex(decomposition, bag_distances, core_distances)
+    index.build_seconds = time.perf_counter() - started
+    return index

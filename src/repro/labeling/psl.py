@@ -1,0 +1,151 @@
+"""PSL — round-synchronous label propagation (Li et al., [17]).
+
+PSL removes PLL's sequential root-by-root dependency: labels are built
+*per distance level*.  Level 0 seeds every node with itself; at level
+``k`` each node collects, from its neighbors' level ``k-1`` labels, the
+hubs more important than itself, keeps the ones the current labels
+cannot already cover at distance <= k, and commits them all at once.
+On a parallel machine every node of a level is processed concurrently;
+this implementation executes the rounds sequentially but preserves the
+exact level-synchronous semantics (each round's pruning only consults
+labels of strictly earlier rounds), so label sets match the parallel
+algorithm's.
+
+PSL is defined on unweighted graphs (levels are hop counts).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import IndexConstructionError
+from repro.graphs.graph import INF, Graph, Weight
+from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.labeling.hub_labels import HubLabeling
+from repro.labeling.ordering import degree_order, validate_order
+
+
+class ParallelShortestPathLabeling(DistanceIndex):
+    """A built PSL index (same query machinery as PLL)."""
+
+    method_name = "PSL"
+
+    def __init__(
+        self, graph: Graph, labels: HubLabeling, order: list[int], rounds: int
+    ) -> None:
+        self.graph = graph
+        self.labels = labels
+        self.order = order
+        #: Number of propagation rounds executed (== diameter bound + 1).
+        self.rounds = rounds
+
+    def distance(self, s: int, t: int) -> Weight:
+        return self.labels.query(s, t)
+
+    def size_entries(self) -> int:
+        return self.labels.total_entries()
+
+    def max_label_size(self) -> int:
+        return self.labels.max_label_size()
+
+
+def build_psl(
+    graph: Graph,
+    order: list[int] | None = None,
+    *,
+    budget: MemoryBudget | None = None,
+    budget_exempt: frozenset[int] | None = None,
+) -> ParallelShortestPathLabeling:
+    """Build a PSL index on an unweighted ``graph``.
+
+    ``budget_exempt`` nodes' label entries do not count against the
+    budget (see :func:`repro.labeling.pll.build_pll`).
+    """
+    if not graph.unweighted:
+        raise IndexConstructionError(
+            "PSL propagates labels by hop level and needs an unweighted graph; "
+            "use PLL (pruned Dijkstra) for weighted graphs"
+        )
+    started = time.perf_counter()
+    if order is None:
+        order = degree_order(graph)
+    else:
+        validate_order(graph, order)
+    if budget is None:
+        budget = MemoryBudget.unlimited()
+    if budget_exempt is None:
+        budget_exempt = frozenset()
+
+    rank = [0] * graph.n
+    for r, v in enumerate(order):
+        rank[v] = r
+
+    # label_maps[v]: rank -> dist, the committed labels of v.
+    label_maps: list[dict[int, int]] = [{rank[v]: 0} for v in graph.nodes()]
+    for v in graph.nodes():
+        if v not in budget_exempt:
+            budget.charge()
+    # Hubs committed in the previous round, per node.
+    last_added: list[list[int]] = [[rank[v]] for v in graph.nodes()]
+
+    level = 0
+    while True:
+        level += 1
+        # Phase 1 (parallel-for over nodes): gather candidate hubs from
+        # neighbors' previous-round labels and prune against the labels
+        # committed so far (levels < current).
+        additions: list[list[int]] = [[] for _ in graph.nodes()]
+        any_added = False
+        for v in graph.nodes():
+            own_rank = rank[v]
+            own_map = label_maps[v]
+            candidates: set[int] = set()
+            for u in graph.neighbor_ids(v):
+                for hub_rank in last_added[u]:
+                    if hub_rank < own_rank:
+                        candidates.add(hub_rank)
+            if not candidates:
+                continue
+            accepted: list[int] = []
+            for hub_rank in candidates:
+                if hub_rank in own_map:
+                    continue  # already covered at a smaller level
+                hub_map = label_maps[order[hub_rank]]
+                if _map_query(own_map, hub_map) <= level:
+                    continue  # pruned: existing 2-hop cover is as short
+                accepted.append(hub_rank)
+            if accepted:
+                additions[v] = accepted
+                any_added = True
+        if not any_added:
+            break
+        # Phase 2 (synchronous commit): apply every node's additions.
+        for v in graph.nodes():
+            accepted = additions[v]
+            last_added[v] = accepted
+            if accepted:
+                own_map = label_maps[v]
+                for hub_rank in accepted:
+                    own_map[hub_rank] = level
+                if v not in budget_exempt:
+                    budget.charge(len(accepted))
+
+    labels = HubLabeling(order)
+    for v in graph.nodes():
+        for hub_rank in sorted(label_maps[v]):
+            labels.append_entry(v, hub_rank, label_maps[v][hub_rank])
+    index = ParallelShortestPathLabeling(graph, labels, order, rounds=level)
+    index.build_seconds = time.perf_counter() - started
+    return index
+
+
+def _map_query(map_a: dict[int, int], map_b: dict[int, int]) -> Weight:
+    """2-hop query over two ``rank -> dist`` dicts."""
+    if len(map_a) > len(map_b):
+        map_a, map_b = map_b, map_a
+    best: Weight = INF
+    for hub_rank, da in map_a.items():
+        db = map_b.get(hub_rank)
+        if db is not None and da + db < best:
+            best = da + db
+    return best

@@ -1,0 +1,108 @@
+"""Shortest-*path* reconstruction on top of any exact distance index.
+
+The paper's indexes answer distances only; applications frequently need
+the path itself.  Any exact oracle supports greedy next-hop expansion:
+from ``s``, some neighbor ``u`` satisfies
+``w(s, u) + dist(u, t) == dist(s, t)`` (the first edge of a shortest
+path), so walking that recurrence materializes a shortest path with
+``O(path length × max degree)`` oracle queries — no extra index state.
+
+This module provides that walker plus convenience batch helpers shared
+by the examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import QueryError
+from repro.graphs.graph import INF, Graph, Weight
+from repro.labeling.base import DistanceIndex
+
+
+def shortest_path(index: DistanceIndex, graph: Graph, s: int, t: int) -> list[int] | None:
+    """A shortest ``s``-``t`` path as a node list, or ``None`` if unreachable.
+
+    ``graph`` must be the graph ``index`` was built over (same node ids
+    and weights); the result includes both endpoints and its edge-length
+    sum equals ``index.distance(s, t)``.
+    """
+    total = index.distance(s, t)
+    if total == INF:
+        return None
+    path = [s]
+    current = s
+    remaining: Weight = total
+    # The remaining distance strictly decreases every hop, so the walk
+    # terminates; the guard catches indexes that are not exact.
+    guard = graph.n + 1
+    while current != t:
+        guard -= 1
+        if guard < 0:
+            raise QueryError(
+                "path reconstruction did not converge; "
+                "is the index exact and built over this graph?"
+            )
+        next_hop = _next_hop(index, graph, current, t, remaining)
+        if next_hop is None:
+            raise QueryError(
+                f"no neighbor of {current} continues a shortest path to {t}; "
+                "index and graph disagree"
+            )
+        hop_weight = graph.edge_weight(current, next_hop)
+        remaining = remaining - hop_weight
+        current = next_hop
+        path.append(current)
+    return path
+
+
+def path_length(graph: Graph, path: list[int]) -> Weight:
+    """Sum of edge weights along ``path`` (0 for single-node paths)."""
+    return sum(graph.edge_weight(u, v) for u, v in zip(path, path[1:]))
+
+
+def is_shortest_path(index: DistanceIndex, graph: Graph, path: list[int]) -> bool:
+    """True when ``path`` is a valid path whose length equals the distance."""
+    if not path:
+        return False
+    for u, v in zip(path, path[1:]):
+        if not graph.has_edge(u, v):
+            return False
+    return path_length(graph, path) == index.distance(path[0], path[-1])
+
+
+def distance_many(
+    index: DistanceIndex, pairs: Iterable[tuple[int, int]]
+) -> list[Weight]:
+    """Answer a batch of ``(s, t)`` queries."""
+    distance = index.distance
+    return [distance(s, t) for s, t in pairs]
+
+
+def eccentricity_lower_bound(
+    index: DistanceIndex, graph: Graph, source: int, samples: Iterable[int]
+) -> Weight:
+    """Largest finite distance from ``source`` to the sampled targets.
+
+    A cheap index-powered lower bound on the eccentricity, useful for
+    diameter estimation over huge graphs where full sweeps are too slow.
+    """
+    best: Weight = 0
+    for target in samples:
+        d = index.distance(source, target)
+        if d != INF and d > best:
+            best = d
+    return best
+
+
+def _next_hop(
+    index: DistanceIndex, graph: Graph, current: int, target: int, remaining: Weight
+) -> int | None:
+    """A neighbor on a shortest path from ``current`` to ``target``."""
+    if graph.has_edge(current, target):
+        if graph.edge_weight(current, target) == remaining:
+            return target
+    for u, w in graph.neighbors(current):
+        if w <= remaining and w + index.distance(u, target) == remaining:
+            return u
+    return None

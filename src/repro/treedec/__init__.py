@@ -1,0 +1,35 @@
+"""Tree decomposition machinery: MDE, core-tree decomposition, LCA."""
+
+from repro.treedec.core_tree import CoreTreeDecomposition, core_tree_decomposition
+from repro.treedec.decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination,
+    mde_tree_decomposition,
+    mde_treewidth,
+)
+from repro.treedec.elimination import (
+    EliminationResult,
+    EliminationStep,
+    elimination_width_profile,
+    minimum_degree_elimination,
+)
+from repro.treedec.lca import ForestLCA, naive_lca
+from repro.treedec.treewidth import TreewidthBounds, mmd_plus_lower_bound, treewidth_bounds
+
+__all__ = [
+    "CoreTreeDecomposition",
+    "EliminationResult",
+    "EliminationStep",
+    "ForestLCA",
+    "TreeDecomposition",
+    "TreewidthBounds",
+    "core_tree_decomposition",
+    "decomposition_from_elimination",
+    "elimination_width_profile",
+    "mde_tree_decomposition",
+    "mde_treewidth",
+    "minimum_degree_elimination",
+    "mmd_plus_lower_bound",
+    "naive_lca",
+    "treewidth_bounds",
+]

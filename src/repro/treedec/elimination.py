@@ -1,0 +1,230 @@
+"""Weighted Minimum Degree Elimination (MDE) — Algorithm 1, lines 1-17.
+
+MDE repeatedly removes the node with the smallest degree from a working
+graph and re-inserts the clique of its neighbors.  Following the paper's
+adapted MDE, every clique edge ``(u, w)`` created while eliminating ``v``
+carries the weight ``δ⁻(u) + δ⁻(w)`` — the length of the wedge through
+``v`` — and an existing edge keeps the smaller of its old and new weight.
+By Lemma 14, the weight ``δ⁻_i(u)`` recorded when edge ``(v_i, u)`` is
+deleted equals the ``(i-1)``-local distance between ``v_i`` and ``u``;
+that is what makes both the tree-index and the weighted core graph
+``G_{λ+1}`` exact.
+
+Two termination modes:
+
+* ``bandwidth=None`` — run to completion (full MDE tree decomposition,
+  used by H2H and treewidth estimation);
+* ``bandwidth=d`` — stop as soon as the minimum degree *exceeds* ``d``
+  (Section 4.3: the eliminated bags have at most ``d + 1`` nodes, so
+  every interface has at most ``d`` nodes — the paper's Example 5);
+  the remaining nodes are the core ``B_c``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+from repro.exceptions import DecompositionError
+from repro.graphs.graph import Graph, Weight
+
+
+@dataclasses.dataclass
+class EliminationStep:
+    """One round of MDE: the eliminated node and its transient neighborhood.
+
+    Attributes
+    ----------
+    node:
+        The eliminated node ``v_i``.
+    neighbors:
+        ``N_i`` — the neighbors of ``v_i`` in the working graph right
+        before its removal, sorted ascending by node id.  The bag
+        ``B_i = {v_i} ∪ N_i``.
+    local_distance:
+        ``δ⁻_i(u)`` for each ``u ∈ N_i``: the weight of edge ``(v_i, u)``
+        at deletion time, i.e. the ``(i-1)``-local distance (Lemma 14).
+    """
+
+    node: int
+    neighbors: tuple[int, ...]
+    local_distance: dict[int, Weight]
+
+    @property
+    def bag_size(self) -> int:
+        """``|B_i| = |N_i| + 1``."""
+        return len(self.neighbors) + 1
+
+
+@dataclasses.dataclass
+class EliminationResult:
+    """Everything the MDE run produced.
+
+    Attributes
+    ----------
+    graph:
+        The input graph.
+    steps:
+        One :class:`EliminationStep` per eliminated node, in elimination
+        order (``steps[i]`` describes ``v_{i+1}`` in paper numbering).
+    position:
+        ``position[v]`` is the 0-based elimination position of node ``v``,
+        or ``None`` when ``v`` survived into the core.
+    core_nodes:
+        Sorted node ids of the core ``B_c`` (empty for a full run).
+    core_adjacency:
+        Adjacency of the reduced weighted graph ``G_{λ+1}`` on the core
+        nodes: ``core_adjacency[v]`` maps each core neighbor to the
+        λ-local distance edge weight.  Empty dict for a full run.
+    bandwidth:
+        The ``d`` the run was stopped with (``None`` = run to completion).
+    """
+
+    graph: Graph
+    steps: list[EliminationStep]
+    position: list[int | None]
+    core_nodes: list[int]
+    core_adjacency: dict[int, dict[int, Weight]]
+    bandwidth: int | None
+
+    @property
+    def boundary(self) -> int:
+        """λ — the number of eliminated nodes."""
+        return len(self.steps)
+
+    @property
+    def width(self) -> int:
+        """Largest ``|N_i|`` over the eliminated prefix (0 when empty).
+
+        For a full run this is the MDE-based treewidth of the graph.
+        """
+        return max((len(step.neighbors) for step in self.steps), default=0)
+
+    def eliminated_order(self) -> list[int]:
+        """Node ids in elimination order ``v_1, v_2, ...``."""
+        return [step.node for step in self.steps]
+
+    def is_core(self, v: int) -> bool:
+        """True when node ``v`` survived into the core."""
+        return self.position[v] is None
+
+    def rank(self, v: int) -> int:
+        """Total order aligned with elimination: eliminated nodes get their
+        position, core nodes get positions after every eliminated node."""
+        pos = self.position[v]
+        if pos is not None:
+            return pos
+        return self.boundary + self._core_rank[v]
+
+    def __post_init__(self) -> None:
+        self._core_rank = {v: i for i, v in enumerate(self.core_nodes)}
+
+    def core_graph(self) -> tuple[Graph, list[int]]:
+        """Compact ``G_{λ+1}`` into a :class:`Graph`.
+
+        Returns ``(graph, originals)``: core node ``i`` of the compact
+        graph corresponds to original node ``originals[i]``.
+        """
+        originals = self.core_nodes
+        compact = {v: i for i, v in enumerate(originals)}
+        adjacency: list[list[tuple[int, Weight]]] = [[] for _ in originals]
+        unweighted = True
+        for v in originals:
+            row = adjacency[compact[v]]
+            for u, w in self.core_adjacency[v].items():
+                row.append((compact[u], w))
+                if w != 1:
+                    unweighted = False
+        return Graph(len(originals), adjacency, unweighted=unweighted), list(originals)
+
+
+def minimum_degree_elimination(
+    graph: Graph,
+    bandwidth: int | None = None,
+    *,
+    max_steps: int | None = None,
+) -> EliminationResult:
+    """Run (weighted, adapted) MDE on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; edge weights seed the local distances.
+    bandwidth:
+        Stop once the minimum working degree exceeds this value (the
+        paper's ``d``).  ``None`` runs to completion; ``0`` eliminates
+        only degree-0 nodes (the whole graph is the core, CT-0 = PLL).
+    max_steps:
+        Optional hard cap on eliminations, for incremental callers.
+    """
+    if bandwidth is not None and bandwidth < 0:
+        raise DecompositionError(f"bandwidth must be non-negative, got {bandwidth}")
+
+    # Dynamic working graph: adjacency[v] is None once v is eliminated.
+    adjacency: list[dict[int, Weight] | None] = [
+        dict(graph.neighbors(v)) for v in graph.nodes()
+    ]
+    heap: list[tuple[int, int]] = [(len(adjacency[v] or {}), v) for v in graph.nodes()]
+    heapq.heapify(heap)
+
+    steps: list[EliminationStep] = []
+    position: list[int | None] = [None] * graph.n
+    step_cap = max_steps if max_steps is not None else graph.n
+
+    while heap and len(steps) < step_cap:
+        degree, v = heapq.heappop(heap)
+        row = adjacency[v]
+        if row is None or degree != len(row):
+            continue  # stale heap entry
+        if bandwidth is not None and degree > bandwidth:
+            # Paper semantics (Section 4.3 / Example 5): the eliminated
+            # bags have at most d+1 nodes (|N_i| <= d), and elimination
+            # stops at the first bag that would exceed that — so every
+            # tree interface has at most d nodes.
+            break
+        neighbors = tuple(sorted(row))
+        local_distance = dict(row)
+        position[v] = len(steps)
+        steps.append(EliminationStep(node=v, neighbors=neighbors, local_distance=local_distance))
+
+        # Remove v and re-insert the weighted clique over its neighbors.
+        adjacency[v] = None
+        for u in neighbors:
+            row_u = adjacency[u]
+            assert row_u is not None  # neighbors of a live node are live
+            del row_u[v]
+        for a_index, u in enumerate(neighbors):
+            row_u = adjacency[u]
+            du = local_distance[u]
+            for w in neighbors[a_index + 1 :]:
+                wedge = du + local_distance[w]
+                row_w = adjacency[w]
+                old = row_u.get(w)
+                if old is None or wedge < old:
+                    row_u[w] = wedge
+                    row_w[u] = wedge
+        for u in neighbors:
+            heapq.heappush(heap, (len(adjacency[u]), u))
+
+    core_nodes = sorted(v for v in graph.nodes() if position[v] is None)
+    core_adjacency = {v: dict(adjacency[v] or {}) for v in core_nodes}
+    return EliminationResult(
+        graph=graph,
+        steps=steps,
+        position=position,
+        core_nodes=core_nodes,
+        core_adjacency=core_adjacency,
+        bandwidth=bandwidth,
+    )
+
+
+def elimination_width_profile(graph: Graph) -> list[int]:
+    """``|N_i|`` per elimination round of a full MDE run.
+
+    The profile is the shape that decides how the CT-Index trade-off
+    behaves: the boundary λ for bandwidth ``d`` is the first position
+    where the *residual minimum degree* reaches ``d``, i.e. where this
+    profile first touches ``d``.
+    """
+    result = minimum_degree_elimination(graph, bandwidth=None)
+    return [len(step.neighbors) for step in result.steps]

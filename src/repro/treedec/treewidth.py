@@ -1,0 +1,86 @@
+"""Treewidth bounds.
+
+Computing treewidth exactly is NP-complete ([4] in the paper), so the
+library works with bounds:
+
+* **upper bound** — the MDE-based treewidth (width of the heuristic
+  decomposition, :func:`repro.treedec.decomposition.mde_treewidth`);
+* **lower bounds** — degeneracy, and the stronger MMD+ (maximum minimum
+  degree with least-degree-neighbour contraction) heuristic implemented
+  here.
+
+The gap between the bounds brackets ``tw(G)``, the quantity Theorem 1
+ties to the 2-hop complexity ``h(G)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+from repro.graphs.graph import Graph
+
+
+@dataclasses.dataclass(frozen=True)
+class TreewidthBounds:
+    """A bracket ``lower <= tw(G) <= upper``."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(f"invalid bracket [{self.lower}, {self.upper}]")
+
+
+def mmd_plus_lower_bound(graph: Graph) -> int:
+    """MMD+ treewidth lower bound (Bodlaender–Koster family).
+
+    Repeatedly record the minimum degree, then *contract* the minimum-
+    degree node into its least-degree neighbour (contraction preserves a
+    minor, and treewidth is minor-monotone, so the running maximum of
+    the minimum degrees lower-bounds tw(G)).
+    """
+    adjacency: list[set[int] | None] = [set(graph.neighbor_ids(v)) for v in graph.nodes()]
+    heap = [(len(adjacency[v] or ()), v) for v in graph.nodes()]
+    heapq.heapify(heap)
+    best = 0
+    alive = graph.n
+    while alive > 1:
+        degree, v = heapq.heappop(heap)
+        row = adjacency[v]
+        if row is None or degree != len(row):
+            continue
+        best = max(best, degree)
+        if not row:
+            adjacency[v] = None
+            alive -= 1
+            continue
+        # Contract v into its least-degree neighbour.
+        target = min(row, key=lambda u: len(adjacency[u] or ()))
+        target_row = adjacency[target]
+        assert target_row is not None
+        for u in row:
+            if u == target:
+                continue
+            u_row = adjacency[u]
+            assert u_row is not None
+            u_row.discard(v)
+            u_row.add(target)
+            target_row.add(u)
+            heapq.heappush(heap, (len(u_row), u))
+        target_row.discard(v)
+        adjacency[v] = None
+        alive -= 1
+        heapq.heappush(heap, (len(target_row), target))
+    return best
+
+
+def treewidth_bounds(graph: Graph) -> TreewidthBounds:
+    """Bracket ``tw(G)`` between MMD+/degeneracy and the MDE width."""
+    from repro.graphs.statistics import degeneracy
+    from repro.treedec.decomposition import mde_treewidth
+
+    lower = max(mmd_plus_lower_bound(graph), degeneracy(graph))
+    upper = max(lower, mde_treewidth(graph))
+    return TreewidthBounds(lower=lower, upper=upper)

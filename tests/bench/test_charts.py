@@ -1,0 +1,56 @@
+"""Unit tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+from repro.bench.charts import horizontal_bar_chart
+
+
+class TestBarChart:
+    ROWS = [
+        {"dataset": "a", "X": "1.0", "Y": "10.0"},
+        {"dataset": "b", "X": "100.0", "Y": "OM"},
+    ]
+
+    def test_renders_bars(self):
+        text = horizontal_bar_chart(self.ROWS, label="dataset", series=["X", "Y"])
+        assert "#" in text
+        assert "OM" in text
+
+    def test_log_scale_lengths(self):
+        text = horizontal_bar_chart(
+            self.ROWS, label="dataset", series=["X", "Y"], width=21, log_scale=True
+        )
+        lines = [line for line in text.splitlines() if "#" in line]
+        lengths = sorted(line.count("#") for line in lines)
+        # Values 1, 10, 100 on a log axis: min bar, midpoint, full width.
+        assert lengths[0] == 1
+        assert lengths[-1] == 21
+        assert 8 <= lengths[1] <= 14
+
+    def test_title_and_scale_note(self):
+        text = horizontal_bar_chart(
+            self.ROWS, label="dataset", series=["X"], title="My Figure"
+        )
+        assert text.startswith("My Figure")
+        assert "log scale" in text
+
+    def test_linear_scale(self):
+        text = horizontal_bar_chart(
+            self.ROWS, label="dataset", series=["X"], log_scale=False
+        )
+        assert "linear scale" in text
+
+    def test_all_missing(self):
+        rows = [{"dataset": "a", "X": "OM"}]
+        assert horizontal_bar_chart(rows, label="dataset", series=["X"], title="T") == "T\n"
+
+    def test_equal_values(self):
+        rows = [{"dataset": "a", "X": "5"}, {"dataset": "b", "X": "5"}]
+        text = horizontal_bar_chart(rows, label="dataset", series=["X"], width=10)
+        lines = [line for line in text.splitlines() if "#" in line]
+        assert all(line.count("#") == 10 for line in lines)
+
+    def test_group_shown_once(self):
+        text = horizontal_bar_chart(self.ROWS, label="dataset", series=["X", "Y"])
+        # Group label appears on the first series row only.
+        assert text.count("a  X") == 1

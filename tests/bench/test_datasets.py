@@ -1,0 +1,60 @@
+"""Unit tests for the dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import (
+    EXP4_DATASETS,
+    EXP6_DATASETS,
+    EXP7_DATASETS,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+from repro.exceptions import GraphError
+from repro.graphs.traversal import is_connected
+
+
+class TestRegistry:
+    def test_fifteen_entries(self):
+        assert len(dataset_names()) == 15
+
+    def test_ordering_smallest_first(self):
+        names = dataset_names()
+        assert names[0] == "talk"
+        assert names[-1] == "uk07"
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphError):
+            dataset_spec("imaginary")
+
+    def test_experiment_subsets_exist(self):
+        names = set(dataset_names())
+        assert set(EXP4_DATASETS) <= names
+        assert set(EXP6_DATASETS) <= names
+        assert set(EXP7_DATASETS) <= names
+
+    def test_specs_carry_paper_scale(self):
+        spec = dataset_spec("uk07")
+        assert spec.paper_edges > 5e9
+        assert spec.kind == "web"
+
+
+class TestLoading:
+    def test_load_is_cached(self):
+        assert load_dataset("talk") is load_dataset("talk")
+
+    def test_deterministic_shape(self):
+        g = load_dataset("talk")
+        assert g.n == 1344
+        assert g.m == 14137
+
+    @pytest.mark.parametrize("name", ["talk", "dblp", "epin"])
+    def test_small_datasets_connected(self, name):
+        assert is_connected(load_dataset(name))
+
+    def test_sizes_grow_along_registry(self):
+        names = dataset_names()
+        sizes = [load_dataset(n).n for n in (names[0], names[7], names[-1])]
+        assert sizes[0] < sizes[1] < sizes[2]

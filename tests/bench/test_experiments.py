@@ -1,0 +1,98 @@
+"""Smoke tests for the experiment drivers on minimal inputs.
+
+The full-size versions run under ``benchmarks/``; these cover driver
+plumbing (row schemas, OM propagation, catalog dispatch) quickly inside
+the unit suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentCatalog,
+    ablation_ct_core_order,
+    exp1_index_size,
+    exp4_bandwidth_effect,
+    exp7_bandwidth_search,
+    lemma3_lower_bound,
+    run_experiment,
+    table1_complexity,
+)
+
+
+class TestDrivers:
+    def test_exp1_subset(self):
+        rows, text = exp1_index_size(datasets=("talk",))
+        assert len(rows) == 1
+        assert rows[0]["dataset"] == "talk"
+        assert "CT-100" in rows[0]
+        assert "Exp 1" in text
+
+    def test_exp4_subset(self):
+        rows, text = exp4_bandwidth_effect(datasets=("talk",), bandwidths=(0, 5))
+        assert len(rows) == 2
+        assert {r["d"] for r in rows} == {0, 5}
+        assert "size_mb" in rows[0]
+
+    def test_exp7_subset(self):
+        rows, _ = exp7_bandwidth_search(datasets=("talk",), memory_limits_mb=(0.3, 5.0))
+        assert len(rows) == 2
+        tight, generous = rows
+        assert int(str(generous["chosen_d"])) <= int(str(tight["chosen_d"]))
+
+    def test_exp5_subset(self):
+        from repro.bench.experiments import exp5_scalability
+
+        rows, _ = exp5_scalability(
+            datasets=("talk",), fractions=(0.3, 1.0), methods=("CT-20",)
+        )
+        assert len(rows) == 2
+        small, full = rows
+        assert int(str(small["n"])) < int(str(full["n"]))
+        assert float(str(small["size_mb"])) <= float(str(full["size_mb"]))
+
+    def test_exp6_subset(self):
+        from repro.bench.experiments import exp6_cd_comparison
+
+        rows, _ = exp6_cd_comparison(datasets=("talk",), bandwidth=50)
+        methods = {str(r["method"]) for r in rows if r["dataset"] == "talk"}
+        assert methods == {"CD-50", "CT-50"}
+
+    def test_structure_profile_subset(self):
+        from repro.bench.experiments import structure_profile
+
+        rows, _ = structure_profile(datasets=("talk",), bandwidths=(0, 5))
+        assert len(rows) == 2
+        assert int(str(rows[1]["lambda"])) > 0
+
+    def test_directed_extension_small(self):
+        from repro.bench.experiments import directed_extension
+
+        rows, _ = directed_extension(seed=1, bandwidths=(2,))
+        assert any(str(r["method"]).startswith("directed CT") for r in rows)
+
+    def test_table1_small(self):
+        rows, _ = table1_complexity(scales=(0.08,), bandwidth=10)
+        methods = {str(r["method"]) for r in rows}
+        assert methods == {"H2H", "CD-10", "CT-10"}
+
+    def test_lemma3_small(self):
+        rows, _ = lemma3_lower_bound(k_values=(3,), d_values=(6,))
+        assert len(rows) == 1
+        assert float(str(rows[0]["entries_per_nd"])) > 0
+
+    def test_ablation_ct_core_order(self):
+        rows, _ = ablation_ct_core_order(dataset="talk", bandwidth=10)
+        assert {str(r["core_order"]) for r in rows} == {"degree", "elimination"}
+
+
+class TestCatalog:
+    def test_catalog_names(self):
+        drivers = ExperimentCatalog.drivers
+        for name in ("exp1", "exp4", "exp7", "table1", "lemma3"):
+            assert name in drivers
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("exp42")

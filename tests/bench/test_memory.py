@@ -1,0 +1,43 @@
+"""Unit tests for actual-memory measurement."""
+
+from __future__ import annotations
+
+from repro.bench.memory import deep_size_of, memory_report
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.labeling.pll import build_pll
+
+
+class TestDeepSizeOf:
+    def test_containers(self):
+        assert deep_size_of([1, 2, 3]) > deep_size_of([])
+        assert deep_size_of({"a": [1, 2]}) > deep_size_of({})
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(100))
+        assert deep_size_of([shared, shared]) < 2 * deep_size_of([shared])
+
+    def test_slots_objects(self):
+        g = gnp_graph(20, 0.2, seed=1)  # Graph uses __slots__
+        assert deep_size_of(g) > 1000
+
+    def test_grows_with_index_size(self):
+        small = build_pll(gnp_graph(15, 0.2, seed=2))
+        large = build_pll(gnp_graph(60, 0.2, seed=2))
+        assert deep_size_of(large) > deep_size_of(small)
+
+
+class TestMemoryReport:
+    def test_report_fields(self):
+        g = gnp_graph(40, 0.15, seed=3)
+        report = memory_report(CTIndex.build(g, 3))
+        assert report["modeled_mb"] > 0
+        assert report["actual_python_mb"] > report["modeled_mb"]
+        assert report["overhead_factor"] > 1
+
+    def test_documents_python_overhead(self):
+        # The rationale of the modeled-bytes accounting: CPython's boxed
+        # representation costs several times the C layout.
+        g = gnp_graph(50, 0.15, seed=4)
+        report = memory_report(build_pll(g))
+        assert report["overhead_factor"] >= 2

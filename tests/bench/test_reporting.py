@@ -1,0 +1,56 @@
+"""Unit tests for table rendering."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table, pivot
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "222" in lines[3]
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        assert format_table([]) == ""
+        assert format_table([], title="T") == "T\n"
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, ["a", "b"])
+        assert "3" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.000012}, {"x": 1.5}])
+        assert "1.20e-05" in text
+        assert "1.500" in text
+
+    def test_explicit_columns_order(self):
+        text = format_table([{"b": 1, "a": 2}], columns=["a", "b"])
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+
+class TestPivot:
+    def test_pivot_long_to_wide(self):
+        rows = [
+            {"dataset": "x", "method": "A", "size": 1},
+            {"dataset": "x", "method": "B", "size": 2},
+            {"dataset": "y", "method": "A", "size": 3},
+        ]
+        wide = pivot(rows, "dataset", "method", "size")
+        assert wide == [{"dataset": "x", "A": 1, "B": 2}, {"dataset": "y", "A": 3}]
+
+    def test_pivot_preserves_row_order(self):
+        rows = [
+            {"k": "second", "c": "m", "v": 1},
+            {"k": "first", "c": "m", "v": 2},
+        ]
+        wide = pivot(rows, "k", "c", "v")
+        assert [r["k"] for r in wide] == ["second", "first"]

@@ -1,0 +1,74 @@
+"""Unit tests for the bench runner (method dispatch, OM handling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import MethodResult, build_method, measure_query_seconds, run_method
+from repro.bench.workloads import random_pairs
+from repro.exceptions import OverMemoryError, ReproError
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.traversal import all_pairs_distances
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(40, 0.12, seed=17)
+
+
+class TestBuildMethod:
+    @pytest.mark.parametrize(
+        "method",
+        ["PLL", "PSL", "PSL+", "PSL*", "PSL+ (CT-0)", "CT-0", "CT-5", "CD-3", "H2H"],
+    )
+    def test_dispatch_builds_exact_index(self, graph, method):
+        index = build_method(method, graph)
+        truth = all_pairs_distances(graph)
+        for s in range(0, graph.n, 7):
+            for t in range(0, graph.n, 5):
+                assert index.distance(s, t) == truth[s][t], (method, s, t)
+
+    def test_unknown_method(self, graph):
+        with pytest.raises(ReproError):
+            build_method("Dijkstra", graph)
+
+    def test_budget_propagates(self, graph):
+        with pytest.raises(OverMemoryError):
+            build_method("PLL", graph, limit_mb=0.0001)
+
+
+class TestRunMethod:
+    def test_ok_result(self, graph):
+        workload = random_pairs(graph, 50, seed=1)
+        result = run_method("toy", graph, "CT-5", workload, limit_mb=None)
+        assert result.ok
+        assert result.entries > 0
+        assert result.size_mb > 0
+        assert result.query_seconds > 0
+        assert result.cell("size") != "OM"
+
+    def test_om_result(self, graph):
+        workload = random_pairs(graph, 10, seed=2)
+        result = run_method("toy", graph, "PLL", workload, limit_mb=0.0001)
+        assert not result.ok
+        assert result.cell("size") == "OM"
+        assert result.cell("query") == "OM"
+        assert "modeled_bytes_at_abort" in result.extra
+
+    def test_cell_unknown_metric(self):
+        result = MethodResult(dataset="d", method="m", status="ok")
+        with pytest.raises(ReproError):
+            result.cell("altitude")
+
+
+class TestMeasure:
+    def test_empty_workload(self, graph):
+        index = build_method("CT-3", graph)
+        from repro.bench.workloads import QueryWorkload
+
+        assert measure_query_seconds(index, QueryWorkload("empty", ())) == 0.0
+
+    def test_positive_time(self, graph):
+        index = build_method("CT-3", graph)
+        workload = random_pairs(graph, 100, seed=3)
+        assert measure_query_seconds(index, workload) > 0

@@ -1,0 +1,68 @@
+"""Unit tests for workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    distinct_random_pairs,
+    node_fractions,
+    random_pairs,
+    stratified_pairs,
+)
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.graph import Graph
+
+
+class TestRandomPairs:
+    def test_count_and_range(self):
+        g = gnp_graph(20, 0.2, seed=1)
+        workload = random_pairs(g, 100, seed=2)
+        assert len(workload) == 100
+        assert all(0 <= s < 20 and 0 <= t < 20 for s, t in workload.pairs)
+
+    def test_deterministic(self):
+        g = gnp_graph(20, 0.2, seed=1)
+        assert random_pairs(g, 50, seed=3).pairs == random_pairs(g, 50, seed=3).pairs
+        assert random_pairs(g, 50, seed=3).pairs != random_pairs(g, 50, seed=4).pairs
+
+    def test_distinct_pairs(self):
+        g = gnp_graph(10, 0.3, seed=1)
+        workload = distinct_random_pairs(g, 80, seed=5)
+        assert all(s != t for s, t in workload.pairs)
+
+    def test_distinct_pairs_tiny_graph(self):
+        assert distinct_random_pairs(Graph.empty(1), 10, seed=1).pairs == ()
+
+
+class TestStratified:
+    def test_groups_respected(self):
+        g = gnp_graph(20, 0.2, seed=1)
+        workload = stratified_pairs(g, [0, 1, 2], [10, 11], 50, seed=6)
+        assert all(s in (0, 1, 2) and t in (10, 11) for s, t in workload.pairs)
+
+    def test_empty_group(self):
+        g = gnp_graph(5, 0.5, seed=1)
+        assert stratified_pairs(g, [], [1], 10, seed=1).pairs == ()
+
+
+class TestNodeFractions:
+    def test_cumulative_prefixes(self):
+        g = gnp_graph(100, 0.05, seed=1)
+        groups = node_fractions(g, [0.2, 0.4, 1.0], seed=7)
+        assert len(groups[0]) == 20
+        assert len(groups[1]) == 40
+        assert len(groups[2]) == 100
+        assert set(groups[0]) <= set(groups[1]) <= set(groups[2])
+
+    def test_sorted_output(self):
+        g = gnp_graph(30, 0.1, seed=1)
+        groups = node_fractions(g, [0.5], seed=8)
+        assert groups[0] == sorted(groups[0])
+
+    def test_bad_fraction(self):
+        g = gnp_graph(10, 0.1, seed=1)
+        with pytest.raises(ValueError):
+            node_fractions(g, [1.5], seed=9)
+        with pytest.raises(ValueError):
+            node_fractions(g, [0.0], seed=9)

@@ -1,0 +1,117 @@
+"""End-to-end tests of the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph = gnp_graph(40, 0.15, seed=23)
+    path = tmp_path / "graph.edges"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestStats:
+    def test_stats(self, edge_file, capsys):
+        assert main(["stats", str(edge_file)]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.edges")])
+        assert code != 0 or "error" in capsys.readouterr().err
+
+
+class TestBuildAndQuery:
+    def test_build_query_roundtrip(self, edge_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.json"
+        assert main(["build", str(edge_file), "-d", "3", "-o", str(index_path)]) == 0
+        assert index_path.exists()
+        assert main(["query", str(index_path), "0", "1", "2", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "dist(0, 1)" in out
+        assert "dist(2, 5)" in out
+
+    def test_query_odd_node_count(self, edge_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.json"
+        main(["build", str(edge_file), "-d", "2", "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["query", str(index_path), "0", "1", "2"]) == 2
+
+    def test_build_with_memory_limit_om(self, edge_file, tmp_path, capsys):
+        code = main(
+            [
+                "build",
+                str(edge_file),
+                "-d",
+                "0",
+                "-o",
+                str(tmp_path / "i.json"),
+                "--memory-mb",
+                "0.0001",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_path_command(self, edge_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.json"
+        main(["build", str(edge_file), "-d", "3", "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["path", str(index_path), "0", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out or "cannot reach" in out
+
+    def test_no_reduction_flag(self, edge_file, tmp_path):
+        index_path = tmp_path / "idx.json"
+        assert (
+            main(["build", str(edge_file), "-d", "2", "--no-reduction", "-o", str(index_path)])
+            == 0
+        )
+
+
+class TestOtherCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "uk07" in out
+        assert "stands in for" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = tmp_path / "talk.edges"
+        assert main(["generate", "talk", "-o", str(out_path)]) == 0
+        assert out_path.exists()
+
+    def test_generate_unknown_dataset(self, tmp_path, capsys):
+        assert main(["generate", "nope", "-o", str(tmp_path / "x.edges")]) == 1
+
+    def test_find_bandwidth(self, edge_file, capsys):
+        assert main(["find-bandwidth", str(edge_file), "--memory-mb", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "d = 0" in out
+
+    def test_bench_unknown_experiment(self, capsys):
+        assert main(["bench", "exp99"]) == 2
+
+    def test_bench_lemma3(self, capsys):
+        assert main(["bench", "lemma3"]) == 0
+        assert "rolling" in capsys.readouterr().out.lower()
+
+    def test_audit(self, edge_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.json"
+        main(["build", str(edge_file), "-d", "3", "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["audit", str(index_path), "--samples", "60"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare(self, edge_file, capsys):
+        assert main(["compare", str(edge_file), "--methods", "PLL,CT-3", "--queries", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "PLL" in out and "CT-3" in out
+        assert "size_mb" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the bandwidth binary search (Exp 7 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bandwidth import find_bandwidth
+from repro.core.ct_index import CTIndex
+from repro.exceptions import IndexConstructionError
+from repro.graphs.generators.core_periphery import CorePeripheryConfig, core_periphery_graph
+from repro.graphs.generators.random_graphs import gnp_graph
+
+
+@pytest.fixture(scope="module")
+def cp_graph():
+    cfg = CorePeripheryConfig(
+        core_size=80, core_density=0.5, community_count=10, fringe_size=300
+    )
+    return core_periphery_graph(cfg, seed=31)
+
+
+class TestSearch:
+    def test_generous_limit_picks_zero(self, cp_graph):
+        generous = CTIndex.build(cp_graph, 0).size_bytes() + 1000
+        result = find_bandwidth(cp_graph, generous)
+        assert result.bandwidth == 0
+        assert result.index.bandwidth == 0
+        assert len(result.probes) == 1
+
+    def test_tight_limit_needs_positive_bandwidth(self, cp_graph):
+        size0 = CTIndex.build(cp_graph, 0).size_bytes()
+        result = find_bandwidth(cp_graph, int(size0 * 0.6))
+        assert result.bandwidth > 0
+        assert result.index.size_bytes() <= size0 * 0.6
+
+    def test_monotone_in_memory(self, cp_graph):
+        size0 = CTIndex.build(cp_graph, 0).size_bytes()
+        limits = [int(size0 * f) for f in (0.5, 0.7, 1.1)]
+        chosen = [find_bandwidth(cp_graph, limit).bandwidth for limit in limits]
+        assert chosen == sorted(chosen, reverse=True)
+        assert chosen[-1] == 0
+
+    def test_minimality(self, cp_graph):
+        # No smaller d fits within the same limit.
+        size0 = CTIndex.build(cp_graph, 0).size_bytes()
+        limit = int(size0 * 0.6)
+        result = find_bandwidth(cp_graph, limit)
+        d = result.bandwidth
+        if d > 0:
+            smaller = CTIndex.build(cp_graph, d - 1)
+            assert smaller.size_bytes() > limit
+
+    def test_impossible_limit_raises(self, cp_graph):
+        with pytest.raises(IndexConstructionError):
+            find_bandwidth(cp_graph, 64, max_upper_bound=16)
+
+    def test_probe_log_records_failures(self, cp_graph):
+        size0 = CTIndex.build(cp_graph, 0).size_bytes()
+        result = find_bandwidth(cp_graph, int(size0 * 0.6))
+        assert any(not probe.feasible for probe in result.probes)
+        assert any(probe.feasible for probe in result.probes)
+        assert result.seconds > 0
+
+    def test_geometric_scan_brackets(self, cp_graph):
+        # A limit that d=0 misses forces the 1, 2, 4, ... scan; the probe
+        # log must show the geometric prefix.
+        size0 = CTIndex.build(cp_graph, 0).size_bytes()
+        result = find_bandwidth(cp_graph, int(size0 * 0.6))
+        bandwidths = [probe.bandwidth for probe in result.probes]
+        assert bandwidths[0] == 0
+        assert bandwidths[1] == 1
+        # Scan doubles until the first feasible probe.
+        first_ok = next(i for i, probe in enumerate(result.probes) if probe.feasible)
+        assert bandwidths[1:first_ok + 1] == [2**i for i in range(first_ok)]

@@ -1,0 +1,79 @@
+"""Unit tests for the one-to-many batch query API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.exceptions import QueryError
+from repro.graphs.generators.core_periphery import CorePeripheryConfig, core_periphery_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.traversal import all_pairs_distances, single_source_distances
+
+
+class TestDistancesFrom:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("bandwidth", [0, 3, 8])
+    def test_matches_single_queries(self, seed, bandwidth):
+        g = gnp_graph(35, 0.12, seed=seed)
+        index = CTIndex.build(g, bandwidth)
+        truth = all_pairs_distances(g)
+        for s in range(0, g.n, 4):
+            batch = index.distances_from(s, list(g.nodes()))
+            assert batch == truth[s]
+
+    def test_weighted(self):
+        g = random_weighted(gnp_graph(25, 0.2, seed=7), 1, 9, seed=8)
+        index = CTIndex.build(g, 3)
+        truth = single_source_distances(g, 3)
+        assert index.distances_from(3, list(g.nodes())) == truth
+
+    def test_with_reduction_twins(self):
+        from repro.graphs.generators.primitives import star_graph
+
+        g = star_graph(8)
+        index = CTIndex.build(g, 2)
+        batch = index.distances_from(1, [0, 1, 2, 8])
+        assert batch == [1, 0, 2, 2]
+
+    def test_empty_targets(self):
+        g = gnp_graph(10, 0.3, seed=9)
+        index = CTIndex.build(g, 2)
+        assert index.distances_from(0, []) == []
+
+    def test_out_of_range(self):
+        g = gnp_graph(10, 0.3, seed=10)
+        index = CTIndex.build(g, 2)
+        with pytest.raises(QueryError):
+            index.distances_from(10, [0])
+        with pytest.raises(QueryError):
+            index.distances_from(0, [10])
+
+    def test_core_source(self):
+        cfg = CorePeripheryConfig(core_size=40, community_count=4, fringe_size=120)
+        g = core_periphery_graph(cfg, seed=11)
+        index = CTIndex.build(g, 4, use_equivalence_reduction=False)
+        core_node = index.core_originals[0]
+        truth = single_source_distances(g, core_node)
+        assert index.distances_from(core_node, list(g.nodes())) == truth
+
+    def test_batch_reuses_extension(self):
+        # A forest source should trigger at most one extension build for
+        # its own side across the whole batch (plus one per target).
+        cfg = CorePeripheryConfig(core_size=40, community_count=6, fringe_size=150)
+        g = core_periphery_graph(cfg, seed=12)
+        index = CTIndex.build(g, 5, use_equivalence_reduction=False)
+        tree_nodes = [
+            v for v in g.nodes() if index.decomposition.position[v] is not None
+        ]
+        s = tree_nodes[0]
+        targets = tree_nodes[1:60]
+        index.reset_counters()
+        batch_probes_start = index.core_probes
+        index.distances_from(s, targets)
+        batch_probes = index.core_probes - batch_probes_start
+        index.reset_counters()
+        for t in targets:
+            index.distance(s, t)
+        single_probes = index.core_probes
+        assert batch_probes <= single_probes

@@ -1,0 +1,140 @@
+"""Targeted tests that every query case and Lemma is actually exercised."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import CorePeripheryConfig, core_periphery_graph
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.traversal import all_pairs_distances, single_source_distances
+
+
+@pytest.fixture(scope="module")
+def cp_index():
+    cfg = CorePeripheryConfig(
+        core_size=60, core_density=0.5, community_count=8, fringe_size=200
+    )
+    graph = core_periphery_graph(cfg, seed=21)
+    index = CTIndex.build(graph, 5, use_equivalence_reduction=False)
+    return graph, index
+
+
+def classify(index: CTIndex, s: int, t: int) -> str:
+    position = index.decomposition.position
+    ps, pt = position[s], position[t]
+    if ps is None and pt is None:
+        return "case1"
+    if ps is None or pt is None:
+        return "case2"
+    if index.decomposition.same_tree(ps, pt):
+        return "case4"
+    return "case3"
+
+
+class TestCaseCoverage:
+    def test_all_four_cases_hit_and_exact(self, cp_index):
+        graph, index = cp_index
+        rng = random.Random(99)
+        seen: dict[str, int] = {}
+        cache: dict[int, list] = {}
+        for _ in range(600):
+            s = rng.randrange(graph.n)
+            t = rng.randrange(graph.n)
+            if s == t:
+                continue
+            case = classify(index, s, t)
+            seen[case] = seen.get(case, 0) + 1
+            if s not in cache:
+                cache[s] = single_source_distances(graph, s)
+            assert index.distance(s, t) == cache[s][t], (s, t, case)
+        assert set(seen) == {"case1", "case2", "case3", "case4"}, seen
+
+    def test_counters_match_classification(self, cp_index):
+        graph, index = cp_index
+        index.reset_counters()
+        rng = random.Random(7)
+        expected: dict[str, int] = {"case1": 0, "case2": 0, "case3": 0, "case4": 0}
+        for _ in range(200):
+            s = rng.randrange(graph.n)
+            t = rng.randrange(graph.n)
+            if s == t:
+                continue
+            expected[classify(index, s, t)] += 1
+            index.distance(s, t)
+        for case, count in expected.items():
+            assert index.case_counts[case] == count
+
+
+class TestLemma9:
+    """Extension-based Cases 3-4 agree with the naive Equation 1."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_extension_equals_naive(self, seed):
+        g = gnp_graph(45, 0.1, seed=seed)
+        index = CTIndex.build(g, 3, use_equivalence_reduction=False)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert index.distance(s, t) == index.distance_naive_4hop(s, t), (s, t)
+
+    def test_extension_uses_fewer_probes(self, cp_index):
+        # O(d) vs O(d²) only bites when interfaces are large, so use a
+        # larger bandwidth (bigger interfaces) and restrict to cross-tree
+        # pairs whose trees both touch >= 3 core nodes.
+        graph, _ = cp_index
+        index = CTIndex.build(graph, 12, use_equivalence_reduction=False)
+        rng = random.Random(3)
+        pairs = []
+        attempts = 0
+        while len(pairs) < 30 and attempts < 200_000:
+            attempts += 1
+            s = rng.randrange(graph.n)
+            t = rng.randrange(graph.n)
+            if s == t or classify(index, s, t) != "case3":
+                continue
+            if (
+                len(index.decomposition.interface_of(s)) >= 3
+                and len(index.decomposition.interface_of(t)) >= 3
+            ):
+                pairs.append((s, t))
+        assert pairs, "no cross-tree pairs with large interfaces found"
+        index.reset_counters()
+        for s, t in pairs:
+            index.distance(s, t)
+        extension_probes = index.core_probes
+        index.reset_counters()
+        for s, t in pairs:
+            index.distance_naive_4hop(s, t)
+        naive_probes = index.core_probes
+        assert extension_probes < naive_probes
+
+
+class TestCase4Subtleties:
+    def test_core_detour_beats_local_path(self):
+        # Two long chains hang off the same tree; the local (d2) answer
+        # through the LCA bag is long, while a detour through the core is
+        # short.  Case 4 must take min(d2, d4).
+        from repro.graphs.builder import GraphBuilder
+
+        b = GraphBuilder(12)
+        # Dense core: 0-1-2-3 clique.
+        b.add_clique([0, 1, 2, 3])
+        # A path 4-5-6-7-8-9 (one tree once eliminated), whose two ends
+        # also touch the core.
+        b.add_path([4, 5, 6, 7, 8, 9])
+        b.add_edge(4, 0)
+        b.add_edge(9, 1)
+        # Extra fringe to make 10, 11 leaves.
+        b.add_edge(10, 2)
+        b.add_edge(11, 2)
+        g = b.build()
+        index = CTIndex.build(g, 2, use_equivalence_reduction=False)
+        truth = all_pairs_distances(g)
+        for s in g.nodes():
+            for t in g.nodes():
+                assert index.distance(s, t) == truth[s][t], (s, t)
+        # dist(4, 9): local path length 5 vs core detour 4-0-1-9 = 3.
+        assert truth[4][9] == 3
+        assert index.distance(4, 9) == 3

@@ -1,0 +1,83 @@
+"""Unit tests for CT-Index save/load."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.core.serialization import load_ct_index, save_ct_index
+from repro.exceptions import SerializationError
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.traversal import all_pairs_distances
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bandwidth", [0, 2, 5])
+    def test_unweighted_roundtrip(self, tmp_path, bandwidth):
+        g = gnp_graph(35, 0.12, seed=1)
+        index = CTIndex.build(g, bandwidth)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        loaded = load_ct_index(path)
+        assert loaded.bandwidth == bandwidth
+        assert loaded.size_entries() == index.size_entries()
+        truth = all_pairs_distances(g)
+        for s in g.nodes():
+            for t in g.nodes():
+                assert loaded.distance(s, t) == truth[s][t], (s, t)
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = random_weighted(gnp_graph(20, 0.2, seed=2), 1, 7, seed=3)
+        index = CTIndex.build(g, 3)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        loaded = load_ct_index(path)
+        truth = all_pairs_distances(g)
+        for s in g.nodes():
+            for t in g.nodes():
+                assert loaded.distance(s, t) == truth[s][t]
+
+    def test_reduction_survives(self, tmp_path):
+        from repro.graphs.generators.primitives import star_graph
+
+        index = CTIndex.build(star_graph(10), 2)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        loaded = load_ct_index(path)
+        assert loaded.distance(1, 2) == 2  # twin-class distance restored
+
+    def test_build_seconds_persisted(self, tmp_path):
+        index = CTIndex.build(gnp_graph(15, 0.2, seed=4), 2)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        assert load_ct_index(path).build_seconds == index.build_seconds
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_ct_index(tmp_path / "absent.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("this is not json")
+        with pytest.raises(SerializationError):
+            load_ct_index(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(SerializationError):
+            load_ct_index(path)
+
+    def test_wrong_version(self, tmp_path):
+        index = CTIndex.build(gnp_graph(10, 0.3, seed=5), 2)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        document = json.loads(path.read_text())
+        document["version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(SerializationError):
+            load_ct_index(path)

@@ -1,0 +1,92 @@
+"""Failure injection: corrupted index files must fail loudly and cleanly."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.core.serialization import load_ct_index, save_ct_index
+from repro.exceptions import SerializationError
+from repro.graphs.generators.random_graphs import gnp_graph
+
+
+@pytest.fixture(scope="module")
+def saved_document(tmp_path_factory):
+    g = gnp_graph(20, 0.2, seed=1)
+    index = CTIndex.build(g, 3)
+    path = tmp_path_factory.mktemp("fuzz") / "index.json"
+    save_ct_index(index, path)
+    return json.loads(path.read_text())
+
+
+def write_and_load(tmp_path, document):
+    path = tmp_path / "candidate.json"
+    path.write_text(json.dumps(document))
+    return load_ct_index(path)
+
+
+class TestFieldDeletion:
+    @pytest.mark.parametrize(
+        "field", ["graph", "reduction", "elimination", "tree_labels", "core", "bandwidth"]
+    )
+    def test_missing_top_level_field(self, tmp_path, saved_document, field):
+        document = dict(saved_document)
+        del document[field]
+        with pytest.raises(SerializationError):
+            write_and_load(tmp_path, document)
+
+    def test_missing_nested_field(self, tmp_path, saved_document):
+        document = json.loads(json.dumps(saved_document))
+        del document["core"]["order"]
+        with pytest.raises(SerializationError):
+            write_and_load(tmp_path, document)
+
+
+class TestTypeCorruption:
+    def test_string_bandwidth(self, tmp_path, saved_document):
+        document = dict(saved_document)
+        document["bandwidth"] = "twenty"
+        with pytest.raises(SerializationError):
+            write_and_load(tmp_path, document)
+
+    def test_graph_edges_scrambled(self, tmp_path, saved_document):
+        document = json.loads(json.dumps(saved_document))
+        document["graph"]["edges"] = [["a", "b", 1]]
+        with pytest.raises(SerializationError):
+            write_and_load(tmp_path, document)
+
+    def test_truncated_json(self, tmp_path, saved_document):
+        path = tmp_path / "trunc.json"
+        text = json.dumps(saved_document)
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(SerializationError):
+            load_ct_index(path)
+
+
+class TestRandomDeletionFuzz:
+    def test_random_key_deletions_never_crash_uncleanly(self, tmp_path, saved_document):
+        rng = random.Random(7)
+        for trial in range(25):
+            document = json.loads(json.dumps(saved_document))
+            # Delete a random key at a random depth.
+            node = document
+            for _ in range(rng.randint(1, 3)):
+                keys = [k for k in node if isinstance(node, dict)] if isinstance(node, dict) else []
+                if not keys:
+                    break
+                key = rng.choice(keys)
+                if rng.random() < 0.5 or not isinstance(node[key], dict):
+                    del node[key]
+                    break
+                node = node[key]
+            path = tmp_path / f"fuzz{trial}.json"
+            path.write_text(json.dumps(document))
+            try:
+                index = load_ct_index(path)
+            except SerializationError:
+                continue  # clean failure is the expected outcome
+            # If it still loads, it must still answer queries sanely.
+            index.distance(0, index.graph.n - 1)

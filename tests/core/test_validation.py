@@ -1,0 +1,78 @@
+"""Unit tests for the CT-Index audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.core.validation import AuditReport, audit_ct_index
+from repro.exceptions import ReproError
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import Graph
+
+
+class TestAudit:
+    @pytest.mark.parametrize("bandwidth", [0, 3, 10])
+    def test_healthy_index_passes(self, bandwidth):
+        g = gnp_graph(50, 0.1, seed=1)
+        index = CTIndex.build(g, bandwidth)
+        report = audit_ct_index(index, samples=120, seed=2)
+        assert report.ok
+        assert report.mismatches == 0
+        assert report.structure_ok and report.bounds_ok
+        assert report.sampled_queries == 120
+        assert "PASS" in report.summary()
+
+    def test_weighted_index(self):
+        g = random_weighted(gnp_graph(30, 0.15, seed=3), 1, 9, seed=4)
+        report = audit_ct_index(CTIndex.build(g, 3), samples=80)
+        assert report.ok
+
+    def test_deterministic(self):
+        g = gnp_graph(30, 0.15, seed=5)
+        index = CTIndex.build(g, 3)
+        a = audit_ct_index(index, samples=50, seed=9)
+        b = audit_ct_index(index, samples=50, seed=9)
+        assert a.case_counts == b.case_counts
+
+    def test_empty_graph(self):
+        index = CTIndex.build(Graph.empty(0), 2)
+        report = audit_ct_index(index, samples=10)
+        assert report.ok
+        assert report.sampled_queries == 0
+
+    def test_corrupted_index_detected(self):
+        g = gnp_graph(40, 0.15, seed=6)
+        index = CTIndex.build(g, 4, use_equivalence_reduction=False)
+        # Corrupt one tree label: shrink a stored distance.
+        for label in index.tree_index.labels:
+            if label:
+                target = next(iter(label))
+                label[target] = label[target] + 5
+                break
+        report = audit_ct_index(index, samples=300, seed=7)
+        assert report.mismatches > 0
+        assert not report.ok
+
+    def test_raise_on_failure(self):
+        g = gnp_graph(40, 0.15, seed=8)
+        index = CTIndex.build(g, 4, use_equivalence_reduction=False)
+        for label in index.tree_index.labels:
+            if label:
+                target = next(iter(label))
+                label[target] = label[target] + 3
+                break
+        with pytest.raises(ReproError):
+            audit_ct_index(index, samples=300, seed=9, raise_on_failure=True)
+
+    def test_report_dataclass(self):
+        report = AuditReport(
+            sampled_queries=1,
+            mismatches=1,
+            structure_ok=True,
+            bounds_ok=True,
+            case_counts={},
+            seconds=0.1,
+        )
+        assert not report.ok
+        assert "FAIL" in report.summary()

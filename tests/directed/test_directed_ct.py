@@ -1,0 +1,118 @@
+"""Unit tests for the directed CT-Index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directed.ct import build_directed_ct_index
+from repro.exceptions import OverMemoryError, QueryError
+from repro.graphs.digraph import DiGraph, forward_distances
+from repro.graphs.graph import INF
+from repro.labeling.base import MemoryBudget
+from tests.graphs.test_digraph import random_digraph
+
+
+def assert_exact(index, graph):
+    for s in graph.nodes():
+        truth = forward_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("bandwidth", [0, 2, 4, 100])
+    def test_random_unweighted(self, seed, bandwidth):
+        g = random_digraph(28, 0.1, seed=seed)
+        assert_exact(build_directed_ct_index(g, bandwidth), g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_weighted(self, seed):
+        g = random_digraph(22, 0.12, seed=seed + 50, weighted=True)
+        assert_exact(build_directed_ct_index(g, 3), g)
+
+    def test_directed_cycle(self):
+        n = 9
+        g = DiGraph.from_arcs(n, [(i, (i + 1) % n) for i in range(n)])
+        index = build_directed_ct_index(g, 2)
+        for s in range(n):
+            for t in range(n):
+                assert index.distance(s, t) == (t - s) % n
+
+    def test_dag_with_fringe(self):
+        arcs = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 0), (4, 6), (7, 5)]
+        g = DiGraph.from_arcs(8, arcs)
+        assert_exact(build_directed_ct_index(g, 2), g)
+
+    def test_asymmetric(self):
+        g = DiGraph.from_arcs(4, [(0, 1), (1, 2), (2, 3)])
+        index = build_directed_ct_index(g, 2)
+        assert index.distance(0, 3) == 3
+        assert index.distance(3, 0) == INF
+
+    def test_denser_digraph(self):
+        g = random_digraph(35, 0.2, seed=77)
+        assert_exact(build_directed_ct_index(g, 5), g)
+
+    def test_one_way_communities(self):
+        # A "follows"-style digraph: dense mutual core, one-way fringe.
+        import random
+
+        rng = random.Random(5)
+        arcs = []
+        for u in range(12):
+            for v in range(12):
+                if u != v and rng.random() < 0.5:
+                    arcs.append((u, v))
+        for v in range(12, 80):
+            target = rng.randrange(v)
+            arcs.append((v, target))
+            if rng.random() < 0.3:
+                arcs.append((target, v))
+        g = DiGraph.from_arcs(80, arcs)
+        assert_exact(build_directed_ct_index(g, 3), g)
+
+
+class TestApi:
+    def test_out_of_range(self):
+        g = DiGraph.from_arcs(3, [(0, 1)])
+        index = build_directed_ct_index(g, 2)
+        with pytest.raises(QueryError):
+            index.distance(0, 3)
+
+    def test_method_name(self):
+        g = DiGraph.from_arcs(3, [(0, 1)])
+        index = build_directed_ct_index(g, 7)
+        assert index.method_name == "CT-directed-7"
+
+    def test_size_entries_counts_both_sides(self):
+        g = random_digraph(25, 0.12, seed=6)
+        index = build_directed_ct_index(g, 3)
+        tree = sum(len(lbl) for lbl in index.out_labels)
+        tree += sum(len(lbl) for lbl in index.in_labels)
+        assert index.size_entries() == tree + index.core_index.size_entries()
+
+    def test_budget(self):
+        g = random_digraph(40, 0.2, seed=7)
+        with pytest.raises(OverMemoryError):
+            build_directed_ct_index(g, 3, budget=MemoryBudget(limit_bytes=64))
+
+    def test_bandwidth_trade_off_visible(self):
+        # Dense mutual core + one-way fringe: growing d moves the fringe
+        # out of the directed core.
+        import random
+
+        rng = random.Random(8)
+        arcs = []
+        for u in range(15):
+            for v in range(15):
+                if u != v and rng.random() < 0.6:
+                    arcs.append((u, v))
+        for v in range(15, 120):
+            arcs.append((v, rng.randrange(15)))
+        g = DiGraph.from_arcs(120, arcs)
+        ct0 = build_directed_ct_index(g, 0)
+        ct2 = build_directed_ct_index(g, 2)
+        assert ct2.boundary > ct0.boundary
+        assert ct2.core_size < ct0.core_size
+        assert_exact(ct2, g)

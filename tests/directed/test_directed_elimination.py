@@ -1,0 +1,72 @@
+"""Unit tests for directed MDE."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directed.elimination import directed_minimum_degree_elimination
+from repro.exceptions import DecompositionError
+from repro.graphs.digraph import DiGraph, forward_distances
+from tests.graphs.test_digraph import random_digraph
+
+
+class TestDirectedElimination:
+    def test_negative_bandwidth_rejected(self):
+        g = DiGraph.from_arcs(2, [(0, 1)])
+        with pytest.raises(DecompositionError):
+            directed_minimum_degree_elimination(g, -1)
+
+    def test_partition(self):
+        g = random_digraph(40, 0.08, seed=1)
+        result = directed_minimum_degree_elimination(g, 3)
+        forest = {step.node for step in result.steps}
+        core = set(result.core_nodes)
+        assert forest | core == set(g.nodes())
+        assert not forest & core
+
+    def test_bag_sizes_bounded(self):
+        g = random_digraph(40, 0.1, seed=2)
+        for d in (1, 2, 4):
+            result = directed_minimum_degree_elimination(g, d)
+            assert all(len(step.neighbors) <= d for step in result.steps)
+
+    def test_local_maps_subsets_of_neighbors(self):
+        # The skeleton bag is a superset of the directed adjacency:
+        # fill-in can create undirected bag membership without any
+        # directed shortcut between the pair.
+        g = random_digraph(30, 0.12, seed=3)
+        result = directed_minimum_degree_elimination(g, 4)
+        for step in result.steps:
+            members = set(step.neighbors)
+            assert set(step.local_in) <= members
+            assert set(step.local_out) <= members
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("d", [2, 4])
+    def test_directed_lemma7_core_distances_preserved(self, seed, d):
+        # The reduced core digraph preserves directed distances between
+        # core nodes (the directed Lemma 7).
+        g = random_digraph(30, 0.12, seed=seed)
+        result = directed_minimum_degree_elimination(g, d)
+        core, originals = result.core_digraph()
+        for i, orig in enumerate(originals):
+            truth = forward_distances(g, orig)
+            reduced = forward_distances(core, i)
+            for j, other in enumerate(originals):
+                assert reduced[j] == truth[other], (orig, other)
+
+    def test_weighted_digraph(self):
+        g = random_digraph(25, 0.15, seed=9, weighted=True)
+        result = directed_minimum_degree_elimination(g, 3)
+        core, originals = result.core_digraph()
+        for i, orig in enumerate(originals[:5]):
+            truth = forward_distances(g, orig)
+            reduced = forward_distances(core, i)
+            for j, other in enumerate(originals):
+                assert reduced[j] == truth[other]
+
+    def test_bandwidth_huge_eliminates_all(self):
+        g = random_digraph(20, 0.15, seed=4)
+        result = directed_minimum_degree_elimination(g, 1000)
+        assert result.core_nodes == []
+        assert result.boundary == 20

@@ -1,0 +1,100 @@
+"""Unit tests for the directed graph substrate."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph, backward_distances, forward_distances
+from repro.graphs.graph import INF
+
+
+def random_digraph(n: int, p: float, seed: int, *, weighted: bool = False) -> DiGraph:
+    rng = random.Random(seed)
+    arcs = []
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                if weighted:
+                    arcs.append((u, v, rng.randint(1, 9)))
+                else:
+                    arcs.append((u, v))
+    return DiGraph.from_arcs(n, arcs)
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.nodes())
+    for u, v, w in graph.arcs():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = DiGraph.from_arcs(3, [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.m == 2
+        assert list(g.out_neighbors(0)) == [(1, 1)]
+        assert list(g.in_neighbors(2)) == [(1, 1)]
+
+    def test_asymmetric(self):
+        g = DiGraph.from_arcs(2, [(0, 1)])
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 0
+        assert forward_distances(g, 1)[0] == INF
+
+    def test_self_loops_dropped(self):
+        g = DiGraph.from_arcs(2, [(0, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_duplicate_keeps_min_weight(self):
+        g = DiGraph.from_arcs(2, [(0, 1, 5), (0, 1, 2)])
+        assert list(g.out_neighbors(0)) == [(1, 2)]
+
+    def test_both_directions_distinct(self):
+        g = DiGraph.from_arcs(2, [(0, 1, 3), (1, 0, 7)])
+        assert g.m == 2
+
+    def test_bad_arcs_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph.from_arcs(2, [(0, 5)])
+        with pytest.raises(GraphError):
+            DiGraph.from_arcs(2, [(0, 1, 0)])
+        with pytest.raises(GraphError):
+            DiGraph.from_arcs(2, [(0,)])
+
+    def test_reversed(self):
+        g = DiGraph.from_arcs(3, [(0, 1, 2), (1, 2, 3)])
+        r = g.reversed()
+        assert list(r.out_neighbors(1)) == [(0, 2)]
+        assert list(r.out_neighbors(2)) == [(1, 3)]
+
+
+class TestSearch:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_forward_matches_networkx(self, seed):
+        g = random_digraph(30, 0.1, seed)
+        nxg = to_networkx(g)
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        dist = forward_distances(g, 0)
+        for v in g.nodes():
+            assert dist[v] == expected.get(v, INF)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_weighted_forward_matches_networkx(self, seed):
+        g = random_digraph(25, 0.12, seed, weighted=True)
+        nxg = to_networkx(g)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        dist = forward_distances(g, 0)
+        for v in g.nodes():
+            assert dist[v] == expected.get(v, INF)
+
+    def test_backward_is_forward_on_reversed(self):
+        g = random_digraph(20, 0.15, seed=9)
+        reversed_g = g.reversed()
+        for v in (0, 5, 10):
+            assert backward_distances(g, v) == forward_distances(reversed_g, v)

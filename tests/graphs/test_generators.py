@@ -1,0 +1,283 @@
+"""Unit tests for every graph generator family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+    scaled_config,
+)
+from repro.graphs.generators.power_law import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    power_law_cluster_graph,
+    power_law_weights,
+)
+from repro.graphs.generators.primitives import (
+    binary_tree_graph,
+    clique_graph,
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.random_graphs import (
+    caveman_graph,
+    connected_gnp_graph,
+    gnm_graph,
+    gnp_graph,
+    random_tree,
+    random_weighted,
+)
+from repro.graphs.generators.worst_case import (
+    rolling_cliques_distance,
+    rolling_cliques_graph,
+    rolling_cliques_group,
+)
+from repro.graphs.traversal import bfs_distances, is_connected
+
+
+class TestPrimitives:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert (g.n, g.m) == (6, 6)
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_clique(self):
+        g = clique_graph(5)
+        assert g.m == 10
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert g.m == 6
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.m == 6
+        assert not g.has_edge(0, 1)
+
+    def test_grid_distances(self):
+        g = grid_graph(3, 4)
+        dist = bfs_distances(g, 0)
+        assert dist[11] == 5  # manhattan distance to opposite corner
+
+    def test_grid_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert is_connected(g)
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert g.n == 7
+        assert g.m == 6 + 3
+        assert is_connected(g)
+
+
+class TestRandomGraphs:
+    def test_gnp_deterministic(self):
+        assert gnp_graph(50, 0.1, seed=7) == gnp_graph(50, 0.1, seed=7)
+
+    def test_gnp_seed_sensitivity(self):
+        assert gnp_graph(50, 0.1, seed=7) != gnp_graph(50, 0.1, seed=8)
+
+    def test_gnp_extreme_probabilities(self):
+        assert gnp_graph(10, 0.0, seed=1).m == 0
+        assert gnp_graph(10, 1.0, seed=1).m == 45
+
+    def test_gnp_density_close_to_p(self):
+        g = gnp_graph(200, 0.1, seed=3)
+        expected = 0.1 * 199 / 2 * 200
+        assert abs(g.m - expected) < expected * 0.25
+
+    def test_gnp_sparse_path_density(self):
+        g = gnp_graph(500, 0.01, seed=4)
+        expected = 0.01 * 499 / 2 * 500
+        assert abs(g.m - expected) < expected * 0.25
+
+    def test_gnp_rejects_bad_p(self):
+        with pytest.raises(GraphError):
+            gnp_graph(5, 1.5, seed=0)
+
+    def test_gnm_exact_edges(self):
+        g = gnm_graph(20, 30, seed=5)
+        assert g.m == 30
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(GraphError):
+            gnm_graph(4, 10, seed=0)
+
+    def test_connected_gnp(self):
+        g = connected_gnp_graph(60, 0.02, seed=6)
+        assert is_connected(g)
+
+    def test_caveman(self):
+        g = caveman_graph(4, 5, rewire_prob=0.0, seed=1)
+        assert g.n == 20
+        assert is_connected(g)
+
+    def test_caveman_rewired_stays_same_size(self):
+        g = caveman_graph(4, 5, rewire_prob=0.3, seed=2)
+        assert g.n == 20
+
+    def test_random_weighted_range(self):
+        g = random_weighted(gnp_graph(20, 0.3, seed=1), 2, 6, seed=9)
+        assert all(2 <= w <= 6 for _, _, w in g.edges())
+        assert not g.unweighted
+
+    def test_random_weighted_rejects_bad_range(self):
+        with pytest.raises(GraphError):
+            random_weighted(path_graph(3), 0, 5, seed=1)
+
+    def test_random_tree(self):
+        g = random_tree(40, seed=3)
+        assert g.m == 39
+        assert is_connected(g)
+
+
+class TestPowerLaw:
+    def test_ba_connected_with_min_degree(self):
+        g = barabasi_albert_graph(200, 3, seed=1)
+        assert is_connected(g)
+        assert min(g.degree(v) for v in g.nodes()) >= 3
+
+    def test_ba_heavy_tail(self):
+        g = barabasi_albert_graph(400, 3, seed=2)
+        assert g.max_degree() > 8 * g.average_degree() / 2
+
+    def test_ba_rejects_bad_params(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 5, seed=0)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0, seed=0)
+
+    def test_chung_lu_expected_degrees(self):
+        weights = [10.0] * 100
+        g = chung_lu_graph(weights, seed=3)
+        assert abs(g.average_degree() - 10.0) < 3.0
+
+    def test_chung_lu_empty(self):
+        assert chung_lu_graph([], seed=1).n == 0
+        assert chung_lu_graph([0.0, 0.0], seed=1).m == 0
+
+    def test_chung_lu_rejects_negative(self):
+        with pytest.raises(GraphError):
+            chung_lu_graph([1.0, -2.0], seed=0)
+
+    def test_power_law_weights(self):
+        weights = power_law_weights(500, exponent=2.5, min_degree=2.0, seed=4)
+        assert len(weights) == 500
+        assert min(weights) >= 2.0
+
+    def test_power_law_weights_bad_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_weights(10, exponent=1.0, min_degree=1.0, seed=0)
+
+    def test_holme_kim_connected(self):
+        g = power_law_cluster_graph(150, 3, 0.5, seed=5)
+        assert is_connected(g)
+
+    def test_holme_kim_more_clustered_than_ba(self):
+        from repro.graphs.statistics import approximate_clustering
+
+        ba = barabasi_albert_graph(300, 3, seed=6)
+        hk = power_law_cluster_graph(300, 3, 0.9, seed=6)
+        assert approximate_clustering(hk, 150, seed=1) > approximate_clustering(
+            ba, 150, seed=1
+        )
+
+
+class TestCorePeriphery:
+    def test_deterministic(self):
+        cfg = CorePeripheryConfig(core_size=50, community_count=5, fringe_size=100)
+        assert core_periphery_graph(cfg, 1) == core_periphery_graph(cfg, 1)
+
+    def test_connected(self):
+        cfg = CorePeripheryConfig(core_size=40, community_count=4, fringe_size=80)
+        assert is_connected(core_periphery_graph(cfg, 2))
+
+    def test_boundary_moves_with_bandwidth(self):
+        from repro.treedec.elimination import minimum_degree_elimination
+
+        cfg = CorePeripheryConfig(
+            core_size=120, core_density=0.5, community_count=15, fringe_size=400
+        )
+        graph = core_periphery_graph(cfg, 3)
+        boundary2 = minimum_degree_elimination(graph, bandwidth=2).boundary
+        boundary20 = minimum_degree_elimination(graph, bandwidth=20).boundary
+        assert 0 < boundary2 < boundary20 < graph.n
+
+    def test_scaled_config(self):
+        base = CorePeripheryConfig(core_size=100, community_count=10, fringe_size=200)
+        half = scaled_config(base, 0.5)
+        assert half.core_size == 50
+        assert half.community_count == 5
+        assert half.fringe_size == 100
+        assert half.core_density == base.core_density
+
+    def test_scaled_config_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            scaled_config(CorePeripheryConfig(), 0)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            core_periphery_graph(CorePeripheryConfig(core_size=1), 0)
+        with pytest.raises(GraphError):
+            core_periphery_graph(CorePeripheryConfig(core_density=0.0), 0)
+        with pytest.raises(GraphError):
+            core_periphery_graph(CorePeripheryConfig(community_anchors=0), 0)
+
+
+class TestRollingCliques:
+    def test_shape(self):
+        g = rolling_cliques_graph(k=3, d=4)
+        assert g.n == 12
+        # Each node connects to its group (d/2 - 1 = 1) and both adjacent
+        # groups (2 * d/2 = 4): degree 5 everywhere on this small ring.
+        assert all(g.degree(v) == 5 for v in g.nodes())
+
+    def test_rejects_odd_d(self):
+        with pytest.raises(GraphError):
+            rolling_cliques_graph(3, 5)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(GraphError):
+            rolling_cliques_graph(1, 4)
+
+    def test_group_function(self):
+        assert rolling_cliques_group(0, 4) == 0
+        assert rolling_cliques_group(2, 4) == 1
+
+    @pytest.mark.parametrize("k,d", [(2, 4), (3, 4), (4, 6), (5, 8)])
+    def test_closed_form_distance_matches_bfs(self, k, d):
+        g = rolling_cliques_graph(k, d)
+        for s in range(0, g.n, max(1, g.n // 7)):
+            dist = bfs_distances(g, s)
+            for t in g.nodes():
+                assert dist[t] == rolling_cliques_distance(s, t, k, d), (s, t)
+
+    def test_contains_d_clique(self):
+        d = 6
+        g = rolling_cliques_graph(3, d)
+        members = list(range(d))  # groups 0 and 1 form a d-clique
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                assert g.has_edge(u, v)

@@ -1,0 +1,63 @@
+"""Unit tests for the random geometric (road-like) generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators.geometric import random_geometric_graph
+from repro.graphs.traversal import is_connected
+from repro.treedec.decomposition import mde_treewidth
+
+
+class TestGeometric:
+    def test_deterministic(self):
+        a = random_geometric_graph(100, 0.12, seed=1)
+        b = random_geometric_graph(100, 0.12, seed=1)
+        assert a == b
+
+    def test_connected_by_default(self):
+        g = random_geometric_graph(150, 0.08, seed=2)
+        assert is_connected(g)
+
+    def test_unstitched_may_disconnect(self):
+        g = random_geometric_graph(150, 0.04, seed=3, connect=False)
+        # Small radius: almost surely several components.
+        from repro.graphs.traversal import connected_components
+
+        assert len(connected_components(g)) >= 1  # structural smoke
+
+    def test_weighted_lengths(self):
+        g = random_geometric_graph(80, 0.15, seed=4)
+        weights = [w for _, _, w in g.edges()]
+        assert weights
+        assert all(1 <= w <= 150 for w in weights)
+        assert not g.unweighted
+
+    def test_unweighted_mode(self):
+        g = random_geometric_graph(80, 0.15, seed=5, weighted=False)
+        assert g.unweighted
+
+    def test_low_treewidth_road_regime(self):
+        # Geometric graphs with small radius have grid-like treewidth,
+        # far below their node count.
+        g = random_geometric_graph(200, 0.07, seed=6, weighted=False)
+        assert mde_treewidth(g) < 30
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(0, 0.1, seed=0)
+        with pytest.raises(GraphError):
+            random_geometric_graph(10, 0.0, seed=0)
+
+    def test_h2h_home_turf(self):
+        # The generator exists to exercise H2H's favorable regime.
+        from repro.graphs.traversal import all_pairs_distances
+        from repro.labeling.h2h import build_h2h
+
+        g = random_geometric_graph(60, 0.15, seed=7)
+        h2h = build_h2h(g)
+        truth = all_pairs_distances(g)
+        for s in range(0, 60, 7):
+            for t in range(60):
+                assert h2h.distance(s, t) == truth[s][t]

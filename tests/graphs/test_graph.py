@@ -1,0 +1,158 @@
+"""Unit tests for the Graph type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.primitives import clique_graph, path_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.m == 3
+        assert g.unweighted
+
+    def test_from_edges_weighted(self):
+        g = Graph.from_edges(3, [(0, 1, 5), (1, 2, 2)])
+        assert not g.unweighted
+        assert g.edge_weight(0, 1) == 5
+        assert g.edge_weight(2, 1) == 2
+
+    def test_empty(self):
+        g = Graph.empty(5)
+        assert g.n == 5
+        assert g.m == 0
+        assert g.max_degree() == 0
+
+    def test_zero_nodes(self):
+        g = Graph.empty(0)
+        assert g.n == 0
+        assert list(g.edges()) == []
+        assert g.average_degree() == 0.0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [], unweighted=True)
+
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [[(1, 1)], []], unweighted=True)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(1, [[(0, 1)]], unweighted=True)
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [[(5, 1)], []], unweighted=True)
+
+    def test_parallel_edges_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [[(1, 1), (1, 2)], [(0, 1), (0, 2)]], unweighted=True)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph.from_edges(5, [(0, 4), (0, 2), (0, 1)])
+        assert g.neighbor_ids(0) == (1, 2, 4)
+
+    def test_neighbor_weights_aligned(self):
+        g = Graph.from_edges(3, [(0, 2, 7), (0, 1, 3)])
+        assert g.neighbor_ids(0) == (1, 2)
+        assert g.neighbor_weights(0) == (3, 7)
+
+    def test_degree(self):
+        g = path_graph(4)
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+
+    def test_degree_out_of_range(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            g.degree(3)
+
+    def test_has_edge(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 0)
+
+    def test_edge_weight_missing_raises(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            g.edge_weight(0, 2)
+
+    def test_edges_iterates_once(self):
+        g = clique_graph(4)
+        edges = list(g.edges())
+        assert len(edges) == 6
+        assert all(u < v for u, v, _ in edges)
+
+    def test_total_weight(self):
+        g = Graph.from_edges(3, [(0, 1, 2), (1, 2, 3)])
+        assert g.total_weight() == 5
+
+    def test_max_and_average_degree(self):
+        g = path_graph(5)
+        assert g.max_degree() == 2
+        assert g.average_degree() == pytest.approx(2 * 4 / 5)
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        g = path_graph(5)
+        sub, originals = g.induced_subgraph([1, 2, 3])
+        assert originals == [1, 2, 3]
+        assert sub.n == 3
+        assert sub.m == 2
+        assert sub.has_edge(0, 1)
+
+    def test_induced_subgraph_drops_cross_edges(self):
+        g = path_graph(5)
+        sub, _ = g.induced_subgraph([0, 2, 4])
+        assert sub.m == 0
+
+    def test_induced_subgraph_duplicates_collapsed(self):
+        g = path_graph(3)
+        sub, originals = g.induced_subgraph([1, 1, 2])
+        assert originals == [1, 2]
+        assert sub.n == 2
+
+    def test_relabeled_roundtrip(self):
+        g = Graph.from_edges(3, [(0, 1, 2), (1, 2, 5)])
+        permuted = g.relabeled([2, 0, 1])
+        assert permuted.edge_weight(2, 0) == 2
+        assert permuted.edge_weight(0, 1) == 5
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            g.relabeled([0, 0, 1])
+
+    def test_with_unit_weights(self):
+        g = Graph.from_edges(3, [(0, 1, 9), (1, 2, 4)])
+        unit = g.with_unit_weights()
+        assert unit.unweighted
+        assert unit.edge_weight(0, 1) == 1
+        assert unit.m == g.m
+
+
+class TestDunder:
+    def test_equality(self):
+        a = path_graph(4)
+        b = path_graph(4)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert path_graph(4) != path_graph(5)
+
+    def test_repr(self):
+        g = Graph.from_edges(3, [(0, 1, 2)])
+        assert "weighted" in repr(g)
+        assert "n=3" in repr(g)

@@ -1,0 +1,89 @@
+"""Unit tests for networkx interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.interop import digraph_from_networkx, from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_basic(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        nxg.add_edge("b", "c", weight=4)
+        graph, originals = from_networkx(nxg)
+        assert originals == ["a", "b", "c"]
+        assert graph.m == 2
+        assert graph.edge_weight(1, 2) == 4
+
+    def test_isolated_nodes_kept(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from([1, 2, 3])
+        nxg.add_edge(1, 2)
+        graph, _ = from_networkx(nxg)
+        assert graph.n == 3
+        assert graph.m == 1
+
+    def test_custom_weight_attribute(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 1, cost=7)
+        graph, _ = from_networkx(nxg, weight_attribute="cost")
+        assert graph.edge_weight(0, 1) == 7
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+    def test_roundtrip(self):
+        graph = random_weighted(gnp_graph(25, 0.2, seed=1), 1, 9, seed=2)
+        back, originals = from_networkx(to_networkx(graph))
+        # Integer node labels sort by repr as strings... verify distances
+        # survive through the mapping instead of identity.
+        assert back.n == graph.n
+        assert back.m == graph.m
+
+    def test_indexing_converted_graph(self):
+        from repro.core.ct_index import CTIndex
+        from repro.graphs.traversal import single_source_distances
+
+        nxg = nx.karate_club_graph()
+        graph, _ = from_networkx(nxg)
+        index = CTIndex.build(graph, 3)
+        truth = single_source_distances(graph, 0)
+        for t in graph.nodes():
+            assert index.distance(0, t) == truth[t]
+
+
+class TestDigraphFromNetworkx:
+    def test_basic(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1, weight=2)
+        nxg.add_edge(1, 0, weight=5)
+        digraph, _ = digraph_from_networkx(nxg)
+        assert digraph.m == 2
+        assert list(digraph.out_neighbors(0)) == [(1, 2)]
+
+    def test_undirected_rejected(self):
+        with pytest.raises(GraphError):
+            digraph_from_networkx(nx.Graph([(0, 1)]))
+
+    def test_directed_labeling_matches_networkx(self):
+        from repro.labeling.directed_pll import build_directed_pll
+
+        nxg = nx.gnp_random_graph(25, 0.15, seed=4, directed=True)
+        digraph, originals = digraph_from_networkx(nxg)
+        index = build_directed_pll(digraph)
+        compact = {node: i for i, node in enumerate(originals)}
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        for s in nxg.nodes():
+            for t in nxg.nodes():
+                expected = lengths.get(s, {}).get(t, float("inf"))
+                assert index.distance(compact[s], compact[t]) == expected

@@ -1,0 +1,112 @@
+"""Unit tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRead:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 2\n")
+        graph, originals = read_edge_list(path)
+        assert graph.n == 3
+        assert graph.m == 2
+        assert originals == [0, 1, 2]
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# comment\n% other comment\n\n0 1\n")
+        graph, _ = read_edge_list(path)
+        assert graph.m == 1
+
+    def test_non_contiguous_ids_compacted(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("10 40\n40 7\n")
+        graph, originals = read_edge_list(path)
+        assert graph.n == 3
+        assert originals == [7, 10, 40]
+        assert graph.has_edge(1, 2)  # 10 - 40
+
+    def test_weights(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 2.5\n1 2 3\n")
+        graph, _ = read_edge_list(path)
+        assert graph.edge_weight(0, 1) == 2.5
+        assert graph.edge_weight(1, 2) == 3
+        assert isinstance(graph.edge_weight(1, 2), int)
+
+    def test_duplicate_and_loop_normalized(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 0\n2 2\n")
+        graph, _ = read_edge_list(path)
+        assert graph.m == 1
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_node(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_negative_node(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_bad_weight(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("")
+        graph, originals = read_edge_list(path)
+        assert graph.n == 0
+        assert originals == []
+
+
+class TestRoundTrip:
+    def test_unweighted_roundtrip(self, tmp_path):
+        graph = gnp_graph(30, 0.2, seed=1)
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        loaded, _ = read_edge_list(path)
+        assert loaded == graph
+
+    def test_weighted_roundtrip(self, tmp_path):
+        graph = random_weighted(gnp_graph(20, 0.3, seed=2), 1, 9, seed=3)
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        loaded, _ = read_edge_list(path)
+        assert loaded == graph
+
+    def test_header_written_as_comments(self, tmp_path):
+        graph = gnp_graph(5, 0.5, seed=4)
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path, header="hello\nworld")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# hello"
+        assert lines[1] == "# world"
+
+    def test_isolated_nodes_not_preserved(self, tmp_path):
+        # Edge-list formats cannot express isolated nodes; document that.
+        from repro.graphs.graph import Graph
+
+        graph = Graph.from_edges(5, [(0, 1)])
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        loaded, _ = read_edge_list(path)
+        assert loaded.n == 2

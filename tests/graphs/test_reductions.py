@@ -1,0 +1,100 @@
+"""Unit tests for the equivalence (twin) reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators.primitives import clique_graph, star_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import Graph
+from repro.graphs.reductions import (
+    eliminate_equivalent_nodes,
+    reduction_identity,
+    verify_reduction_distances,
+)
+
+
+class TestFalseTwins:
+    def test_star_leaves_fold(self):
+        # All leaves of a star share the neighborhood {center}.
+        reduction = eliminate_equivalent_nodes(star_graph(5))
+        assert reduction.reduced.n == 2
+        assert reduction.removed_count == 4
+
+    def test_false_twin_distance_is_two(self):
+        reduction = eliminate_equivalent_nodes(star_graph(3))
+        leaves = [v for v in range(1, 4)]
+        assert reduction.class_distance(leaves[0], leaves[1]) == 2
+
+    def test_degree_zero_nodes_not_folded(self):
+        g = Graph.empty(4)
+        reduction = eliminate_equivalent_nodes(g)
+        assert reduction.reduced.n == 4
+        assert reduction.removed_count == 0
+
+
+class TestTrueTwins:
+    def test_clique_folds_to_single_node(self):
+        reduction = eliminate_equivalent_nodes(clique_graph(5))
+        assert reduction.reduced.n == 1
+
+    def test_true_twin_distance_is_one(self):
+        reduction = eliminate_equivalent_nodes(clique_graph(4))
+        assert reduction.class_distance(0, 3) == 1
+
+    def test_same_node_distance_zero(self):
+        reduction = eliminate_equivalent_nodes(clique_graph(3))
+        assert reduction.class_distance(1, 1) == 0
+
+
+class TestMapDistance:
+    def test_cross_class_uses_reduced_distance(self):
+        # Two stars joined at the centers: leaves fold per star.
+        g = Graph.from_edges(6, [(0, 1), (0, 2), (3, 4), (3, 5), (0, 3)])
+        reduction = eliminate_equivalent_nodes(g)
+        rs = reduction.representative[1]
+        rt = reduction.representative[4]
+        assert rs != rt
+        # dist(leaf, other-star leaf) = 1 + 1 + 1 = 3.
+        assert reduction.map_distance(1, 4, 3) == 3
+
+    def test_same_node(self):
+        reduction = eliminate_equivalent_nodes(star_graph(3))
+        assert reduction.map_distance(2, 2, 999) == 0
+
+    def test_class_distance_rejects_cross_class(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        reduction = eliminate_equivalent_nodes(g)
+        rep0 = reduction.representative[0]
+        rep1 = reduction.representative[1]
+        if rep0 != rep1:
+            with pytest.raises(GraphError):
+                reduction.class_distance(0, 1)
+
+
+class TestPreservation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_distances_preserved_random(self, seed):
+        g = gnp_graph(35, 0.12, seed=seed)
+        reduction = eliminate_equivalent_nodes(g)
+        verify_reduction_distances(reduction, samples=80)
+
+    def test_weighted_graphs_untouched(self):
+        g = random_weighted(gnp_graph(15, 0.3, seed=1), 2, 5, seed=2)
+        reduction = eliminate_equivalent_nodes(g)
+        assert reduction.reduced is g
+        assert reduction.removed_count == 0
+
+    def test_empty_graph(self):
+        reduction = eliminate_equivalent_nodes(Graph.empty(0))
+        verify_reduction_distances(reduction)
+
+
+class TestIdentity:
+    def test_identity_reduction(self):
+        g = gnp_graph(10, 0.3, seed=5)
+        reduction = reduction_identity(g)
+        assert reduction.reduced is g
+        assert reduction.representative == list(range(10))
+        assert all(kind is None for kind in reduction.twin_kind)

@@ -1,0 +1,56 @@
+"""Unit tests for the R-MAT generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators.rmat import GRAPH500_PROBS, rmat_graph
+
+
+class TestRmat:
+    def test_deterministic(self):
+        assert rmat_graph(7, 8, seed=1) == rmat_graph(7, 8, seed=1)
+        assert rmat_graph(7, 8, seed=1) != rmat_graph(7, 8, seed=2)
+
+    def test_node_count(self):
+        g = rmat_graph(6, 4, seed=3)
+        assert g.n == 64
+
+    def test_edge_count_bounded_by_draws(self):
+        g = rmat_graph(6, 4, seed=4)
+        assert 0 < g.m <= 4 * 64
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(9, 8, seed=5)
+        # R-MAT with Graph500 probabilities concentrates edges on
+        # low-id nodes: heavy-tailed degrees.
+        assert g.max_degree() > 5 * g.average_degree()
+
+    def test_uniform_probs_not_skewed(self):
+        skewed = rmat_graph(8, 8, seed=6)
+        uniform = rmat_graph(8, 8, seed=6, probs=(0.25, 0.25, 0.25, 0.25))
+        assert uniform.max_degree() < skewed.max_degree()
+
+    def test_graph500_probs_sum(self):
+        assert abs(sum(GRAPH500_PROBS) - 1.0) < 1e-12
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            rmat_graph(0, 4, seed=0)
+        with pytest.raises(GraphError):
+            rmat_graph(5, 0, seed=0)
+        with pytest.raises(GraphError):
+            rmat_graph(5, 4, seed=0, probs=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(GraphError):
+            rmat_graph(5, 4, seed=0, noise=1.0)
+
+    def test_indexable(self):
+        from repro.core.ct_index import CTIndex
+        from repro.graphs.traversal import single_source_distances
+
+        g = rmat_graph(7, 6, seed=7)
+        index = CTIndex.build(g, 4)
+        truth = single_source_distances(g, 0)
+        for t in range(g.n):
+            assert index.distance(0, t) == truth[t]

@@ -1,0 +1,110 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators.primitives import (
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.graph import Graph
+from repro.graphs.statistics import (
+    approximate_clustering,
+    core_periphery_coefficient,
+    degeneracy,
+    degeneracy_ordering,
+    degree_histogram,
+    summarize,
+)
+
+
+class TestDegeneracy:
+    def test_tree_is_1_degenerate(self):
+        assert degeneracy(path_graph(10)) == 1
+        assert degeneracy(star_graph(6)) == 1
+
+    def test_cycle_is_2_degenerate(self):
+        assert degeneracy(cycle_graph(7)) == 2
+
+    def test_clique(self):
+        assert degeneracy(clique_graph(6)) == 5
+
+    def test_grid(self):
+        assert degeneracy(grid_graph(4, 4)) == 2
+
+    def test_empty(self):
+        assert degeneracy(Graph.empty(0)) == 0
+        assert degeneracy(Graph.empty(3)) == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = gnp_graph(60, 0.1, seed=9)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.nodes())
+        nxg.add_edges_from((u, v) for u, v, _ in g.edges())
+        expected = max(nx.core_number(nxg).values())
+        assert degeneracy(g) == expected
+
+    def test_core_numbers_match_networkx(self):
+        import networkx as nx
+
+        g = gnp_graph(50, 0.12, seed=10)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.nodes())
+        nxg.add_edges_from((u, v) for u, v, _ in g.edges())
+        expected = nx.core_number(nxg)
+        _, core_number = degeneracy_ordering(g)
+        for v in g.nodes():
+            assert core_number[v] == expected[v]
+
+
+class TestHistogramAndSummary:
+    def test_degree_histogram(self):
+        hist = degree_histogram(star_graph(4))
+        assert hist == {4: 1, 1: 4}
+
+    def test_summary_fields(self):
+        g = grid_graph(3, 3)
+        summary = summarize(g)
+        assert summary.n == 9
+        assert summary.m == 12
+        assert summary.min_degree == 2
+        assert summary.max_degree == 4
+        assert summary.components == 1
+        assert summary.degeneracy == 2
+
+    def test_summary_as_row(self):
+        row = summarize(path_graph(3)).as_row()
+        assert row["n"] == 3
+        assert "degeneracy" in row
+
+
+class TestClustering:
+    def test_clique_fully_clustered(self):
+        assert approximate_clustering(clique_graph(6), samples=10, seed=1) == pytest.approx(1.0)
+
+    def test_tree_unclustered(self):
+        assert approximate_clustering(star_graph(8), samples=10, seed=1) == 0.0
+
+    def test_no_eligible_nodes(self):
+        assert approximate_clustering(path_graph(2), samples=5, seed=1) == 0.0
+
+
+class TestCorePeripheryCoefficient:
+    def test_regular_graph_scores_high(self):
+        assert core_periphery_coefficient(cycle_graph(10)) == 1.0
+
+    def test_core_periphery_scores_lower(self):
+        from repro.graphs.generators.primitives import lollipop_graph
+
+        lollipop = lollipop_graph(10, 50)
+        assert core_periphery_coefficient(lollipop) < 0.5
+
+    def test_empty(self):
+        assert core_periphery_coefficient(Graph.empty(0)) == 0.0

@@ -1,0 +1,139 @@
+"""Unit tests for BFS/Dijkstra/connectivity against networkx ground truth."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators.primitives import cycle_graph, grid_graph, path_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import INF, Graph
+from repro.graphs.traversal import (
+    all_pairs_distances,
+    bfs_distances,
+    connected_components,
+    dijkstra_distances,
+    distances_to_targets,
+    eccentricity,
+    is_connected,
+    largest_component_subgraph,
+    pairwise_distance,
+    single_source_distances,
+)
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.nodes())
+    for u, v, w in graph.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestBfs:
+    def test_path_graph(self):
+        dist = bfs_distances(path_graph(5), 0)
+        assert dist == [0, 1, 2, 3, 4]
+
+    def test_unreachable_is_inf(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == INF
+        assert dist[3] == INF
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(40, 0.08, seed=seed)
+        nxg = to_networkx(g)
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        dist = bfs_distances(g, 0)
+        for v in g.nodes():
+            assert dist[v] == expected.get(v, INF)
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = random_weighted(gnp_graph(30, 0.15, seed=seed), 1, 9, seed=seed + 50)
+        nxg = to_networkx(g)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        dist = dijkstra_distances(g, 0)
+        for v in g.nodes():
+            assert dist[v] == expected.get(v, INF)
+
+    def test_prefers_light_detour(self):
+        g = Graph.from_edges(3, [(0, 2, 10), (0, 1, 1), (1, 2, 1)])
+        assert dijkstra_distances(g, 0)[2] == 2
+
+
+class TestDispatch:
+    def test_single_source_uses_bfs_for_unweighted(self):
+        g = path_graph(4)
+        assert single_source_distances(g, 0) == bfs_distances(g, 0)
+
+    def test_single_source_uses_dijkstra_for_weighted(self):
+        g = Graph.from_edges(3, [(0, 1, 2), (1, 2, 2)])
+        assert single_source_distances(g, 0) == dijkstra_distances(g, 0)
+
+
+class TestPairwise:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bidirectional_bfs_matches_full(self, seed):
+        g = gnp_graph(35, 0.1, seed=seed)
+        full = all_pairs_distances(g)
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(60):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            assert pairwise_distance(g, s, t) == full[s][t]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bidirectional_dijkstra_matches_full(self, seed):
+        g = random_weighted(gnp_graph(25, 0.15, seed=seed), 1, 7, seed=seed)
+        full = all_pairs_distances(g)
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(50):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            assert pairwise_distance(g, s, t) == full[s][t]
+
+    def test_same_node(self):
+        assert pairwise_distance(path_graph(3), 1, 1) == 0
+
+    def test_disconnected_pair(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert pairwise_distance(g, 0, 3) == INF
+
+
+class TestConnectivity:
+    def test_components(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert comps == [[0, 1, 2], [3, 4], [5]]
+
+    def test_is_connected(self):
+        assert is_connected(cycle_graph(5))
+        assert not is_connected(Graph.from_edges(3, [(0, 1)]))
+        assert is_connected(Graph.empty(1))
+        assert is_connected(Graph.empty(0))
+
+    def test_largest_component(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        sub, originals = largest_component_subgraph(g)
+        assert originals == [0, 1, 2, 3]
+        assert sub.m == 3
+
+
+class TestMisc:
+    def test_eccentricity_of_path_end(self):
+        assert eccentricity(path_graph(6), 0) == 5
+
+    def test_eccentricity_isolated(self):
+        assert eccentricity(Graph.empty(3), 0) == 0
+
+    def test_distances_to_targets(self):
+        g = grid_graph(3, 3)
+        result = distances_to_targets(g, 0, [8, 4])
+        assert result == {8: 4, 4: 2}

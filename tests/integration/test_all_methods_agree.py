@@ -1,0 +1,87 @@
+"""Integration: every index type answers identically on shared graphs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import CorePeripheryConfig, core_periphery_graph
+from repro.graphs.generators.power_law import barabasi_albert_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.generators.worst_case import rolling_cliques_graph
+from repro.graphs.traversal import single_source_distances
+from repro.labeling.cd import build_cd
+from repro.labeling.h2h import build_h2h
+from repro.labeling.pll import build_pll
+from repro.labeling.psl import build_psl
+from repro.labeling.psl_variants import build_psl_plus, build_psl_star
+
+
+def build_lineup(graph):
+    indexes = {
+        "PLL": build_pll(graph),
+        "PSL+": build_psl_plus(graph),
+        "PSL*": build_psl_star(graph),
+        "H2H": build_h2h(graph),
+        "CD-4": build_cd(graph, 4),
+        "CT-0": CTIndex.build(graph, 0),
+        "CT-4": CTIndex.build(graph, 4),
+        "CT-64": CTIndex.build(graph, 64),
+    }
+    if graph.unweighted:
+        indexes["PSL"] = build_psl(graph)
+    return indexes
+
+
+GRAPHS = {
+    "gnp": lambda: gnp_graph(60, 0.08, seed=101),
+    "gnp_disconnected": lambda: gnp_graph(60, 0.02, seed=102),
+    "weighted": lambda: random_weighted(gnp_graph(40, 0.12, seed=103), 1, 9, seed=104),
+    "ba": lambda: barabasi_albert_graph(80, 3, seed=105),
+    "core_periphery": lambda: core_periphery_graph(
+        CorePeripheryConfig(core_size=40, community_count=5, fringe_size=120), seed=106
+    ),
+    "rolling_cliques": lambda: rolling_cliques_graph(3, 6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_methods_agree_with_search(name):
+    graph = GRAPHS[name]()
+    indexes = build_lineup(graph)
+    rng = random.Random(999)
+    sources = [rng.randrange(graph.n) for _ in range(12)]
+    for s in sources:
+        truth = single_source_distances(graph, s)
+        for t in range(graph.n):
+            expected = truth[t]
+            for method, index in indexes.items():
+                assert index.distance(s, t) == expected, (name, method, s, t)
+
+
+def test_index_sizes_ranked_on_core_periphery():
+    """The size ordering the whole paper is about."""
+    graph = core_periphery_graph(
+        CorePeripheryConfig(
+            core_size=100, core_density=0.5, community_count=12, fringe_size=500
+        ),
+        seed=107,
+    )
+    psl_plus = build_psl_plus(graph)
+    psl_star = build_psl_star(graph)
+    ct = CTIndex.build(graph, 10)
+    assert ct.size_entries() < psl_star.size_entries() < psl_plus.size_entries()
+
+
+def test_ct_builds_faster_than_psl_plus_on_core_periphery():
+    graph = core_periphery_graph(
+        CorePeripheryConfig(
+            core_size=120, core_density=0.5, community_count=12, fringe_size=700
+        ),
+        seed=108,
+    )
+    psl_plus = build_psl_plus(graph)
+    ct = CTIndex.build(graph, 20)
+    assert ct.build_seconds < psl_plus.build_seconds * 1.5

@@ -1,0 +1,63 @@
+"""Integration: the full CLI workflow a user would run, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture
+def workdir(tmp_path, capsys):
+    return tmp_path
+
+
+class TestPipeline:
+    def test_generate_build_audit_query_path(self, workdir, capsys):
+        edges = workdir / "g.edges"
+        index = workdir / "g.idx"
+
+        assert main(["generate", "talk", "-o", str(edges)]) == 0
+        assert main(["stats", str(edges)]) == 0
+        assert main(["build", str(edges), "-d", "10", "-o", str(index)]) == 0
+        assert main(["audit", str(index), "--samples", "80"]) == 0
+        capsys.readouterr()
+
+        assert main(["query", str(index), "0", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "dist(0, 100)" in out
+
+        assert main(["path", str(index), "0", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out or "cannot reach" in out
+
+    def test_find_bandwidth_then_build_at_found_d(self, workdir, capsys):
+        edges = workdir / "g.edges"
+        assert main(["generate", "talk", "-o", str(edges)]) == 0
+        capsys.readouterr()
+        assert main(["find-bandwidth", str(edges), "--memory-mb", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "smallest feasible bandwidth" in out
+        # Parse the found d and build with it.
+        found = int(out.split("d = ")[1].split()[0])
+        index = workdir / "g.idx"
+        assert main(["build", str(edges), "-d", str(found), "-o", str(index)]) == 0
+
+    def test_audit_detects_tampering(self, workdir, capsys):
+        import json
+
+        edges = workdir / "g.edges"
+        index_path = workdir / "g.idx"
+        main(["generate", "talk", "-o", str(edges)])
+        main(["build", str(edges), "-d", "5", "-o", str(index_path)])
+        document = json.loads(index_path.read_text())
+        # Tamper with a stored tree-label distance.
+        for label in document["tree_labels"]:
+            if label:
+                key = next(iter(label))
+                label[key] = label[key] + 7
+                break
+        index_path.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert main(["audit", str(index_path), "--samples", "400"]) == 1
+        assert "FAIL" in capsys.readouterr().out

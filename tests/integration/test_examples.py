@@ -1,0 +1,30 @@
+"""Integration: every example script runs cleanly."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+def test_at_least_three_examples_exist():
+    assert len(list(EXAMPLES_DIR.glob("*.py"))) >= 3

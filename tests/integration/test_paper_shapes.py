@@ -1,0 +1,85 @@
+"""Integration: the headline quantitative shapes of the paper hold.
+
+These tests pin the *relationships* (who wins, roughly by how much) on
+small registry datasets — the full-figure versions live under
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.bench.workloads import random_pairs
+from repro.core.ct_index import CTIndex
+from repro.exceptions import OverMemoryError
+from repro.labeling.base import MemoryBudget
+from repro.labeling.cd import build_cd
+from repro.labeling.psl_variants import build_psl_plus
+
+
+@pytest.fixture(scope="module")
+def talk():
+    return load_dataset("talk")
+
+
+class TestSizeShapes:
+    def test_ct_much_smaller_than_psl_plus(self, talk):
+        psl = build_psl_plus(talk)
+        ct = CTIndex.build(talk, 100)
+        # Paper: 4.79x smaller on average; require at least 1.5x here.
+        assert psl.size_entries() > 1.5 * ct.size_entries()
+
+    def test_bandwidth_sweep_monotone_with_slack(self, talk):
+        sizes = [CTIndex.build(talk, d).size_entries() for d in (0, 2, 5, 20)]
+        # Sizes fall steeply early in the sweep (Figure 10a).
+        assert sizes[1] < sizes[0]
+        assert sizes[3] < sizes[0] * 0.6
+
+    def test_cd_larger_than_ct(self, talk):
+        cd = build_cd(talk, 100)
+        ct = CTIndex.build(talk, 100)
+        assert cd.size_entries() > 3 * ct.size_entries()  # Table 3: ~10x
+
+    def test_cd_slower_to_build_than_ct(self, talk):
+        cd = build_cd(talk, 100)
+        ct = CTIndex.build(talk, 100)
+        assert cd.build_seconds > 2 * ct.build_seconds
+
+
+class TestOmBehaviour:
+    def test_om_pattern_under_budget(self, talk):
+        psl_size = build_psl_plus(talk).size_bytes()
+        budget = MemoryBudget(limit_bytes=int(psl_size * 0.6))
+        with pytest.raises(OverMemoryError):
+            build_psl_plus(talk, budget=budget)
+        # CT-100 fits in the same budget.
+        index = CTIndex.build(talk, 100, budget=MemoryBudget(limit_bytes=int(psl_size * 0.6)))
+        assert index.size_bytes() <= psl_size * 0.6
+
+
+class TestQueryShapes:
+    def test_sub_millisecond_queries(self, talk):
+        import time
+
+        index = CTIndex.build(talk, 100)
+        workload = random_pairs(talk, 3000, seed=5)
+        started = time.perf_counter()
+        for s, t in workload.pairs:
+            index.distance(s, t)
+        per_query = (time.perf_counter() - started) / len(workload)
+        # Paper: below 0.4 ms at d=100 even on the largest graph.
+        assert per_query < 1e-3
+
+    def test_query_case_mix_realistic(self, talk):
+        index = CTIndex.build(talk, 20)
+        workload = random_pairs(talk, 2000, seed=6)
+        for s, t in workload.pairs:
+            index.distance(s, t)
+        # With most nodes in the forest, tree-touching cases dominate.
+        tree_cases = (
+            index.case_counts["case2"]
+            + index.case_counts["case3"]
+            + index.case_counts["case4"]
+        )
+        assert tree_cases > index.case_counts["case1"]

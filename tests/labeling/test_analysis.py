@@ -1,0 +1,68 @@
+"""Unit tests for labeling anatomy analysis."""
+
+from __future__ import annotations
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import CorePeripheryConfig, core_periphery_graph
+from repro.graphs.generators.primitives import clique_graph, star_graph
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.labeling.analysis import analyze_ct_index, analyze_labels
+from repro.labeling.hub_labels import HubLabeling
+from repro.labeling.pll import build_pll
+
+
+class TestAnalyzeLabels:
+    def test_empty(self):
+        anatomy = analyze_labels(HubLabeling([]))
+        assert anatomy.total_entries == 0
+        assert anatomy.max_label == 0
+
+    def test_totals_match(self):
+        g = gnp_graph(40, 0.15, seed=1)
+        pll = build_pll(g)
+        anatomy = analyze_labels(pll.labels)
+        assert anatomy.total_entries == pll.size_entries()
+        assert anatomy.max_label == pll.max_label_size()
+        assert anatomy.median_label <= anatomy.p90_label <= anatomy.max_label
+
+    def test_star_concentrates_on_center(self):
+        pll = build_pll(star_graph(30))
+        anatomy = analyze_labels(pll.labels)
+        # Nearly every entry names the center hub or a self hub.
+        assert anatomy.top_hub_share > 0.4
+
+    def test_clique_spreads_hubs(self):
+        pll = build_pll(clique_graph(30))
+        anatomy = analyze_labels(pll.labels)
+        # Quadratic labels spread across all hubs: top-10 can't dominate.
+        assert anatomy.top_hub_share < 0.9
+
+    def test_as_row_keys(self):
+        pll = build_pll(gnp_graph(15, 0.3, seed=2))
+        row = analyze_labels(pll.labels).as_row()
+        assert {"entries", "max_label", "mean_label", "top10_hub_share"} <= set(row)
+
+
+class TestAnalyzeCtIndex:
+    def test_split_sums_to_total(self):
+        cfg = CorePeripheryConfig(core_size=50, community_count=6, fringe_size=200)
+        g = core_periphery_graph(cfg, seed=3)
+        index = CTIndex.build(g, 5)
+        anatomy = analyze_ct_index(index)
+        assert anatomy.total == index.size_entries()
+        assert anatomy.core_entries == index.core_index.size_entries()
+        assert anatomy.ancestor_entries > 0
+        assert anatomy.interface_entries > 0
+
+    def test_bandwidth_zero_all_core(self):
+        g = gnp_graph(25, 0.2, seed=4)
+        index = CTIndex.build(g, 0)
+        anatomy = analyze_ct_index(index)
+        assert anatomy.ancestor_entries == 0
+        assert anatomy.interface_entries == 0
+        assert anatomy.core_entries == index.size_entries()
+
+    def test_core_share_row(self):
+        g = gnp_graph(25, 0.2, seed=5)
+        row = analyze_ct_index(CTIndex.build(g, 3)).as_row()
+        assert 0.0 <= float(str(row["core_share"])) <= 1.0

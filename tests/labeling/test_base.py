@@ -1,0 +1,56 @@
+"""Unit tests for the index base types and the memory budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OverMemoryError
+from repro.labeling.base import BYTES_PER_ENTRY, IndexStats, MemoryBudget
+
+
+class TestMemoryBudget:
+    def test_unlimited_never_raises(self):
+        budget = MemoryBudget.unlimited()
+        budget.charge(10**9)
+        assert budget.charged_entries == 10**9
+
+    def test_limit_respected(self):
+        budget = MemoryBudget(limit_bytes=BYTES_PER_ENTRY * 3)
+        budget.charge(3)
+        with pytest.raises(OverMemoryError):
+            budget.charge()
+
+    def test_bulk_charge(self):
+        budget = MemoryBudget(limit_bytes=BYTES_PER_ENTRY * 10)
+        with pytest.raises(OverMemoryError):
+            budget.charge(11)
+
+    def test_error_carries_sizes(self):
+        budget = MemoryBudget(limit_bytes=8)
+        with pytest.raises(OverMemoryError) as excinfo:
+            budget.charge(2)
+        assert excinfo.value.modeled_bytes == 16
+        assert excinfo.value.limit_bytes == 8
+
+    def test_from_megabytes(self):
+        budget = MemoryBudget.from_megabytes(1.5)
+        assert budget.limit_bytes == 1_500_000
+
+
+class TestIndexStats:
+    def test_megabytes(self):
+        stats = IndexStats(method="x", entries=250_000, bytes=2_000_000, build_seconds=1.0)
+        assert stats.megabytes == 2.0
+
+    def test_as_row(self):
+        stats = IndexStats(
+            method="CT-20",
+            entries=10,
+            bytes=80,
+            build_seconds=0.5,
+            extra={"core_size": 4},
+        )
+        row = stats.as_row()
+        assert row["method"] == "CT-20"
+        assert row["entries"] == 10
+        assert row["core_size"] == 4

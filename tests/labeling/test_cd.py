@@ -1,0 +1,85 @@
+"""Unit tests for the CD core-tree baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OverMemoryError
+from repro.graphs.generators.primitives import cycle_graph, grid_graph, path_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import INF, Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.base import MemoryBudget
+from repro.labeling.cd import build_cd
+
+
+def assert_exact(index, graph):
+    truth = all_pairs_distances(graph)
+    for s in graph.nodes():
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[s][t], (s, t)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("bandwidth", [1, 3, 6])
+    def test_random_unweighted(self, seed, bandwidth):
+        g = gnp_graph(26, 0.14, seed=seed)
+        assert_exact(build_cd(g, bandwidth), g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_weighted(self, seed):
+        g = random_weighted(gnp_graph(18, 0.2, seed=seed), 1, 7, seed=seed + 40)
+        assert_exact(build_cd(g, 3), g)
+
+    def test_bandwidth_zero(self):
+        g = gnp_graph(15, 0.25, seed=6)
+        assert_exact(build_cd(g, 0), g)
+
+    def test_all_forest(self):
+        # Huge bandwidth: the whole graph is eliminated; core matrix empty.
+        g = path_graph(12)
+        cd = build_cd(g, 100)
+        assert len(cd.core_distances) == 0
+        assert_exact(cd, g)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(8, [(0, 1), (1, 2), (4, 5), (5, 6)])
+        assert_exact(build_cd(g, 2), g)
+
+    def test_grid(self):
+        assert_exact(build_cd(grid_graph(4, 5), 3), grid_graph(4, 5))
+
+
+class TestShape:
+    def test_core_matrix_quadratic(self):
+        # The dense core keeps a pairwise matrix: |C| choose 2 entries for
+        # a connected core.
+        g = gnp_graph(30, 0.5, seed=7)
+        cd = build_cd(g, 2)
+        n_core = len(cd.decomposition.core_nodes)
+        assert len(cd.core_distances) == n_core * (n_core - 1) // 2
+
+    def test_larger_than_ct_on_core_periphery(self):
+        from repro.core.ct_index import CTIndex
+        from repro.graphs.generators.core_periphery import (
+            CorePeripheryConfig,
+            core_periphery_graph,
+        )
+
+        cfg = CorePeripheryConfig(core_size=60, community_count=6, fringe_size=150)
+        g = core_periphery_graph(cfg, seed=1)
+        cd = build_cd(g, 10)
+        ct = CTIndex.build(g, 10, use_equivalence_reduction=False)
+        assert cd.size_entries() > ct.size_entries()
+
+    def test_budget_overflow(self):
+        g = gnp_graph(40, 0.4, seed=8)
+        with pytest.raises(OverMemoryError):
+            build_cd(g, 2, budget=MemoryBudget(limit_bytes=100))
+
+    def test_isolated_nodes(self):
+        g = Graph.from_edges(5, [(0, 1)])
+        cd = build_cd(g, 2)
+        assert cd.distance(2, 3) == INF
+        assert cd.distance(0, 1) == 1

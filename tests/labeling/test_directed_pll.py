@@ -1,0 +1,84 @@
+"""Unit tests for directed 2-hop labeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OverMemoryError
+from repro.graphs.digraph import DiGraph, forward_distances
+from repro.graphs.graph import INF
+from repro.labeling.base import MemoryBudget
+from repro.labeling.directed_pll import build_directed_pll
+from tests.graphs.test_digraph import random_digraph
+
+
+def assert_exact(index, graph):
+    for s in graph.nodes():
+        truth = forward_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_unweighted(self, seed):
+        assert_exact(build_directed_pll(random_digraph(25, 0.1, seed)), random_digraph(25, 0.1, seed))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_weighted(self, seed):
+        g = random_digraph(20, 0.12, seed, weighted=True)
+        assert_exact(build_directed_pll(g), g)
+
+    def test_asymmetric_distances(self):
+        g = DiGraph.from_arcs(3, [(0, 1), (1, 2)])
+        index = build_directed_pll(g)
+        assert index.distance(0, 2) == 2
+        assert index.distance(2, 0) == INF
+
+    def test_directed_cycle(self):
+        n = 7
+        g = DiGraph.from_arcs(n, [(i, (i + 1) % n) for i in range(n)])
+        index = build_directed_pll(g)
+        for s in range(n):
+            for t in range(n):
+                assert index.distance(s, t) == (t - s) % n
+
+    def test_dag(self):
+        g = DiGraph.from_arcs(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        index = build_directed_pll(g)
+        assert index.distance(0, 4) == 3
+        assert index.distance(4, 0) == INF
+
+    def test_isolated_nodes(self):
+        g = DiGraph.from_arcs(4, [(0, 1)])
+        index = build_directed_pll(g)
+        assert index.distance(2, 3) == INF
+        assert index.distance(2, 2) == 0
+
+
+class TestStructure:
+    def test_size_counts_both_sides(self):
+        g = random_digraph(20, 0.15, seed=50)
+        index = build_directed_pll(g)
+        assert index.size_entries() == (
+            index.out_labels.total_entries() + index.in_labels.total_entries()
+        )
+        assert index.max_label_size() >= 1
+
+    def test_self_hub_both_sides(self):
+        g = random_digraph(15, 0.2, seed=51)
+        index = build_directed_pll(g)
+        for v in g.nodes():
+            assert (v, 0) in index.out_labels.label_entries(v)
+            assert (v, 0) in index.in_labels.label_entries(v)
+
+    def test_budget(self):
+        g = random_digraph(30, 0.2, seed=52)
+        with pytest.raises(OverMemoryError):
+            build_directed_pll(g, budget=MemoryBudget(limit_bytes=64))
+
+    def test_custom_order(self):
+        g = random_digraph(18, 0.15, seed=53)
+        order = list(range(g.n))
+        index = build_directed_pll(g, order=order)
+        assert_exact(index, g)

@@ -1,0 +1,83 @@
+"""Unit tests for the H2H baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OverMemoryError
+from repro.graphs.generators.primitives import (
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import INF, Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.base import MemoryBudget
+from repro.labeling.h2h import build_h2h
+
+
+def assert_exact(index, graph):
+    truth = all_pairs_distances(graph)
+    for s in graph.nodes():
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[s][t], (s, t)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_unweighted(self, seed):
+        g = gnp_graph(28, 0.12, seed=seed)
+        assert_exact(build_h2h(g), g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_weighted(self, seed):
+        g = random_weighted(gnp_graph(20, 0.2, seed=seed), 1, 8, seed=seed + 30)
+        assert_exact(build_h2h(g), g)
+
+    def test_road_like_grid(self):
+        g = grid_graph(5, 6)
+        assert_exact(build_h2h(g), g)
+
+    def test_primitives(self):
+        for g in (path_graph(10), cycle_graph(7), clique_graph(6), star_graph(8)):
+            assert_exact(build_h2h(g), g)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        h2h = build_h2h(g)
+        assert h2h.distance(0, 2) == 2
+        assert h2h.distance(0, 4) == INF
+        assert h2h.distance(5, 5) == 0
+
+
+class TestSizeShape:
+    def test_size_tracks_height_on_path(self):
+        h2h = build_h2h(path_graph(40))
+        # Ancestor arrays: sum of chain lengths, far below n^2.
+        assert h2h.size_entries() < 40 * 40 / 2
+
+    def test_clique_is_quadratic(self):
+        n = 10
+        h2h = build_h2h(clique_graph(n))
+        assert h2h.size_entries() == n * (n - 1) // 2
+
+    def test_height_reported(self):
+        h2h = build_h2h(grid_graph(4, 4))
+        assert h2h.height() >= 4
+
+    def test_grid_much_smaller_than_core_periphery(self):
+        # H2H's strength is low-treewidth graphs: per-node cost on a grid
+        # stays near the grid width, not n.
+        g = grid_graph(6, 6)
+        h2h = build_h2h(g)
+        assert h2h.size_entries() / g.n < 2 * 6 + 8
+
+
+class TestBudget:
+    def test_budget_overflow(self):
+        g = clique_graph(30)
+        with pytest.raises(OverMemoryError):
+            build_h2h(g, budget=MemoryBudget(limit_bytes=80))

@@ -1,0 +1,101 @@
+"""Unit tests for the hub-label store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.graph import INF
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.hub_labels import HubLabeling
+
+
+class TestStructure:
+    def test_rank_mapping(self):
+        labels = HubLabeling([2, 0, 1])
+        assert labels.rank_of(2) == 0
+        assert labels.rank_of(1) == 2
+        assert labels.node_of_rank(0) == 2
+
+    def test_append_and_read(self):
+        labels = HubLabeling([0, 1, 2])
+        labels.append_entry(2, 0, 3)
+        labels.append_entry(2, 2, 0)
+        assert labels.label_entries(2) == [(0, 3), (2, 0)]
+        assert labels.label_size(2) == 2
+        assert labels.label_rank_map(2) == {0: 3, 2: 0}
+
+    def test_append_out_of_order_rejected(self):
+        labels = HubLabeling([0, 1])
+        labels.append_entry(0, 1, 2)
+        with pytest.raises(QueryError):
+            labels.append_entry(0, 0, 1)
+
+    def test_sizes(self):
+        labels = HubLabeling([0, 1, 2])
+        labels.append_entry(0, 0, 0)
+        labels.append_entry(1, 0, 1)
+        labels.append_entry(1, 1, 0)
+        assert labels.total_entries() == 3
+        assert labels.max_label_size() == 2
+
+    def test_drop_label(self):
+        labels = HubLabeling([0, 1])
+        labels.append_entry(0, 0, 0)
+        labels.drop_label(0)
+        assert labels.label_size(0) == 0
+        assert labels.total_entries() == 0
+
+    def test_iter_rank_entries(self):
+        labels = HubLabeling([0, 1])
+        labels.append_entry(1, 0, 5)
+        assert list(labels.iter_rank_entries(1)) == [(0, 5)]
+
+
+class TestQuery:
+    def test_same_node_zero(self):
+        labels = HubLabeling([0, 1])
+        assert labels.query(0, 0) == 0
+
+    def test_no_common_hub_inf(self):
+        labels = HubLabeling([0, 1, 2])
+        labels.append_entry(0, 0, 0)
+        labels.append_entry(1, 1, 0)
+        assert labels.query(0, 1) == INF
+
+    def test_min_over_common_hubs(self):
+        labels = HubLabeling([0, 1, 2, 3])
+        labels.append_entry(2, 0, 5)
+        labels.append_entry(2, 1, 1)
+        labels.append_entry(3, 0, 1)
+        labels.append_entry(3, 1, 4)
+        assert labels.query(2, 3) == 5  # min(5+1, 1+4)
+
+    def test_query_with_map(self):
+        labels = HubLabeling([0, 1, 2])
+        labels.append_entry(2, 0, 2)
+        labels.append_entry(2, 1, 7)
+        assert labels.query_with_map({0: 3, 1: 1}, 2) == 5
+
+    def test_query_merge_static(self):
+        assert HubLabeling.query_merge([0, 2], [1, 1], [2, 5], [2, 2]) == 3
+        assert HubLabeling.query_merge([], [], [0], [1]) == INF
+
+
+class TestVerification:
+    def test_verify_two_hop_cover_passes_for_pll(self):
+        from repro.labeling.pll import build_pll
+
+        g = gnp_graph(25, 0.2, seed=1)
+        pll = build_pll(g)
+        pll.labels.verify_two_hop_cover(g, all_pairs_distances(g))
+
+    def test_verify_two_hop_cover_detects_missing(self):
+        from repro.graphs.generators.primitives import path_graph
+
+        g = path_graph(3)
+        labels = HubLabeling([0, 1, 2])
+        labels.append_entry(0, 0, 0)  # incomplete labeling
+        with pytest.raises(QueryError):
+            labels.verify_two_hop_cover(g, all_pairs_distances(g))

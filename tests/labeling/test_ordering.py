@@ -1,0 +1,72 @@
+"""Unit tests for vertex-order strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators.primitives import star_graph
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.labeling.ordering import (
+    degeneracy_based_order,
+    degree_order,
+    elimination_based_order,
+    make_order,
+    random_order,
+    validate_order,
+)
+
+
+class TestDegreeOrder:
+    def test_descending_degree(self):
+        g = star_graph(5)
+        order = degree_order(g)
+        assert order[0] == 0  # the center
+
+    def test_ties_broken_by_id(self):
+        g = star_graph(3)
+        assert degree_order(g)[1:] == [1, 2, 3]
+
+    def test_is_permutation(self):
+        g = gnp_graph(30, 0.2, seed=1)
+        validate_order(g, degree_order(g))
+
+
+class TestOtherOrders:
+    def test_degeneracy_order_permutation(self):
+        g = gnp_graph(30, 0.15, seed=2)
+        validate_order(g, degeneracy_based_order(g))
+
+    def test_elimination_order_permutation(self):
+        g = gnp_graph(25, 0.15, seed=3)
+        validate_order(g, elimination_based_order(g))
+
+    def test_elimination_order_core_first(self):
+        # The last-eliminated (core) node leads the order.
+        from repro.graphs.generators.primitives import lollipop_graph
+
+        g = lollipop_graph(6, 10)
+        order = elimination_based_order(g)
+        assert order[0] < 6  # a clique member
+
+    def test_random_order_deterministic(self):
+        g = gnp_graph(20, 0.2, seed=4)
+        assert random_order(g, seed=5) == random_order(g, seed=5)
+        assert random_order(g, seed=5) != random_order(g, seed=6)
+
+
+class TestRegistry:
+    def test_make_order_by_name(self):
+        g = gnp_graph(15, 0.2, seed=7)
+        assert make_order(g, "degree") == degree_order(g)
+
+    def test_make_order_unknown(self):
+        with pytest.raises(GraphError):
+            make_order(gnp_graph(5, 0.5, seed=1), "alphabetical")
+
+    def test_validate_rejects_bad_order(self):
+        g = gnp_graph(5, 0.5, seed=8)
+        with pytest.raises(GraphError):
+            validate_order(g, [0, 0, 1, 2, 3])
+        with pytest.raises(GraphError):
+            validate_order(g, [0, 1, 2])

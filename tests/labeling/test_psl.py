@@ -1,0 +1,84 @@
+"""Unit tests for the round-synchronous PSL builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexConstructionError, OverMemoryError
+from repro.graphs.generators.primitives import cycle_graph, path_graph, star_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import INF, Graph
+from repro.graphs.traversal import all_pairs_distances, eccentricity
+from repro.labeling.base import MemoryBudget
+from repro.labeling.pll import build_pll
+from repro.labeling.psl import build_psl
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = gnp_graph(30, 0.12, seed=seed)
+        psl = build_psl(g)
+        truth = all_pairs_distances(g)
+        for s in g.nodes():
+            for t in g.nodes():
+                assert psl.distance(s, t) == truth[s][t]
+
+    def test_disconnected(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        psl = build_psl(g)
+        assert psl.distance(0, 3) == INF
+        assert psl.distance(2, 3) == 1
+
+    def test_weighted_rejected(self):
+        g = random_weighted(gnp_graph(10, 0.3, seed=1), 2, 5, seed=2)
+        with pytest.raises(IndexConstructionError):
+            build_psl(g)
+
+    def test_path_and_cycle(self):
+        for g in (path_graph(12), cycle_graph(9), star_graph(6)):
+            psl = build_psl(g)
+            truth = all_pairs_distances(g)
+            for s in g.nodes():
+                for t in g.nodes():
+                    assert psl.distance(s, t) == truth[s][t]
+
+
+class TestEquivalenceWithPll:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_labels_as_pll_under_same_order(self, seed):
+        # PSL's level-synchronous construction yields the same canonical
+        # label sets as PLL's sequential pruned searches.
+        g = gnp_graph(25, 0.15, seed=seed)
+        pll = build_pll(g)
+        psl = build_psl(g, order=pll.order)
+        for v in g.nodes():
+            assert sorted(pll.labels.label_entries(v)) == sorted(
+                psl.labels.label_entries(v)
+            ), v
+
+
+class TestRounds:
+    def test_rounds_bounded_by_diameter(self):
+        g = path_graph(9)
+        psl = build_psl(g)
+        diameter = max(eccentricity(g, v) for v in g.nodes())
+        assert psl.rounds <= diameter + 2
+
+    def test_star_needs_two_rounds(self):
+        psl = build_psl(star_graph(5))
+        assert psl.rounds <= 3
+
+
+class TestBudget:
+    def test_budget_overflow(self):
+        g = gnp_graph(30, 0.3, seed=3)
+        with pytest.raises(OverMemoryError):
+            build_psl(g, budget=MemoryBudget(limit_bytes=64))
+
+    def test_exempt_nodes(self):
+        g = cycle_graph(10)
+        index = build_psl(
+            g, budget=MemoryBudget(limit_bytes=1), budget_exempt=frozenset(g.nodes())
+        )
+        assert index.size_entries() > 0

@@ -1,0 +1,110 @@
+"""Unit tests for PSL+ and PSL*."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexConstructionError, OverMemoryError
+from repro.graphs.generators.primitives import clique_graph, star_graph
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.graph import INF, Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.base import MemoryBudget
+from repro.labeling.psl_variants import build_psl_plus, build_psl_star
+
+
+def assert_exact(index, graph):
+    truth = all_pairs_distances(graph)
+    for s in graph.nodes():
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[s][t], (s, t)
+
+
+class TestPslPlus:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("backend", ["pll", "psl"])
+    def test_exact(self, seed, backend):
+        g = gnp_graph(28, 0.12, seed=seed)
+        assert_exact(build_psl_plus(g, backend=backend), g)
+
+    def test_twin_heavy_graph_shrinks(self):
+        g = star_graph(20)
+        index = build_psl_plus(g)
+        assert index.reduction.reduced.n == 2
+        assert index.size_entries() <= 4
+        assert_exact(index, g)
+
+    def test_clique_collapses(self):
+        g = clique_graph(8)
+        index = build_psl_plus(g)
+        assert index.reduction.reduced.n == 1
+        assert_exact(index, g)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3)])
+        index = build_psl_plus(g)
+        assert index.distance(0, 2) == INF
+        assert index.distance(4, 5) == INF
+        assert index.distance(4, 4) == 0
+
+    def test_unknown_backend(self):
+        with pytest.raises(IndexConstructionError):
+            build_psl_plus(gnp_graph(5, 0.5, seed=1), backend="magic")
+
+    def test_smaller_than_unreduced(self):
+        from repro.labeling.pll import build_pll
+
+        g = star_graph(30)
+        assert build_psl_plus(g).size_entries() < build_pll(g).size_entries()
+
+
+class TestPslStar:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("backend", ["pll", "psl"])
+    def test_exact(self, seed, backend):
+        g = gnp_graph(28, 0.12, seed=seed)
+        assert_exact(build_psl_star(g, backend=backend), g)
+
+    def test_drops_labels(self):
+        g = gnp_graph(60, 0.08, seed=7)
+        star = build_psl_star(g)
+        plus = build_psl_plus(g)
+        assert star.dropped_count > 0
+        assert star.size_entries() < plus.size_entries()
+
+    def test_dropped_nodes_form_independent_set(self):
+        g = gnp_graph(50, 0.1, seed=8)
+        star = build_psl_star(g)
+        reduced = star.reduction.reduced
+        dropped = {v for v in reduced.nodes() if star.dropped[v]}
+        for v in dropped:
+            assert not any(u in dropped for u in reduced.neighbor_ids(v))
+
+    def test_both_endpoints_dropped(self):
+        # Force a query between two dropped nodes.
+        g = gnp_graph(60, 0.1, seed=9)
+        star = build_psl_star(g)
+        reduced = star.reduction.reduced
+        dropped = [v for v in reduced.nodes() if star.dropped[v]]
+        if len(dropped) >= 2:
+            truth = all_pairs_distances(reduced)
+            for s in dropped[:5]:
+                for t in dropped[:5]:
+                    assert star._reduced_distance(s, t) == truth[s][t]
+
+    def test_disconnected(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert_exact(build_psl_star(g), g)
+
+    def test_budget_excludes_dropped_labels(self):
+        # A budget that covers only the retained labels must succeed.
+        g = gnp_graph(50, 0.1, seed=10)
+        star = build_psl_star(g)
+        retained_bytes = star.size_bytes()
+        rebuilt = build_psl_star(g, budget=MemoryBudget(limit_bytes=retained_bytes + 8))
+        assert rebuilt.size_entries() == star.size_entries()
+
+    def test_budget_overflow_still_possible(self):
+        g = gnp_graph(50, 0.2, seed=11)
+        with pytest.raises(OverMemoryError):
+            build_psl_star(g, budget=MemoryBudget(limit_bytes=64))

@@ -1,0 +1,54 @@
+"""Hypothesis strategies for random graphs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+@st.composite
+def graphs(
+    draw,
+    min_nodes: int = 1,
+    max_nodes: int = 24,
+    weighted: bool = False,
+    max_weight: int = 9,
+) -> Graph:
+    """A random simple graph with 0..max possible edges.
+
+    Edge presence is drawn per pair, which lets hypothesis shrink toward
+    small sparse counterexamples.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    builder = GraphBuilder(n)
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        density = draw(st.floats(min_value=0.0, max_value=0.6))
+        chooser = st.floats(min_value=0.0, max_value=1.0)
+        for u, v in pairs:
+            if draw(chooser) < density:
+                weight = draw(st.integers(1, max_weight)) if weighted else 1
+                builder.add_edge(u, v, weight)
+    return builder.build()
+
+
+@st.composite
+def connected_graphs(draw, min_nodes: int = 2, max_nodes: int = 20) -> Graph:
+    """A connected random graph (random spanning tree + extra edges)."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    builder = GraphBuilder(n)
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        builder.add_edge(v, parent)
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+bandwidths = st.integers(min_value=0, max_value=12)

@@ -1,0 +1,94 @@
+"""Property-based tests of the CT-Index core invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.traversal import single_source_distances
+from tests.properties.strategies import bandwidths, graphs
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(graph=graphs(), bandwidth=bandwidths, use_reduction=st.booleans())
+def test_ct_distance_matches_bfs(graph, bandwidth, use_reduction):
+    """The fundamental contract: CT answers every pair exactly."""
+    index = CTIndex.build(graph, bandwidth, use_equivalence_reduction=use_reduction)
+    for s in graph.nodes():
+        truth = single_source_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+@SETTINGS
+@given(graph=graphs(weighted=True), bandwidth=bandwidths)
+def test_ct_distance_matches_dijkstra_weighted(graph, bandwidth):
+    index = CTIndex.build(graph, bandwidth)
+    for s in graph.nodes():
+        truth = single_source_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+@SETTINGS
+@given(graph=graphs(max_nodes=18), bandwidth=st.integers(1, 8))
+def test_extension_equals_naive_4hop(graph, bandwidth):
+    """Lemma 9: extended-label queries equal the Equation 1 enumeration."""
+    index = CTIndex.build(graph, bandwidth, use_equivalence_reduction=False)
+    for s in graph.nodes():
+        for t in graph.nodes():
+            assert index.distance(s, t) == index.distance_naive_4hop(s, t), (s, t)
+
+
+@SETTINGS
+@given(graph=graphs(min_nodes=2), bandwidth=bandwidths)
+def test_symmetry(graph, bandwidth):
+    """dist(s, t) == dist(t, s) on undirected graphs."""
+    index = CTIndex.build(graph, bandwidth)
+    nodes = list(graph.nodes())
+    for s in nodes[:6]:
+        for t in nodes[-6:]:
+            assert index.distance(s, t) == index.distance(t, s)
+
+
+@SETTINGS
+@given(graph=graphs(min_nodes=3), bandwidth=bandwidths)
+def test_triangle_inequality(graph, bandwidth):
+    index = CTIndex.build(graph, bandwidth)
+    nodes = list(graph.nodes())[:8]
+    for a in nodes:
+        for b in nodes:
+            for c in nodes:
+                ab = index.distance(a, b)
+                bc = index.distance(b, c)
+                ac = index.distance(a, c)
+                if ab != float("inf") and bc != float("inf"):
+                    assert ac <= ab + bc
+
+
+@SETTINGS
+@given(graph=graphs(), bandwidth=bandwidths)
+def test_size_accounting_consistent(graph, bandwidth):
+    index = CTIndex.build(graph, bandwidth)
+    assert index.size_entries() == (
+        index.tree_index.size_entries() + index.core_index.size_entries()
+    )
+    assert index.size_bytes() == 8 * index.size_entries()
+
+
+@SETTINGS
+@given(graph=graphs(min_nodes=1, max_nodes=16), bandwidth=bandwidths)
+def test_serialization_roundtrip_property(graph, bandwidth, tmp_path_factory):
+    from repro.core.serialization import load_ct_index, save_ct_index
+
+    index = CTIndex.build(graph, bandwidth)
+    path = tmp_path_factory.mktemp("idx") / "index.json"
+    save_ct_index(index, path)
+    loaded = load_ct_index(path)
+    for s in graph.nodes():
+        truth = single_source_distances(graph, s)
+        for t in graph.nodes():
+            assert loaded.distance(s, t) == truth[t]

@@ -1,0 +1,104 @@
+"""Property-based tests for the directed substrate and labeling."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph, backward_distances, forward_distances
+from repro.labeling.directed_pll import build_directed_pll
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@st.composite
+def digraphs(draw, max_nodes: int = 18, weighted: bool = False) -> DiGraph:
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    arcs = []
+    if n >= 2:
+        density = draw(st.floats(min_value=0.0, max_value=0.5))
+        chooser = st.floats(min_value=0.0, max_value=1.0)
+        for u in range(n):
+            for v in range(n):
+                if u != v and draw(chooser) < density:
+                    if weighted:
+                        arcs.append((u, v, draw(st.integers(1, 9))))
+                    else:
+                        arcs.append((u, v))
+    return DiGraph.from_arcs(n, arcs)
+
+
+@SETTINGS
+@given(graph=digraphs())
+def test_directed_pll_exact(graph):
+    index = build_directed_pll(graph)
+    for s in graph.nodes():
+        truth = forward_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+@SETTINGS
+@given(graph=digraphs(weighted=True))
+def test_directed_pll_weighted_exact(graph):
+    index = build_directed_pll(graph)
+    for s in graph.nodes():
+        truth = forward_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+@SETTINGS
+@given(graph=digraphs())
+def test_backward_forward_duality(graph):
+    """backward_distances(v) equals forward on the reversed graph."""
+    reversed_graph = graph.reversed()
+    for v in graph.nodes():
+        assert backward_distances(graph, v) == forward_distances(reversed_graph, v)
+
+
+@SETTINGS
+@given(graph=digraphs())
+def test_reversed_involution(graph):
+    """Reversing twice restores the arc set."""
+    twice = graph.reversed().reversed()
+    assert sorted(twice.arcs()) == sorted(graph.arcs())
+
+
+@SETTINGS
+@given(graph=digraphs(), bandwidth=st.integers(0, 8))
+def test_directed_ct_exact(graph, bandwidth):
+    """The directed CT-Index answers every ordered pair exactly."""
+    from repro.directed.ct import build_directed_ct_index
+
+    index = build_directed_ct_index(graph, bandwidth)
+    for s in graph.nodes():
+        truth = forward_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+@SETTINGS
+@given(graph=digraphs(weighted=True), bandwidth=st.integers(0, 6))
+def test_directed_ct_weighted_exact(graph, bandwidth):
+    from repro.directed.ct import build_directed_ct_index
+
+    index = build_directed_ct_index(graph, bandwidth)
+    for s in graph.nodes():
+        truth = forward_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+@SETTINGS
+@given(graph=digraphs())
+def test_directed_triangle_inequality(graph):
+    index = build_directed_pll(graph)
+    nodes = list(graph.nodes())[:6]
+    for a in nodes:
+        for b in nodes:
+            for c in nodes:
+                ab = index.distance(a, b)
+                bc = index.distance(b, c)
+                if ab != float("inf") and bc != float("inf"):
+                    assert index.distance(a, c) <= ab + bc

@@ -1,0 +1,96 @@
+"""Property-based tests for the 2-hop labelings and baselines."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.traversal import single_source_distances
+from repro.labeling.cd import build_cd
+from repro.labeling.h2h import build_h2h
+from repro.labeling.pll import build_pll
+from repro.labeling.psl import build_psl
+from repro.labeling.psl_variants import build_psl_plus, build_psl_star
+from tests.properties.strategies import graphs
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+def assert_matches_search(index, graph):
+    for s in graph.nodes():
+        truth = single_source_distances(graph, s)
+        for t in graph.nodes():
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_pll_exact(graph):
+    assert_matches_search(build_pll(graph), graph)
+
+
+@SETTINGS
+@given(graph=graphs(weighted=True))
+def test_pll_weighted_exact(graph):
+    assert_matches_search(build_pll(graph), graph)
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_pll_two_hop_cover(graph):
+    """Definition 1, checked directly on the label sets."""
+    from repro.graphs.traversal import all_pairs_distances
+
+    pll = build_pll(graph)
+    pll.labels.verify_two_hop_cover(graph, all_pairs_distances(graph))
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_psl_exact(graph):
+    assert_matches_search(build_psl(graph), graph)
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_psl_equals_pll_labels(graph):
+    pll = build_pll(graph)
+    psl = build_psl(graph, order=pll.order)
+    for v in graph.nodes():
+        assert sorted(pll.labels.label_entries(v)) == sorted(psl.labels.label_entries(v))
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_psl_plus_exact(graph):
+    assert_matches_search(build_psl_plus(graph), graph)
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_psl_star_exact(graph):
+    assert_matches_search(build_psl_star(graph), graph)
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_psl_star_never_larger_than_psl_plus(graph):
+    assert build_psl_star(graph).size_entries() <= build_psl_plus(graph).size_entries()
+
+
+@SETTINGS
+@given(graph=graphs(max_nodes=18))
+def test_h2h_exact(graph):
+    assert_matches_search(build_h2h(graph), graph)
+
+
+@SETTINGS
+@given(graph=graphs(max_nodes=16, weighted=True))
+def test_h2h_weighted_exact(graph):
+    assert_matches_search(build_h2h(graph), graph)
+
+
+@SETTINGS
+@given(graph=graphs(max_nodes=16), bandwidth=st.integers(0, 8))
+def test_cd_exact(graph, bandwidth):
+    assert_matches_search(build_cd(graph, bandwidth), graph)

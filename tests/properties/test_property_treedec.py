@@ -1,0 +1,111 @@
+"""Property-based tests for decompositions and graph substrate invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.reductions import eliminate_equivalent_nodes, verify_reduction_distances
+from repro.graphs.statistics import degeneracy
+from repro.treedec.core_tree import core_tree_decomposition
+from repro.treedec.decomposition import mde_tree_decomposition
+from repro.treedec.elimination import minimum_degree_elimination
+from tests.properties.strategies import bandwidths, connected_graphs, graphs
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_mde_decomposition_always_valid(graph):
+    """Definition 2 + Lemma 2, for arbitrary graphs."""
+    mde_tree_decomposition(graph).validate()
+
+
+@SETTINGS
+@given(graph=graphs(weighted=True))
+def test_mde_decomposition_valid_weighted(graph):
+    mde_tree_decomposition(graph).validate()
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_mde_width_at_least_degeneracy(graph):
+    """MDE width upper-bounds treewidth, which >= degeneracy."""
+    result = minimum_degree_elimination(graph)
+    assert result.width >= degeneracy(graph) or graph.m == 0
+
+
+@SETTINGS
+@given(graph=graphs(), bandwidth=bandwidths)
+def test_core_tree_always_valid(graph, bandwidth):
+    core_tree_decomposition(graph, bandwidth).validate()
+
+
+@SETTINGS
+@given(graph=graphs(), bandwidth=bandwidths)
+def test_core_tree_partition(graph, bandwidth):
+    """Forest nodes + core nodes partition V."""
+    ctd = core_tree_decomposition(graph, bandwidth)
+    forest = {ctd.node_at(pos) for pos in range(ctd.boundary)}
+    core = set(ctd.core_nodes)
+    assert forest | core == set(graph.nodes())
+    assert not forest & core
+
+
+@SETTINGS
+@given(graph=connected_graphs(), bandwidth=bandwidths)
+def test_core_distances_preserved(graph, bandwidth):
+    """Lemma 7 as a property: G_{λ+1} preserves core-pair distances."""
+    from repro.graphs.traversal import single_source_distances
+
+    result = minimum_degree_elimination(graph, bandwidth=bandwidth)
+    core, originals = result.core_graph()
+    for i, orig in enumerate(originals):
+        truth = single_source_distances(graph, orig)
+        reduced = single_source_distances(core, i)
+        for j, other in enumerate(originals):
+            assert reduced[j] == truth[other]
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_equivalence_reduction_preserves_distances(graph):
+    reduction = eliminate_equivalent_nodes(graph)
+    verify_reduction_distances(reduction, samples=40)
+
+
+@SETTINGS
+@given(graph=graphs())
+def test_elimination_covers_or_stops_consistently(graph):
+    """With bandwidth=None every node is eliminated exactly once."""
+    result = minimum_degree_elimination(graph)
+    assert sorted(result.eliminated_order()) == list(graph.nodes())
+    assert result.core_nodes == []
+
+
+@SETTINGS
+@given(graph=graphs(), bandwidth=bandwidths)
+def test_interfaces_bounded(graph, bandwidth):
+    ctd = core_tree_decomposition(graph, bandwidth)
+    assert all(len(v) <= bandwidth for v in ctd.interface.values())
+
+
+@SETTINGS
+@given(
+    graph=graphs(min_nodes=2),
+    data=st.data(),
+)
+def test_induced_subgraph_distances_never_shrink(graph, data):
+    """Removing nodes can only lengthen (or disconnect) shortest paths."""
+    from repro.graphs.traversal import single_source_distances
+
+    keep = data.draw(
+        st.lists(st.integers(0, graph.n - 1), min_size=1, max_size=graph.n, unique=True)
+    )
+    sub, originals = graph.induced_subgraph(keep)
+    for i, orig in enumerate(originals[:5]):
+        truth = single_source_distances(graph, orig)
+        sub_dist = single_source_distances(sub, i)
+        for j, other in enumerate(originals):
+            assert sub_dist[j] >= truth[other]

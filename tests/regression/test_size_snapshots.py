@@ -1,0 +1,43 @@
+"""Deterministic size-snapshot regression net.
+
+Everything that decides an index's entry count — generators, the twin
+reduction, elimination tie-breaking, label pruning — is seeded and
+deterministic, so the exact entry counts below are stable across runs
+and platforms.  A diff here means an algorithmic change (intended or
+not) to one of those stages: re-derive the snapshot deliberately, and
+re-check the Exp 1 OM ladder (BENCH_MEMORY_LIMIT_MB) while you're at it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.bench.runner import build_method
+
+SNAPSHOT = {
+    "talk": {"n": 1344, "m": 14137, "PSL+": 51146, "PSL*": 26433, "CT-20": 21711, "CT-100": 20721},
+    "amaz": {"n": 1515, "m": 14064, "PSL+": 56614, "PSL*": 26481, "CT-20": 15684, "CT-100": 18789},
+    "epin": {"n": 2049, "m": 19650, "PSL+": 88259, "PSL*": 44981, "CT-20": 28054, "CT-100": 27991},
+    "dblp": {"n": 2359, "m": 19504, "PSL+": 86554, "PSL*": 36679, "CT-20": 20812, "CT-100": 28260},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SNAPSHOT))
+def test_graph_shape_snapshot(dataset):
+    graph = load_dataset(dataset)
+    expected = SNAPSHOT[dataset]
+    assert graph.n == expected["n"]
+    assert graph.m == expected["m"]
+
+
+@pytest.mark.parametrize("dataset", sorted(SNAPSHOT))
+@pytest.mark.parametrize("method", ["PSL+", "PSL*", "CT-20", "CT-100"])
+def test_entry_count_snapshot(dataset, method):
+    graph = load_dataset(dataset)
+    index = build_method(method, graph)
+    assert index.size_entries() == SNAPSHOT[dataset][method], (
+        f"{method} on {dataset}: entry count drifted from the snapshot; "
+        "if this change is intentional, regenerate SNAPSHOT and revisit "
+        "the Exp 1 OM calibration"
+    )

@@ -1,0 +1,94 @@
+"""Unit tests for the LRU distance cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import CachedDistanceIndex
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ReproError
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.pll import build_pll
+
+
+@pytest.fixture(scope="module")
+def inner():
+    g = gnp_graph(30, 0.15, seed=1)
+    return g, build_pll(g)
+
+
+class TestCachedDistanceIndex:
+    def test_answers_match_inner(self, inner):
+        g, index = inner
+        cached = CachedDistanceIndex(index)
+        truth = all_pairs_distances(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert cached.distance(s, t) == truth[s][t]
+
+    def test_hits_on_repeats_and_symmetry(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        cached.distance(1, 2)
+        cached.distance(1, 2)
+        cached.distance(2, 1)  # symmetric key
+        assert cached.hits == 2
+        assert cached.misses == 1
+        assert cached.hit_rate == pytest.approx(2 / 3)
+
+    def test_asymmetric_mode(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index, symmetric=False)
+        cached.distance(1, 2)
+        cached.distance(2, 1)
+        assert cached.misses == 2
+
+    def test_capacity_eviction(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index, capacity=2)
+        cached.distance(0, 1)
+        cached.distance(0, 2)
+        cached.distance(0, 3)  # evicts (0, 1)
+        cached.distance(0, 1)
+        assert cached.misses == 4
+
+    def test_lru_recency(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index, capacity=2)
+        cached.distance(0, 1)
+        cached.distance(0, 2)
+        cached.distance(0, 1)  # refresh (0, 1)
+        cached.distance(0, 3)  # evicts (0, 2)
+        cached.distance(0, 1)
+        assert cached.hits == 2
+
+    def test_clear(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        cached.distance(0, 1)
+        cached.clear()
+        assert cached.hits == 0 and cached.misses == 0
+        cached.distance(0, 1)
+        assert cached.misses == 1
+
+    def test_size_delegates(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        assert cached.size_entries() == index.size_entries()
+        assert "PLL" in cached.method_name
+
+    def test_bad_capacity(self, inner):
+        _, index = inner
+        with pytest.raises(ReproError):
+            CachedDistanceIndex(index, capacity=0)
+
+    def test_wraps_ct_and_paths(self):
+        from repro.paths import shortest_path
+
+        g = gnp_graph(25, 0.15, seed=2)
+        cached = CachedDistanceIndex(CTIndex.build(g, 3))
+        path = shortest_path(cached, g, 0, g.n - 1)
+        if path is not None:
+            assert path[0] == 0 and path[-1] == g.n - 1
+        assert cached.hits + cached.misses > 0

@@ -1,0 +1,145 @@
+"""Cross-cutting edge cases that don't belong to a single module suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.base import MemoryBudget
+from repro.treedec.core_tree import core_tree_decomposition
+from repro.treedec.elimination import minimum_degree_elimination
+
+
+class TestFloatWeights:
+    """Non-integer weights flow through every layer."""
+
+    def build_float_graph(self):
+        builder = GraphBuilder(6)
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(1, 2, 1.25)
+        builder.add_edge(2, 3, 0.75)
+        builder.add_edge(0, 3, 3.5)
+        builder.add_edge(3, 4, 0.5)
+        builder.add_edge(4, 5, 2.0)
+        builder.add_edge(0, 5, 1.0)
+        return builder.build()
+
+    def test_dijkstra_float(self):
+        g = self.build_float_graph()
+        truth = all_pairs_distances(g)
+        assert truth[0][3] == pytest.approx(2.5)  # 0-1-2-3 beats the direct 3.5
+
+    @pytest.mark.parametrize("bandwidth", [0, 2, 10])
+    def test_ct_float_weights(self, bandwidth):
+        g = self.build_float_graph()
+        index = CTIndex.build(g, bandwidth)
+        truth = all_pairs_distances(g)
+        for s in range(6):
+            for t in range(6):
+                assert index.distance(s, t) == pytest.approx(truth[s][t])
+
+    def test_pll_float_weights(self):
+        from repro.labeling.pll import build_pll
+
+        g = self.build_float_graph()
+        pll = build_pll(g)
+        truth = all_pairs_distances(g)
+        for s in range(6):
+            for t in range(6):
+                assert pll.distance(s, t) == pytest.approx(truth[s][t])
+
+
+class TestEliminationAccessors:
+    def test_rank_total_order(self):
+        g = gnp_graph(30, 0.15, seed=1)
+        result = minimum_degree_elimination(g, bandwidth=3)
+        ranks = sorted(result.rank(v) for v in g.nodes())
+        assert ranks == list(range(g.n))
+        # Eliminated nodes rank before every core node.
+        forest_max = max(
+            (result.rank(step.node) for step in result.steps), default=-1
+        )
+        core_min = min((result.rank(v) for v in result.core_nodes), default=g.n)
+        assert forest_max < core_min
+
+    def test_width_profile_first_exceeds_matches_boundary(self):
+        from repro.treedec.elimination import elimination_width_profile
+
+        g = gnp_graph(40, 0.15, seed=2)
+        d = 3
+        bounded = minimum_degree_elimination(g, bandwidth=d)
+        profile = elimination_width_profile(g)
+        # The bounded run stops exactly where the full profile first
+        # exceeds d.
+        first_over = next((i for i, w in enumerate(profile) if w > d), len(profile))
+        assert bounded.boundary == first_over
+
+    def test_bag_members_sorted_and_contain_owner(self):
+        g = gnp_graph(30, 0.2, seed=3)
+        ctd = core_tree_decomposition(g, 3)
+        for pos in range(ctd.boundary):
+            members = ctd.bag_members(pos)
+            assert list(members) == sorted(members)
+            assert ctd.node_at(pos) in members
+
+    def test_tree_members_partition_forest(self):
+        g = gnp_graph(50, 0.1, seed=4)
+        ctd = core_tree_decomposition(g, 3)
+        members = ctd.tree_members()
+        all_positions = sorted(p for positions in members.values() for p in positions)
+        assert all_positions == list(range(ctd.boundary))
+        for r, positions in members.items():
+            assert r in positions
+            assert all(ctd.root[p] == r for p in positions)
+
+
+class TestBudgetAccounting:
+    def test_ct_budget_charges_match_entries(self):
+        g = gnp_graph(40, 0.15, seed=5)
+        budget = MemoryBudget.unlimited()
+        index = CTIndex.build(g, 4, budget=budget, use_equivalence_reduction=False)
+        assert budget.charged_entries == index.size_entries()
+
+    def test_psl_star_budget_matches_retained(self):
+        from repro.labeling.psl_variants import build_psl_star
+
+        g = gnp_graph(40, 0.12, seed=6)
+        budget = MemoryBudget.unlimited()
+        index = build_psl_star(g, budget=budget)
+        assert budget.charged_entries == index.size_entries()
+
+
+class TestUnitWeightConversion:
+    def test_with_unit_weights_changes_distances(self):
+        g = Graph.from_edges(3, [(0, 1, 10), (1, 2, 10), (0, 2, 15)])
+        unit = g.with_unit_weights()
+        assert all_pairs_distances(g)[0][2] == 15
+        assert all_pairs_distances(unit)[0][2] == 1
+
+    def test_ct_on_unit_converted(self):
+        g = Graph.from_edges(4, [(0, 1, 5), (1, 2, 5), (2, 3, 5), (0, 3, 20)])
+        index = CTIndex.build(g.with_unit_weights(), 2)
+        assert index.distance(0, 3) == 1
+
+
+class TestInfinityHandling:
+    def test_inf_is_math_inf(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        index = CTIndex.build(g, 2)
+        assert index.distance(0, 3) == math.inf
+        assert index.distance(0, 3) == float("inf")
+
+    def test_inf_never_stored_in_labels(self):
+        g = Graph.from_edges(8, [(0, 1), (1, 2), (4, 5), (6, 7)])
+        index = CTIndex.build(g, 2, use_equivalence_reduction=False)
+        for label in index.tree_index.labels:
+            assert all(v != math.inf for v in label.values())
+        for v in range(index.core_index.labels.n):
+            for _, dist in index.core_index.labels.iter_rank_entries(v):
+                assert dist != math.inf

@@ -1,0 +1,122 @@
+"""Unit and property tests for shortest-path reconstruction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ct_index import CTIndex
+from repro.exceptions import QueryError
+from repro.graphs.generators.primitives import grid_graph, path_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import single_source_distances
+from repro.labeling.pll import build_pll
+from repro.paths import (
+    distance_many,
+    eccentricity_lower_bound,
+    is_shortest_path,
+    path_length,
+    shortest_path,
+)
+from tests.properties.strategies import bandwidths, graphs
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        g = path_graph(4)
+        index = build_pll(g)
+        assert shortest_path(index, g, 2, 2) == [2]
+        assert shortest_path(index, g, 0, 3) == [0, 1, 2, 3]
+
+    def test_unreachable(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        index = build_pll(g)
+        assert shortest_path(index, g, 0, 3) is None
+
+    def test_grid_path_valid(self):
+        g = grid_graph(5, 5)
+        index = CTIndex.build(g, 3)
+        path = shortest_path(index, g, 0, 24)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 24
+        assert is_shortest_path(index, g, path)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_pairs_via_ct(self, seed):
+        g = gnp_graph(40, 0.1, seed=seed)
+        index = CTIndex.build(g, 4)
+        rng = random.Random(seed)
+        for _ in range(30):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            path = shortest_path(index, g, s, t)
+            truth = single_source_distances(g, s)[t]
+            if path is None:
+                assert truth == float("inf")
+            else:
+                assert path_length(g, path) == truth
+                assert all(g.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+    def test_weighted_graph(self):
+        g = random_weighted(gnp_graph(25, 0.2, seed=9), 1, 9, seed=10)
+        index = build_pll(g)
+        rng = random.Random(0)
+        for _ in range(20):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            path = shortest_path(index, g, s, t)
+            truth = single_source_distances(g, s)[t]
+            if path is not None:
+                assert path_length(g, path) == truth
+
+    def test_inconsistent_index_detected(self):
+        # An index built over a different graph cannot reconstruct paths.
+        g1 = path_graph(6)
+        g2 = Graph.from_edges(6, [(0, 5), (1, 2), (2, 3), (3, 4)])
+        index = build_pll(g1)
+        with pytest.raises(QueryError):
+            shortest_path(index, g2, 0, 5)
+
+
+class TestHelpers:
+    def test_is_shortest_path_rejects_non_path(self):
+        g = path_graph(4)
+        index = build_pll(g)
+        assert not is_shortest_path(index, g, [0, 2])
+        assert not is_shortest_path(index, g, [])
+
+    def test_is_shortest_path_rejects_detour(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        index = build_pll(g)
+        assert not is_shortest_path(index, g, [0, 1, 2])
+        assert is_shortest_path(index, g, [0, 2])
+
+    def test_distance_many(self):
+        g = path_graph(5)
+        index = build_pll(g)
+        assert distance_many(index, [(0, 4), (1, 1), (2, 4)]) == [4, 0, 2]
+
+    def test_eccentricity_lower_bound(self):
+        g = path_graph(10)
+        index = build_pll(g)
+        assert eccentricity_lower_bound(index, g, 0, range(10)) == 9
+        assert eccentricity_lower_bound(index, g, 0, [1, 2]) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(min_nodes=2, max_nodes=18), bandwidth=bandwidths, data=st.data())
+def test_reconstruction_property(graph, bandwidth, data):
+    """Reconstructed paths are genuine and exactly as long as the distance."""
+    index = CTIndex.build(graph, bandwidth)
+    s = data.draw(st.integers(0, graph.n - 1))
+    t = data.draw(st.integers(0, graph.n - 1))
+    truth = single_source_distances(graph, s)[t]
+    path = shortest_path(index, graph, s, t)
+    if path is None:
+        assert truth == float("inf")
+    else:
+        assert path[0] == s and path[-1] == t
+        assert path_length(graph, path) == truth
+        assert len(set(path)) == len(path)  # simple path

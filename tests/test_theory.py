@@ -1,0 +1,110 @@
+"""Tests that the implementation lives inside the paper's stated bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ReproError
+from repro.graphs.generators.core_periphery import CorePeripheryConfig, core_periphery_graph
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.generators.worst_case import rolling_cliques_graph
+from repro.labeling.cd import build_cd
+from repro.labeling.h2h import build_h2h
+from repro.labeling.pll import build_pll
+from repro.theory import (
+    CTBoundReport,
+    cd_size_bound,
+    ct_bound_report,
+    h2h_size_bound,
+    rolling_cliques_lower_bound,
+    verify_ct_bounds,
+)
+from tests.properties.strategies import bandwidths, graphs
+
+
+class TestLemma6TreeBound:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("bandwidth", [2, 5, 10])
+    def test_random_graphs(self, seed, bandwidth):
+        g = gnp_graph(60, 0.1, seed=seed)
+        index = CTIndex.build(g, bandwidth, use_equivalence_reduction=False)
+        report = verify_ct_bounds(index)
+        assert report.tree_entries <= report.tree_bound
+
+    def test_core_periphery(self):
+        cfg = CorePeripheryConfig(core_size=60, community_count=8, fringe_size=200)
+        g = core_periphery_graph(cfg, seed=5)
+        for d in (2, 10, 30):
+            verify_ct_bounds(CTIndex.build(g, d))
+
+    def test_check_raises_on_fabricated_violation(self):
+        report = CTBoundReport(
+            bandwidth=2,
+            boundary=10,
+            core_size=5,
+            forest_height=3,
+            tree_entries=100,
+            core_entries=0,
+            tree_bound=50,
+            query_probe_bound=6,
+        )
+        with pytest.raises(ReproError):
+            report.check()
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=graphs(max_nodes=20), bandwidth=bandwidths)
+    def test_lemma6_property(self, graph, bandwidth):
+        index = CTIndex.build(graph, bandwidth)
+        verify_ct_bounds(index)
+
+
+class TestTheorem3QueryProbes:
+    def test_per_query_probes_bounded(self):
+        cfg = CorePeripheryConfig(core_size=50, community_count=8, fringe_size=180)
+        g = core_periphery_graph(cfg, seed=6)
+        index = CTIndex.build(g, 6, use_equivalence_reduction=False)
+        report = ct_bound_report(index)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(300):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            before = index.core_probes
+            index.distance(s, t)
+            probes = index.core_probes - before
+            assert probes <= report.query_probe_bound, (s, t, probes)
+
+
+class TestGadgetLowerBound:
+    @pytest.mark.parametrize("k,d", [(2, 4), (4, 8), (6, 12)])
+    def test_pll_respects_certified_lower_bound(self, k, d):
+        g = rolling_cliques_graph(k, d)
+        pll = build_pll(g)
+        assert pll.size_entries() >= rolling_cliques_lower_bound(k, d)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ReproError):
+            rolling_cliques_lower_bound(1, 4)
+        with pytest.raises(ReproError):
+            rolling_cliques_lower_bound(3, 5)
+
+
+class TestBaselineBounds:
+    def test_h2h_within_nh(self):
+        g = gnp_graph(40, 0.12, seed=8)
+        h2h = build_h2h(g)
+        assert h2h.size_entries() <= h2h_size_bound(g.n, h2h.height())
+
+    def test_cd_within_nd2_plus_core(self):
+        g = gnp_graph(40, 0.12, seed=9)
+        cd = build_cd(g, 4)
+        core_size = len(cd.decomposition.core_nodes)
+        assert cd.size_entries() <= cd_size_bound(g.n, 4, core_size)
+
+    def test_bound_validation(self):
+        with pytest.raises(ReproError):
+            h2h_size_bound(-1, 2)
+        with pytest.raises(ReproError):
+            cd_size_bound(1, -2, 0)

@@ -1,0 +1,133 @@
+"""Unit tests for MDE tree decompositions and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.graphs.generators.primitives import (
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.graph import Graph
+from repro.treedec.decomposition import (
+    decomposition_from_elimination,
+    mde_tree_decomposition,
+    mde_treewidth,
+)
+from repro.treedec.elimination import minimum_degree_elimination
+
+
+class TestPaperExample:
+    def test_parents_match_figure_2(self, paper_graph):
+        td = mde_tree_decomposition(paper_graph)
+        # Example 4: parent of B8 is B10; B_n (B12) is the root.
+        # 0-based: parent[pos] is a bag index == elimination position.
+        parent_1based = [None if p is None else p + 1 for p in td.parent]
+        assert parent_1based == [2, 3, 4, 11, 8, 7, 8, 10, 10, 11, 12, None]
+
+    def test_validates(self, paper_graph):
+        mde_tree_decomposition(paper_graph).validate()
+
+    def test_width(self, paper_graph):
+        assert mde_tree_decomposition(paper_graph).width == 3
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: path_graph(10),
+            lambda: cycle_graph(9),
+            lambda: clique_graph(6),
+            lambda: star_graph(7),
+            lambda: grid_graph(4, 4),
+            lambda: gnp_graph(35, 0.12, seed=1),
+            lambda: gnp_graph(35, 0.05, seed=2),  # likely disconnected
+        ],
+    )
+    def test_decomposition_is_valid(self, factory):
+        graph = factory()
+        td = mde_tree_decomposition(graph)
+        td.validate()
+
+    def test_known_treewidths(self):
+        assert mde_tree_decomposition(path_graph(10)).width == 1
+        assert mde_tree_decomposition(cycle_graph(8)).width == 2
+        assert mde_tree_decomposition(clique_graph(7)).width == 6
+        assert mde_tree_decomposition(star_graph(9)).width == 1
+
+    def test_grid_treewidth_reasonable(self):
+        # tw(grid k x k) = k; MDE is a heuristic so allow slack upward.
+        width = mde_tree_decomposition(grid_graph(5, 5)).width
+        assert 5 <= width <= 10
+
+    def test_mde_treewidth_helper(self):
+        assert mde_treewidth(clique_graph(5)) == 4
+
+
+class TestStructure:
+    def test_parents_have_larger_positions(self):
+        td = mde_tree_decomposition(gnp_graph(40, 0.1, seed=3))
+        for i, p in enumerate(td.parent):
+            if p is not None:
+                assert p > i
+
+    def test_forest_roots_match_components(self):
+        from repro.graphs.traversal import connected_components
+
+        g = Graph.from_edges(10, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)])
+        td = mde_tree_decomposition(g)
+        assert len(td.roots) == len(connected_components(g))
+
+    def test_height_of_path_decomposition(self):
+        td = mde_tree_decomposition(path_graph(8))
+        assert td.height() >= 2
+        assert td.height() <= 8
+
+    def test_height_empty(self):
+        td = mde_tree_decomposition(Graph.empty(0))
+        assert td.height() == 0
+
+    def test_bag_of(self):
+        td = mde_tree_decomposition(path_graph(4))
+        for v in range(4):
+            assert v in td.bag_of(v)
+
+    def test_ancestors_chain(self):
+        td = mde_tree_decomposition(path_graph(6))
+        for i in range(len(td.bags)):
+            chain = td.ancestors(i)
+            # Chain ends at a root.
+            if chain:
+                assert td.parent[chain[-1]] is None
+
+    def test_children_inverse_of_parent(self):
+        td = mde_tree_decomposition(gnp_graph(30, 0.15, seed=4))
+        for i, p in enumerate(td.parent):
+            if p is not None:
+                assert i in td.children[p]
+
+
+class TestFromElimination:
+    def test_partial_elimination_rejected(self):
+        result = minimum_degree_elimination(gnp_graph(20, 0.3, seed=5), bandwidth=2)
+        with pytest.raises(DecompositionError):
+            decomposition_from_elimination(result)
+
+    def test_lemma2_violation_detected(self):
+        # Build a decomposition then corrupt a bag to break Lemma 2.
+        td = mde_tree_decomposition(path_graph(5))
+        td.bags[-1] = tuple(sorted(set(td.bags[-1]) | {0}))
+        with pytest.raises(DecompositionError):
+            td.validate()
+
+    def test_edge_coverage_violation_detected(self):
+        td = mde_tree_decomposition(path_graph(3))
+        td.bags = [tuple(b) for b in [(0,), (1,), (2,)]]
+        with pytest.raises(DecompositionError):
+            td.validate()

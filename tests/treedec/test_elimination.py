@@ -1,0 +1,198 @@
+"""Unit tests for the weighted MDE engine, including the paper's trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.graphs.generators.primitives import clique_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import single_source_distances
+from repro.treedec.elimination import (
+    elimination_width_profile,
+    minimum_degree_elimination,
+)
+
+
+class TestPaperExample:
+    """Examples 3-5 of the paper, on the Figure 1(a) graph."""
+
+    def test_full_elimination_order(self, paper_graph):
+        result = minimum_degree_elimination(paper_graph, bandwidth=None)
+        # The paper's order v1..v12 is 0-based 0..11 here.
+        assert result.eliminated_order() == list(range(12))
+
+    def test_bags_match_figure_2(self, paper_graph):
+        result = minimum_degree_elimination(paper_graph, bandwidth=None)
+        bags_1based = [
+            sorted(x + 1 for x in (step.node,) + step.neighbors) for step in result.steps
+        ]
+        assert bags_1based == [
+            [1, 2],
+            [2, 3],
+            [3, 4, 12],
+            [4, 11, 12],
+            [5, 8, 12],
+            [6, 7, 8],
+            [7, 8, 10],
+            [8, 10, 12],
+            [9, 10, 11, 12],
+            [10, 11, 12],
+            [11, 12],
+            [12],
+        ]
+
+    def test_bandwidth_2_boundary(self, paper_graph):
+        # Example 5: d = 2 gives λ = 8 and core {v9, v10, v11, v12}.
+        result = minimum_degree_elimination(paper_graph, bandwidth=2)
+        assert result.boundary == 8
+        assert [v + 1 for v in result.core_nodes] == [9, 10, 11, 12]
+
+    def test_treewidth_of_example(self, paper_graph):
+        result = minimum_degree_elimination(paper_graph, bandwidth=None)
+        # Figure 2: the largest bag has 4 nodes, tw(T) = 3 (|N_9| = 3).
+        assert result.width == 3
+
+
+class TestBasics:
+    def test_path_eliminates_fully_at_width_1(self):
+        result = minimum_degree_elimination(path_graph(8), bandwidth=None)
+        assert result.boundary == 8
+        assert result.width == 1
+
+    def test_clique_width(self):
+        result = minimum_degree_elimination(clique_graph(5), bandwidth=None)
+        assert result.width == 4
+
+    def test_cycle_width_2(self):
+        assert minimum_degree_elimination(cycle_graph(9)).width == 2
+
+    def test_bandwidth_zero_keeps_connected_graph_in_core(self):
+        g = cycle_graph(6)
+        result = minimum_degree_elimination(g, bandwidth=0)
+        assert result.boundary == 0
+        assert result.core_nodes == list(range(6))
+
+    def test_bandwidth_zero_eliminates_isolated_nodes(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        result = minimum_degree_elimination(g, bandwidth=0)
+        assert result.boundary == 2
+        assert sorted(step.node for step in result.steps) == [2, 3]
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(DecompositionError):
+            minimum_degree_elimination(path_graph(3), bandwidth=-1)
+
+    def test_max_steps(self):
+        result = minimum_degree_elimination(path_graph(10), max_steps=3)
+        assert result.boundary == 3
+
+    def test_empty_graph(self):
+        result = minimum_degree_elimination(Graph.empty(0))
+        assert result.boundary == 0
+        assert result.width == 0
+
+    def test_bandwidth_stops_at_exceeding_degree(self):
+        # Star: center degree n, leaves degree 1; with d = 1 all leaves
+        # are eliminated and the center follows (its degree shrinks).
+        result = minimum_degree_elimination(star_graph(5), bandwidth=1)
+        assert result.boundary == 6
+
+    def test_bag_sizes_bounded_by_bandwidth(self):
+        g = gnp_graph(60, 0.15, seed=3)
+        for d in (1, 2, 4, 8):
+            result = minimum_degree_elimination(g, bandwidth=d)
+            assert all(len(step.neighbors) <= d for step in result.steps)
+
+
+class TestCoreGraph:
+    def test_core_graph_compacts(self):
+        g = gnp_graph(40, 0.2, seed=4)
+        result = minimum_degree_elimination(g, bandwidth=3)
+        core, originals = result.core_graph()
+        assert core.n == len(result.core_nodes)
+        assert originals == result.core_nodes
+
+    def test_core_graph_weighted_after_fill_in(self):
+        g = path_graph(5)
+        # Eliminating middle path nodes creates weight-2+ shortcut edges.
+        result = minimum_degree_elimination(g, max_steps=3)
+        core, _ = result.core_graph()
+        if core.m:
+            assert max(w for _, _, w in core.edges()) >= 1
+
+    def test_lemma7_core_distances_preserved(self):
+        # dist_{G_{λ+1}}(s, t) == dist_G(s, t) for core nodes (Lemma 7).
+        g = gnp_graph(40, 0.12, seed=5)
+        result = minimum_degree_elimination(g, bandwidth=3)
+        core, originals = result.core_graph()
+        for i, orig in enumerate(originals[:8]):
+            truth = single_source_distances(g, orig)
+            reduced = single_source_distances(core, i)
+            for j, other in enumerate(originals):
+                assert reduced[j] == truth[other], (orig, other)
+
+    def test_lemma7_weighted_input(self):
+        g = random_weighted(gnp_graph(25, 0.2, seed=6), 1, 5, seed=7)
+        result = minimum_degree_elimination(g, bandwidth=3)
+        core, originals = result.core_graph()
+        for i, orig in enumerate(originals[:5]):
+            truth = single_source_distances(g, orig)
+            reduced = single_source_distances(core, i)
+            for j, other in enumerate(originals):
+                assert reduced[j] == truth[other]
+
+
+class TestLocalDistances:
+    def brute_force_local_distance(self, graph, s, t, k):
+        """Shortest path with all intermediates among the first k
+        eliminated nodes (Definition 5), by exhaustive Dijkstra on the
+        allowed subgraph."""
+        import heapq
+
+        from repro.graphs.graph import INF
+
+        allowed = set(k)
+        dist = {s: 0}
+        heap = [(0, s)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist.get(v, INF):
+                continue
+            if v == t:
+                return d
+            for u, w in graph.neighbors(v):
+                if u != t and u not in allowed:
+                    continue
+                nd = d + w
+                if nd < dist.get(u, INF):
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return dist.get(t, INF)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma14_delta_is_local_distance(self, seed):
+        # δ⁻_i(u) equals the (i-1)-local distance between v_i and u.
+        g = gnp_graph(25, 0.18, seed=seed)
+        result = minimum_degree_elimination(g, bandwidth=4)
+        order = result.eliminated_order()
+        for i, step in enumerate(result.steps):
+            earlier = order[:i]
+            for u, recorded in step.local_distance.items():
+                expected = self.brute_force_local_distance(g, step.node, u, earlier)
+                assert recorded == expected, (i, step.node, u)
+
+
+class TestWidthProfile:
+    def test_profile_matches_full_run(self):
+        g = gnp_graph(30, 0.2, seed=8)
+        profile = elimination_width_profile(g)
+        assert len(profile) == 30
+        result = minimum_degree_elimination(g)
+        assert profile == [len(step.neighbors) for step in result.steps]
+
+    def test_profile_of_tree_is_ones(self):
+        profile = elimination_width_profile(path_graph(6))
+        assert profile[:-1] == [1] * 5
+        assert profile[-1] == 0

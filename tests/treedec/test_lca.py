@@ -1,0 +1,97 @@
+"""Unit tests for the Euler-tour LCA structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.treedec.lca import ForestLCA, naive_lca
+
+
+def random_forest(n: int, n_roots: int, seed: int) -> list[int | None]:
+    rng = random.Random(seed)
+    parent: list[int | None] = []
+    # Parents always point to lower indexes, so index 0..n_roots-1 are roots.
+    for v in range(n):
+        if v < n_roots:
+            parent.append(None)
+        else:
+            parent.append(rng.randrange(v))
+    return parent
+
+
+class TestSingleTree:
+    def test_path_tree(self):
+        parent = [None, 0, 1, 2, 3]
+        lca = ForestLCA(parent)
+        assert lca.lca(4, 2) == 2
+        assert lca.lca(4, 4) == 4
+        assert lca.lca(0, 4) == 0
+        assert lca.depth(4) == 4
+
+    def test_binary_tree(self):
+        #      0
+        #    1   2
+        #   3 4 5 6
+        parent = [None, 0, 0, 1, 1, 2, 2]
+        lca = ForestLCA(parent)
+        assert lca.lca(3, 4) == 1
+        assert lca.lca(3, 6) == 0
+        assert lca.lca(5, 6) == 2
+        assert lca.is_ancestor(0, 6)
+        assert not lca.is_ancestor(1, 6)
+
+    def test_single_node(self):
+        lca = ForestLCA([None])
+        assert lca.lca(0, 0) == 0
+        assert lca.root(0) == 0
+
+    def test_empty_forest(self):
+        lca = ForestLCA([])
+        assert lca.n == 0
+
+
+class TestForest:
+    def test_roots_and_membership(self):
+        parent = [None, None, 0, 1]
+        lca = ForestLCA(parent)
+        assert lca.root(2) == 0
+        assert lca.root(3) == 1
+        assert lca.same_tree(0, 2)
+        assert not lca.same_tree(2, 3)
+
+    def test_cross_tree_lca_raises(self):
+        lca = ForestLCA([None, None])
+        with pytest.raises(DecompositionError):
+            lca.lca(0, 1)
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(DecompositionError):
+            ForestLCA([5])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_naive_on_random_forests(self, seed):
+        parent = random_forest(60, n_roots=3, seed=seed)
+        lca = ForestLCA(parent)
+        rng = random.Random(seed + 100)
+        for _ in range(200):
+            u = rng.randrange(60)
+            v = rng.randrange(60)
+            expected = naive_lca(parent, u, v)
+            if expected is None:
+                assert not lca.same_tree(u, v)
+            else:
+                assert lca.lca(u, v) == expected
+
+    def test_depths_match_parent_walk(self):
+        parent = random_forest(40, n_roots=2, seed=9)
+        lca = ForestLCA(parent)
+        for v in range(40):
+            depth = 0
+            x = parent[v]
+            while x is not None:
+                depth += 1
+                x = parent[x]
+            assert lca.depth(v) == depth

@@ -1,0 +1,70 @@
+"""Unit tests for treewidth bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators.primitives import (
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.generators.worst_case import rolling_cliques_graph
+from repro.graphs.graph import Graph
+from repro.treedec.treewidth import TreewidthBounds, mmd_plus_lower_bound, treewidth_bounds
+
+
+class TestMmdPlus:
+    def test_known_exact_values(self):
+        # MMD+ is exact on these families.
+        assert mmd_plus_lower_bound(path_graph(10)) == 1
+        assert mmd_plus_lower_bound(cycle_graph(8)) == 2
+        assert mmd_plus_lower_bound(clique_graph(6)) == 5
+        assert mmd_plus_lower_bound(star_graph(7)) == 1
+
+    def test_grid_lower_bound(self):
+        # tw(k x k grid) = k; MMD+ finds at least 3 on a 5x5 grid.
+        assert mmd_plus_lower_bound(grid_graph(5, 5)) >= 3
+
+    def test_rolling_cliques_lower_bound(self):
+        # Lemma 3's gadget has tw >= d - 1; MMD+ certifies a large part.
+        d = 12
+        assert mmd_plus_lower_bound(rolling_cliques_graph(4, d)) >= d - 1
+
+    def test_empty_and_tiny(self):
+        assert mmd_plus_lower_bound(Graph.empty(0)) == 0
+        assert mmd_plus_lower_bound(Graph.empty(3)) == 0
+        assert mmd_plus_lower_bound(Graph.from_edges(2, [(0, 1)])) == 1
+
+    def test_at_least_degeneracy_is_not_guaranteed_but_bracket_is(self):
+        # treewidth_bounds combines MMD+ with degeneracy, so the bracket
+        # lower bound dominates both.
+        from repro.graphs.statistics import degeneracy
+
+        g = gnp_graph(40, 0.15, seed=3)
+        bounds = treewidth_bounds(g)
+        assert bounds.lower >= degeneracy(g)
+        assert bounds.lower >= mmd_plus_lower_bound(g)
+
+
+class TestBracket:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lower_at_most_upper(self, seed):
+        g = gnp_graph(35, 0.12, seed=seed)
+        bounds = treewidth_bounds(g)
+        assert 0 <= bounds.lower <= bounds.upper
+
+    def test_clique_bracket_tight(self):
+        bounds = treewidth_bounds(clique_graph(7))
+        assert bounds.lower == bounds.upper == 6
+
+    def test_tree_bracket_tight(self):
+        bounds = treewidth_bounds(path_graph(12))
+        assert bounds.lower == bounds.upper == 1
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            TreewidthBounds(lower=5, upper=3)
