@@ -10,6 +10,8 @@ Qin, Zhang, Chang, and Lin.  The package ships:
 * :mod:`repro.labeling` — PLL / PSL / PSL+ / PSL* 2-hop labelings and
   the H2H and CD baselines;
 * :mod:`repro.core` — the paper's contribution, the CT-Index;
+* :mod:`repro.serving` — the batch-aware, instrumented query engine
+  (latency histograms, cache/probe counters, ``stats_snapshot()``);
 * :mod:`repro.bench` — the experiment harness that regenerates every
   table and figure of the evaluation section.
 
@@ -35,6 +37,7 @@ from repro.exceptions import (
 )
 from repro.graphs import Graph, GraphBuilder
 from repro.paths import distance_many, is_shortest_path, shortest_path
+from repro.serving import QueryEngine
 
 __version__ = "1.0.0"
 
@@ -46,6 +49,7 @@ __all__ = [
     "GraphError",
     "IndexConstructionError",
     "OverMemoryError",
+    "QueryEngine",
     "QueryError",
     "ReproError",
     "SerializationError",

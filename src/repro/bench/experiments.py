@@ -324,7 +324,9 @@ def lemma3_lower_bound(
 def ablation_extension(dataset: str = "epin", bandwidth: int = 50) -> tuple[list[Row], str]:
     """Lemma 9 ablation: extension-based query vs naive interface product."""
     graph = load_dataset(dataset)
-    index = CTIndex.build(graph, bandwidth)
+    # Extension caching would mask the O(d) vs O(d²) probe gap this
+    # ablation measures; disable it so the comparison stays algorithmic.
+    index = CTIndex.build(graph, bandwidth, extension_cache_size=0)
     workload = random_pairs(graph, 1000, seed=_workload_seed(dataset))
     rows: list[Row] = []
     for variant, query in (
@@ -605,6 +607,50 @@ def ablation_ct_core_order(dataset: str = "talk", bandwidth: int = 20) -> tuple[
     return rows, text
 
 
+def serving_benchmark(
+    dataset: str = "epin",
+    bandwidth: int = 20,
+    queries: int = 2000,
+    hot_fraction: float = 0.9,
+    hot_pairs: int = 16,
+    cache_capacity: int = 4096,
+) -> tuple[list[Row], str]:
+    """Serving layer on a skewed stream: uncached vs cached engines.
+
+    Replays one repeat-heavy workload through the three standard
+    :data:`~repro.serving.bench.SERVE_CONFIGS`; the interesting columns
+    are ``core_probes`` (the extension cache should collapse it) and the
+    cache hit rates.
+    """
+    from repro.bench.workloads import skewed_pairs
+    from repro.serving.bench import serve_bench_rows
+
+    graph = load_dataset(dataset)
+    index = CTIndex.build(graph, bandwidth)
+    workload = skewed_pairs(
+        graph,
+        queries,
+        seed=_workload_seed(dataset),
+        hot_fraction=hot_fraction,
+        hot_pairs=hot_pairs,
+    )
+    rows = serve_bench_rows(index, workload.pairs, cache_capacity=cache_capacity)
+    text = format_table(
+        rows,
+        [
+            "config",
+            "queries",
+            "mean_us",
+            "p95_us",
+            "core_probes",
+            "ext_hit_rate",
+            "pair_hit_rate",
+        ],
+        title=f"Serving — skewed workload on {dataset} (CT-{bandwidth})",
+    )
+    return rows, text
+
+
 @dataclasses.dataclass(frozen=True)
 class ExperimentCatalog:
     """Name -> driver mapping for the CLI and docs."""
@@ -627,6 +673,7 @@ class ExperimentCatalog:
         "anatomy": label_anatomy,
         "directed": directed_extension,
         "structure": structure_profile,
+        "serving": serving_benchmark,
     }
 
 

@@ -49,6 +49,38 @@ def distinct_random_pairs(graph: Graph, count: int, seed: int) -> QueryWorkload:
     return QueryWorkload(name=f"distinct-{count}", pairs=tuple(pairs))
 
 
+def skewed_pairs(
+    graph: Graph,
+    count: int,
+    seed: int,
+    *,
+    hot_fraction: float = 0.9,
+    hot_pairs: int = 16,
+) -> QueryWorkload:
+    """A repeat-heavy workload: most queries revisit a small hot set.
+
+    Production query streams are skewed (hot landmark pairs, repeated
+    lookups); this draws ``hot_fraction`` of the queries uniformly from
+    ``hot_pairs`` fixed random pairs and the rest uniformly at random —
+    the regime where the pair cache and the extension-label cache pay
+    off.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction {hot_fraction} outside [0, 1]")
+    if hot_pairs < 1:
+        raise ValueError(f"hot_pairs must be positive, got {hot_pairs}")
+    rng = random.Random(seed)
+    n = graph.n
+    hot = [(rng.randrange(n), rng.randrange(n)) for _ in range(hot_pairs)]
+    pairs = tuple(
+        hot[rng.randrange(hot_pairs)]
+        if rng.random() < hot_fraction
+        else (rng.randrange(n), rng.randrange(n))
+        for _ in range(count)
+    )
+    return QueryWorkload(name=f"skewed-{count}", pairs=pairs)
+
+
 def stratified_pairs(
     graph: Graph,
     group_a: Sequence[int],

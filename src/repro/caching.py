@@ -3,13 +3,19 @@
 Production query streams are heavily skewed (hot landmark pairs, repeat
 lookups); a small LRU in front of any :class:`DistanceIndex` converts
 repeats into dictionary hits without touching the index.  The wrapper
-is itself a ``DistanceIndex``, so it composes with everything else
-(path reconstruction, the bench runner, ...).
+is itself a ``DistanceIndex`` and implements the full query protocol —
+``distance``, ``distances_from``, ``distances_batch`` — so it composes
+with every consumer of that protocol (path reconstruction, the bench
+runner, :class:`~repro.serving.QueryEngine`, ...).  Batch calls are
+served entry-by-entry from the cache, and the residual misses are
+forwarded to the inner index as one batch so its fast path (e.g.
+CT-Index extension sharing) still applies.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
 
 from repro.exceptions import ReproError
 from repro.graphs.graph import Weight
@@ -38,8 +44,16 @@ class CachedDistanceIndex(DistanceIndex):
         self.misses = 0
         self._cache: OrderedDict[tuple[int, int], Weight] = OrderedDict()
 
+    def _key(self, s: int, t: int) -> tuple[int, int]:
+        return (t, s) if self.symmetric and t < s else (s, t)
+
+    def _insert(self, key: tuple[int, int], value: Weight) -> None:
+        self._cache[key] = value
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+
     def distance(self, s: int, t: int) -> Weight:
-        key = (t, s) if self.symmetric and t < s else (s, t)
+        key = self._key(s, t)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
@@ -47,10 +61,47 @@ class CachedDistanceIndex(DistanceIndex):
             return cached
         self.misses += 1
         value = self.inner.distance(s, t)
-        self._cache[key] = value
-        if len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+        self._insert(key, value)
         return value
+
+    def distances_from(self, s: int, targets: Iterable[int]) -> list[Weight]:
+        """One-to-many batch with per-entry hit/miss accounting.
+
+        Each target is first looked up in the cache; the misses are
+        answered by a single ``inner.distances_from`` call (preserving
+        the inner index's batch fast path) and inserted.  A target whose
+        key already appeared earlier in the same batch counts as a hit:
+        it is served by that entry without extra inner work.
+        """
+        targets = list(targets)
+        results: list[Weight | None] = [None] * len(targets)
+        miss_keys: dict[tuple[int, int], list[int]] = {}
+        miss_targets: list[int] = []
+        for i, t in enumerate(targets):
+            key = self._key(s, t)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                results[i] = cached
+                continue
+            positions = miss_keys.get(key)
+            if positions is not None:
+                # Duplicate within the batch: shares the pending answer.
+                self.hits += 1
+                positions.append(i)
+                continue
+            self.misses += 1
+            miss_keys[key] = [i]
+            miss_targets.append(t)
+        if miss_targets:
+            values = self.inner.distances_from(s, miss_targets)
+            for t, value in zip(miss_targets, values):
+                key = self._key(s, t)
+                for i in miss_keys[key]:
+                    results[i] = value
+                self._insert(key, value)
+        return results
 
     def size_entries(self) -> int:
         """The wrapped index's entries (the cache is working memory)."""

@@ -8,6 +8,7 @@ Subcommands::
     repro find-bandwidth GRAPH --memory-mb 2
     repro generate DATASET -o GRAPH       dump a registry dataset
     repro bench EXPERIMENT                run one paper experiment driver
+    repro serve-bench GRAPH -d 20         cached vs uncached serving on a skewed stream
     repro datasets                        list the dataset registry
 
 Exit status is 0 on success, 1 on a handled library error, 2 on bad
@@ -21,7 +22,7 @@ import sys
 import time
 from collections.abc import Sequence
 
-from repro.exceptions import ReproError
+from repro.exceptions import QueryError, ReproError
 from repro.graphs.graph import INF
 
 
@@ -89,8 +90,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gen.set_defaults(handler=_cmd_generate)
 
     p_bench = sub.add_parser("bench", help="run one paper experiment driver")
-    p_bench.add_argument("experiment", help="exp1..exp7, table1, lemma3, ablation-*")
+    p_bench.add_argument("experiment", help="exp1..exp7, table1, lemma3, serving, ablation-*")
     p_bench.set_defaults(handler=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="replay a skewed query stream through cached and uncached engines",
+    )
+    p_serve.add_argument("graph", help="edge-list file (u v [w] per line)")
+    p_serve.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_serve.add_argument("--queries", type=int, default=2000)
+    p_serve.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.9,
+        help="fraction of queries drawn from the hot pair set (default 0.9)",
+    )
+    p_serve.add_argument(
+        "--hot-pairs", type=int, default=16, help="size of the hot pair set"
+    )
+    p_serve.add_argument(
+        "--cache", type=int, default=4096, help="pair-level LRU capacity"
+    )
+    p_serve.add_argument("--seed", type=int, default=12345)
+    p_serve.set_defaults(handler=_cmd_serve_bench)
 
     p_list = sub.add_parser("datasets", help="list the synthetic dataset registry")
     p_list.set_defaults(handler=_cmd_datasets)
@@ -223,6 +246,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     print(text)
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.bench.workloads import skewed_pairs
+    from repro.core.ct_index import CTIndex
+    from repro.graphs.io import read_edge_list
+    from repro.serving.bench import serve_bench_rows
+
+    if not 0.0 <= args.hot_fraction <= 1.0:
+        raise QueryError(f"--hot-fraction {args.hot_fraction} outside [0, 1]")
+    graph, _ = read_edge_list(args.graph)
+    index = CTIndex.build(graph, args.bandwidth)
+    workload = skewed_pairs(
+        graph,
+        args.queries,
+        seed=args.seed,
+        hot_fraction=args.hot_fraction,
+        hot_pairs=args.hot_pairs,
+    )
+    rows = serve_bench_rows(index, workload.pairs, cache_capacity=args.cache)
+    print(
+        format_table(
+            rows,
+            [
+                "config",
+                "queries",
+                "mean_us",
+                "p95_us",
+                "core_probes",
+                "ext_hit_rate",
+                "pair_hit_rate",
+            ],
+            title=(
+                f"serve-bench: CT-{args.bandwidth} on n={graph.n} m={graph.m}, "
+                f"{args.queries} queries ({args.hot_fraction:.0%} hot)"
+            ),
+        )
+    )
+    uncached = next(r for r in rows if r["config"] == "uncached")
+    cached = next(r for r in rows if r["config"] == "ext-cache")
+    if uncached["core_probes"]:
+        saved = 1 - cached["core_probes"] / uncached["core_probes"]
+        print(
+            f"extension cache removed {saved:.0%} of core-label probes "
+            f"({uncached['core_probes']} -> {cached['core_probes']})"
+        )
     return 0
 
 

@@ -5,11 +5,19 @@ it embeds the reduced graph, the decomposition skeleton, the tree
 labels, and the core labels), so a saved index can be reloaded and
 queried without touching the original graph file.  JSON keeps the format
 inspectable and avoids pickle's arbitrary-code-execution hazard.
+
+Infinite weights (disconnected label entries store ``math.inf``) are
+serialized as the string sentinel ``"inf"`` — RFC 8259 has no
+``Infinity`` literal, and strict parsers reject it — and decoded back
+to ``math.inf`` on load.  ``json.dump`` runs with ``allow_nan=False``
+so any non-finite float that escapes the sentinel encoding fails the
+save loudly instead of emitting a non-standard document.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 from typing import Union
@@ -26,7 +34,12 @@ from repro.treedec.elimination import EliminationResult, EliminationStep
 
 PathLike = Union[str, os.PathLike]
 
-FORMAT_VERSION = 1
+#: Version 2 introduced the ``"inf"`` sentinel for infinite weights.
+#: Version-1 documents (plain ``Infinity`` literals, which Python's
+#: lenient parser accepts) still load.
+FORMAT_VERSION = 2
+
+SUPPORTED_VERSIONS = frozenset({1, FORMAT_VERSION})
 
 
 def save_ct_index(index: CTIndex, path: PathLike) -> None:
@@ -44,7 +57,7 @@ def save_ct_index(index: CTIndex, path: PathLike) -> None:
     }
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+        json.dump(document, handle, allow_nan=False)
 
 
 def load_ct_index(path: PathLike) -> CTIndex:
@@ -57,7 +70,7 @@ def load_ct_index(path: PathLike) -> CTIndex:
         raise SerializationError(f"cannot read index file {path}: {exc}") from exc
     if document.get("format") != "repro-ct-index":
         raise SerializationError(f"{path} is not a CT-Index file")
-    if document.get("version") != FORMAT_VERSION:
+    if document.get("version") not in SUPPORTED_VERSIONS:
         raise SerializationError(
             f"unsupported index format version {document.get('version')!r}"
         )
@@ -98,17 +111,26 @@ def load_ct_index(path: PathLike) -> CTIndex:
 # ----------------------------------------------------------------------
 
 
+def _encode_weight(weight):
+    """JSON-safe weight: ``math.inf`` becomes the ``"inf"`` sentinel."""
+    return "inf" if weight == math.inf else weight
+
+
+def _decode_weight(value):
+    return math.inf if value == "inf" else value
+
+
 def _encode_graph(graph: Graph) -> dict:
     return {
         "n": graph.n,
-        "edges": [[u, v, w] for u, v, w in graph.edges()],
+        "edges": [[u, v, _encode_weight(w)] for u, v, w in graph.edges()],
     }
 
 
 def _decode_graph(payload: dict) -> Graph:
     builder = GraphBuilder(int(payload["n"]))
     for u, v, w in payload["edges"]:
-        builder.add_edge(int(u), int(v), w)
+        builder.add_edge(int(u), int(v), _decode_weight(w))
     return builder.build()
 
 
@@ -178,7 +200,7 @@ def _encode_core(index: CTIndex) -> dict:
     per_node = []
     for v in range(labels.n):
         entries = list(labels.iter_rank_entries(v))
-        per_node.append([[rank, dist] for rank, dist in entries])
+        per_node.append([[rank, _encode_weight(dist)] for rank, dist in entries])
     return {
         "originals": index.core_originals,
         "order": index.core_index.order,
@@ -193,15 +215,15 @@ def _decode_core(payload: dict) -> tuple[PrunedLandmarkLabeling, list[int], dict
     labels = HubLabeling(order)
     for v, entries in enumerate(payload["labels"]):
         for rank, dist in entries:
-            labels.append_entry(v, int(rank), dist)
+            labels.append_entry(v, int(rank), _decode_weight(dist))
     originals = [int(v) for v in payload["originals"]]
     compact = {orig: i for i, orig in enumerate(originals)}
     return PrunedLandmarkLabeling(graph, labels, order), originals, compact
 
 
 def _encode_weight_map(mapping: dict) -> dict:
-    return {str(k): v for k, v in mapping.items()}
+    return {str(k): _encode_weight(v) for k, v in mapping.items()}
 
 
 def _decode_weight_map(payload: dict) -> dict:
-    return {int(k): v for k, v in payload.items()}
+    return {int(k): _decode_weight(v) for k, v in payload.items()}

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+from collections.abc import Iterable
 
 from repro.graphs.graph import Weight
 
@@ -57,6 +58,27 @@ class DistanceIndex(abc.ABC):
     @abc.abstractmethod
     def distance(self, s: int, t: int) -> Weight:
         """Exact distance between ``s`` and ``t`` (INF when disconnected)."""
+
+    def distances_from(self, s: int, targets: Iterable[int]) -> list[Weight]:
+        """One-to-many batch: distances from ``s`` to every target.
+
+        The default implementation loops over :meth:`distance`; indexes
+        with per-source state to share (e.g. :class:`~repro.core.ct_index.
+        CTIndex`'s extension operation) and wrappers that intercept the
+        batch (e.g. :class:`~repro.caching.CachedDistanceIndex`) override
+        it.  Results align positionally with ``targets``.
+        """
+        distance = self.distance
+        return [distance(s, t) for t in targets]
+
+    def distances_batch(self, pairs: Iterable[tuple[int, int]]) -> list[Weight]:
+        """Pairwise batch: one distance per ``(s, t)`` pair, in order.
+
+        Default loops over :meth:`distance`; subclasses may exploit
+        structure in the pair stream (shared sources, cached state).
+        """
+        distance = self.distance
+        return [distance(s, t) for s, t in pairs]
 
     @abc.abstractmethod
     def size_entries(self) -> int:

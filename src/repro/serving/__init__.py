@@ -1,0 +1,16 @@
+"""Query serving layer: batch-aware engine + observability.
+
+The library's indexes are per-call oracles; this package turns them
+into an instrumented service.  :class:`QueryEngine` accepts single,
+pairwise-batch, and one-to-many-batch requests over any
+:class:`~repro.labeling.base.DistanceIndex`, optionally fronts it with
+a :class:`~repro.caching.CachedDistanceIndex`, and keeps latency
+histograms, request counters, and (for CT-Indexes) per-case and
+core-probe statistics that :meth:`QueryEngine.stats_snapshot` exports
+for the bench harness and the ``repro serve-bench`` CLI command.
+"""
+
+from repro.serving.engine import QueryEngine
+from repro.serving.metrics import LatencyHistogram
+
+__all__ = ["LatencyHistogram", "QueryEngine"]

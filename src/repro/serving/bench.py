@@ -1,0 +1,88 @@
+"""Serving-layer benchmark: one workload, three engine configurations.
+
+Shared by the ``repro serve-bench`` CLI command and the ``serving``
+entry of the experiment catalog.  The same query stream is replayed
+through
+
+1. a bare engine with the extension-label cache disabled (the old
+   per-call behavior),
+2. an engine with the extension-label cache on, and
+3. an engine with both the extension-label cache and the pair-level
+   LRU,
+
+and each configuration's :meth:`~repro.serving.QueryEngine.stats_snapshot`
+is flattened into one comparison row.  Answers are cross-checked across
+configurations — caching must never change a distance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+from repro.labeling.base import DistanceIndex
+from repro.serving.engine import QueryEngine
+
+#: (label, extension cache on?, pair cache on?) per benchmark config.
+SERVE_CONFIGS = (
+    ("uncached", False, False),
+    ("ext-cache", True, False),
+    ("ext+pair-cache", True, True),
+)
+
+
+def serve_bench_rows(
+    index: DistanceIndex,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    cache_capacity: int = 4096,
+) -> list[dict]:
+    """Replay ``pairs`` through each configuration; one row per config.
+
+    Row keys: ``config``, ``queries``, ``mean_us``, ``p95_us``,
+    ``core_probes``, ``ext_hit_rate``, ``pair_hit_rate``.  Raises
+    :class:`ReproError` if any configuration returns different answers
+    (caching is required to be answer-preserving).
+    """
+    original_size = getattr(index, "extension_cache_size", None)
+    baseline: list | None = None
+    rows: list[dict] = []
+    try:
+        for label, ext_cache, pair_cache in SERVE_CONFIGS:
+            if original_size is not None:
+                index.extension_cache_size = (
+                    (original_size or 256) if ext_cache else 0
+                )
+            engine = QueryEngine(
+                index, cache_capacity=cache_capacity if pair_cache else None
+            )
+            engine.reset_stats()
+            answers = [engine.query(s, t) for s, t in pairs]
+            if baseline is None:
+                baseline = answers
+            elif answers != baseline:
+                raise ReproError(
+                    f"serving config {label!r} changed query answers; "
+                    "caching must be answer-preserving"
+                )
+            rows.append(_flatten(label, engine.stats_snapshot()))
+    finally:
+        if original_size is not None:
+            index.extension_cache_size = original_size
+    return rows
+
+
+def _flatten(label: str, snapshot: dict) -> dict:
+    latency = snapshot["latency"].get("single", {})
+    index_stats = snapshot["index"]
+    extension = index_stats.get("extension_cache", {})
+    pair = snapshot.get("pair_cache", {})
+    return {
+        "config": label,
+        "queries": snapshot["queries"],
+        "mean_us": round(latency.get("mean_us", 0.0), 1),
+        "p95_us": round(latency.get("p95_us", 0.0), 1),
+        "core_probes": index_stats.get("core_probes", 0),
+        "ext_hit_rate": round(extension.get("hit_rate", 0.0), 3),
+        "pair_hit_rate": round(pair.get("hit_rate", 0.0), 3),
+    }

@@ -1,0 +1,205 @@
+"""The batch-aware query engine.
+
+:class:`QueryEngine` is the serving-side face of a
+:class:`~repro.labeling.base.DistanceIndex`: it accepts the three
+request shapes production traffic comes in —
+
+* ``query(s, t)`` — one pair;
+* ``query_batch(pairs)`` — a pairwise batch (``distances_batch``);
+* ``query_from(s, targets)`` — one-to-many (``distances_from``, which
+  CT-Index answers with shared extension labels);
+
+optionally fronts the index with a pair-level LRU
+(:class:`~repro.caching.CachedDistanceIndex`), and instruments every
+request: latency histograms per request kind and per CT query case,
+request/query counters, cache hit rates, and core-probe counts.
+:meth:`QueryEngine.stats_snapshot` exports everything as plain data for
+the bench harness, the ``repro serve-bench`` command, or a monitoring
+pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.caching import CachedDistanceIndex
+from repro.graphs.graph import Weight
+from repro.labeling.base import DistanceIndex
+from repro.serving.metrics import LatencyHistogram
+
+#: The three request kinds the engine distinguishes in its histograms.
+REQUEST_KINDS = ("single", "batch_pairs", "batch_from")
+
+#: Case label used for single queries the index never dispatched
+#: (answered by the pair cache, a twin class, or ``s == t``).
+_CASE_LOCAL = "local"
+
+
+class QueryEngine:
+    """Instrumented serving front-end over any exact distance index.
+
+    Parameters
+    ----------
+    index:
+        The oracle to serve from.  Pass a bare index, or anything
+        implementing the ``DistanceIndex`` query protocol.
+    cache_capacity:
+        When set, wrap ``index`` in a :class:`CachedDistanceIndex` of
+        this capacity (pair-level LRU).  ``None`` serves uncached.
+    symmetric:
+        Forwarded to the cache wrapper (set ``False`` for directed
+        oracles).  Ignored when ``cache_capacity`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        index: DistanceIndex,
+        *,
+        cache_capacity: int | None = None,
+        symmetric: bool = True,
+    ) -> None:
+        self.raw_index = index
+        if cache_capacity is not None:
+            index = CachedDistanceIndex(index, cache_capacity, symmetric=symmetric)
+        self.index = index
+        # Unwrap cache layers to find the index that tracks query cases
+        # (works whether the caller pre-wrapped or used cache_capacity).
+        inner = index
+        while isinstance(inner, CachedDistanceIndex):
+            inner = inner.inner
+        self._tracked = inner if hasattr(inner, "case_counts") else None
+        self.request_counts: Counter[str] = Counter()
+        self.queries_served = 0
+        self.request_histograms = {kind: LatencyHistogram() for kind in REQUEST_KINDS}
+        self.case_histograms: dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+
+    def query(self, s: int, t: int) -> Weight:
+        """Answer one pair, recording latency per request and per case."""
+        tracker = self._tracked
+        before = dict(tracker.case_counts) if tracker is not None else None
+        started = time.perf_counter()
+        value = self.index.distance(s, t)
+        elapsed = time.perf_counter() - started
+        self.request_counts["single"] += 1
+        self.queries_served += 1
+        self.request_histograms["single"].record(elapsed)
+        if tracker is not None:
+            case = _incremented_case(before, tracker.case_counts)
+            histogram = self.case_histograms.get(case)
+            if histogram is None:
+                histogram = self.case_histograms[case] = LatencyHistogram()
+            histogram.record(elapsed)
+        return value
+
+    def query_batch(self, pairs: Iterable[tuple[int, int]]) -> list[Weight]:
+        """Answer a pairwise batch via ``distances_batch``."""
+        pairs = list(pairs)
+        started = time.perf_counter()
+        values = self.index.distances_batch(pairs)
+        elapsed = time.perf_counter() - started
+        self.request_counts["batch_pairs"] += 1
+        self.queries_served += len(pairs)
+        self.request_histograms["batch_pairs"].record(elapsed)
+        return values
+
+    def query_from(self, s: int, targets: Iterable[int]) -> list[Weight]:
+        """Answer a one-to-many batch via ``distances_from``."""
+        targets = list(targets)
+        started = time.perf_counter()
+        values = self.index.distances_from(s, targets)
+        elapsed = time.perf_counter() - started
+        self.request_counts["batch_from"] += 1
+        self.queries_served += len(targets)
+        self.request_histograms["batch_from"].record(elapsed)
+        return values
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def pair_cache(self) -> CachedDistanceIndex | None:
+        """The pair-level cache wrapper, when one is configured."""
+        return self.index if isinstance(self.index, CachedDistanceIndex) else None
+
+    def stats_snapshot(self) -> dict:
+        """Everything the engine measured, as one plain-data document.
+
+        Keys: ``requests`` (count per request kind), ``queries`` (total
+        individual answers), ``latency`` (histogram snapshot per request
+        kind), ``cases`` (histogram snapshot per CT query case, when the
+        underlying index reports cases), ``pair_cache`` (hits/misses/
+        hit_rate/capacity, when caching is on), and ``index`` (method
+        name plus, for CT-Indexes, case counts, core probes, and the
+        extension-cache counters).
+        """
+        snapshot: dict = {
+            "requests": dict(self.request_counts),
+            "queries": self.queries_served,
+            "latency": {
+                kind: histogram.snapshot()
+                for kind, histogram in self.request_histograms.items()
+                if histogram.count
+            },
+        }
+        if self.case_histograms:
+            snapshot["cases"] = {
+                case: histogram.snapshot()
+                for case, histogram in self.case_histograms.items()
+            }
+        cache = self.pair_cache
+        if cache is not None:
+            snapshot["pair_cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+                "capacity": cache.capacity,
+            }
+        index_stats: dict = {"method": self.raw_index.method_name}
+        tracked = self._tracked
+        if tracked is not None:
+            index_stats["case_counts"] = dict(tracked.case_counts)
+            index_stats["core_probes"] = tracked.core_probes
+            if hasattr(tracked, "extension_cache_hits"):
+                index_stats["extension_cache"] = {
+                    "hits": tracked.extension_cache_hits,
+                    "misses": tracked.extension_cache_misses,
+                    "hit_rate": tracked.extension_cache_hit_rate,
+                    "size": tracked.extension_cache_size,
+                }
+        snapshot["index"] = index_stats
+        return snapshot
+
+    def reset_stats(self, *, reset_index: bool = True) -> None:
+        """Zero the engine's counters and histograms.
+
+        With ``reset_index`` (the default) the pair cache is cleared and
+        the underlying index's query counters/extension cache are reset
+        too, so back-to-back measurement runs start cold.
+        """
+        self.request_counts.clear()
+        self.queries_served = 0
+        self.request_histograms = {kind: LatencyHistogram() for kind in REQUEST_KINDS}
+        self.case_histograms = {}
+        if reset_index:
+            cache = self.pair_cache
+            if cache is not None:
+                cache.clear()
+            reset = getattr(self._tracked, "reset_counters", None)
+            if reset is not None:
+                reset()
+
+
+def _incremented_case(before: dict[str, int] | None, after: Counter[str]) -> str:
+    """Which query-case counter a single query bumped (``local`` if none)."""
+    if before is not None:
+        for case, count in after.items():
+            if count != before.get(case, 0):
+                return case
+    return _CASE_LOCAL

@@ -72,6 +72,17 @@ class TestDrivers:
         rows, _ = directed_extension(seed=1, bandwidths=(2,))
         assert any(str(r["method"]).startswith("directed CT") for r in rows)
 
+    def test_serving_small(self):
+        from repro.bench.experiments import serving_benchmark
+
+        rows, text = serving_benchmark(
+            dataset="talk", bandwidth=5, queries=300, hot_pairs=6, cache_capacity=256
+        )
+        by_config = {str(r["config"]): r for r in rows}
+        assert set(by_config) == {"uncached", "ext-cache", "ext+pair-cache"}
+        assert by_config["ext-cache"]["core_probes"] <= by_config["uncached"]["core_probes"]
+        assert "Serving" in text
+
     def test_table1_small(self):
         rows, _ = table1_complexity(scales=(0.08,), bandwidth=10)
         methods = {str(r["method"]) for r in rows}

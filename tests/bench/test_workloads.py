@@ -8,6 +8,7 @@ from repro.bench.workloads import (
     distinct_random_pairs,
     node_fractions,
     random_pairs,
+    skewed_pairs,
     stratified_pairs,
 )
 from repro.graphs.generators.random_graphs import gnp_graph
@@ -33,6 +34,38 @@ class TestRandomPairs:
 
     def test_distinct_pairs_tiny_graph(self):
         assert distinct_random_pairs(Graph.empty(1), 10, seed=1).pairs == ()
+
+
+class TestSkewedPairs:
+    def test_count_range_and_determinism(self):
+        g = gnp_graph(30, 0.2, seed=1)
+        workload = skewed_pairs(g, 200, seed=2)
+        assert len(workload) == 200
+        assert all(0 <= s < 30 and 0 <= t < 30 for s, t in workload.pairs)
+        assert workload.pairs == skewed_pairs(g, 200, seed=2).pairs
+
+    def test_hot_set_dominates(self):
+        g = gnp_graph(50, 0.2, seed=1)
+        workload = skewed_pairs(g, 500, seed=3, hot_fraction=0.9, hot_pairs=4)
+        from collections import Counter
+
+        counts = Counter(workload.pairs)
+        top4 = sum(c for _, c in counts.most_common(4))
+        assert top4 >= 0.8 * len(workload)
+
+    def test_no_skew_extreme(self):
+        g = gnp_graph(50, 0.2, seed=1)
+        workload = skewed_pairs(g, 300, seed=4, hot_fraction=0.0)
+        from collections import Counter
+
+        assert Counter(workload.pairs).most_common(1)[0][1] < 30
+
+    def test_validation(self):
+        g = gnp_graph(10, 0.3, seed=1)
+        with pytest.raises(ValueError):
+            skewed_pairs(g, 10, seed=1, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            skewed_pairs(g, 10, seed=1, hot_pairs=0)
 
 
 class TestStratified:

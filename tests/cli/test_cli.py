@@ -115,3 +115,30 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "PLL" in out and "CT-3" in out
         assert "size_mb" in out
+
+    def test_serve_bench(self, edge_file, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    str(edge_file),
+                    "-d",
+                    "3",
+                    "--queries",
+                    "300",
+                    "--hot-pairs",
+                    "6",
+                    "--cache",
+                    "128",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "uncached" in out
+        assert "ext+pair-cache" in out
+        assert "core_probes" in out
+
+    def test_serve_bench_missing_graph(self, tmp_path, capsys):
+        assert main(["serve-bench", str(tmp_path / "nope.edges")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+import random
+
+from repro.caching import CachedDistanceIndex
 from repro.core.ct_index import CTIndex
 from repro.exceptions import QueryError
 from repro.graphs.generators.core_periphery import CorePeripheryConfig, core_periphery_graph
@@ -77,3 +80,60 @@ class TestDistancesFrom:
             index.distance(s, t)
         single_probes = index.core_probes
         assert batch_probes <= single_probes
+
+
+class TestBatchAcrossCases:
+    """distances_from ≡ distance on all four query cases, through both
+    the bare index and the cache wrapper (the tentpole's batch path)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cfg = CorePeripheryConfig(core_size=50, community_count=8, fringe_size=180)
+        graph = core_periphery_graph(cfg, seed=41)
+        index = CTIndex.build(graph, 5, use_equivalence_reduction=False)
+        return graph, index
+
+    def _sources_covering_cases(self, graph, index):
+        position = index.decomposition.position
+        core = next(v for v in graph.nodes() if position[v] is None)
+        tree = next(v for v in graph.nodes() if position[v] is not None)
+        return [core, tree]
+
+    def test_bare_index_equivalence(self, setup):
+        graph, index = setup
+        targets = list(graph.nodes())
+        for s in self._sources_covering_cases(graph, index):
+            batch = index.distances_from(s, targets)
+            singles = [index.distance(s, t) for t in targets]
+            assert batch == singles
+        # Both core and tree sources against all nodes covers case 1-4.
+        assert set(index.case_counts) == {"case1", "case2", "case3", "case4"}
+
+    def test_cache_wrapper_equivalence(self, setup):
+        graph, index = setup
+        cached = CachedDistanceIndex(index)
+        targets = list(graph.nodes())
+        for s in self._sources_covering_cases(graph, index):
+            batch = cached.distances_from(s, targets)
+            assert batch == [index.distance(s, t) for t in targets]
+        # Second pass is answered from the cache, identically.
+        hits_before = cached.hits
+        for s in self._sources_covering_cases(graph, index):
+            assert cached.distances_from(s, targets) == [
+                index.distance(s, t) for t in targets
+            ]
+        assert cached.hits >= hits_before + 2 * len(targets)
+
+    def test_random_mixed_batches(self, setup):
+        graph, index = setup
+        cached = CachedDistanceIndex(index)
+        rng = random.Random(2)
+        truth_cache: dict[int, list] = {}
+        for _ in range(12):
+            s = rng.randrange(graph.n)
+            targets = [rng.randrange(graph.n) for _ in range(25)]
+            if s not in truth_cache:
+                truth_cache[s] = single_source_distances(graph, s)
+            expected = [truth_cache[s][t] for t in targets]
+            assert index.distances_from(s, targets) == expected
+            assert cached.distances_from(s, targets) == expected

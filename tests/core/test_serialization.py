@@ -3,14 +3,24 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
 from repro.core.ct_index import CTIndex
-from repro.core.serialization import load_ct_index, save_ct_index
+from repro.core.serialization import FORMAT_VERSION, load_ct_index, save_ct_index
 from repro.exceptions import SerializationError
 from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
 from repro.graphs.traversal import all_pairs_distances
+
+
+def _reject_constant(name: str):
+    raise ValueError(f"non-standard JSON constant {name!r}")
+
+
+def strict_loads(text: str):
+    """Parse as a strict (RFC 8259) JSON consumer would: no Infinity/NaN."""
+    return json.loads(text, parse_constant=_reject_constant)
 
 
 class TestRoundTrip:
@@ -53,6 +63,66 @@ class TestRoundTrip:
         path = tmp_path / "index.json"
         save_ct_index(index, path)
         assert load_ct_index(path).build_seconds == index.build_seconds
+
+
+class TestStrictJson:
+    """Regression: documents must parse under strict JSON rules even
+    when stored weights are ``math.inf`` (previously emitted as the
+    non-standard ``Infinity`` literal)."""
+
+    @staticmethod
+    def _index_with_infinite_label():
+        # Inject an infinity into a tree-label map directly: the round
+        # trip must preserve it exactly, whatever produced it.
+        index = CTIndex.build(gnp_graph(20, 0.2, seed=6), 3)
+        for pos, label in enumerate(index.tree_index.labels):
+            if label:
+                key = next(iter(label))
+                label[key] = math.inf
+                return index, pos, key
+        pytest.skip("no tree labels on this build")
+
+    def test_output_is_strict_json(self, tmp_path):
+        index, _, _ = self._index_with_infinite_label()
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        document = strict_loads(path.read_text())  # raises on Infinity/NaN
+        assert document["version"] == FORMAT_VERSION
+        assert "Infinity" not in path.read_text()
+
+    def test_infinite_weight_roundtrips_exactly(self, tmp_path):
+        index, pos, key = self._index_with_infinite_label()
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        loaded = load_ct_index(path)
+        assert loaded.tree_index.labels[pos][key] == math.inf
+        assert isinstance(loaded.tree_index.labels[pos][key], float)
+
+    def test_plain_document_strict_and_queryable(self, tmp_path):
+        g = gnp_graph(25, 0.15, seed=7)
+        index = CTIndex.build(g, 3)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        strict_loads(path.read_text())
+        loaded = load_ct_index(path)
+        truth = all_pairs_distances(g)
+        for t in g.nodes():
+            assert loaded.distance(0, t) == truth[0][t]
+
+    def test_version_1_documents_still_load(self, tmp_path):
+        # Version 1 wrote weights as raw numbers; the decoder must keep
+        # accepting them (sentinel decoding is a no-op on numbers).
+        g = gnp_graph(15, 0.25, seed=8)
+        index = CTIndex.build(g, 2)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        document = json.loads(path.read_text())
+        document["version"] = 1
+        path.write_text(json.dumps(document))
+        loaded = load_ct_index(path)
+        truth = all_pairs_distances(g)
+        for t in g.nodes():
+            assert loaded.distance(0, t) == truth[0][t]
 
 
 class TestErrors:

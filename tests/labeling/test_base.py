@@ -5,7 +5,43 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import OverMemoryError
-from repro.labeling.base import BYTES_PER_ENTRY, IndexStats, MemoryBudget
+from repro.labeling.base import BYTES_PER_ENTRY, DistanceIndex, IndexStats, MemoryBudget
+
+
+class _TableIndex(DistanceIndex):
+    """Minimal concrete index: answers from a lookup table."""
+
+    def __init__(self, table):
+        self.table = table
+        self.calls = 0
+
+    def distance(self, s, t):
+        self.calls += 1
+        return self.table[(s, t)]
+
+    def size_entries(self):
+        return len(self.table)
+
+
+class TestBatchProtocolDefaults:
+    """Every DistanceIndex gets loop-based batch methods for free."""
+
+    @pytest.fixture
+    def index(self):
+        return _TableIndex({(0, 1): 3, (0, 2): 5, (1, 2): 1, (0, 0): 0})
+
+    def test_distances_from(self, index):
+        assert index.distances_from(0, [0, 1, 2]) == [0, 3, 5]
+        assert index.calls == 3
+
+    def test_distances_batch(self, index):
+        assert index.distances_batch([(0, 1), (1, 2), (0, 1)]) == [3, 1, 3]
+        assert index.calls == 3
+
+    def test_empty_batches(self, index):
+        assert index.distances_from(0, []) == []
+        assert index.distances_batch([]) == []
+        assert index.calls == 0
 
 
 class TestMemoryBudget:

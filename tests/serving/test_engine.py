@@ -1,0 +1,140 @@
+"""Unit tests for the batch-aware query engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.caching import CachedDistanceIndex
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.pll import build_pll
+from repro.serving import QueryEngine
+from repro.serving.bench import serve_bench_rows
+
+
+@pytest.fixture(scope="module")
+def cp_setup():
+    cfg = CorePeripheryConfig(core_size=40, community_count=6, fringe_size=140)
+    graph = core_periphery_graph(cfg, seed=31)
+    index = CTIndex.build(graph, 5, use_equivalence_reduction=False)
+    return graph, index, all_pairs_distances(graph)
+
+
+class TestAnswers:
+    def test_all_request_shapes_agree_with_truth(self, cp_setup):
+        graph, index, truth = cp_setup
+        engine = QueryEngine(index, cache_capacity=512)
+        rng = random.Random(4)
+        pairs = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(150)]
+        for s, t in pairs[:40]:
+            assert engine.query(s, t) == truth[s][t]
+        assert engine.query_batch(pairs) == [truth[s][t] for s, t in pairs]
+        for s in (0, graph.n // 2, graph.n - 1):
+            assert engine.query_from(s, range(graph.n)) == truth[s]
+
+    def test_uncached_engine_same_answers(self, cp_setup):
+        graph, index, truth = cp_setup
+        engine = QueryEngine(index)
+        assert engine.pair_cache is None
+        assert engine.query_from(3, range(graph.n)) == truth[3]
+
+    def test_works_over_non_ct_index(self):
+        g = gnp_graph(25, 0.15, seed=6)
+        engine = QueryEngine(build_pll(g), cache_capacity=64)
+        truth = all_pairs_distances(g)
+        assert engine.query_batch([(0, 1), (2, 3)]) == [truth[0][1], truth[2][3]]
+        snap = engine.stats_snapshot()
+        assert snap["index"]["method"] == "PLL"
+        assert "case_counts" not in snap["index"]
+
+    def test_pre_wrapped_cache_is_detected(self, cp_setup):
+        _, index, truth = cp_setup
+        engine = QueryEngine(CachedDistanceIndex(index, 128))
+        assert engine.pair_cache is not None
+        assert engine.query(0, 1) == truth[0][1]
+        # Case tracking unwraps to the CT-Index underneath.
+        assert "case_counts" in engine.stats_snapshot()["index"]
+
+
+class TestInstrumentation:
+    def test_request_and_query_counters(self, cp_setup):
+        graph, index, _ = cp_setup
+        engine = QueryEngine(index, cache_capacity=256)
+        engine.query(0, 1)
+        engine.query(0, 1)
+        engine.query_batch([(1, 2), (3, 4), (5, 6)])
+        engine.query_from(2, [0, 1, 2, 3])
+        snap = engine.stats_snapshot()
+        assert snap["requests"] == {"single": 2, "batch_pairs": 1, "batch_from": 1}
+        assert snap["queries"] == 2 + 3 + 4
+        assert snap["latency"]["single"]["count"] == 2
+        assert snap["latency"]["batch_pairs"]["count"] == 1
+        assert snap["latency"]["batch_from"]["count"] == 1
+
+    def test_per_case_histograms(self, cp_setup):
+        graph, index, _ = cp_setup
+        engine = QueryEngine(index)
+        engine.reset_stats()
+        rng = random.Random(9)
+        for _ in range(250):
+            engine.query(rng.randrange(graph.n), rng.randrange(graph.n))
+        snap = engine.stats_snapshot()
+        # Histogram totals per case match the index's own case counters;
+        # "local" covers self/twin queries that dispatched no case.
+        cases = snap["cases"]
+        for case, count in snap["index"]["case_counts"].items():
+            assert cases[case]["count"] == count
+        assert sum(h["count"] for h in cases.values()) == 250
+
+    def test_cache_hit_appears_as_local_case(self, cp_setup):
+        _, index, _ = cp_setup
+        engine = QueryEngine(index, cache_capacity=64)
+        engine.reset_stats()
+        engine.query(0, 5)
+        engine.query(0, 5)  # served by the pair cache: no case dispatch
+        snap = engine.stats_snapshot()
+        assert snap["pair_cache"]["hits"] == 1
+        assert snap["cases"]["local"]["count"] >= 1
+
+    def test_reset_stats(self, cp_setup):
+        _, index, _ = cp_setup
+        engine = QueryEngine(index, cache_capacity=64)
+        engine.query(0, 1)
+        engine.reset_stats()
+        snap = engine.stats_snapshot()
+        assert snap["queries"] == 0
+        assert snap["requests"] == {}
+        assert snap["pair_cache"]["hits"] == 0
+        assert snap["index"]["core_probes"] == 0
+
+
+class TestExtensionCacheEffect:
+    def test_cache_reduces_core_probes_on_repeat_heavy_stream(self, cp_setup):
+        """The acceptance-criteria demo: same answers, fewer core probes."""
+        graph, index, _ = cp_setup
+        rng = random.Random(13)
+        hot = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(8)]
+        stream = [hot[rng.randrange(len(hot))] for _ in range(400)]
+        rows = serve_bench_rows(index, stream, cache_capacity=512)
+        by_config = {row["config"]: row for row in rows}
+        uncached = by_config["uncached"]
+        ext = by_config["ext-cache"]
+        both = by_config["ext+pair-cache"]
+        assert ext["core_probes"] < uncached["core_probes"]
+        assert both["core_probes"] <= ext["core_probes"]
+        assert ext["ext_hit_rate"] > 0.5
+        assert both["pair_hit_rate"] > 0.9
+        # serve_bench_rows itself raises if any config changed an answer.
+
+    def test_restores_extension_cache_size(self, cp_setup):
+        _, index, _ = cp_setup
+        before = index.extension_cache_size
+        serve_bench_rows(index, [(0, 1), (2, 3)], cache_capacity=8)
+        assert index.extension_cache_size == before

@@ -92,3 +92,58 @@ class TestCachedDistanceIndex:
         if path is not None:
             assert path[0] == 0 and path[-1] == g.n - 1
         assert cached.hits + cached.misses > 0
+
+
+class TestBatchDelegation:
+    """Regression: wrapping an index must not lose the batch protocol."""
+
+    def test_distances_from_matches_per_pair_distance(self):
+        # The original bug: CachedDistanceIndex(CTIndex...).distances_from
+        # raised AttributeError and batch callers bypassed the cache.
+        g = gnp_graph(35, 0.12, seed=3)
+        index = CTIndex.build(g, 4)
+        cached = CachedDistanceIndex(index)
+        for s in range(0, g.n, 5):
+            batch = cached.distances_from(s, list(g.nodes()))
+            assert batch == [index.distance(s, t) for t in g.nodes()]
+
+    def test_batch_populates_and_serves_cache(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        cached.distances_from(0, [1, 2, 3])
+        assert (cached.hits, cached.misses) == (0, 3)
+        cached.distances_from(0, [1, 2, 3])  # fully cached now
+        assert (cached.hits, cached.misses) == (3, 3)
+        cached.distance(2, 0)  # symmetric single query hits the batch entry
+        assert cached.hits == 4
+
+    def test_repeated_targets_in_one_batch_count_as_hits(self, inner):
+        g, index = inner
+        cached = CachedDistanceIndex(index)
+        values = cached.distances_from(0, [5, 5, 6, 5])
+        assert values[0] == values[1] == values[3] == index.distance(0, 5)
+        assert (cached.hits, cached.misses) == (2, 2)
+
+    def test_symmetric_dedup_within_batch(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        # distances_from(5, [0]) then distance(0, 5) share one key.
+        cached.distances_from(5, [0])
+        cached.distance(0, 5)
+        assert (cached.hits, cached.misses) == (1, 1)
+
+    def test_distances_batch_goes_through_cache(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        pairs = [(0, 1), (1, 2), (0, 1)]
+        values = cached.distances_batch(pairs)
+        assert values == [index.distance(s, t) for s, t in pairs]
+        assert (cached.hits, cached.misses) == (1, 2)
+
+    def test_eviction_respected_in_batches(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index, capacity=2)
+        cached.distances_from(0, [1, 2, 3])  # inserts in order; (0,1) evicted
+        assert len(cached._cache) == 2
+        cached.distance(0, 3)
+        assert cached.hits == 1  # most recent entries survived
