@@ -1,0 +1,170 @@
+"""Construction benchmark: serial vs parallel build of the same index.
+
+``build_bench_rows`` builds one graph's CT-Index once per worker count,
+verifies every parallel build is byte-identical to the serial one
+(:func:`repro.core.serialization.index_fingerprint`), and reports build
+time and speedup per configuration.  ``run_build_bench`` sweeps the
+registry datasets and appends one entry to ``BENCH_build.json`` so
+successive runs accumulate a build-performance history next to the
+repo's other bench artifacts.
+
+Speedups are hardware-bound: on a single-core container the parallel
+rows mostly measure pool overhead, which is exactly what the recorded
+entry should show.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.core.ct_index import CTIndex
+from repro.core.serialization import index_fingerprint
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+
+#: Worker counts measured by default: serial baseline plus two fan-outs.
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+
+#: Default sweep: smallest, mid-sized, and largest registry graphs —
+#: enough to see how pool overhead amortizes as the build grows.
+DEFAULT_DATASETS = ("talk", "fb", "uk07")
+
+#: Default artifact path, relative to the working directory.
+BENCH_BUILD_PATH = "BENCH_build.json"
+
+
+@dataclasses.dataclass
+class BuildBenchResult:
+    """One graph's serial-vs-parallel build comparison."""
+
+    name: str
+    n: int
+    m: int
+    bandwidth: int
+    rows: list[dict]
+
+    @property
+    def best_speedup(self) -> float:
+        """Largest speedup over serial among the parallel rows."""
+        return max((row["speedup"] for row in self.rows[1:]), default=1.0)
+
+    def entry(self) -> dict:
+        """JSON-ready record for ``BENCH_build.json``."""
+        return {
+            "dataset": self.name,
+            "n": self.n,
+            "m": self.m,
+            "bandwidth": self.bandwidth,
+            "rows": self.rows,
+            "best_speedup": round(self.best_speedup, 3),
+        }
+
+
+def build_bench_rows(
+    graph: Graph,
+    bandwidth: int,
+    *,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    name: str = "graph",
+    core_backend: str = "pll",
+) -> BuildBenchResult:
+    """Time one build per worker count and verify byte-identity.
+
+    The first worker count is the baseline (use 1 for serial-vs-parallel
+    speedups).  Raises :class:`ReproError` if any configuration's index
+    fingerprint differs from the baseline's — a parallel build that
+    changes even one label is a bug, not a benchmark data point.
+    """
+    if not worker_counts:
+        raise ReproError("build-bench needs at least one worker count")
+    rows: list[dict] = []
+    baseline_seconds: float | None = None
+    baseline_print: bytes | None = None
+    for workers in worker_counts:
+        started = time.perf_counter()
+        index = CTIndex.build(
+            graph, bandwidth, workers=workers, core_backend=core_backend
+        )
+        elapsed = time.perf_counter() - started
+        fingerprint = index_fingerprint(index)
+        if baseline_print is None:
+            baseline_seconds = elapsed
+            baseline_print = fingerprint
+        elif fingerprint != baseline_print:
+            raise ReproError(
+                f"workers={workers} build of {name!r} differs from the "
+                f"workers={worker_counts[0]} build — parallel construction "
+                "must be byte-identical"
+            )
+        assert baseline_seconds is not None
+        rows.append(
+            {
+                "workers": workers,
+                "build_s": round(elapsed, 3),
+                "speedup": round(baseline_seconds / elapsed, 3) if elapsed else 1.0,
+                "entries": index.size_entries(),
+                "identical": fingerprint == baseline_print,
+            }
+        )
+    return BuildBenchResult(
+        name=name, n=graph.n, m=graph.m, bandwidth=bandwidth, rows=rows
+    )
+
+
+def record_entry(result: BuildBenchResult, path=BENCH_BUILD_PATH) -> dict:
+    """Append ``result`` to the ``BENCH_build.json`` history document.
+
+    The document is ``{"schema": 1, "entries": [...]}``; a missing or
+    corrupt file starts a fresh history rather than failing the bench.
+    Returns the appended entry.
+    """
+    path = Path(path)
+    document = {"schema": 1, "entries": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("entries"), list):
+                document = loaded
+        except (OSError, json.JSONDecodeError):
+            pass
+    entry = result.entry()
+    entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["entries"].append(entry)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return entry
+
+
+def run_build_bench(
+    datasets=None,
+    bandwidth: int = 20,
+    *,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    output=BENCH_BUILD_PATH,
+) -> tuple[list[dict], str]:
+    """Sweep ``datasets`` (default: :data:`DEFAULT_DATASETS`) and record entries.
+
+    Returns ``(rows, text)`` like the other experiment drivers: one row
+    per (dataset, worker count), plus the rendered table.
+    """
+    names = list(datasets) if datasets is not None else list(DEFAULT_DATASETS)
+    rows: list[dict] = []
+    for name in names:
+        graph = load_dataset(name)
+        result = build_bench_rows(
+            graph, bandwidth, worker_counts=worker_counts, name=name
+        )
+        if output is not None:
+            record_entry(result, output)
+        for row in result.rows:
+            rows.append({"dataset": name, "n": graph.n, "m": graph.m, **row})
+    text = format_table(
+        rows,
+        ["dataset", "n", "m", "workers", "build_s", "speedup", "identical"],
+        title=f"build-bench — CT-{bandwidth} construction, serial vs parallel",
+    )
+    return rows, text

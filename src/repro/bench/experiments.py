@@ -338,11 +338,12 @@ def ablation_extension(dataset: str = "epin", bandwidth: int = 50) -> tuple[list
         for s, t in workload.pairs:
             query(s, t)
         elapsed = time.perf_counter() - started
+        queries = len(workload) or 1  # survive a zero-query workload
         rows.append(
             {
                 "variant": variant,
-                "query_s": f"{elapsed / len(workload):.2e}",
-                "core_probes_per_query": round(index.core_probes / len(workload), 1),
+                "query_s": f"{elapsed / queries:.2e}",
+                "core_probes_per_query": round(index.core_probes / queries, 1),
             }
         )
     text = format_table(
@@ -482,7 +483,7 @@ def directed_extension(seed: int = 2026, bandwidths=(0, 2, 5)) -> tuple[list[Row
         started = time.perf_counter()
         for s, t in workload:
             index.distance(s, t)
-        per_query = (time.perf_counter() - started) / len(workload)
+        per_query = (time.perf_counter() - started) / (len(workload) or 1)
         rows.append(
             {
                 "method": name,
@@ -651,6 +652,19 @@ def serving_benchmark(
     return rows, text
 
 
+def build_benchmark(
+    datasets=None, bandwidth: int = 20, worker_counts=(1, 2, 4)
+) -> tuple[list[Row], str]:
+    """Serial vs parallel construction on representative registry graphs.
+
+    Verifies byte-identity across worker counts and appends the measured
+    speedups to ``BENCH_build.json`` (see :mod:`repro.bench.build_bench`).
+    """
+    from repro.bench.build_bench import run_build_bench
+
+    return run_build_bench(datasets, bandwidth, worker_counts=worker_counts)
+
+
 @dataclasses.dataclass(frozen=True)
 class ExperimentCatalog:
     """Name -> driver mapping for the CLI and docs."""
@@ -674,6 +688,7 @@ class ExperimentCatalog:
         "directed": directed_extension,
         "structure": structure_profile,
         "serving": serving_benchmark,
+        "build": build_benchmark,
     }
 
 

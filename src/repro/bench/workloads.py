@@ -30,6 +30,8 @@ def random_pairs(graph: Graph, count: int, seed: int) -> QueryWorkload:
     """``count`` uniform random (s, t) pairs (s == t allowed, as in the paper)."""
     rng = random.Random(seed)
     n = graph.n
+    if n == 0:
+        return QueryWorkload(name=f"random-{count}", pairs=())
     pairs = tuple((rng.randrange(n), rng.randrange(n)) for _ in range(count))
     return QueryWorkload(name=f"random-{count}", pairs=pairs)
 
@@ -71,6 +73,8 @@ def skewed_pairs(
         raise ValueError(f"hot_pairs must be positive, got {hot_pairs}")
     rng = random.Random(seed)
     n = graph.n
+    if n == 0:
+        return QueryWorkload(name=f"skewed-{count}", pairs=())
     hot = [(rng.randrange(n), rng.randrange(n)) for _ in range(hot_pairs)]
     pairs = tuple(
         hot[rng.randrange(hot_pairs)]

@@ -3,12 +3,13 @@
 Subcommands::
 
     repro stats GRAPH                     structural summary of an edge list
-    repro build GRAPH -d 20 -o IDX.json   build and save a CT-Index
+    repro build GRAPH -d 20 -o IDX.json   build and save a CT-Index (--workers N parallel)
     repro query IDX.json S T [S T ...]    answer distance queries
     repro find-bandwidth GRAPH --memory-mb 2
     repro generate DATASET -o GRAPH       dump a registry dataset
     repro bench EXPERIMENT                run one paper experiment driver
     repro serve-bench GRAPH -d 20         cached vs uncached serving on a skewed stream
+    repro build-bench GRAPH -d 20         serial vs parallel construction speedup
     repro datasets                        list the dataset registry
 
 Exit status is 0 on success, 1 on a handled library error, 2 on bad
@@ -64,6 +65,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--memory-mb", type=float, default=None, help="abort if the modeled size exceeds this"
     )
+    p_build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel build (0 = one per CPU; "
+        "any count builds the identical index)",
+    )
     p_build.set_defaults(handler=_cmd_build)
 
     p_query = sub.add_parser("query", help="answer distance queries from a saved index")
@@ -115,6 +123,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=12345)
     p_serve.set_defaults(handler=_cmd_serve_bench)
 
+    p_bbench = sub.add_parser(
+        "build-bench",
+        help="time serial vs parallel index construction and record BENCH_build.json",
+    )
+    p_bbench.add_argument("graph", help="edge-list file, or a registry dataset name")
+    p_bbench.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_bbench.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts; the first is the baseline (default 1,2,4)",
+    )
+    p_bbench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_build.json",
+        help="speedup history file to append to ('-' skips recording)",
+    )
+    p_bbench.set_defaults(handler=_cmd_build_bench)
+
     p_list = sub.add_parser("datasets", help="list the synthetic dataset registry")
     p_list.set_defaults(handler=_cmd_datasets)
 
@@ -164,13 +191,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
         args.bandwidth,
         use_equivalence_reduction=not args.no_reduction,
         budget=budget,
+        workers=args.workers,
     )
     save_ct_index(index, args.output)
     stats = index.stats()
+    schedule = "" if args.workers in (None, 1) else f" ({args.workers or 'auto'} workers)"
     print(
         f"built CT-{args.bandwidth} on n={graph.n} m={graph.m}: "
         f"{stats.entries} entries ({stats.megabytes:.3f} MB modeled) "
-        f"in {stats.build_seconds:.2f}s -> {args.output}"
+        f"in {stats.build_seconds:.2f}s{schedule} -> {args.output}"
     )
     return 0
 
@@ -297,6 +326,49 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.build_bench import build_bench_rows, record_entry
+    from repro.bench.datasets import dataset_names, load_dataset
+    from repro.bench.reporting import format_table
+    from repro.graphs.io import read_edge_list
+
+    try:
+        worker_counts = tuple(int(w) for w in args.workers.split(",") if w.strip())
+    except ValueError:
+        print(f"error: --workers {args.workers!r} is not a comma-separated int list",
+              file=sys.stderr)
+        return 2
+    if not worker_counts:
+        print("error: --workers needs at least one count", file=sys.stderr)
+        return 2
+    if args.graph in dataset_names() and not os.path.exists(args.graph):
+        name = args.graph
+        graph = load_dataset(name)
+    else:
+        name = args.graph
+        graph, _ = read_edge_list(args.graph)
+    result = build_bench_rows(
+        graph, args.bandwidth, worker_counts=worker_counts, name=name
+    )
+    print(
+        format_table(
+            result.rows,
+            ["workers", "build_s", "speedup", "entries", "identical"],
+            title=(
+                f"build-bench: CT-{args.bandwidth} on {name} "
+                f"(n={graph.n} m={graph.m})"
+            ),
+        )
+    )
+    print(f"best parallel speedup over baseline: {result.best_speedup:.2f}x")
+    if args.output != "-":
+        record_entry(result, args.output)
+        print(f"recorded entry -> {args.output}")
+    return 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.core.serialization import load_ct_index
     from repro.core.validation import audit_ct_index
@@ -342,3 +414,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
             f"(stands in for {spec.paper_name}: n={spec.paper_nodes:,}, m={spec.paper_edges:,})"
         )
     return 0
+
+
+if __name__ == "__main__":  # allow `python -m repro.cli.main` without installing
+    sys.exit(main())

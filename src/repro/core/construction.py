@@ -63,19 +63,32 @@ class TreeIndex:
         return self.labels[pos].get(target, INF)
 
 
-def build_tree_index(
+def compute_tree_labels(
     decomposition: CoreTreeDecomposition,
+    positions,
+    labels,
     *,
     budget: MemoryBudget | None = None,
-) -> TreeIndex:
-    """Compute the λ-local distance labels (Algorithm 1, lines 19-32)."""
-    if budget is None:
-        budget = MemoryBudget.unlimited()
+) -> None:
+    """Fill ``labels[pos]`` for every ``pos`` in ``positions``.
+
+    ``positions`` must be in descending order and closed under tree
+    ancestry (a position's ancestors appear before it), because the
+    recursion of Lemma 15 reads ancestor labels; whole trees in reverse
+    elimination order satisfy this, which is what makes the per-tree
+    fan-out of :mod:`repro.parallel.forest` legal — a tree's labels
+    never reference another tree.  ``labels`` may be the full
+    boundary-sized list (serial build) or a per-task dict holding just
+    the processed trees' positions.
+
+    Serial and parallel builds both run *this* routine, so a forest
+    label is computed by the same statements in the same order whichever
+    schedule produced it — the byte-identical guarantee for the tree
+    half of the index.
+    """
     elimination = decomposition.elimination
     position = decomposition.position
     node_at = decomposition.node_at
-    boundary = decomposition.boundary
-    labels: list[dict[int, Weight]] = [{} for _ in range(boundary)]
 
     def lookup(pos_j: int, target: int) -> Weight:
         """δ^T(v_j, target), reading whichever endpoint stores the pair.
@@ -98,7 +111,7 @@ def build_tree_index(
             )
         return labels[pos_target][node_j]
 
-    for pos in range(boundary - 1, -1, -1):
+    for pos in positions:
         step = elimination.steps[pos]
         root = decomposition.root[pos]
         interface = decomposition.interface[root]
@@ -135,9 +148,44 @@ def build_tree_index(
                     if through < best:
                         best = through
                 label[u] = best
-        budget.charge(len(label))
+        if budget is not None:
+            budget.charge(len(label))
         labels[pos] = label
 
+
+def build_tree_index(
+    decomposition: CoreTreeDecomposition,
+    *,
+    budget: MemoryBudget | None = None,
+    workers: int | None = None,
+) -> TreeIndex:
+    """Compute the λ-local distance labels (Algorithm 1, lines 19-32).
+
+    With ``workers > 1`` the per-tree labels are computed one task per
+    tree group across worker processes (Theorem 4's labels are
+    independent between trees); the result is identical to the serial
+    sweep.  Budget accounting then happens on the merged labels in the
+    serial charge order, so an over-budget build still raises
+    :class:`~repro.exceptions.OverMemoryError` (after the parallel work
+    rather than mid-sweep).
+    """
+    from repro.parallel.pool import resolve_workers
+
+    if budget is None:
+        budget = MemoryBudget.unlimited()
+    boundary = decomposition.boundary
+    worker_count = resolve_workers(workers)
+    if worker_count > 1 and boundary:
+        from repro.parallel.forest import parallel_tree_labels
+
+        labels = parallel_tree_labels(decomposition, workers=worker_count)
+        for pos in range(boundary - 1, -1, -1):
+            budget.charge(len(labels[pos]))
+    else:
+        labels = [{} for _ in range(boundary)]
+        compute_tree_labels(
+            decomposition, range(boundary - 1, -1, -1), labels, budget=budget
+        )
     return TreeIndex(decomposition, labels)
 
 
@@ -159,6 +207,7 @@ def build_core_index(
     budget: MemoryBudget | None = None,
     core_order: str = "degree",
     core_backend: str = "pll",
+    workers: int | None = None,
 ) -> tuple[PrunedLandmarkLabeling, list[int], dict[int, int]]:
     """2-hop labeling on the weighted reduced core graph ``G_{λ+1}`` (line 33).
 
@@ -173,6 +222,11 @@ def build_core_index(
     (d = 0, no fill-in shortcuts) and falls back to pruned-Dijkstra PLL
     otherwise, since PSL's levels are hop counts.  Both backends build
     the same canonical label sets.
+
+    ``workers`` fans the PSL backend's rounds out over worker processes
+    (see :mod:`repro.parallel.psl`).  The PLL backend ignores it: a
+    pruned search depends on every earlier root's finished label, so PLL
+    is inherently sequential.
 
     Returns ``(core_labeling, originals, compact)``: the 2-hop index
     over the compacted core graph, the original node id per compact id,
@@ -197,7 +251,7 @@ def build_core_index(
     if core_backend == "psl" and core_graph.unweighted:
         from repro.labeling.psl import build_psl
 
-        psl = build_psl(core_graph, order, budget=budget)
+        psl = build_psl(core_graph, order, budget=budget, workers=workers)
         labeling = PrunedLandmarkLabeling(core_graph, psl.labels, psl.order)
         labeling.build_seconds = psl.build_seconds
     else:
@@ -213,15 +267,26 @@ def construct(
     budget: MemoryBudget | None = None,
     core_order: str = "degree",
     core_backend: str = "pll",
+    workers: int | None = None,
 ) -> tuple[CoreTreeDecomposition, TreeIndex, PrunedLandmarkLabeling, list[int], dict[int, int], float]:
-    """Run the full Algorithm 1 and return all the pieces plus build time."""
+    """Run the full Algorithm 1 and return all the pieces plus build time.
+
+    ``workers`` parallelizes the tree-index fan-out (and the core
+    labeling when ``core_backend="psl"`` applies) without changing any
+    label — the decomposition itself (bounded MDE) stays sequential, as
+    each elimination step depends on the fill-in of the previous one.
+    """
     started = time.perf_counter()
     if budget is None:
         budget = MemoryBudget.unlimited()
     decomposition = core_tree_decomposition(graph, bandwidth)
-    tree_index = build_tree_index(decomposition, budget=budget)
+    tree_index = build_tree_index(decomposition, budget=budget, workers=workers)
     core_index, originals, compact = build_core_index(
-        decomposition, budget=budget, core_order=core_order, core_backend=core_backend
+        decomposition,
+        budget=budget,
+        core_order=core_order,
+        core_backend=core_backend,
+        workers=workers,
     )
     elapsed = time.perf_counter() - started
     logger.debug(

@@ -101,6 +101,7 @@ class CTIndex(DistanceIndex):
         core_order: str = "degree",
         core_backend: str = "pll",
         extension_cache_size: int = 256,
+        workers: int | None = None,
     ) -> "CTIndex":
         """Construct a CT-Index (Algorithm 1).
 
@@ -130,6 +131,11 @@ class CTIndex(DistanceIndex):
             Bound on the per-position extension-label LRU used by
             Case-3/4 queries; ``0`` disables the cache (every query
             recomputes its extension sets).
+        workers:
+            Number of worker processes for the parallel build path
+            (``None``/``1`` serial, ``0`` one per CPU).  Any worker
+            count builds the same index byte for byte — see
+            :mod:`repro.parallel`.
         """
         started = time.perf_counter()
         if use_equivalence_reduction:
@@ -142,6 +148,7 @@ class CTIndex(DistanceIndex):
             budget=budget,
             core_order=core_order,
             core_backend=core_backend,
+            workers=workers,
         )
         del decomposition  # reachable through tree_index
         index = cls(
@@ -460,6 +467,7 @@ def build_ct_index(
     core_order: str = "degree",
     core_backend: str = "pll",
     extension_cache_size: int = 256,
+    workers: int | None = None,
 ) -> CTIndex:
     """Functional alias of :meth:`CTIndex.build` (same keywords)."""
     return CTIndex.build(
@@ -470,4 +478,5 @@ def build_ct_index(
         core_order=core_order,
         core_backend=core_backend,
         extension_cache_size=extension_cache_size,
+        workers=workers,
     )

@@ -42,19 +42,48 @@ FORMAT_VERSION = 2
 SUPPORTED_VERSIONS = frozenset({1, FORMAT_VERSION})
 
 
-def save_ct_index(index: CTIndex, path: PathLike) -> None:
-    """Write ``index`` to ``path`` as JSON."""
+def index_document(index: CTIndex, *, include_timings: bool = True) -> dict:
+    """The JSON-ready document describing ``index``.
+
+    With ``include_timings=False`` the (schedule-dependent) build time
+    is omitted, leaving only content that is a pure function of the
+    graph and the build parameters.
+    """
     document = {
         "format": "repro-ct-index",
         "version": FORMAT_VERSION,
         "bandwidth": index.bandwidth,
-        "build_seconds": index.build_seconds,
         "graph": _encode_graph(index.graph),
         "reduction": _encode_reduction(index.reduction),
         "elimination": _encode_elimination(index.decomposition.elimination),
         "tree_labels": [_encode_weight_map(label) for label in index.tree_index.labels],
         "core": _encode_core(index),
     }
+    if include_timings:
+        document["build_seconds"] = index.build_seconds
+    return document
+
+
+def index_fingerprint(index: CTIndex) -> bytes:
+    """Canonical serialized bytes of ``index``, timing excluded.
+
+    Two builds of the same graph with the same parameters produce equal
+    fingerprints regardless of the construction schedule (serial or any
+    ``workers=N``) — the determinism guarantee the differential suite
+    and ``build-bench`` verify.  Keys are sorted so the fingerprint does
+    not depend on document-assembly order.
+    """
+    return json.dumps(
+        index_document(index, include_timings=False),
+        allow_nan=False,
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def save_ct_index(index: CTIndex, path: PathLike) -> None:
+    """Write ``index`` to ``path`` as JSON."""
+    document = index_document(index)
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
         json.dump(document, handle, allow_nan=False)

@@ -6,10 +6,14 @@ PSL removes PLL's sequential root-by-root dependency: labels are built
 hubs more important than itself, keeps the ones the current labels
 cannot already cover at distance <= k, and commits them all at once.
 On a parallel machine every node of a level is processed concurrently;
-this implementation executes the rounds sequentially but preserves the
-exact level-synchronous semantics (each round's pruning only consults
-labels of strictly earlier rounds), so label sets match the parallel
-algorithm's.
+this implementation preserves the exact level-synchronous semantics
+(each round's pruning only consults labels of strictly earlier rounds),
+so label sets match the parallel algorithm's.  The per-level work is
+factored into :func:`psl_level_additions` (pure, read-only gather) and
+:func:`psl_commit_level` (synchronous commit) so the serial loop here
+and the multiprocess fan-out in :mod:`repro.parallel.psl` run the same
+code on the same data — which is what makes ``workers=N`` builds
+byte-identical to serial ones.
 
 PSL is defined on unweighted graphs (levels are hop counts).
 """
@@ -17,6 +21,7 @@ PSL is defined on unweighted graphs (levels are hop counts).
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable
 
 from repro.exceptions import IndexConstructionError
 from repro.graphs.graph import INF, Graph, Weight
@@ -49,17 +54,96 @@ class ParallelShortestPathLabeling(DistanceIndex):
         return self.labels.max_label_size()
 
 
+def psl_level_additions(
+    graph: Graph,
+    rank: list[int],
+    order: list[int],
+    label_maps: list[dict[int, int]],
+    last_added: list[list[int]],
+    level: int,
+    nodes: Iterable[int],
+) -> list[tuple[int, list[int]]]:
+    """Phase 1 of one PSL round, restricted to ``nodes``.
+
+    Gathers candidate hubs from neighbors' previous-round labels and
+    prunes against the labels committed in strictly earlier rounds.
+    Reads ``label_maps``/``last_added`` only — never writes — so any
+    partition of the vertex set can be evaluated concurrently (this is
+    the unit of work the multiprocess builder ships to its workers).
+
+    Returns ``(v, accepted_hub_ranks)`` pairs for the nodes that gained
+    labels, in ascending node order with each hub list sorted — a
+    canonical form, so merged chunk results are independent of how the
+    vertex set was partitioned.
+    """
+    additions: list[tuple[int, list[int]]] = []
+    for v in nodes:
+        own_rank = rank[v]
+        own_map = label_maps[v]
+        candidates: set[int] = set()
+        for u in graph.neighbor_ids(v):
+            for hub_rank in last_added[u]:
+                if hub_rank < own_rank:
+                    candidates.add(hub_rank)
+        if not candidates:
+            continue
+        accepted: list[int] = []
+        for hub_rank in sorted(candidates):
+            if hub_rank in own_map:
+                continue  # already covered at a smaller level
+            hub_map = label_maps[order[hub_rank]]
+            if _map_query(own_map, hub_map) <= level:
+                continue  # pruned: existing 2-hop cover is as short
+            accepted.append(hub_rank)
+        if accepted:
+            additions.append((v, accepted))
+    return additions
+
+
+def psl_commit_level(
+    additions: list[tuple[int, list[int]]],
+    label_maps: list[dict[int, int]],
+    last_added: list[list[int]],
+    level: int,
+    *,
+    budget: MemoryBudget,
+    budget_exempt: frozenset[int],
+) -> None:
+    """Phase 2 of one PSL round: apply every node's additions at once.
+
+    ``additions`` must be the (merged) output of
+    :func:`psl_level_additions` over the whole vertex set.  Nodes absent
+    from it have their ``last_added`` cleared — they contributed nothing
+    this round and must not feed candidates into the next one.
+    """
+    for v in range(len(last_added)):
+        last_added[v] = []
+    for v, accepted in additions:
+        last_added[v] = accepted
+        own_map = label_maps[v]
+        for hub_rank in accepted:
+            own_map[hub_rank] = level
+        if v not in budget_exempt:
+            budget.charge(len(accepted))
+
+
 def build_psl(
     graph: Graph,
     order: list[int] | None = None,
     *,
     budget: MemoryBudget | None = None,
     budget_exempt: frozenset[int] | None = None,
+    workers: int | None = None,
 ) -> ParallelShortestPathLabeling:
     """Build a PSL index on an unweighted ``graph``.
 
     ``budget_exempt`` nodes' label entries do not count against the
     budget (see :func:`repro.labeling.pll.build_pll`).
+
+    ``workers`` selects the construction schedule: ``None``/``1`` runs
+    the rounds in-process; ``N > 1`` evaluates each round's gather phase
+    across ``N`` worker processes (``0`` means one per CPU).  Every
+    schedule commits identical labels — see :mod:`repro.parallel.psl`.
     """
     if not graph.unweighted:
         raise IndexConstructionError(
@@ -76,6 +160,10 @@ def build_psl(
     if budget_exempt is None:
         budget_exempt = frozenset()
 
+    from repro.parallel.pool import resolve_workers
+
+    worker_count = resolve_workers(workers)
+
     rank = [0] * graph.n
     for r, v in enumerate(order):
         rank[v] = r
@@ -88,47 +176,40 @@ def build_psl(
     # Hubs committed in the previous round, per node.
     last_added: list[list[int]] = [[rank[v]] for v in graph.nodes()]
 
-    level = 0
-    while True:
-        level += 1
-        # Phase 1 (parallel-for over nodes): gather candidate hubs from
-        # neighbors' previous-round labels and prune against the labels
-        # committed so far (levels < current).
-        additions: list[list[int]] = [[] for _ in graph.nodes()]
-        any_added = False
-        for v in graph.nodes():
-            own_rank = rank[v]
-            own_map = label_maps[v]
-            candidates: set[int] = set()
-            for u in graph.neighbor_ids(v):
-                for hub_rank in last_added[u]:
-                    if hub_rank < own_rank:
-                        candidates.add(hub_rank)
-            if not candidates:
-                continue
-            accepted: list[int] = []
-            for hub_rank in candidates:
-                if hub_rank in own_map:
-                    continue  # already covered at a smaller level
-                hub_map = label_maps[order[hub_rank]]
-                if _map_query(own_map, hub_map) <= level:
-                    continue  # pruned: existing 2-hop cover is as short
-                accepted.append(hub_rank)
-            if accepted:
-                additions[v] = accepted
-                any_added = True
-        if not any_added:
-            break
-        # Phase 2 (synchronous commit): apply every node's additions.
-        for v in graph.nodes():
-            accepted = additions[v]
-            last_added[v] = accepted
-            if accepted:
-                own_map = label_maps[v]
-                for hub_rank in accepted:
-                    own_map[hub_rank] = level
-                if v not in budget_exempt:
-                    budget.charge(len(accepted))
+    if worker_count > 1:
+        from repro.parallel.psl import run_parallel_rounds
+
+        level = run_parallel_rounds(
+            graph,
+            rank,
+            order,
+            label_maps,
+            last_added,
+            workers=worker_count,
+            budget=budget,
+            budget_exempt=budget_exempt,
+        )
+    else:
+        level = 0
+        while True:
+            level += 1
+            # Phase 1 (parallel-for over nodes): gather candidate hubs
+            # from neighbors' previous-round labels and prune against
+            # the labels committed so far (levels < current).
+            additions = psl_level_additions(
+                graph, rank, order, label_maps, last_added, level, graph.nodes()
+            )
+            if not additions:
+                break
+            # Phase 2 (synchronous commit): apply every node's additions.
+            psl_commit_level(
+                additions,
+                label_maps,
+                last_added,
+                level,
+                budget=budget,
+                budget_exempt=budget_exempt,
+            )
 
     labels = HubLabeling(order)
     for v in graph.nodes():

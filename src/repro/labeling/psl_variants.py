@@ -132,10 +132,15 @@ def build_psl_plus(
     *,
     backend: str = "pll",
     budget: MemoryBudget | None = None,
+    workers: int | None = None,
 ) -> PslPlusIndex:
-    """Build PSL+ (equivalence elimination, then 2-hop labeling)."""
+    """Build PSL+ (equivalence elimination, then 2-hop labeling).
+
+    ``workers`` is forwarded to the PSL backend (ignored by PLL, whose
+    pruned searches are sequential by construction).
+    """
     started = time.perf_counter()
-    reduction, labels, order = _build_reduced_labels(graph, backend, budget)
+    reduction, labels, order = _build_reduced_labels(graph, backend, budget, workers=workers)
     index = PslPlusIndex(reduction, labels, order)
     index.build_seconds = time.perf_counter() - started
     return index
@@ -146,6 +151,7 @@ def build_psl_star(
     *,
     backend: str = "pll",
     budget: MemoryBudget | None = None,
+    workers: int | None = None,
 ) -> PslStarIndex:
     """Build PSL* (equivalence + local minimal set elimination).
 
@@ -156,7 +162,7 @@ def build_psl_star(
     """
     started = time.perf_counter()
     reduction, labels, order = _build_reduced_labels(
-        graph, backend, budget, exempt_factory=_local_minimum_nodes
+        graph, backend, budget, exempt_factory=_local_minimum_nodes, workers=workers
     )
     reduced = reduction.reduced
     dropped_set = _local_minimum_nodes(reduced, order)
@@ -188,6 +194,7 @@ def _build_reduced_labels(
     budget: MemoryBudget | None,
     *,
     exempt_factory=None,
+    workers: int | None = None,
 ) -> tuple[EquivalenceReduction, HubLabeling, list[int]]:
     if backend not in _BACKENDS:
         raise IndexConstructionError(
@@ -200,7 +207,9 @@ def _build_reduced_labels(
     order = degree_order(reduced)
     exempt = exempt_factory(reduced, order) if exempt_factory is not None else None
     if backend == "psl" and reduced.unweighted:
-        built = build_psl(reduced, order, budget=budget, budget_exempt=exempt)
+        built = build_psl(
+            reduced, order, budget=budget, budget_exempt=exempt, workers=workers
+        )
     else:
         built = build_pll(reduced, order, budget=budget, budget_exempt=exempt)
     return reduction, built.labels, built.order

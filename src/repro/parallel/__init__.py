@@ -1,0 +1,32 @@
+"""Multiprocess index construction.
+
+The parallel build path fans the two heavy halves of CT-Index
+construction out over worker processes while keeping the output
+byte-identical to a serial build:
+
+* :mod:`repro.parallel.psl` — level-synchronous PSL rounds, one vertex
+  chunk per worker against a read-only snapshot of the previous level;
+* :mod:`repro.parallel.forest` — per-tree forest labels, whole trees
+  binned into balanced tasks (skew-aware, work-stealing friendly);
+* :mod:`repro.parallel.chunking` / :mod:`repro.parallel.pool` — the
+  deterministic partitioning and pool plumbing both share.
+
+Entry points: ``build_ct_index(graph, d, workers=N)``,
+``build_psl(graph, workers=N)``, and ``repro build --workers N`` on the
+command line.  ``workers=0`` means one worker per CPU.
+"""
+
+from repro.parallel.chunking import balanced_tasks, vertex_chunks
+from repro.parallel.forest import forest_tasks, parallel_tree_labels
+from repro.parallel.pool import pool_context, resolve_workers
+from repro.parallel.psl import run_parallel_rounds
+
+__all__ = [
+    "balanced_tasks",
+    "forest_tasks",
+    "parallel_tree_labels",
+    "pool_context",
+    "resolve_workers",
+    "run_parallel_rounds",
+    "vertex_chunks",
+]

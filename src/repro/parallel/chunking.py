@@ -1,0 +1,78 @@
+"""Deterministic work partitioning for the parallel builders.
+
+Two shapes of fan-out need chunking:
+
+* the PSL gather phase partitions the vertex set into contiguous,
+  near-equal ranges (uniform work per vertex, so equal sizes balance);
+* the forest fan-out groups whole trees into tasks.  Tree sizes on
+  core-periphery graphs are heavily skewed (a few giant communities,
+  many tiny fringes), so trees are binned largest-first onto the
+  currently lightest task (LPT), and more tasks than workers are
+  produced so the executor's dynamic scheduling absorbs whatever
+  imbalance remains — cheap work stealing without shared queues.
+
+Everything here is pure and deterministic: the same inputs always
+produce the same partition, which the byte-identical-build guarantee
+relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+#: Tasks produced per worker by :func:`balanced_tasks`; >1 lets the pool
+#: steal work from stragglers instead of waiting on one giant task.
+TASKS_PER_WORKER = 4
+
+
+def vertex_chunks(n: int, chunks: int) -> list[range]:
+    """Split ``0 .. n-1`` into at most ``chunks`` contiguous ranges.
+
+    Ranges differ in length by at most one and are returned in ascending
+    order, so concatenating per-chunk results restores vertex order.
+    """
+    if chunks < 1:
+        raise ValueError(f"chunk count must be positive, got {chunks}")
+    chunks = min(chunks, n) or 1
+    base, extra = divmod(n, chunks)
+    ranges: list[range] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return [r for r in ranges if len(r)]
+
+
+def balanced_tasks(
+    sized_items: Sequence[tuple[int, int]], workers: int, *, tasks_per_worker: int = TASKS_PER_WORKER
+) -> list[list[int]]:
+    """Group ``(item, size)`` pairs into balanced task lists.
+
+    Items are assigned largest-first to the lightest task so far (ties
+    broken by task index, so the grouping is deterministic).  At most
+    ``workers * tasks_per_worker`` non-empty tasks are returned, ordered
+    heaviest-first — submitting them in that order starts the longest
+    tasks earliest, which minimizes the tail under dynamic scheduling.
+    """
+    if workers < 1:
+        raise ValueError(f"worker count must be positive, got {workers}")
+    if not sized_items:
+        return []
+    task_count = min(len(sized_items), max(1, workers * tasks_per_worker))
+    # (accumulated size, task index) min-heap; stable because the index
+    # breaks ties the same way every run.
+    heap = [(0, i) for i in range(task_count)]
+    heapq.heapify(heap)
+    tasks: list[list[int]] = [[] for _ in range(task_count)]
+    loads = [0] * task_count
+    ordered = sorted(sized_items, key=lambda pair: (-pair[1], pair[0]))
+    for item, size in ordered:
+        load, index = heapq.heappop(heap)
+        tasks[index].append(item)
+        loads[index] = load + size
+        heapq.heappush(heap, (loads[index], index))
+    filled = [(loads[i], tasks[i]) for i in range(task_count) if tasks[i]]
+    filled.sort(key=lambda pair: -pair[0])
+    return [task for _, task in filled]

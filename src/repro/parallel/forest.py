@@ -1,0 +1,86 @@
+"""Per-tree forest label fan-out (the tentpole's periphery half).
+
+Tree-node labels (ancestors plus the ≤ d interface nodes, Theorem 4 /
+Lemma 15) never reference positions outside their own tree, so the
+forest decomposes into embarrassingly parallel per-tree jobs.  Tree
+sizes on core-periphery graphs are heavily skewed, so whole trees are
+binned largest-first into more tasks than workers
+(:func:`repro.parallel.chunking.balanced_tasks`) and submitted
+heaviest-first — the pool's dynamic scheduling then steals the small
+tasks around whichever worker drew the giant community.
+
+Workers receive the decomposition through the pool initializer (free
+under ``fork``, pickled once per worker under ``spawn``) and run the
+same :func:`repro.core.construction.compute_tree_labels` routine the
+serial sweep runs, so the merged labels are identical to a serial
+build's — byte-for-byte once serialized.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.graphs.graph import Weight
+from repro.parallel.chunking import balanced_tasks
+from repro.parallel.pool import pool_context
+from repro.treedec.core_tree import CoreTreeDecomposition
+
+#: Decomposition installed in this worker process by the initializer.
+_FOREST_STATE: CoreTreeDecomposition | None = None
+
+
+def _init_forest(decomposition: CoreTreeDecomposition) -> None:
+    global _FOREST_STATE
+    _FOREST_STATE = decomposition
+
+
+def _label_trees(positions: list[int]) -> dict[int, dict[int, Weight]]:
+    """Compute labels for the (descending, tree-closed) ``positions``."""
+    from repro.core.construction import compute_tree_labels
+
+    assert _FOREST_STATE is not None, "worker used before initialization"
+    labels: dict[int, dict[int, Weight]] = {}
+    compute_tree_labels(_FOREST_STATE, positions, labels)
+    return labels
+
+
+def forest_tasks(
+    decomposition: CoreTreeDecomposition, workers: int
+) -> list[list[int]]:
+    """Partition the forest into balanced per-task position lists.
+
+    Each task is the concatenation of whole trees' positions, every
+    tree's positions in descending order (the order ``compute_tree_labels``
+    requires); tasks are balanced by total tree size.
+    """
+    members = decomposition.tree_members()
+    sized = [(root, len(positions)) for root, positions in sorted(members.items())]
+    tasks = balanced_tasks(sized, workers)
+    return [
+        [pos for root in task for pos in sorted(members[root], reverse=True)]
+        for task in tasks
+    ]
+
+
+def parallel_tree_labels(
+    decomposition: CoreTreeDecomposition, *, workers: int
+) -> list[dict[int, Weight]]:
+    """All forest labels, computed one task per tree group.
+
+    Returns the boundary-sized label list in position order, exactly as
+    the serial sweep would have produced it.
+    """
+    tasks = forest_tasks(decomposition, workers)
+    labels: list[dict[int, Weight]] = [{} for _ in range(decomposition.boundary)]
+    if not tasks:
+        return labels
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)) or 1,
+        mp_context=pool_context(),
+        initializer=_init_forest,
+        initargs=(decomposition,),
+    ) as pool:
+        for part in pool.map(_label_trees, tasks):
+            for pos, label in part.items():
+                labels[pos] = label
+    return labels

@@ -1,0 +1,47 @@
+"""Process-pool plumbing shared by the parallel builders.
+
+Both parallel builders follow the same recipe: the master keeps the
+authoritative build state, ships read-only snapshots to a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and merges worker
+results deterministically.  On platforms with the ``fork`` start method
+(Linux), pool initializer arguments are inherited by the forked workers
+without pickling, so snapshotting even a large graph costs nothing; on
+``spawn`` platforms the same arguments are pickled once per worker —
+slower, but semantically identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.exceptions import IndexConstructionError
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` argument to a concrete process count.
+
+    ``None`` or ``1`` mean serial (no pool); ``0`` means one worker per
+    CPU; any other positive value is taken literally.  Negative counts
+    are rejected.
+    """
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise IndexConstructionError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context the parallel builders run under.
+
+    Prefers ``fork`` so worker processes inherit the master's read-only
+    build state instead of re-pickling it; falls back to the platform
+    default elsewhere.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()

@@ -1,0 +1,104 @@
+"""Multiprocess PSL rounds (the tentpole's core-labeling half).
+
+PSL is level-synchronous: within one round every vertex's candidate
+gathering reads only labels committed in strictly earlier rounds, so the
+vertex set can be partitioned arbitrarily and evaluated concurrently.
+This module runs each round's gather phase
+(:func:`repro.labeling.psl.psl_level_additions`) across a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+1. the master holds the authoritative ``label_maps`` / ``last_added``;
+2. at each level a fresh pool snapshots that state (free under ``fork``
+   — workers inherit it copy-on-write; pickled on ``spawn`` platforms)
+   and every worker evaluates one contiguous vertex chunk against the
+   read-only snapshot;
+3. the master concatenates the chunk results in vertex order and commits
+   them with the same :func:`~repro.labeling.psl.psl_commit_level` the
+   serial builder uses.
+
+Because gather is pure and commit is shared code applied in canonical
+vertex order, a ``workers=N`` build commits exactly the labels a serial
+build commits — the determinism guarantee ``same order ⇒ same index
+bytes`` falls out by construction rather than by reconciliation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.graphs.graph import Graph
+from repro.labeling.base import MemoryBudget
+from repro.parallel.chunking import vertex_chunks
+from repro.parallel.pool import pool_context
+
+#: Snapshot the initializer installed in this worker process:
+#: ``(graph, rank, order, label_maps, last_added)``.
+_ROUND_STATE: tuple | None = None
+
+
+def _init_round(state: tuple) -> None:
+    global _ROUND_STATE
+    _ROUND_STATE = state
+
+
+def _gather_chunk(task: tuple[int, int, int]) -> list[tuple[int, list[int]]]:
+    """Evaluate one vertex chunk of one level against the snapshot."""
+    from repro.labeling.psl import psl_level_additions
+
+    level, start, stop = task
+    assert _ROUND_STATE is not None, "worker used before initialization"
+    graph, rank, order, label_maps, last_added = _ROUND_STATE
+    return psl_level_additions(
+        graph, rank, order, label_maps, last_added, level, range(start, stop)
+    )
+
+
+def run_parallel_rounds(
+    graph: Graph,
+    rank: list[int],
+    order: list[int],
+    label_maps: list[dict[int, int]],
+    last_added: list[list[int]],
+    *,
+    workers: int,
+    budget: MemoryBudget,
+    budget_exempt: frozenset[int],
+) -> int:
+    """Run PSL's propagation rounds with ``workers`` processes.
+
+    Mutates ``label_maps``/``last_added`` exactly as the serial loop in
+    :func:`repro.labeling.psl.build_psl` would, and returns the number
+    of rounds executed (including the final empty one).
+    """
+    from repro.labeling.psl import psl_commit_level
+
+    context = pool_context()
+    chunks = vertex_chunks(graph.n, workers)
+    level = 0
+    while True:
+        level += 1
+        # A fresh pool per round pins the snapshot to the previous
+        # level's committed state; under fork the fork itself *is* the
+        # snapshot, so per-round pool setup is cheap.
+        snapshot = (graph, rank, order, label_maps, last_added)
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)) or 1,
+            mp_context=context,
+            initializer=_init_round,
+            initargs=(snapshot,),
+        ) as pool:
+            parts = list(
+                pool.map(_gather_chunk, [(level, c.start, c.stop) for c in chunks])
+            )
+        additions = [pair for part in parts for pair in part]
+        if not additions:
+            break
+        psl_commit_level(
+            additions,
+            label_maps,
+            last_added,
+            level,
+            budget=budget,
+            budget_exempt=budget_exempt,
+        )
+    return level

@@ -1,0 +1,111 @@
+"""Seeded graph cases for the differential suite.
+
+Every case is a named generator plus its exact parameters, so a failing
+assertion can print a *minimal reproducer* — one line of Python that
+regenerates the offending graph from its seed.  Run it in a REPL (or
+paste it into a scratch test) to debug without re-running the sweep::
+
+    from tests.differential.cases import make_graph
+    graph = make_graph("power_law", seed=3, n=60, attach=2)
+
+The generator families mirror the structures the paper targets:
+``power_law`` (preferential attachment, the scale-free regime),
+``core_periphery`` (dense core + tree-like communities, CT-Index's home
+turf), ``worst_case`` (the rolling-cliques lower-bound gadget of
+Lemma 3), plus ``gnp``/``weighted_gnp`` as unstructured controls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.graphs.generators.power_law import barabasi_albert_graph
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.generators.worst_case import rolling_cliques_graph
+from repro.graphs.graph import Graph
+
+#: name -> graph factory taking keyword params (seed included where the
+#: generator is randomized).
+GENERATORS = {
+    "power_law": lambda seed, n, attach: barabasi_albert_graph(n, attach, seed=seed),
+    "core_periphery": lambda seed, core, communities, fringe: core_periphery_graph(
+        CorePeripheryConfig(
+            core_size=core, community_count=communities, fringe_size=fringe
+        ),
+        seed=seed,
+    ),
+    "worst_case": lambda seed, k, d: rolling_cliques_graph(k, d),
+    "gnp": lambda seed, n, p: gnp_graph(n, p, seed=seed),
+    "weighted_gnp": lambda seed, n, p, low, high: random_weighted(
+        gnp_graph(n, p, seed=seed), low, high, seed=seed + 1
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DifferentialCase:
+    """One seeded graph plus the bandwidths to cross-check it at."""
+
+    generator: str
+    params: dict
+    bandwidths: tuple[int, ...] = (0, 2, 4)
+
+    @property
+    def name(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.generator}({inner})"
+
+    def build_graph(self) -> Graph:
+        return make_graph(self.generator, **self.params)
+
+    def reproducer(self) -> str:
+        """One line of Python that regenerates this exact graph."""
+        inner = ", ".join(f"{key}={value!r}" for key, value in self.params.items())
+        return (
+            "from tests.differential.cases import make_graph; "
+            f"graph = make_graph({self.generator!r}, {inner})"
+        )
+
+
+def make_graph(generator: str, **params) -> Graph:
+    """Regenerate a case graph from its generator name and parameters."""
+    return GENERATORS[generator](**params)
+
+
+#: The quick sweep: one small graph per family, exercised on every
+#: tier-1 run.  Sizes keep the all-pairs ground truth cheap.
+FAST_CASES = (
+    DifferentialCase("power_law", {"seed": 3, "n": 60, "attach": 2}),
+    DifferentialCase(
+        "core_periphery", {"seed": 11, "core": 24, "communities": 4, "fringe": 70}
+    ),
+    DifferentialCase("worst_case", {"seed": 0, "k": 4, "d": 4}, bandwidths=(0, 3)),
+    DifferentialCase("gnp", {"seed": 7, "n": 55, "p": 0.09}),
+    DifferentialCase(
+        "weighted_gnp", {"seed": 13, "n": 45, "p": 0.12, "low": 1, "high": 9}
+    ),
+)
+
+#: The long randomized sweep (marked ``slow``): more seeds per family
+#: and bigger graphs.
+SLOW_CASES = tuple(
+    DifferentialCase("power_law", {"seed": seed, "n": 110, "attach": 3})
+    for seed in (19, 20)
+) + tuple(
+    DifferentialCase(
+        "core_periphery",
+        {"seed": seed, "core": 40, "communities": 6, "fringe": 130},
+        bandwidths=(0, 3, 6),
+    )
+    for seed in (29, 30)
+) + (
+    DifferentialCase("worst_case", {"seed": 0, "k": 5, "d": 6}, bandwidths=(0, 5)),
+    DifferentialCase("gnp", {"seed": 37, "n": 120, "p": 0.05}),
+    DifferentialCase(
+        "weighted_gnp", {"seed": 41, "n": 90, "p": 0.07, "low": 1, "high": 20}
+    ),
+)

@@ -1,0 +1,86 @@
+"""Differential cross-check: every oracle answers every pair identically.
+
+For each seeded case graph the suite builds ``CTIndex`` (serial and
+``workers=2``), ``PLL``, ``PSL`` (unweighted graphs only), takes
+BFS/Dijkstra as ground truth, and compares **all** vertex pairs.  Any
+mismatch fails with the case's minimal reproducer — one line of Python
+that regenerates the graph — plus the first offending pair, so a sweep
+failure is debuggable without re-running the sweep.
+
+The fast cases run on every tier-1 invocation; the bigger randomized
+sweep is marked ``slow`` (run it with ``pytest tests/differential``,
+skip it with ``-m "not slow"``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.core.serialization import index_fingerprint
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.pll import build_pll
+from repro.labeling.psl import build_psl
+
+from tests.differential.cases import FAST_CASES, SLOW_CASES, DifferentialCase
+
+
+def _check_oracle(case: DifferentialCase, name: str, oracle, truth) -> None:
+    graph = oracle.graph
+    for s in graph.nodes():
+        row = truth[s]
+        for t in graph.nodes():
+            got = oracle.distance(s, t)
+            if got != row[t]:
+                pytest.fail(
+                    f"{name} disagrees with ground truth on {case.name}: "
+                    f"dist({s}, {t}) = {got}, expected {row[t]}.\n"
+                    f"Reproducer: {case.reproducer()}"
+                )
+
+
+def _cross_check(case: DifferentialCase) -> None:
+    graph = case.build_graph()
+    truth = all_pairs_distances(graph)
+
+    _check_oracle(case, "PLL", build_pll(graph), truth)
+    if graph.unweighted:
+        _check_oracle(case, "PSL", build_psl(graph), truth)
+
+    for bandwidth in case.bandwidths:
+        serial = CTIndex.build(graph, bandwidth)
+        _check_oracle(case, f"CT-{bandwidth} (serial)", serial, truth)
+
+    # Parallel schedule at the largest bandwidth: answers must match AND
+    # the index must be byte-identical to the serial build.
+    bandwidth = case.bandwidths[-1]
+    serial = CTIndex.build(graph, bandwidth)
+    parallel = CTIndex.build(graph, bandwidth, workers=2)
+    if index_fingerprint(parallel) != index_fingerprint(serial):
+        pytest.fail(
+            f"CT-{bandwidth} workers=2 build is not byte-identical to serial "
+            f"on {case.name}.\nReproducer: {case.reproducer()}"
+        )
+    _check_oracle(case, f"CT-{bandwidth} (workers=2)", parallel, truth)
+
+
+@pytest.mark.parametrize("case", FAST_CASES, ids=lambda c: c.name)
+def test_differential_fast(case: DifferentialCase) -> None:
+    _cross_check(case)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("case", SLOW_CASES, ids=lambda c: c.name)
+def test_differential_slow(case: DifferentialCase) -> None:
+    _cross_check(case)
+
+
+def test_reproducer_round_trips() -> None:
+    """The printed reproducer regenerates the exact case graph."""
+    case = FAST_CASES[0]
+    namespace: dict = {}
+    exec(case.reproducer(), namespace)  # noqa: S102 - our own string
+    regenerated = namespace["graph"]
+    original = case.build_graph()
+    assert regenerated.n == original.n
+    assert list(regenerated.edges()) == list(original.edges())

@@ -1,0 +1,122 @@
+"""Property/metamorphic tests over rebuilt indexes.
+
+Beyond agreeing with ground truth, an exact distance oracle must satisfy
+metric properties that need no ground truth at all:
+
+* ``d(s, s) = 0`` and symmetry ``d(s, t) = d(t, s)``;
+* the triangle inequality ``d(s, t) <= d(s, v) + d(v, t)``;
+* *edge-deletion monotonicity*: removing an edge and rebuilding can only
+  lengthen (or disconnect) shortest paths, never shorten them.
+
+These catch whole bug classes (asymmetric case dispatch, stale caches,
+wrong reduction mapping) even when a generator-specific ground truth is
+unavailable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import INF, Graph
+from repro.labeling.psl import build_psl
+
+from tests.differential.cases import FAST_CASES, DifferentialCase
+
+#: Cases × bandwidths exercised; kept small so tier-1 stays quick.
+METRIC_CASES = tuple((case, case.bandwidths[-1]) for case in FAST_CASES[:3])
+
+
+def _drop_edge(graph: Graph, u: int, v: int) -> Graph:
+    """``graph`` without the edge ``{u, v}`` (weights preserved)."""
+    builder = GraphBuilder(graph.n)
+    for a, b, w in graph.edges():
+        if {a, b} != {u, v}:
+            builder.add_edge(a, b, w)
+    return builder.build()
+
+
+def _sample_nodes(graph: Graph, count: int, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(graph.n) for _ in range(count)]
+
+
+@pytest.mark.parametrize(
+    ("case", "bandwidth"), METRIC_CASES, ids=lambda value: str(value)
+)
+class TestMetricProperties:
+    def test_self_distance_zero(self, case: DifferentialCase, bandwidth: int):
+        graph = case.build_graph()
+        index = CTIndex.build(graph, bandwidth)
+        for s in graph.nodes():
+            assert index.distance(s, s) == 0, case.reproducer()
+
+    def test_symmetry(self, case: DifferentialCase, bandwidth: int):
+        graph = case.build_graph()
+        index = CTIndex.build(graph, bandwidth)
+        nodes = _sample_nodes(graph, 40, seed=5)
+        for s in nodes:
+            for t in nodes:
+                assert index.distance(s, t) == index.distance(t, s), (
+                    f"asymmetry at ({s}, {t}); {case.reproducer()}"
+                )
+
+    def test_triangle_inequality(self, case: DifferentialCase, bandwidth: int):
+        graph = case.build_graph()
+        index = CTIndex.build(graph, bandwidth)
+        nodes = _sample_nodes(graph, 12, seed=9)
+        for s in nodes:
+            for t in nodes:
+                direct = index.distance(s, t)
+                for v in nodes:
+                    detour = index.distance(s, v) + index.distance(v, t)
+                    assert direct <= detour, (
+                        f"triangle violated at ({s}, {t}) via {v}: "
+                        f"{direct} > {detour}; {case.reproducer()}"
+                    )
+
+
+class TestEdgeDeletionMonotonicity:
+    @pytest.mark.parametrize("case", FAST_CASES[:3], ids=lambda c: c.name)
+    def test_distances_never_decrease(self, case: DifferentialCase):
+        graph = case.build_graph()
+        bandwidth = case.bandwidths[-1]
+        before = CTIndex.build(graph, bandwidth)
+        rng = random.Random(case.params.get("seed", 0))
+        edges = list(graph.edges())
+        u, v, _ = edges[rng.randrange(len(edges))]
+        after = CTIndex.build(_drop_edge(graph, u, v), bandwidth)
+        nodes = _sample_nodes(graph, 30, seed=13)
+        for s in nodes:
+            for t in nodes:
+                d_before = before.distance(s, t)
+                d_after = after.distance(s, t)
+                assert d_after >= d_before, (
+                    f"deleting edge ({u}, {v}) shortened dist({s}, {t}) "
+                    f"from {d_before} to {d_after}; {case.reproducer()}"
+                )
+
+    def test_deleting_a_bridge_disconnects(self):
+        # Path graph: removing any edge splits it; distances across the
+        # cut must become INF, never a finite detour.
+        builder = GraphBuilder(6)
+        for i in range(5):
+            builder.add_edge(i, i + 1)
+        graph = builder.build()
+        after = CTIndex.build(_drop_edge(graph, 2, 3), 2)
+        assert after.distance(0, 5) == INF
+        assert after.distance(3, 5) == 2
+
+    def test_monotonicity_holds_for_psl_too(self):
+        case = FAST_CASES[0]
+        graph = case.build_graph()
+        before = build_psl(graph)
+        edges = list(graph.edges())
+        u, v, _ = edges[len(edges) // 2]
+        after = build_psl(_drop_edge(graph, u, v))
+        for s in range(0, graph.n, 4):
+            for t in range(graph.n):
+                assert after.distance(s, t) >= before.distance(s, t)

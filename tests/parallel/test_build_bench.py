@@ -1,0 +1,77 @@
+"""build-bench driver: speedup rows, identity verification, JSON history."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.build_bench import (
+    BuildBenchResult,
+    build_bench_rows,
+    record_entry,
+    run_build_bench,
+)
+from repro.exceptions import ReproError
+from repro.graphs.generators.random_graphs import gnp_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(60, 0.08, seed=41)
+
+
+def test_rows_and_identity(graph):
+    result = build_bench_rows(graph, 3, worker_counts=(1, 2), name="gnp60")
+    assert [row["workers"] for row in result.rows] == [1, 2]
+    assert all(row["identical"] for row in result.rows)
+    assert result.rows[0]["speedup"] == 1.0
+    assert result.rows[0]["entries"] == result.rows[1]["entries"]
+    assert result.best_speedup == result.rows[1]["speedup"]
+
+
+def test_empty_worker_counts_rejected(graph):
+    with pytest.raises(ReproError):
+        build_bench_rows(graph, 3, worker_counts=())
+
+
+def test_record_entry_appends_history(tmp_path, graph):
+    path = tmp_path / "BENCH_build.json"
+    result = build_bench_rows(graph, 3, worker_counts=(1,), name="gnp60")
+    record_entry(result, path)
+    record_entry(result, path)
+    document = json.loads(path.read_text())
+    assert document["schema"] == 1
+    assert len(document["entries"]) == 2
+    entry = document["entries"][0]
+    assert entry["dataset"] == "gnp60"
+    assert entry["rows"][0]["workers"] == 1
+    assert "recorded_at" in entry
+
+
+def test_record_entry_survives_corrupt_history(tmp_path, graph):
+    path = tmp_path / "BENCH_build.json"
+    path.write_text("{not json")
+    result = build_bench_rows(graph, 3, worker_counts=(1,), name="gnp60")
+    record_entry(result, path)
+    document = json.loads(path.read_text())
+    assert len(document["entries"]) == 1
+
+
+def test_run_build_bench_writes_entries(tmp_path):
+    path = tmp_path / "BENCH_build.json"
+    rows, text = run_build_bench(
+        ["talk"], bandwidth=5, worker_counts=(1, 2), output=path
+    )
+    assert [row["workers"] for row in rows] == [1, 2]
+    assert "build-bench" in text
+    document = json.loads(path.read_text())
+    assert document["entries"][0]["dataset"] == "talk"
+
+
+def test_best_speedup_with_single_row():
+    result = BuildBenchResult(
+        name="x", n=1, m=0, bandwidth=0,
+        rows=[{"workers": 1, "build_s": 0.0, "speedup": 1.0, "entries": 0, "identical": True}],
+    )
+    assert result.best_speedup == 1.0

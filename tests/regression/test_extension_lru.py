@@ -1,0 +1,109 @@
+"""Regression tests pinning down the extension-label LRU (PR 1).
+
+The per-position extension cache must be a *true* LRU: at capacity it
+evicts the least-recently-*used* position (a recent touch rescues an old
+entry), ``reset_counters()`` restarts it cold, and — the property the
+cache exists to preserve — answers on a hot-tree workload are identical
+with and without it, even while eviction churns.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    cfg = CorePeripheryConfig(core_size=30, community_count=5, fringe_size=110)
+    graph = core_periphery_graph(cfg, seed=23)
+    built = CTIndex.build(graph, 4, use_equivalence_reduction=False)
+    assert built.decomposition.boundary >= 8, "fixture needs a real forest"
+    return built
+
+
+class TestEvictionOrder:
+    def test_capacity_evicts_least_recently_used(self, index):
+        index.extension_cache_size = 3
+        index.reset_counters()
+        index._extended_labels(0)
+        index._extended_labels(1)
+        index._extended_labels(2)
+        # Touch 0 so it becomes most-recent; 1 is now the LRU entry.
+        index._extended_labels(0)
+        index._extended_labels(3)
+        assert set(index._extension_cache) == {2, 0, 3}
+        # 1 was evicted: asking for it again is a miss...
+        misses = index.extension_cache_misses
+        index._extended_labels(1)
+        assert index.extension_cache_misses == misses + 1
+        # ...and the rescued 0 survived both evictions as a hit.
+        hits = index.extension_cache_hits
+        index._extended_labels(0)
+        assert index.extension_cache_hits == hits + 1
+
+    def test_cache_never_exceeds_capacity_under_churn(self, index):
+        index.extension_cache_size = 2
+        index.reset_counters()
+        rng = random.Random(2)
+        for _ in range(100):
+            index._extended_labels(rng.randrange(index.decomposition.boundary))
+            assert len(index._extension_cache) <= 2
+
+
+class TestResetStartsCold:
+    def test_reset_counters_forces_misses(self, index):
+        index.extension_cache_size = 64
+        index.reset_counters()
+        index._extended_labels(0)
+        index._extended_labels(0)
+        assert index.extension_cache_hits == 1
+        index.reset_counters()
+        assert index.extension_cache_hits == 0
+        assert index.extension_cache_misses == 0
+        index._extended_labels(0)
+        # Cold after reset: the warm entry is gone, so this was a miss.
+        assert index.extension_cache_misses == 1
+        assert index.extension_cache_hits == 0
+
+
+class TestHotTreeWorkload:
+    def test_cached_equals_uncached_under_eviction_churn(self, index):
+        """A skewed workload hammering a few trees, with capacity far
+        below the working set, must answer exactly like no cache."""
+        graph = index.graph
+        rng = random.Random(31)
+        # Hot set: forest nodes from a couple of trees, plus strays.
+        forest_nodes = [
+            index.decomposition.node_at(pos)
+            for pos in range(index.decomposition.boundary)
+        ]
+        hot = forest_nodes[:6]
+        stream = []
+        for _ in range(400):
+            if rng.random() < 0.8:
+                stream.append((rng.choice(hot), rng.choice(hot)))
+            else:
+                stream.append((rng.randrange(graph.n), rng.randrange(graph.n)))
+
+        index.extension_cache_size = 0
+        index.reset_counters()
+        uncached = [index.distance(s, t) for s, t in stream]
+
+        index.extension_cache_size = 2  # forces constant eviction
+        index.reset_counters()
+        churned = [index.distance(s, t) for s, t in stream]
+        assert churned == uncached
+        assert len(index._extension_cache) <= 2
+
+        index.extension_cache_size = 4096  # everything fits
+        index.reset_counters()
+        unbounded = [index.distance(s, t) for s, t in stream]
+        assert unbounded == uncached
