@@ -665,6 +665,18 @@ def build_benchmark(
     return run_build_bench(datasets, bandwidth, worker_counts=worker_counts)
 
 
+def storage_benchmark(datasets=None, bandwidth: int = 20) -> tuple[list[Row], str]:
+    """Dict-vs-flat label residency and JSON-vs-binary load comparison.
+
+    Verifies answer and fingerprint identity between backends before
+    recording, and appends the measured reductions to
+    ``BENCH_storage.json`` (see :mod:`repro.bench.storage_bench`).
+    """
+    from repro.bench.storage_bench import run_storage_bench
+
+    return run_storage_bench(datasets, bandwidth)
+
+
 @dataclasses.dataclass(frozen=True)
 class ExperimentCatalog:
     """Name -> driver mapping for the CLI and docs."""
@@ -689,6 +701,7 @@ class ExperimentCatalog:
         "structure": structure_profile,
         "serving": serving_benchmark,
         "build": build_benchmark,
+        "storage": storage_benchmark,
     }
 
 

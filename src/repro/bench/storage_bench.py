@@ -1,0 +1,277 @@
+"""Storage benchmark: dict vs flat label residency, JSON vs binary load.
+
+``storage_bench_result`` builds one graph's CT-Index on the dict
+backend, replays a query workload, then packs the same index into the
+CSR flat backend and replays the workload again — *verifying every
+answer and the index fingerprint are identical before recording a
+single number* (a storage backend that changes an answer is a bug, not
+a benchmark data point).  It then writes the index as a JSON document
+and as a v3 binary snapshot and times reloading each.
+
+``run_storage_bench`` sweeps the registry datasets and appends one
+entry per graph to ``BENCH_storage.json``, so successive runs
+accumulate a storage-performance history next to the repo's other
+bench artifacts.  The headline columns:
+
+* ``resident_reduction`` — dict resident label bytes / flat resident
+  label bytes (the CSR payoff: no per-entry ``PyObject`` headers);
+* ``load_speedup`` — JSON load seconds / binary load seconds (the
+  snapshot payoff: ``array.frombytes`` instead of JSON token parsing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+import time
+import zlib
+from pathlib import Path
+
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_pairs
+from repro.core.ct_index import CTIndex
+from repro.core.serialization import (
+    index_fingerprint,
+    load_ct_index,
+    save_ct_index,
+    save_ct_index_binary,
+)
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.storage.sizing import ct_resident_label_bytes
+
+#: Default sweep: the core-periphery benchmark graph of the acceptance
+#: criteria plus the smallest registry graph as a sanity row.
+DEFAULT_DATASETS = ("fb",)
+
+#: Default artifact path, relative to the working directory.
+BENCH_STORAGE_PATH = "BENCH_storage.json"
+
+#: Queries replayed per backend.
+DEFAULT_QUERY_COUNT = 2000
+
+#: Reloads per format; the minimum is recorded (steady-state load cost,
+#: not page-cache warmup).
+LOAD_REPEATS = 3
+
+
+@dataclasses.dataclass
+class StorageBenchResult:
+    """One graph's dict-vs-flat / JSON-vs-binary comparison."""
+
+    name: str
+    n: int
+    m: int
+    bandwidth: int
+    entries: int
+    resident: dict
+    disk: dict
+    load: dict
+    query: dict
+    verified: bool
+
+    @property
+    def resident_reduction(self) -> float:
+        """Dict resident label bytes over flat resident label bytes."""
+        flat = self.resident["flat"]["total"]
+        return self.resident["dict"]["total"] / flat if flat else 0.0
+
+    @property
+    def load_speedup(self) -> float:
+        """JSON load seconds over binary load seconds."""
+        binary = self.load["binary_s"]
+        return self.load["json_s"] / binary if binary else 0.0
+
+    def entry(self) -> dict:
+        """JSON-ready record for ``BENCH_storage.json``."""
+        return {
+            "dataset": self.name,
+            "n": self.n,
+            "m": self.m,
+            "bandwidth": self.bandwidth,
+            "entries": self.entries,
+            "resident_bytes": self.resident,
+            "resident_reduction": round(self.resident_reduction, 3),
+            "disk_bytes": self.disk,
+            "load_seconds": self.load,
+            "load_speedup": round(self.load_speedup, 3),
+            "query_us": self.query,
+            "answers_verified": self.verified,
+        }
+
+    def row(self) -> dict:
+        """Flat row for table rendering."""
+        return {
+            "dataset": self.name,
+            "n": self.n,
+            "entries": self.entries,
+            "dict_kb": round(self.resident["dict"]["total"] / 1e3, 1),
+            "flat_kb": round(self.resident["flat"]["total"] / 1e3, 1),
+            "resident_x": round(self.resident_reduction, 2),
+            "json_ms": round(self.load["json_s"] * 1e3, 1),
+            "bin_ms": round(self.load["binary_s"] * 1e3, 1),
+            "load_x": round(self.load_speedup, 2),
+            "verified": self.verified,
+        }
+
+
+def _replay(index: CTIndex, pairs) -> tuple[list, float]:
+    """Answers plus mean seconds per query for ``pairs``."""
+    distance = index.distance
+    started = time.perf_counter()
+    answers = [distance(s, t) for s, t in pairs]
+    elapsed = time.perf_counter() - started
+    return answers, elapsed / (len(pairs) or 1)
+
+
+def _time_load(path: Path, repeats: int = LOAD_REPEATS) -> float:
+    """Minimum wall-clock seconds to reload the index at ``path``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        load_ct_index(path)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def storage_bench_result(
+    graph: Graph,
+    bandwidth: int,
+    *,
+    name: str = "graph",
+    queries: int = DEFAULT_QUERY_COUNT,
+) -> StorageBenchResult:
+    """Measure one graph; raises :class:`ReproError` on any divergence.
+
+    Verification happens *before* measurement is recorded: the flat
+    backend must return the dict backend's exact answers on the whole
+    workload, and the fingerprint must not move under conversion.
+    """
+    index = CTIndex.build(graph, bandwidth)
+    workload = random_pairs(graph, queries, seed=zlib.crc32(name.encode()))
+    pairs = workload.pairs
+
+    dict_answers, dict_per_query = _replay(index, pairs)
+    dict_resident = ct_resident_label_bytes(index)
+    dict_print = index_fingerprint(index)
+
+    index.compact()
+    flat_answers, flat_per_query = _replay(index, pairs)
+    if flat_answers != dict_answers:
+        diverging = sum(a != b for a, b in zip(dict_answers, flat_answers))
+        raise ReproError(
+            f"flat backend diverges from dict backend on {name!r}: "
+            f"{diverging} of {len(pairs)} answers differ — refusing to "
+            f"record benchmark numbers for a wrong index"
+        )
+    if index_fingerprint(index) != dict_print:
+        raise ReproError(
+            f"index fingerprint of {name!r} changed under compact() — "
+            f"the fingerprint must be storage-agnostic"
+        )
+    flat_resident = ct_resident_label_bytes(index)
+
+    with tempfile.TemporaryDirectory(prefix="repro-storage-bench-") as tmp:
+        json_path = Path(tmp) / "index.json"
+        binary_path = Path(tmp) / "index.ctsnap"
+        save_ct_index(index, json_path)
+        save_ct_index_binary(index, binary_path)
+        disk = {
+            "json": json_path.stat().st_size,
+            "binary": binary_path.stat().st_size,
+        }
+        load = {
+            "json_s": round(_time_load(json_path), 6),
+            "binary_s": round(_time_load(binary_path), 6),
+        }
+        reloaded = load_ct_index(binary_path)
+        step = max(1, len(pairs) // 50)
+        for i in range(0, len(pairs), step):
+            s, t = pairs[i]
+            if reloaded.distance(s, t) != dict_answers[i]:
+                raise ReproError(
+                    f"binary snapshot of {name!r} answers ({s}, {t}) wrong "
+                    f"after reload"
+                )
+
+    return StorageBenchResult(
+        name=name,
+        n=graph.n,
+        m=graph.m,
+        bandwidth=bandwidth,
+        entries=index.size_entries(),
+        resident={"dict": dict_resident, "flat": flat_resident},
+        disk=disk,
+        load=load,
+        query={
+            "dict_us": round(dict_per_query * 1e6, 2),
+            "flat_us": round(flat_per_query * 1e6, 2),
+        },
+        verified=True,
+    )
+
+
+def record_storage_entry(result: StorageBenchResult, path=BENCH_STORAGE_PATH) -> dict:
+    """Append ``result`` to the ``BENCH_storage.json`` history document.
+
+    The document is ``{"schema": 1, "entries": [...]}``; a missing or
+    corrupt file starts a fresh history rather than failing the bench.
+    Returns the appended entry.
+    """
+    path = Path(path)
+    document = {"schema": 1, "entries": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("entries"), list):
+                document = loaded
+        except (OSError, json.JSONDecodeError):
+            pass
+    entry = result.entry()
+    entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["entries"].append(entry)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return entry
+
+
+def run_storage_bench(
+    datasets=None,
+    bandwidth: int = 20,
+    *,
+    queries: int = DEFAULT_QUERY_COUNT,
+    output=BENCH_STORAGE_PATH,
+) -> tuple[list[dict], str]:
+    """Sweep ``datasets`` (default: :data:`DEFAULT_DATASETS`) and record entries.
+
+    Returns ``(rows, text)`` like the other experiment drivers: one row
+    per dataset, plus the rendered table.
+    """
+    names = list(datasets) if datasets is not None else list(DEFAULT_DATASETS)
+    rows: list[dict] = []
+    for name in names:
+        graph = load_dataset(name)
+        result = storage_bench_result(graph, bandwidth, name=name, queries=queries)
+        if output is not None:
+            record_storage_entry(result, output)
+        rows.append(result.row())
+    text = format_table(
+        rows,
+        [
+            "dataset",
+            "n",
+            "entries",
+            "dict_kb",
+            "flat_kb",
+            "resident_x",
+            "json_ms",
+            "bin_ms",
+            "load_x",
+            "verified",
+        ],
+        title=f"storage-bench — CT-{bandwidth} label storage and snapshots",
+    )
+    return rows, text

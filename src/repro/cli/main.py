@@ -10,7 +10,13 @@ Subcommands::
     repro bench EXPERIMENT                run one paper experiment driver
     repro serve-bench GRAPH -d 20         cached vs uncached serving on a skewed stream
     repro build-bench GRAPH -d 20         serial vs parallel construction speedup
+    repro storage-bench GRAPH -d 20       dict vs flat labels, JSON vs binary snapshots
     repro datasets                        list the dataset registry
+
+``build`` writes either on-disk format (``--format json|binary``) and
+either in-memory backend (``--backend dict|flat``); ``query``, ``path``
+and ``audit`` detect the format by magic, so a saved index file is a
+saved index file.
 
 Exit status is 0 on success, 1 on a handled library error, 2 on bad
 arguments (argparse convention).
@@ -58,9 +64,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p_build = sub.add_parser("build", help="build a CT-Index over an edge-list graph")
     p_build.add_argument("graph")
     p_build.add_argument("-d", "--bandwidth", type=int, default=20)
-    p_build.add_argument("-o", "--output", required=True, help="where to save the index (JSON)")
+    p_build.add_argument("-o", "--output", required=True, help="where to save the index")
     p_build.add_argument(
         "--no-reduction", action="store_true", help="skip the equivalence (twin) reduction"
+    )
+    p_build.add_argument(
+        "--backend",
+        choices=("dict", "flat"),
+        default="dict",
+        help="label storage of the built index: mutable dicts or CSR arrays "
+        "(identical answers; flat is smaller in memory)",
+    )
+    p_build.add_argument(
+        "--format",
+        choices=("json", "binary"),
+        default="json",
+        help="on-disk format: inspectable JSON document or v3 binary "
+        "snapshot (identical content; binary loads faster)",
     )
     p_build.add_argument(
         "--memory-mb", type=float, default=None, help="abort if the modeled size exceeds this"
@@ -142,6 +162,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_bbench.set_defaults(handler=_cmd_build_bench)
 
+    p_sbench = sub.add_parser(
+        "storage-bench",
+        help="compare dict vs flat label storage and JSON vs binary snapshots, "
+        "recording BENCH_storage.json",
+    )
+    p_sbench.add_argument("graph", help="edge-list file, or a registry dataset name")
+    p_sbench.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_sbench.add_argument("--queries", type=int, default=2000)
+    p_sbench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_storage.json",
+        help="storage history file to append to ('-' skips recording)",
+    )
+    p_sbench.set_defaults(handler=_cmd_storage_bench)
+
     p_list = sub.add_parser("datasets", help="list the synthetic dataset registry")
     p_list.set_defaults(handler=_cmd_datasets)
 
@@ -178,7 +214,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     from repro.core.ct_index import CTIndex
-    from repro.core.serialization import save_ct_index
+    from repro.core.serialization import save_ct_index, save_ct_index_binary
     from repro.graphs.io import read_edge_list
     from repro.labeling.base import MemoryBudget
 
@@ -192,14 +228,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
         use_equivalence_reduction=not args.no_reduction,
         budget=budget,
         workers=args.workers,
+        backend=args.backend,
     )
-    save_ct_index(index, args.output)
+    if args.format == "binary":
+        save_ct_index_binary(index, args.output)
+    else:
+        save_ct_index(index, args.output)
     stats = index.stats()
     schedule = "" if args.workers in (None, 1) else f" ({args.workers or 'auto'} workers)"
     print(
         f"built CT-{args.bandwidth} on n={graph.n} m={graph.m}: "
         f"{stats.entries} entries ({stats.megabytes:.3f} MB modeled) "
-        f"in {stats.build_seconds:.2f}s{schedule} -> {args.output}"
+        f"in {stats.build_seconds:.2f}s{schedule} -> {args.output} [{args.format}]"
     )
     return 0
 
@@ -365,6 +405,54 @@ def _cmd_build_bench(args: argparse.Namespace) -> int:
     print(f"best parallel speedup over baseline: {result.best_speedup:.2f}x")
     if args.output != "-":
         record_entry(result, args.output)
+        print(f"recorded entry -> {args.output}")
+    return 0
+
+
+def _cmd_storage_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.datasets import dataset_names, load_dataset
+    from repro.bench.reporting import format_table
+    from repro.bench.storage_bench import record_storage_entry, storage_bench_result
+    from repro.graphs.io import read_edge_list
+
+    if args.graph in dataset_names() and not os.path.exists(args.graph):
+        name = args.graph
+        graph = load_dataset(name)
+    else:
+        name = args.graph
+        graph, _ = read_edge_list(args.graph)
+    result = storage_bench_result(
+        graph, args.bandwidth, name=name, queries=args.queries
+    )
+    print(
+        format_table(
+            [result.row()],
+            [
+                "dataset",
+                "n",
+                "entries",
+                "dict_kb",
+                "flat_kb",
+                "resident_x",
+                "json_ms",
+                "bin_ms",
+                "load_x",
+                "verified",
+            ],
+            title=(
+                f"storage-bench: CT-{args.bandwidth} on {name} "
+                f"(n={graph.n} m={graph.m})"
+            ),
+        )
+    )
+    print(
+        f"resident label bytes: {result.resident_reduction:.2f}x smaller flat; "
+        f"load: {result.load_speedup:.2f}x faster binary"
+    )
+    if args.output != "-":
+        record_storage_entry(result, args.output)
         print(f"recorded entry -> {args.output}")
     return 0
 

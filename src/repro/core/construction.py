@@ -38,17 +38,28 @@ class TreeIndex:
 
     ``labels[pos]`` maps every *target* of the forest node eliminated at
     ``pos`` — its ancestors within its tree plus its tree's interface
-    nodes — to the λ-local distance δ^T.
+    nodes — to the λ-local distance δ^T.  It is either the dict
+    backend's ``list[dict]`` or a packed
+    :class:`~repro.storage.flat_tree.FlatTreeLabelStore`; both expose
+    the same mapping-per-position view.
     """
 
-    def __init__(
-        self, decomposition: CoreTreeDecomposition, labels: list[dict[int, Weight]]
-    ) -> None:
+    def __init__(self, decomposition: CoreTreeDecomposition, labels) -> None:
         self.decomposition = decomposition
         self.labels = labels
+        # Flat stores answer point lookups directly (one bisect) instead
+        # of materializing a mapping view per probe.
+        self._local_get = getattr(labels, "local_get", None)
+
+    @property
+    def storage_backend(self) -> str:
+        """``"dict"`` or ``"flat"`` — how the labels are stored now."""
+        return getattr(self.labels, "storage_backend", "dict")
 
     def size_entries(self) -> int:
         """Stored (target, distance) pairs."""
+        if hasattr(self.labels, "total_entries"):
+            return self.labels.total_entries()
         return sum(len(label) for label in self.labels)
 
     def local_distance(self, pos: int, target: int) -> Weight:
@@ -60,6 +71,8 @@ class TreeIndex:
         """
         if self.decomposition.node_at(pos) == target:
             return 0
+        if self._local_get is not None:
+            return self._local_get(pos, target, INF)
         return self.labels[pos].get(target, INF)
 
 

@@ -36,7 +36,7 @@ from repro.graphs.reductions import (
     eliminate_equivalent_nodes,
     reduction_identity,
 )
-from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.labeling.base import DistanceIndex, MemoryBudget, validate_backend
 from repro.labeling.pll import PrunedLandmarkLabeling
 from repro.core.construction import TreeIndex, construct
 
@@ -102,6 +102,7 @@ class CTIndex(DistanceIndex):
         core_backend: str = "pll",
         extension_cache_size: int = 256,
         workers: int | None = None,
+        backend: str = "dict",
     ) -> "CTIndex":
         """Construct a CT-Index (Algorithm 1).
 
@@ -136,7 +137,13 @@ class CTIndex(DistanceIndex):
             (``None``/``1`` serial, ``0`` one per CPU).  Any worker
             count builds the same index byte for byte — see
             :mod:`repro.parallel`.
+        backend:
+            Label storage of the returned index: ``"dict"`` (mutable
+            per-node containers) or ``"flat"`` (the CSR arrays of
+            :mod:`repro.storage`, packed after construction).  Never
+            changes an answer.
         """
+        validate_backend(backend)
         started = time.perf_counter()
         if use_equivalence_reduction:
             reduction = eliminate_equivalent_nodes(graph)
@@ -161,8 +168,57 @@ class CTIndex(DistanceIndex):
             core_compact=compact,
             extension_cache_size=extension_cache_size,
         )
+        if backend == "flat":
+            index.compact()
         index.build_seconds = time.perf_counter() - started
         return index
+
+    # ------------------------------------------------------------------
+    # Storage backends
+    # ------------------------------------------------------------------
+
+    @property
+    def storage_backend(self) -> str:
+        """``"dict"`` or ``"flat"`` — how both label halves are stored.
+
+        The two halves are always converted together, so reading the
+        core store's marker is enough.
+        """
+        return getattr(self.core_index.labels, "storage_backend", "dict")
+
+    def compact(self) -> "CTIndex":
+        """Pack both label halves into the CSR flat backend.
+
+        The core 2-hop labels become a
+        :class:`~repro.storage.flat_labels.FlatLabelStore` and the tree
+        labels a :class:`~repro.storage.flat_tree.FlatTreeLabelStore`;
+        every query path reads through the shared protocols, so answers
+        are unchanged.  Cached extension sets are dropped (they hold no
+        backend state, but this keeps probe counters honest across a
+        conversion).  Idempotent; returns ``self``.
+        """
+        from repro.storage.flat_labels import FlatLabelStore
+        from repro.storage.flat_tree import FlatTreeLabelStore
+
+        if not isinstance(self.core_index.labels, FlatLabelStore):
+            self.core_index.compact()
+        if not isinstance(self.tree_index.labels, FlatTreeLabelStore):
+            flat = FlatTreeLabelStore.from_labels(self.tree_index.labels)
+            self.tree_index.labels = flat
+            self.tree_index._local_get = flat.local_get
+        self.clear_extension_cache()
+        return self
+
+    def to_dict_backend(self) -> "CTIndex":
+        """Unpack both label halves into the mutable dict backend."""
+        from repro.storage.flat_tree import FlatTreeLabelStore
+
+        self.core_index.to_dict_backend()
+        if isinstance(self.tree_index.labels, FlatTreeLabelStore):
+            self.tree_index.labels = self.tree_index.labels.to_dicts()
+            self.tree_index._local_get = None
+        self.clear_extension_cache()
+        return self
 
     # ------------------------------------------------------------------
     # Introspection
@@ -468,6 +524,7 @@ def build_ct_index(
     core_backend: str = "pll",
     extension_cache_size: int = 256,
     workers: int | None = None,
+    backend: str = "dict",
 ) -> CTIndex:
     """Functional alias of :meth:`CTIndex.build` (same keywords)."""
     return CTIndex.build(
@@ -479,4 +536,5 @@ def build_ct_index(
         core_backend=core_backend,
         extension_cache_size=extension_cache_size,
         workers=workers,
+        backend=backend,
     )

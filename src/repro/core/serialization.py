@@ -12,6 +12,17 @@ serialized as the string sentinel ``"inf"`` — RFC 8259 has no
 to ``math.inf`` on load.  ``json.dump`` runs with ``allow_nan=False``
 so any non-finite float that escapes the sentinel encoding fails the
 save loudly instead of emitting a non-standard document.
+
+Integral float weights are canonicalized to ints on encode (``2.0``
+becomes ``2``): the flat storage backend may return ``float`` where the
+dict backend holds ``int`` (a packed ``array('d')`` has no mixed types),
+and the canonical form keeps :func:`index_fingerprint` — and the saved
+bytes — a pure function of the index *content*, independent of which
+backend stores it.
+
+A second, binary on-disk format (version 3, magic ``RCTINDEX``) lives
+in :mod:`repro.storage.binary`; :func:`load_ct_index` auto-detects it
+by magic, so one loader reads both formats.  See ``docs/formats.md``.
 """
 
 from __future__ import annotations
@@ -31,6 +42,12 @@ from repro.labeling.pll import PrunedLandmarkLabeling
 from repro.core.construction import TreeIndex
 from repro.core.ct_index import CTIndex
 from repro.treedec.elimination import EliminationResult, EliminationStep
+from repro.storage.binary import (  # noqa: F401  (re-exported: one import site for persistence)
+    BINARY_FORMAT_VERSION,
+    is_binary_snapshot,
+    load_ct_index_binary,
+    save_ct_index_binary,
+)
 
 PathLike = Union[str, os.PathLike]
 
@@ -89,19 +106,39 @@ def save_ct_index(index: CTIndex, path: PathLike) -> None:
         json.dump(document, handle, allow_nan=False)
 
 
-def load_ct_index(path: PathLike) -> CTIndex:
-    """Reload a CT-Index written by :func:`save_ct_index`."""
+def load_ct_index(path: PathLike, *, backend: str | None = None) -> CTIndex:
+    """Reload a CT-Index written by :func:`save_ct_index` or
+    :func:`~repro.storage.binary.save_ct_index_binary`.
+
+    The two on-disk formats are distinguished by the binary magic, so
+    callers never pass a format flag.  ``backend`` selects the label
+    storage of the loaded index (``"dict"`` or ``"flat"``); ``None``
+    keeps each format's natural layout — dict for JSON documents, flat
+    for binary snapshots.
+    """
+    if backend is not None:
+        from repro.labeling.base import validate_backend
+
+        validate_backend(backend)
     path = Path(path)
+    if is_binary_snapshot(path):
+        return load_ct_index_binary(path, backend=backend or "flat")
     try:
         with path.open("r", encoding="utf-8") as handle:
             document = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise SerializationError(f"cannot read index file {path}: {exc}") from exc
-    if document.get("format") != "repro-ct-index":
+    if not isinstance(document, dict) or document.get("format") != "repro-ct-index":
         raise SerializationError(f"{path} is not a CT-Index file")
-    if document.get("version") not in SUPPORTED_VERSIONS:
+    version = document.get("version")
+    # bool is an int subclass, so `True in {1, 2}` would slip through.
+    if isinstance(version, bool) or version not in SUPPORTED_VERSIONS:
         raise SerializationError(
-            f"unsupported index format version {document.get('version')!r}"
+            f"unsupported index format version {version!r} in {path}: this "
+            f"build reads JSON documents of versions "
+            f"{sorted(SUPPORTED_VERSIONS)} and binary snapshots of version "
+            f"{BINARY_FORMAT_VERSION}; a newer writer probably produced this "
+            f"file"
         )
 
     try:
@@ -132,6 +169,8 @@ def load_ct_index(path: PathLike) -> CTIndex:
         # Truncated or hand-edited documents surface as one library error
         # rather than leaking internal decoding exceptions.
         raise SerializationError(f"corrupt CT-Index document in {path}: {exc!r}") from exc
+    if backend == "flat":
+        index.compact()
     return index
 
 
@@ -141,8 +180,18 @@ def load_ct_index(path: PathLike) -> CTIndex:
 
 
 def _encode_weight(weight):
-    """JSON-safe weight: ``math.inf`` becomes the ``"inf"`` sentinel."""
-    return "inf" if weight == math.inf else weight
+    """JSON-safe canonical weight.
+
+    ``math.inf`` becomes the ``"inf"`` sentinel, and integral floats
+    become ints — the flat backend's packed ``array('d')`` hands back
+    ``2.0`` where the dict backend holds ``2``, and the document (hence
+    the fingerprint) must not depend on the storage backend.
+    """
+    if weight == math.inf:
+        return "inf"
+    if isinstance(weight, float) and weight.is_integer():
+        return int(weight)
+    return weight
 
 
 def _decode_weight(value):

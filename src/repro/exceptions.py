@@ -47,3 +47,13 @@ class QueryError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when an index cannot be saved to or loaded from disk."""
+
+
+class StorageError(ReproError):
+    """Raised when a label store is used against its backend's contract.
+
+    The compact (CSR) stores of :mod:`repro.storage` are immutable once
+    packed; mutating calls raise this instead of corrupting the shared
+    arrays.  It also flags malformed array inputs (non-monotone offsets,
+    unsorted hub runs) when a store is assembled from raw buffers.
+    """

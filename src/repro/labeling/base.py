@@ -98,6 +98,56 @@ class DistanceIndex(abc.ABC):
         )
 
 
+#: Storage backends selectable on the build entry points.
+LABEL_BACKENDS = ("dict", "flat")
+
+
+def validate_backend(backend: str) -> str:
+    """Check a ``backend=`` argument, returning it unchanged.
+
+    Raises :class:`~repro.exceptions.IndexConstructionError` on anything
+    but ``"dict"`` (mutable per-node lists / dicts) or ``"flat"`` (the
+    CSR arrays of :mod:`repro.storage`).
+    """
+    if backend not in LABEL_BACKENDS:
+        from repro.exceptions import IndexConstructionError
+
+        raise IndexConstructionError(
+            f"unknown storage backend {backend!r}; expected 'dict' or 'flat'"
+        )
+    return backend
+
+
+class HubLabelBackendMixin:
+    """Backend switching for indexes holding one ``labels`` hub store.
+
+    Mixed into :class:`~repro.labeling.pll.PrunedLandmarkLabeling` and
+    :class:`~repro.labeling.psl.ParallelShortestPathLabeling`: both keep
+    every query reading through ``self.labels``, so converting the store
+    in place converts the index.
+    """
+
+    @property
+    def storage_backend(self) -> str:
+        """``"dict"`` or ``"flat"`` — how the labels are stored now."""
+        return getattr(self.labels, "storage_backend", "dict")
+
+    def compact(self):
+        """Pack the labels into the CSR flat backend; returns ``self``."""
+        from repro.storage.flat_labels import FlatLabelStore
+
+        self.labels = FlatLabelStore.from_store(self.labels)
+        return self
+
+    def to_dict_backend(self):
+        """Unpack the labels into the mutable dict backend; returns ``self``."""
+        from repro.storage.flat_labels import FlatLabelStore
+
+        if isinstance(self.labels, FlatLabelStore):
+            self.labels = self.labels.to_hub_labeling()
+        return self
+
+
 @dataclasses.dataclass
 class MemoryBudget:
     """Construction-time size guard reproducing the paper's "OM" outcome.

@@ -20,7 +20,15 @@ class HubLabeling:
     order:
         The vertex order: ``order[rank]`` is the node with that rank.
         Hubs are recorded by rank so labels sort in importance order.
+
+    This is the mutable ``"dict"`` backend; a built labeling can be
+    packed into the CSR ``"flat"`` backend
+    (:class:`repro.storage.flat_labels.FlatLabelStore`), which answers
+    the same read protocol from shared typed arrays.
     """
+
+    #: Marker read by ``storage_backend`` properties up the stack.
+    storage_backend = "dict"
 
     def __init__(self, order: list[int]) -> None:
         n = len(order)

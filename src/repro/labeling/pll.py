@@ -20,15 +20,26 @@ import time
 from collections import deque
 
 from repro.graphs.graph import INF, Graph, Weight
-from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.labeling.base import (
+    DistanceIndex,
+    HubLabelBackendMixin,
+    MemoryBudget,
+    validate_backend,
+)
 from repro.labeling.hub_labels import HubLabeling
 from repro.labeling.ordering import degree_order, validate_order
 
 logger = logging.getLogger(__name__)
 
 
-class PrunedLandmarkLabeling(DistanceIndex):
-    """A built PLL index: thin façade over :class:`HubLabeling`."""
+class PrunedLandmarkLabeling(HubLabelBackendMixin, DistanceIndex):
+    """A built PLL index: thin façade over a hub-label store.
+
+    ``labels`` is a :class:`HubLabeling` (dict backend) or a
+    :class:`~repro.storage.flat_labels.FlatLabelStore` (flat backend);
+    every query reads through the shared protocol, so the two are
+    interchangeable (``compact()`` / ``to_dict_backend()`` convert).
+    """
 
     method_name = "PLL"
 
@@ -55,6 +66,7 @@ def build_pll(
     *,
     budget: MemoryBudget | None = None,
     budget_exempt: frozenset[int] | None = None,
+    backend: str = "dict",
 ) -> PrunedLandmarkLabeling:
     """Build a PLL index on ``graph``.
 
@@ -71,7 +83,12 @@ def build_pll(
         Nodes whose label entries do not count against the budget —
         used by PSL*, whose local-minimum label sets exist only during
         construction and never reach the final index.
+    backend:
+        Label storage of the returned index: ``"dict"`` (mutable
+        per-node lists) or ``"flat"`` (CSR arrays, packed after the
+        pruned searches finish).  Both answer identically.
     """
+    validate_backend(backend)
     started = time.perf_counter()
     if order is None:
         order = degree_order(graph)
@@ -87,6 +104,8 @@ def build_pll(
     else:
         _build_weighted(graph, labels, order, budget, budget_exempt)
     index = PrunedLandmarkLabeling(graph, labels, order)
+    if backend == "flat":
+        index.compact()
     index.build_seconds = time.perf_counter() - started
     logger.debug(
         "PLL built: n=%d m=%d entries=%d max_label=%d in %.3fs",

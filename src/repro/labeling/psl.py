@@ -25,13 +25,18 @@ from collections.abc import Iterable
 
 from repro.exceptions import IndexConstructionError
 from repro.graphs.graph import INF, Graph, Weight
-from repro.labeling.base import DistanceIndex, MemoryBudget
+from repro.labeling.base import (
+    DistanceIndex,
+    HubLabelBackendMixin,
+    MemoryBudget,
+    validate_backend,
+)
 from repro.labeling.hub_labels import HubLabeling
 from repro.labeling.ordering import degree_order, validate_order
 
 
-class ParallelShortestPathLabeling(DistanceIndex):
-    """A built PSL index (same query machinery as PLL)."""
+class ParallelShortestPathLabeling(HubLabelBackendMixin, DistanceIndex):
+    """A built PSL index (same query machinery and backends as PLL)."""
 
     method_name = "PSL"
 
@@ -134,6 +139,7 @@ def build_psl(
     budget: MemoryBudget | None = None,
     budget_exempt: frozenset[int] | None = None,
     workers: int | None = None,
+    backend: str = "dict",
 ) -> ParallelShortestPathLabeling:
     """Build a PSL index on an unweighted ``graph``.
 
@@ -144,7 +150,12 @@ def build_psl(
     the rounds in-process; ``N > 1`` evaluates each round's gather phase
     across ``N`` worker processes (``0`` means one per CPU).  Every
     schedule commits identical labels — see :mod:`repro.parallel.psl`.
+
+    ``backend`` selects the label storage of the returned index
+    (``"dict"`` or ``"flat"``); like ``workers``, it never changes an
+    answer.
     """
+    validate_backend(backend)
     if not graph.unweighted:
         raise IndexConstructionError(
             "PSL propagates labels by hop level and needs an unweighted graph; "
@@ -216,6 +227,8 @@ def build_psl(
         for hub_rank in sorted(label_maps[v]):
             labels.append_entry(v, hub_rank, label_maps[v][hub_rank])
     index = ParallelShortestPathLabeling(graph, labels, order, rounds=level)
+    if backend == "flat":
+        index.compact()
     index.build_seconds = time.perf_counter() - started
     return index
 

@@ -1,0 +1,573 @@
+"""Versioned binary snapshots of built CT-Indexes (format version 3).
+
+The JSON document of :mod:`repro.core.serialization` stays the
+inspectable interchange format; this module adds the fast path: label
+arrays written as raw little-endian machine words behind a checksummed
+section table, so loading is ``array.frombytes`` instead of parsing
+millions of JSON tokens.
+
+Layout (full field-level description in ``docs/formats.md``)::
+
+    header   8s magic ("RCTINDEX")  u32 version (3)  u32 section count
+    table    per section: 12s name  u64 offset  u64 length  u32 crc32
+    payload  concatenated section bodies
+
+Sections: ``meta`` (small JSON: format tag, version, bandwidth, build
+seconds), ``graph`` (original graph), ``reduction`` (reduced graph +
+twin maps), ``elim`` (MDE steps + core adjacency), ``treelabels``
+(CSR tree labels), ``core`` (vertex order + CSR 2-hop labels + core
+graph).  Every typed array is prefixed with its typecode, item size and
+count; every section's CRC-32 is verified before a single byte is
+decoded, so truncated or bit-flipped snapshots raise
+:class:`~repro.exceptions.SerializationError` instead of unpacking
+garbage.
+
+Loading defaults to the flat backend — the on-disk CSR arrays *are* the
+in-memory representation — but ``backend="dict"`` unpacks into the
+mutable dict layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ReproError, SerializationError
+from repro.graphs.graph import INF, Graph, Weight
+from repro.graphs.reductions import EquivalenceReduction
+from repro.storage.flat_labels import FlatLabelStore
+from repro.storage.flat_tree import INF_SENTINEL, FlatTreeLabelStore
+
+PathLike = Union[str, os.PathLike]
+
+#: First 8 bytes of every binary snapshot.
+MAGIC = b"RCTINDEX"
+
+#: Version 3 is the first binary format (versions 1-2 are the JSON
+#: documents of :mod:`repro.core.serialization`).
+BINARY_FORMAT_VERSION = 3
+
+_HEADER = struct.Struct("<8sII")
+_SECTION = struct.Struct("<12sQQI")
+_SECTION_NAMES = ("meta", "graph", "reduction", "elim", "treelabels", "core")
+
+#: twin_kind byte encoding (reduction section).
+_TWIN_CODES = {None: 0, "true": 1, "false": 2}
+_TWIN_KINDS = {code: kind for kind, code in _TWIN_CODES.items()}
+
+
+# ----------------------------------------------------------------------
+# Primitive writers / readers
+# ----------------------------------------------------------------------
+
+
+def _little_endian(values: array) -> array:
+    """A little-endian copy of ``values`` (no-op on LE machines)."""
+    if sys.byteorder == "big":  # pragma: no cover - no BE hardware in CI
+        values = array(values.typecode, values)
+        values.byteswap()
+    return values
+
+
+def _put_u64(buf: bytearray, value: int) -> None:
+    buf += struct.pack("<Q", value)
+
+
+def _put_array(buf: bytearray, values: array) -> None:
+    """Typecode byte + item size byte + u64 count + raw LE items."""
+    buf += values.typecode.encode("ascii")
+    buf.append(values.itemsize)
+    _put_u64(buf, len(values))
+    buf += _little_endian(values).tobytes()
+
+
+def _put_blob(buf: bytearray, payload: bytes) -> None:
+    _put_u64(buf, len(payload))
+    buf += payload
+
+
+class _Cursor:
+    """Bounds-checked reader over one section's payload."""
+
+    __slots__ = ("name", "data", "pos")
+
+    def __init__(self, name: str, data: bytes) -> None:
+        self.name = name
+        self.data = data
+        self.pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self.pos + count
+        if count < 0 or end > len(self.data):
+            raise SerializationError(
+                f"section {self.name!r} is truncated "
+                f"(needed {count} bytes at offset {self.pos})"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def typed_array(self, expected_typecode: str | None = None) -> array:
+        typecode = self._take(1).decode("ascii", "replace")
+        itemsize = self._take(1)[0]
+        count = self.u64()
+        try:
+            out = array(typecode)
+        except ValueError as exc:
+            raise SerializationError(
+                f"section {self.name!r} holds an array of unknown "
+                f"typecode {typecode!r}"
+            ) from exc
+        if expected_typecode is not None and typecode not in expected_typecode:
+            raise SerializationError(
+                f"section {self.name!r} holds a {typecode!r} array where "
+                f"one of {expected_typecode!r} was expected"
+            )
+        if out.itemsize != itemsize:
+            raise SerializationError(
+                f"section {self.name!r} was written with {itemsize}-byte "
+                f"{typecode!r} items; this platform uses {out.itemsize}-byte items"
+            )
+        out.frombytes(self._take(count * itemsize))
+        return _little_endian(out)
+
+    def blob(self) -> bytes:
+        return self._take(self.u64())
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise SerializationError(
+                f"section {self.name!r} has {len(self.data) - self.pos} "
+                f"trailing bytes"
+            )
+
+
+def _weights_to_array(values: list[Weight]) -> array:
+    """Distances (possibly ``INF``) as ``'q'`` with -1 sentinel, else ``'d'``."""
+    if all(isinstance(value, int) or value == INF for value in values):
+        return array(
+            "q", (INF_SENTINEL if value == INF else value for value in values)
+        )
+    return array("d", values)
+
+
+def _weights_from_array(packed: array) -> list[Weight]:
+    """Invert :func:`_weights_to_array`; reject sub-sentinel garbage."""
+    if packed.typecode == "q":
+        lowest = min(packed, default=0)
+        if lowest >= 0:  # common case: no INF entries, no decode loop
+            return list(packed)
+        if lowest < INF_SENTINEL:
+            raise SerializationError(
+                f"negative distance {lowest} in integer weight array"
+            )
+        return [INF if value == INF_SENTINEL else value for value in packed]
+    return list(packed)
+
+
+# ----------------------------------------------------------------------
+# Graph packing
+# ----------------------------------------------------------------------
+
+
+def _put_graph(buf: bytearray, graph: Graph) -> None:
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[Weight] = []
+    for u, v, w in graph.edges():
+        us.append(u)
+        vs.append(v)
+        ws.append(w)
+    _put_u64(buf, graph.n)
+    _put_array(buf, array("q", us))
+    _put_array(buf, array("q", vs))
+    _put_array(buf, _weights_to_array(ws))
+
+
+def _read_graph(cursor: _Cursor) -> Graph:
+    n = cursor.u64()
+    us = cursor.typed_array("q")
+    vs = cursor.typed_array("q")
+    ws = _weights_from_array(cursor.typed_array("qd"))
+    if n > 1 << 40:
+        raise SerializationError(
+            f"section {cursor.name!r} claims an implausible node count {n}"
+        )
+    if not len(us) == len(vs) == len(ws):
+        raise SerializationError(
+            f"section {cursor.name!r} holds ragged edge arrays"
+        )
+    # The writer dumps an already-normalized graph (each edge once), so
+    # adjacency is assembled directly instead of re-deduplicating through
+    # GraphBuilder — that difference is most of the binary loader's win
+    # over JSON.  Bounds and weights are validated in bulk (C-speed
+    # min/max) before the assembly loop; Graph.__init__ still checks
+    # loops, duplicates, and symmetry, so a corrupt section cannot
+    # produce a malformed graph.
+    if len(us) and not (
+        0 <= min(us) and max(us) < n and 0 <= min(vs) and max(vs) < n
+    ):
+        raise SerializationError(
+            f"section {cursor.name!r} holds an edge endpoint outside 0..{n - 1}"
+        )
+    if len(ws) and min(ws) <= 0:
+        raise SerializationError(
+            f"section {cursor.name!r} holds a non-positive edge weight"
+        )
+    unweighted = ws.count(1) == len(ws)
+    adjacency: list[list[tuple[int, Weight]]] = [[] for _ in range(n)]
+    for u, v, w in zip(us, vs, ws):
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+    return Graph(n, adjacency, unweighted=unweighted)
+
+
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+
+
+def save_ct_index_binary(index, path: PathLike) -> None:
+    """Write ``index`` to ``path`` as a v3 binary snapshot.
+
+    Works on either storage backend (dict-backed labels are packed on
+    the way out); the snapshot itself is backend-agnostic, like the JSON
+    document.
+    """
+    sections: dict[str, bytes] = {}
+
+    meta = {
+        "format": "repro-ct-index",
+        "version": BINARY_FORMAT_VERSION,
+        "bandwidth": index.bandwidth,
+        "build_seconds": index.build_seconds,
+    }
+    sections["meta"] = json.dumps(meta, sort_keys=True).encode("utf-8")
+
+    buf = bytearray()
+    _put_graph(buf, index.graph)
+    sections["graph"] = bytes(buf)
+
+    reduction = index.reduction
+    buf = bytearray()
+    _put_graph(buf, reduction.reduced)
+    _put_array(buf, array("q", reduction.representative))
+    _put_array(buf, array("q", reduction.originals))
+    try:
+        twin_codes = array("B", (_TWIN_CODES[kind] for kind in reduction.twin_kind))
+    except KeyError as exc:
+        raise SerializationError(
+            f"cannot encode twin kind {exc.args[0]!r} in a binary snapshot"
+        ) from exc
+    _put_array(buf, twin_codes)
+    sections["reduction"] = bytes(buf)
+
+    elimination = index.decomposition.elimination
+    buf = bytearray()
+    nodes: list[int] = []
+    counts: list[int] = []
+    flat_neighbors: list[int] = []
+    flat_dists: list[Weight] = []
+    for step in elimination.steps:
+        nodes.append(step.node)
+        counts.append(len(step.neighbors))
+        flat_neighbors.extend(step.neighbors)
+        flat_dists.extend(step.local_distance[u] for u in step.neighbors)
+    _put_array(buf, array("q", nodes))
+    _put_array(buf, array("q", counts))
+    _put_array(buf, array("q", flat_neighbors))
+    _put_array(buf, _weights_to_array(flat_dists))
+    core_nodes = elimination.core_nodes
+    core_counts: list[int] = []
+    core_targets: list[int] = []
+    core_weights: list[Weight] = []
+    for v in core_nodes:
+        row = elimination.core_adjacency[v]
+        core_counts.append(len(row))
+        for u in sorted(row):
+            core_targets.append(u)
+            core_weights.append(row[u])
+    _put_array(buf, array("q", core_nodes))
+    _put_array(buf, array("q", core_counts))
+    _put_array(buf, array("q", core_targets))
+    _put_array(buf, _weights_to_array(core_weights))
+    sections["elim"] = bytes(buf)
+
+    tree_store = FlatTreeLabelStore.from_labels(index.tree_index.labels)
+    offsets, targets, dists = tree_store.csr_arrays()
+    buf = bytearray()
+    _put_array(buf, offsets)
+    _put_array(buf, targets)
+    _put_array(buf, dists)
+    sections["treelabels"] = bytes(buf)
+
+    core_store = FlatLabelStore.from_store(index.core_index.labels)
+    order, offsets, hub_ranks, hub_dists = core_store.csr_arrays()
+    buf = bytearray()
+    _put_array(buf, array("q", index.core_originals))
+    _put_array(buf, order)
+    _put_array(buf, offsets)
+    _put_array(buf, hub_ranks)
+    _put_array(buf, hub_dists)
+    _put_graph(buf, index.core_index.graph)
+    sections["core"] = bytes(buf)
+
+    table_bytes = _HEADER.size + _SECTION.size * len(_SECTION_NAMES)
+    offset = table_bytes
+    table = bytearray(_HEADER.pack(MAGIC, BINARY_FORMAT_VERSION, len(_SECTION_NAMES)))
+    body = bytearray()
+    for name in _SECTION_NAMES:
+        payload = sections[name]
+        table += _SECTION.pack(
+            name.encode("ascii"), offset, len(payload), zlib.crc32(payload)
+        )
+        body += payload
+        offset += len(payload)
+    Path(path).write_bytes(bytes(table + body))
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+
+def is_binary_snapshot(path: PathLike) -> bool:
+    """True when ``path`` starts with the v3 snapshot magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def _read_sections(path: Path) -> dict[str, bytes]:
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise SerializationError(f"cannot read index file {path}: {exc}") from exc
+    if len(data) < _HEADER.size:
+        raise SerializationError(f"{path} is too short to be a CT-Index snapshot")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise SerializationError(f"{path} is not a CT-Index binary snapshot (bad magic)")
+    if version != BINARY_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported binary snapshot version {version} in {path}; "
+            f"this build reads version {BINARY_FORMAT_VERSION}"
+        )
+    table_end = _HEADER.size + _SECTION.size * count
+    if count > 1024 or table_end > len(data):
+        raise SerializationError(f"corrupt section table in {path}")
+    sections: dict[str, bytes] = {}
+    for i in range(count):
+        raw_name, offset, length, crc = _SECTION.unpack_from(
+            data, _HEADER.size + _SECTION.size * i
+        )
+        name = raw_name.rstrip(b"\x00").decode("ascii", "replace")
+        end = offset + length
+        if offset < table_end or end > len(data):
+            raise SerializationError(
+                f"section {name!r} of {path} is truncated or out of bounds"
+            )
+        payload = data[offset:end]
+        if zlib.crc32(payload) != crc:
+            raise SerializationError(
+                f"checksum mismatch in section {name!r} of {path}"
+            )
+        sections[name] = payload
+    missing = [name for name in _SECTION_NAMES if name not in sections]
+    if missing:
+        raise SerializationError(
+            f"{path} is missing snapshot sections: {', '.join(missing)}"
+        )
+    return sections
+
+
+def load_ct_index_binary(path: PathLike, *, backend: str = "flat"):
+    """Reload a CT-Index written by :func:`save_ct_index_binary`.
+
+    ``backend`` selects the label storage of the loaded index:
+    ``"flat"`` (default — the arrays are adopted as-is) or ``"dict"``
+    (unpacked into the mutable layout).
+    """
+    if backend not in ("dict", "flat"):
+        raise SerializationError(
+            f"unknown storage backend {backend!r}; expected 'dict' or 'flat'"
+        )
+    path = Path(path)
+    sections = _read_sections(path)
+    try:
+        return _decode_snapshot(path, sections, backend)
+    except SerializationError:
+        raise
+    except (
+        KeyError,
+        TypeError,
+        ValueError,
+        IndexError,
+        AttributeError,
+        OverflowError,
+        struct.error,
+        ReproError,
+    ) as exc:
+        # One library error for any malformed payload, mirroring the
+        # JSON loader's contract.
+        raise SerializationError(
+            f"corrupt CT-Index snapshot in {path}: {exc!r}"
+        ) from exc
+
+
+def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):
+    from repro.core.construction import TreeIndex
+    from repro.core.ct_index import CTIndex
+    from repro.labeling.pll import PrunedLandmarkLabeling
+    from repro.treedec.core_tree import core_tree_decomposition
+    from repro.treedec.elimination import EliminationResult, EliminationStep
+
+    try:
+        meta = json.loads(sections["meta"].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"corrupt meta section in {path}: {exc}"
+        ) from exc
+    if meta.get("format") != "repro-ct-index":
+        raise SerializationError(f"{path} is not a CT-Index snapshot")
+    if meta.get("version") != BINARY_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported snapshot version {meta.get('version')!r} in {path}"
+        )
+    bandwidth = meta["bandwidth"]
+    if not isinstance(bandwidth, int) or bandwidth < 0:
+        raise SerializationError(f"invalid bandwidth {bandwidth!r} in {path}")
+
+    cursor = _Cursor("graph", sections["graph"])
+    graph = _read_graph(cursor)
+    cursor.done()
+
+    cursor = _Cursor("reduction", sections["reduction"])
+    reduced = _read_graph(cursor)
+    representative = list(cursor.typed_array("q"))
+    originals_map = list(cursor.typed_array("q"))
+    twin_codes = cursor.typed_array("B")
+    cursor.done()
+    try:
+        twin_kind = [_TWIN_KINDS[code] for code in twin_codes]
+    except KeyError as exc:
+        raise SerializationError(
+            f"unknown twin-kind code {exc.args[0]!r} in {path}"
+        ) from exc
+    reduction = EquivalenceReduction(
+        original=graph,
+        reduced=reduced,
+        representative=representative,
+        originals=originals_map,
+        twin_kind=twin_kind,
+    )
+
+    cursor = _Cursor("elim", sections["elim"])
+    nodes = cursor.typed_array("q")
+    counts = cursor.typed_array("q")
+    flat_neighbors = cursor.typed_array("q")
+    flat_dists = _weights_from_array(cursor.typed_array("qd"))
+    core_nodes = list(cursor.typed_array("q"))
+    core_counts = cursor.typed_array("q")
+    core_targets = cursor.typed_array("q")
+    core_weights = _weights_from_array(cursor.typed_array("qd"))
+    cursor.done()
+    if len(nodes) != len(counts) or sum(counts) != len(flat_neighbors):
+        raise SerializationError(f"ragged elimination arrays in {path}")
+    if len(flat_neighbors) != len(flat_dists):
+        raise SerializationError(f"ragged elimination distance array in {path}")
+    steps = []
+    base = 0
+    for node, count in zip(nodes, counts):
+        neighbors = tuple(flat_neighbors[base : base + count])
+        local = dict(zip(neighbors, flat_dists[base : base + count]))
+        steps.append(
+            EliminationStep(node=node, neighbors=neighbors, local_distance=local)
+        )
+        base += count
+    position: list[int | None] = [None] * reduced.n
+    for i, step in enumerate(steps):
+        if not 0 <= step.node < reduced.n or position[step.node] is not None:
+            raise SerializationError(
+                f"elimination step {i} names node {step.node} outside the "
+                f"reduced graph (or twice) in {path}"
+            )
+        position[step.node] = i
+    if core_nodes != sorted(set(core_nodes)):
+        raise SerializationError(f"core node list of {path} is not sorted-unique")
+    if len(core_nodes) != len(core_counts) or sum(core_counts) != len(core_targets):
+        raise SerializationError(f"ragged core-adjacency arrays in {path}")
+    core_adjacency: dict[int, dict[int, Weight]] = {}
+    base = 0
+    for v, count in zip(core_nodes, core_counts):
+        core_adjacency[v] = dict(
+            zip(core_targets[base : base + count], core_weights[base : base + count])
+        )
+        base += count
+    elimination = EliminationResult(
+        graph=reduced,
+        steps=steps,
+        position=position,
+        core_nodes=core_nodes,
+        core_adjacency=core_adjacency,
+        bandwidth=bandwidth,
+    )
+    decomposition = core_tree_decomposition(reduced, bandwidth, elimination=elimination)
+
+    cursor = _Cursor("treelabels", sections["treelabels"])
+    tree_offsets = cursor.typed_array("q")
+    tree_targets = cursor.typed_array("q")
+    tree_dists = cursor.typed_array("qd")
+    cursor.done()
+    tree_store = FlatTreeLabelStore(tree_offsets, tree_targets, tree_dists)
+    if len(tree_store) != decomposition.boundary:
+        raise SerializationError(
+            f"{path} stores {len(tree_store)} tree labels for a boundary "
+            f"of {decomposition.boundary}"
+        )
+    tree_labels = tree_store if backend == "flat" else tree_store.to_dicts()
+    tree_index = TreeIndex(decomposition, tree_labels)
+
+    cursor = _Cursor("core", sections["core"])
+    core_originals = list(cursor.typed_array("q"))
+    order = list(cursor.typed_array("q"))
+    offsets = cursor.typed_array("q")
+    hub_ranks = cursor.typed_array("I")
+    hub_dists = cursor.typed_array("qd")
+    core_graph = _read_graph(cursor)
+    cursor.done()
+    if hub_dists.typecode == "q" and any(d < 0 for d in hub_dists):
+        raise SerializationError(f"negative core label distance in {path}")
+    store = FlatLabelStore.from_arrays(order, offsets, hub_ranks, hub_dists)
+    if store.n != core_graph.n or store.n != len(core_originals):
+        raise SerializationError(
+            f"core section of {path} is internally inconsistent "
+            f"({store.n} labeled nodes, {core_graph.n} core-graph nodes, "
+            f"{len(core_originals)} originals)"
+        )
+    labels = store if backend == "flat" else store.to_hub_labeling()
+    core_index = PrunedLandmarkLabeling(core_graph, labels, order)
+    compact = {orig: i for i, orig in enumerate(core_originals)}
+
+    index = CTIndex(
+        graph=graph,
+        bandwidth=bandwidth,
+        reduction=reduction,
+        tree_index=tree_index,
+        core_index=core_index,
+        core_originals=core_originals,
+        core_compact=compact,
+    )
+    index.build_seconds = float(meta.get("build_seconds", 0.0))
+    return index

@@ -1,0 +1,377 @@
+"""CSR-packed 2-hop label storage — the ``"flat"`` backend.
+
+:class:`FlatLabelStore` holds every node's (hub rank, distance) entries
+in three shared typed arrays instead of per-node Python lists:
+
+* ``offsets`` — ``array('q')`` of length ``n + 1``; node ``v``'s entries
+  live at positions ``offsets[v] .. offsets[v+1]``;
+* ``hub_ranks`` — ``array('I')``, ascending within each node's run (the
+  builders emit hubs in rank order, so a 2-hop query stays one sorted
+  merge);
+* ``hub_dists`` — ``array('q')`` when every stored distance is an
+  integer, ``array('d')`` otherwise.
+
+This is the layout IS-LABEL and Hop-Doubling report as the thing that
+makes intersection queries and index loading fast at scale: one machine
+word per field, contiguous runs, no per-entry object headers.  A packed
+store answers the same read protocol as
+:class:`~repro.labeling.hub_labels.HubLabeling` (``query``,
+``iter_rank_entries``, ``rank_arrays``, ...), so PLL / PSL / CT query
+paths run unchanged on either backend.  The store is immutable: the
+mutating calls of the dict backend (``append_entry``, ``drop_label``)
+raise :class:`~repro.exceptions.StorageError`; convert back with
+:meth:`to_hub_labeling` to edit.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from collections.abc import Iterable
+
+from repro.exceptions import StorageError
+from repro.graphs.graph import INF, Graph, Weight
+
+#: Typecodes of the shared arrays (documented in ``docs/formats.md``).
+OFFSET_TYPECODE = "q"
+RANK_TYPECODE = "I"
+INT_DIST_TYPECODE = "q"
+FLOAT_DIST_TYPECODE = "d"
+
+
+def pack_distances(values: Iterable[Weight]) -> array:
+    """Pack distances into ``array('q')`` when all-int, ``array('d')`` otherwise.
+
+    Infinite or fractional values force the float layout (``inf`` is
+    representable in a double, not in a signed 64-bit slot).
+    """
+    values = list(values)
+    if all(isinstance(value, int) for value in values):
+        return array(INT_DIST_TYPECODE, values)
+    return array(FLOAT_DIST_TYPECODE, values)
+
+
+class FlatLabelStore:
+    """Immutable CSR view of a 2-hop labeling over nodes ``0 .. n-1``.
+
+    Build one with :meth:`from_store` (packs a
+    :class:`~repro.labeling.hub_labels.HubLabeling` or any compatible
+    store) or :meth:`from_entries` / :meth:`from_arrays` (raw inputs,
+    validated).  Instances compare equal when their order and packed
+    entries match, whatever the distance typecode.
+    """
+
+    #: Marker read by ``storage_backend`` properties up the stack.
+    storage_backend = "flat"
+
+    __slots__ = ("_order", "_rank", "_offsets", "_hub_ranks", "_hub_dists")
+
+    def __init__(
+        self,
+        order: array,
+        rank: array,
+        offsets: array,
+        hub_ranks: array,
+        hub_dists: array,
+    ) -> None:
+        """Wrap pre-validated arrays; use the ``from_*`` constructors."""
+        self._order = order
+        self._rank = rank
+        self._offsets = offsets
+        self._hub_ranks = hub_ranks
+        self._hub_dists = hub_dists
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_store(cls, store) -> "FlatLabelStore":
+        """Pack any hub-label store exposing the read protocol."""
+        if isinstance(store, cls):
+            return store
+        order = [store.node_of_rank(r) for r in range(store.n)]
+        return cls.from_entries(
+            order, (store.iter_rank_entries(v) for v in range(store.n))
+        )
+
+    @classmethod
+    def from_entries(cls, order: list[int], entries_per_node) -> "FlatLabelStore":
+        """Pack per-node ``(hub_rank, distance)`` iterables.
+
+        ``entries_per_node`` yields one iterable per node ``0 .. n-1``;
+        each must be sorted ascending by hub rank (the order every
+        builder produces).
+        """
+        offsets = array(OFFSET_TYPECODE, [0])
+        hub_ranks = array(RANK_TYPECODE)
+        dists: list[Weight] = []
+        for entries in entries_per_node:
+            for hub_rank, dist in entries:
+                hub_ranks.append(hub_rank)
+                dists.append(dist)
+            offsets.append(len(hub_ranks))
+        return cls.from_arrays(order, offsets, hub_ranks, pack_distances(dists))
+
+    @classmethod
+    def from_arrays(
+        cls, order, offsets, hub_ranks, hub_dists
+    ) -> "FlatLabelStore":
+        """Assemble from raw arrays, validating the CSR invariants.
+
+        Raises :class:`StorageError` on ragged lengths, non-monotone
+        offsets, or a run whose hubs are not strictly ascending — the
+        guard that keeps a corrupt binary snapshot from being queried.
+        """
+        order = array(OFFSET_TYPECODE, order)
+        offsets = array(OFFSET_TYPECODE, offsets)
+        hub_ranks = (
+            hub_ranks
+            if isinstance(hub_ranks, array) and hub_ranks.typecode == RANK_TYPECODE
+            else array(RANK_TYPECODE, hub_ranks)
+        )
+        if not isinstance(hub_dists, array):
+            hub_dists = pack_distances(hub_dists)
+        n = len(order)
+        if len(offsets) != n + 1:
+            raise StorageError(
+                f"offset array has {len(offsets)} slots for {n} nodes "
+                f"(expected {n + 1})"
+            )
+        if len(hub_ranks) != len(hub_dists):
+            raise StorageError(
+                f"{len(hub_ranks)} hub ranks but {len(hub_dists)} distances"
+            )
+        if offsets[0] != 0 or offsets[-1] != len(hub_ranks):
+            raise StorageError(
+                f"offsets span [{offsets[0]}, {offsets[-1]}] "
+                f"but the store holds {len(hub_ranks)} entries"
+            )
+        rank = array(OFFSET_TYPECODE, [0]) * n
+        seen = bytearray(n)
+        for r, v in enumerate(order):
+            if not 0 <= v < n or seen[v]:
+                raise StorageError(f"order is not a permutation of 0..{n - 1}")
+            seen[v] = 1
+            rank[v] = r
+        previous = 0
+        for v in range(n):
+            start, stop = offsets[v], offsets[v + 1]
+            if start != previous or stop < start:
+                raise StorageError(f"offsets are not monotone at node {v}")
+            previous = stop
+            last = -1
+            for i in range(start, stop):
+                hub = hub_ranks[i]
+                if hub <= last or hub >= n:
+                    raise StorageError(
+                        f"label run of node {v} is not strictly ascending "
+                        f"in rank (hub {hub} after {last})"
+                    )
+                last = hub
+        return cls(order, rank, offsets, hub_ranks, hub_dists)
+
+    def to_hub_labeling(self):
+        """Unpack into a mutable :class:`~repro.labeling.hub_labels.HubLabeling`."""
+        from repro.labeling.hub_labels import HubLabeling
+
+        labels = HubLabeling(list(self._order))
+        for v in range(self.n):
+            for hub_rank, dist in self.iter_rank_entries(v):
+                labels.append_entry(v, hub_rank, dist)
+        return labels
+
+    # ------------------------------------------------------------------
+    # Structure (read protocol shared with HubLabeling)
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._order)
+
+    @property
+    def dists_typecode(self) -> str:
+        """``'q'`` (all-int distances) or ``'d'`` (float layout)."""
+        return self._hub_dists.typecode
+
+    def rank_of(self, v: int) -> int:
+        """Rank of node ``v`` in the vertex order."""
+        return self._rank[v]
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node holding ``rank``."""
+        return self._order[rank]
+
+    def append_entry(self, v: int, hub_rank: int, dist: Weight) -> None:
+        """Unsupported: flat stores are immutable."""
+        raise StorageError(
+            "FlatLabelStore is immutable; convert with to_hub_labeling() "
+            "before appending entries"
+        )
+
+    def drop_label(self, v: int) -> None:
+        """Unsupported: flat stores are immutable."""
+        raise StorageError(
+            "FlatLabelStore is immutable; convert with to_hub_labeling() "
+            "before dropping labels"
+        )
+
+    def label_entries(self, v: int) -> list[tuple[int, Weight]]:
+        """``(hub node, distance)`` pairs of ``v``'s label."""
+        order = self._order
+        return [(order[rank], dist) for rank, dist in self.iter_rank_entries(v)]
+
+    def label_rank_map(self, v: int) -> dict[int, Weight]:
+        """``hub rank -> distance`` dict of ``v``'s label."""
+        return dict(self.iter_rank_entries(v))
+
+    def iter_rank_entries(self, v: int):
+        """Iterate over ``(hub_rank, distance)`` pairs of ``v``'s label."""
+        start, stop = self._offsets[v], self._offsets[v + 1]
+        ranks = self._hub_ranks
+        dists = self._hub_dists
+        for i in range(start, stop):
+            yield ranks[i], dists[i]
+
+    def rank_arrays(self, v: int):
+        """The rank-sorted parallel arrays backing ``v``'s label.
+
+        Returned as array slices (copies) — callers index and iterate
+        them exactly like the dict backend's lists.
+        """
+        start, stop = self._offsets[v], self._offsets[v + 1]
+        return self._hub_ranks[start:stop], self._hub_dists[start:stop]
+
+    def label_size(self, v: int) -> int:
+        """``|L_v|``."""
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def max_label_size(self) -> int:
+        """``l = max_v |L_v|`` — the paper's query-time driver."""
+        offsets = self._offsets
+        return max(
+            (offsets[v + 1] - offsets[v] for v in range(self.n)), default=0
+        )
+
+    def total_entries(self) -> int:
+        """Total number of stored entries (index size in entries)."""
+        return len(self._hub_ranks)
+
+    def resident_bytes(self) -> int:
+        """Actual bytes held by the packed arrays (buffers + headers)."""
+        return sum(
+            sys.getsizeof(buf)
+            for buf in (
+                self._order,
+                self._rank,
+                self._offsets,
+                self._hub_ranks,
+                self._hub_dists,
+            )
+        )
+
+    def csr_arrays(self) -> tuple[array, array, array, array]:
+        """``(order, offsets, hub_ranks, hub_dists)`` backing arrays.
+
+        Exposed for the binary snapshot writer; callers must not mutate.
+        """
+        return self._order, self._offsets, self._hub_ranks, self._hub_dists
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlatLabelStore):
+            return NotImplemented
+        return (
+            list(self._order) == list(other._order)
+            and list(self._offsets) == list(other._offsets)
+            and list(self._hub_ranks) == list(other._hub_ranks)
+            and list(self._hub_dists) == list(other._hub_dists)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - stores are not dict keys
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, s: int, t: int) -> Weight:
+        """2-hop query: merge-based sorted intersection of two runs."""
+        if s == t:
+            return 0
+        offsets = self._offsets
+        ranks = self._hub_ranks
+        dists = self._hub_dists
+        i, i_stop = offsets[s], offsets[s + 1]
+        j, j_stop = offsets[t], offsets[t + 1]
+        best: Weight = INF
+        while i < i_stop and j < j_stop:
+            ra, rb = ranks[i], ranks[j]
+            if ra == rb:
+                total = dists[i] + dists[j]
+                if total < best:
+                    best = total
+                i += 1
+                j += 1
+            elif ra < rb:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    def query_with_map(self, label_map: dict[int, Weight], t: int) -> Weight:
+        """Query between a materialized ``rank -> dist`` map and node ``t``."""
+        start, stop = self._offsets[t], self._offsets[t + 1]
+        ranks = self._hub_ranks
+        dists = self._hub_dists
+        best: Weight = INF
+        get = label_map.get
+        for i in range(start, stop):
+            other = get(ranks[i])
+            if other is not None:
+                total = other + dists[i]
+                if total < best:
+                    best = total
+        return best
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_two_hop_cover(self, graph: Graph, truth: list[list[Weight]]) -> None:
+        """Assert the labeling answers every pair exactly (Definition 1)."""
+        from repro.exceptions import QueryError
+
+        for s in graph.nodes():
+            for t in graph.nodes():
+                expected = truth[s][t]
+                got = self.query(s, t)
+                if got != expected and not (got == INF and expected == INF):
+                    raise QueryError(
+                        f"2-hop cover violated at ({s}, {t}): labels give {got}, "
+                        f"graph distance is {expected}"
+                    )
+
+
+def merge_intersection(ranks_a, dists_a, ranks_b, dists_b) -> Weight:
+    """Two-pointer merge over two rank-sorted runs (lists or arrays).
+
+    The flat backend's query kernel, exposed standalone so the property
+    suite can pit it against the dict-based intersection on random runs.
+    """
+    best: Weight = INF
+    i = j = 0
+    len_a, len_b = len(ranks_a), len(ranks_b)
+    while i < len_a and j < len_b:
+        ra, rb = ranks_a[i], ranks_b[j]
+        if ra == rb:
+            total = dists_a[i] + dists_b[j]
+            if total < best:
+                best = total
+            i += 1
+            j += 1
+        elif ra < rb:
+            i += 1
+        else:
+            j += 1
+    return best

@@ -1,0 +1,220 @@
+"""CSR-packed tree-index labels — the forest half of the ``"flat"`` backend.
+
+The dict backend stores one ``{target: δ^T}`` dict per forest position.
+:class:`FlatTreeLabelStore` packs all of them into three shared arrays:
+
+* ``offsets`` — ``array('q')``, position ``pos``'s run is
+  ``offsets[pos] .. offsets[pos+1]``;
+* ``targets`` — ``array('q')``, ascending node ids within each run (so a
+  lookup is one binary search);
+* ``dists`` — ``array('q')`` with ``-1`` encoding ``INF`` when every
+  finite distance is an integer, ``array('d')`` (native ``inf``)
+  otherwise.
+
+The store is sequence-of-mappings compatible: ``store[pos]`` returns a
+read-only :class:`TreeRunView` so code written against ``list[dict]``
+(serialization, stats) iterates it unchanged, while the hot
+``local_get`` path bisects the packed run directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from bisect import bisect_left
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import StorageError
+from repro.graphs.graph import INF, Weight
+from repro.storage.flat_labels import INT_DIST_TYPECODE, OFFSET_TYPECODE
+
+#: Sentinel for ``INF`` inside an integer distance array (distances are
+#: non-negative, so -1 is unambiguous).
+INF_SENTINEL = -1
+
+
+def pack_optional_inf(values: list[Weight]) -> array:
+    """Pack distances that may include ``INF`` into a typed array."""
+    if all(isinstance(value, int) or value == INF for value in values):
+        return array(
+            INT_DIST_TYPECODE,
+            (INF_SENTINEL if value == INF else value for value in values),
+        )
+    return array("d", values)
+
+
+class TreeRunView(Mapping):
+    """Read-only mapping view of one position's packed label run."""
+
+    __slots__ = ("_store", "_pos")
+
+    def __init__(self, store: "FlatTreeLabelStore", pos: int) -> None:
+        self._store = store
+        self._pos = pos
+
+    def __getitem__(self, target: int) -> Weight:
+        found = self._store.local_get(self._pos, target, _MISSING)
+        if found is _MISSING:
+            raise KeyError(target)
+        return found
+
+    def get(self, target: int, default=None):
+        return self._store.local_get(self._pos, target, default)
+
+    def __iter__(self):
+        return self._store.iter_targets(self._pos)
+
+    def __len__(self) -> int:
+        return self._store.run_size(self._pos)
+
+
+_MISSING = object()
+
+
+class FlatTreeLabelStore(Sequence):
+    """Immutable CSR store of per-position tree labels.
+
+    Indexing (``store[pos]``) yields :class:`TreeRunView` mappings;
+    :meth:`local_get` is the direct lookup used by
+    :meth:`repro.core.construction.TreeIndex.local_distance`.
+    """
+
+    storage_backend = "flat"
+
+    __slots__ = ("_offsets", "_targets", "_dists")
+
+    def __init__(self, offsets: array, targets: array, dists: array) -> None:
+        if len(offsets) == 0 or offsets[0] != 0 or offsets[-1] != len(targets):
+            raise StorageError(
+                f"tree-label offsets span "
+                f"[{offsets[0] if len(offsets) else '?'}, "
+                f"{offsets[-1] if len(offsets) else '?'}] "
+                f"but the store holds {len(targets)} entries"
+            )
+        if len(targets) != len(dists):
+            raise StorageError(
+                f"{len(targets)} tree-label targets but {len(dists)} distances"
+            )
+        previous = 0
+        for pos in range(len(offsets) - 1):
+            start, stop = offsets[pos], offsets[pos + 1]
+            if start != previous or stop < start:
+                raise StorageError(
+                    f"tree-label offsets are not monotone at position {pos}"
+                )
+            previous = stop
+            last = -1
+            for i in range(start, stop):
+                if targets[i] <= last:
+                    raise StorageError(
+                        f"tree-label run of position {pos} is not strictly "
+                        f"ascending in target id"
+                    )
+                last = targets[i]
+        self._offsets = offsets
+        self._targets = targets
+        self._dists = dists
+
+    @classmethod
+    def from_labels(cls, labels) -> "FlatTreeLabelStore":
+        """Pack a sequence of ``{target: distance}`` mappings."""
+        if isinstance(labels, cls):
+            return labels
+        offsets = array(OFFSET_TYPECODE, [0])
+        targets = array(OFFSET_TYPECODE)
+        dists: list[Weight] = []
+        for label in labels:
+            for target in sorted(label):
+                targets.append(target)
+                dists.append(label[target])
+            offsets.append(len(targets))
+        return cls(offsets, targets, pack_optional_inf(dists))
+
+    def to_dicts(self) -> list[dict[int, Weight]]:
+        """Unpack into the dict backend's ``list[dict]`` layout."""
+        return [dict(self.iter_items(pos)) for pos in range(len(self))]
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, pos):
+        if isinstance(pos, slice):
+            return [TreeRunView(self, p) for p in range(*pos.indices(len(self)))]
+        if pos < 0:
+            pos += len(self)
+        if not 0 <= pos < len(self):
+            raise IndexError(pos)
+        return TreeRunView(self, pos)
+
+    # ------------------------------------------------------------------
+    # Direct accessors
+    # ------------------------------------------------------------------
+
+    def run_size(self, pos: int) -> int:
+        """Number of stored targets at ``pos``."""
+        return self._offsets[pos + 1] - self._offsets[pos]
+
+    def total_entries(self) -> int:
+        """Stored (target, distance) pairs across all positions."""
+        return len(self._targets)
+
+    def iter_targets(self, pos: int):
+        """Iterate the target ids of ``pos``'s run (ascending)."""
+        start, stop = self._offsets[pos], self._offsets[pos + 1]
+        targets = self._targets
+        for i in range(start, stop):
+            yield targets[i]
+
+    def iter_items(self, pos: int):
+        """Iterate ``(target, distance)`` pairs of ``pos``'s run."""
+        start, stop = self._offsets[pos], self._offsets[pos + 1]
+        targets = self._targets
+        dists = self._dists
+        decode_inf = dists.typecode == INT_DIST_TYPECODE
+        for i in range(start, stop):
+            value = dists[i]
+            if decode_inf and value == INF_SENTINEL:
+                yield targets[i], INF
+            else:
+                yield targets[i], value
+
+    def local_get(self, pos: int, target: int, default=None):
+        """δ^T lookup: binary search ``target`` inside ``pos``'s run."""
+        start, stop = self._offsets[pos], self._offsets[pos + 1]
+        i = bisect_left(self._targets, target, start, stop)
+        if i == stop or self._targets[i] != target:
+            return default
+        value = self._dists[i]
+        if value == INF_SENTINEL and self._dists.typecode == INT_DIST_TYPECODE:
+            return INF
+        return value
+
+    def resident_bytes(self) -> int:
+        """Actual bytes held by the packed arrays (buffers + headers)."""
+        return sum(
+            sys.getsizeof(buf)
+            for buf in (self._offsets, self._targets, self._dists)
+        )
+
+    def csr_arrays(self) -> tuple[array, array, array]:
+        """``(offsets, targets, dists)`` backing arrays.
+
+        Exposed for the binary snapshot writer; callers must not mutate.
+        """
+        return self._offsets, self._targets, self._dists
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlatTreeLabelStore):
+            return NotImplemented
+        return (
+            list(self._offsets) == list(other._offsets)
+            and list(self._targets) == list(other._targets)
+            and list(self._dists) == list(other._dists)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - stores are not dict keys
+        return id(self)

@@ -1,0 +1,65 @@
+"""Resident-memory accounting for label stores.
+
+The paper's 8-bytes-per-entry model (:data:`repro.labeling.base.
+BYTES_PER_ENTRY`) prices what a C implementation would store.  This
+module measures what the *Python process* actually holds: containers via
+:func:`sys.getsizeof` plus one object header per element reference.
+That is the number the dict-vs-flat comparison in ``storage-bench``
+reports — the whole point of the CSR backend is collapsing per-entry
+``PyObject`` overhead (28-byte ints behind 8-byte pointers in resizable
+lists and hash tables) into one machine word per field.
+
+Shared small-int singletons are charged per reference: the reference
+itself is real memory, and charging the shared object once would make
+the number depend on interning details rather than on label shape.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def deep_container_bytes(obj) -> int:
+    """Recursive :func:`sys.getsizeof` over dicts / lists / tuples / scalars."""
+    if isinstance(obj, dict):
+        return sys.getsizeof(obj) + sum(
+            deep_container_bytes(key) + deep_container_bytes(value)
+            for key, value in obj.items()
+        )
+    if isinstance(obj, (list, tuple)):
+        return sys.getsizeof(obj) + sum(deep_container_bytes(item) for item in obj)
+    return sys.getsizeof(obj)
+
+
+def hub_store_resident_bytes(store) -> int:
+    """Resident bytes of a hub-label store, either backend.
+
+    Flat stores report their packed buffers; dict-backed
+    :class:`~repro.labeling.hub_labels.HubLabeling` instances are walked
+    structurally (order + rank lists, per-node rank/distance lists).
+    """
+    if hasattr(store, "resident_bytes"):
+        return store.resident_bytes()
+    total = deep_container_bytes(store._order) + deep_container_bytes(store._rank)
+    total += deep_container_bytes(store._hub_ranks)
+    total += deep_container_bytes(store._hub_dists)
+    return total
+
+
+def tree_store_resident_bytes(labels) -> int:
+    """Resident bytes of tree labels: ``list[dict]`` or a flat store."""
+    if hasattr(labels, "resident_bytes"):
+        return labels.resident_bytes()
+    return deep_container_bytes(labels)
+
+
+def ct_resident_label_bytes(index) -> dict[str, int]:
+    """Per-section resident label bytes of a CT-Index.
+
+    Returns ``{"core": ..., "tree": ..., "total": ...}`` for whatever
+    backend ``index`` currently uses, so ``storage-bench`` can record the
+    dict-vs-flat reduction per section.
+    """
+    core = hub_store_resident_bytes(index.core_index.labels)
+    tree = tree_store_resident_bytes(index.tree_index.labels)
+    return {"core": core, "tree": tree, "total": core + tree}

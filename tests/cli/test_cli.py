@@ -144,6 +144,127 @@ class TestOtherCommands:
         assert "error" in capsys.readouterr().err
 
 
+class TestStorageCli:
+    def test_build_binary_and_query(self, edge_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.ctsnap"
+        assert (
+            main(
+                [
+                    "build",
+                    str(edge_file),
+                    "-d",
+                    "3",
+                    "--format",
+                    "binary",
+                    "-o",
+                    str(index_path),
+                ]
+            )
+            == 0
+        )
+        assert index_path.read_bytes()[:8] == b"RCTINDEX"
+        assert "[binary]" in capsys.readouterr().out
+        # query auto-detects the snapshot format from the magic.
+        assert main(["query", str(index_path), "0", "1"]) == 0
+        assert "dist(0, 1)" in capsys.readouterr().out
+
+    def test_build_flat_backend(self, edge_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.json"
+        assert (
+            main(
+                [
+                    "build",
+                    str(edge_file),
+                    "-d",
+                    "3",
+                    "--backend",
+                    "flat",
+                    "-o",
+                    str(index_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["query", str(index_path), "0", "5"]) == 0
+
+    def test_binary_and_json_answer_identically(self, edge_file, tmp_path, capsys):
+        json_path = tmp_path / "idx.json"
+        binary_path = tmp_path / "idx.ctsnap"
+        main(["build", str(edge_file), "-d", "3", "-o", str(json_path)])
+        main(
+            [
+                "build",
+                str(edge_file),
+                "-d",
+                "3",
+                "--format",
+                "binary",
+                "-o",
+                str(binary_path),
+            ]
+        )
+        capsys.readouterr()
+        def distances(text):
+            return [line for line in text.splitlines() if line.startswith("dist(")]
+
+        main(["query", str(json_path), "0", "9", "3", "17"])
+        from_json = distances(capsys.readouterr().out)
+        main(["query", str(binary_path), "0", "9", "3", "17"])
+        from_binary = distances(capsys.readouterr().out)
+        assert from_json and from_json == from_binary
+
+    def test_audit_binary_snapshot(self, edge_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.ctsnap"
+        main(
+            [
+                "build",
+                str(edge_file),
+                "-d",
+                "3",
+                "--format",
+                "binary",
+                "-o",
+                str(index_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["audit", str(index_path), "--samples", "60"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_storage_bench(self, edge_file, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_storage.json"
+        assert (
+            main(
+                [
+                    "storage-bench",
+                    str(edge_file),
+                    "-d",
+                    "3",
+                    "--queries",
+                    "100",
+                    "-o",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "storage-bench" in out
+        assert "resident" in out
+        import json as json_module
+
+        document = json_module.loads(out_path.read_text())
+        assert document["entries"][0]["answers_verified"] is True
+
+    def test_storage_bench_skip_output(self, edge_file, capsys):
+        assert (
+            main(["storage-bench", str(edge_file), "-d", "2", "--queries", "50", "-o", "-"])
+            == 0
+        )
+        assert "verified" in capsys.readouterr().out
+
+
 class TestParallelBuild:
     def test_build_with_workers_matches_serial(self, edge_file, tmp_path, capsys):
         serial_path = tmp_path / "serial.json"

@@ -4,14 +4,22 @@ from __future__ import annotations
 
 import json
 import math
+from pathlib import Path
 
 import pytest
 
 from repro.core.ct_index import CTIndex
-from repro.core.serialization import FORMAT_VERSION, load_ct_index, save_ct_index
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    index_fingerprint,
+    load_ct_index,
+    save_ct_index,
+)
 from repro.exceptions import SerializationError
 from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
 from repro.graphs.traversal import all_pairs_distances
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 def _reject_constant(name: str):
@@ -151,3 +159,106 @@ class TestErrors:
         path.write_text(json.dumps(document))
         with pytest.raises(SerializationError):
             load_ct_index(path)
+
+
+class TestUnknownVersions:
+    """Regression: a JSON document from a newer (or nonsense) writer must
+    raise a :class:`SerializationError` that *names the version found*
+    and the versions this build reads — never load half-understood data
+    or crash with a KeyError deeper in the decoder."""
+
+    @staticmethod
+    def _patched_document(tmp_path, version):
+        index = CTIndex.build(gnp_graph(12, 0.3, seed=9), 2)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        document = json.loads(path.read_text())
+        document["version"] = version
+        path.write_text(json.dumps(document))
+        return path
+
+    @pytest.mark.parametrize("version", [3, 4, 99, 2**40, 0, -1, "2", None])
+    def test_unknown_version_is_named_in_the_error(self, tmp_path, version):
+        path = self._patched_document(tmp_path, version)
+        with pytest.raises(SerializationError) as excinfo:
+            load_ct_index(path)
+        message = str(excinfo.value)
+        assert repr(version) in message
+        assert "version" in message
+
+    def test_bool_version_rejected(self, tmp_path):
+        # bool is an int subclass: `True in {1, 2}` is True, so a naive
+        # membership check would accept a `true` version field.
+        path = self._patched_document(tmp_path, True)
+        with pytest.raises(SerializationError, match="True"):
+            load_ct_index(path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        index = CTIndex.build(gnp_graph(12, 0.3, seed=9), 2)
+        path = tmp_path / "index.json"
+        save_ct_index(index, path)
+        document = json.loads(path.read_text())
+        del document["version"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(SerializationError, match="None"):
+            load_ct_index(path)
+
+    def test_error_mentions_supported_versions(self, tmp_path):
+        path = self._patched_document(tmp_path, 7)
+        with pytest.raises(SerializationError, match=r"\[1, 2\]"):
+            load_ct_index(path)
+
+
+class TestGoldenFixtures:
+    """Checked-in snapshots of both formats (see ``golden/regenerate.py``).
+
+    These pin backward compatibility: today's loader must keep reading
+    bytes written by past builds.  If one of these fails after a format
+    change, that change broke compatibility — bump the version and add a
+    migration path instead of regenerating the fixture.
+    """
+
+    BANDWIDTH = 3
+
+    @staticmethod
+    def _golden_truth():
+        return all_pairs_distances(gnp_graph(20, 0.2, seed=1))
+
+    def test_golden_json_loads_and_answers(self):
+        index = load_ct_index(GOLDEN_DIR / "index_v2.json")
+        assert index.bandwidth == self.BANDWIDTH
+        truth = self._golden_truth()
+        for s in index.graph.nodes():
+            for t in index.graph.nodes():
+                assert index.distance(s, t) == truth[s][t], (s, t)
+
+    def test_golden_binary_loads_and_answers(self):
+        index = load_ct_index(GOLDEN_DIR / "index_v3.ctsnap")
+        assert index.bandwidth == self.BANDWIDTH
+        assert index.storage_backend == "flat"
+        truth = self._golden_truth()
+        for s in index.graph.nodes():
+            for t in index.graph.nodes():
+                assert index.distance(s, t) == truth[s][t], (s, t)
+
+    def test_golden_fixtures_are_the_same_index(self):
+        from_json = load_ct_index(GOLDEN_DIR / "index_v2.json")
+        from_binary = load_ct_index(GOLDEN_DIR / "index_v3.ctsnap")
+        assert index_fingerprint(from_json) == index_fingerprint(from_binary)
+
+    def test_golden_fixtures_match_a_fresh_build(self):
+        fresh = CTIndex.build(gnp_graph(20, 0.2, seed=1), self.BANDWIDTH)
+        loaded = load_ct_index(GOLDEN_DIR / "index_v2.json")
+        assert index_fingerprint(loaded) == index_fingerprint(fresh)
+
+    def test_golden_json_document_is_version_2(self):
+        document = json.loads((GOLDEN_DIR / "index_v2.json").read_text())
+        assert document["version"] == 2
+
+    def test_golden_binary_header_is_version_3(self):
+        from repro.storage.binary import _HEADER, BINARY_FORMAT_VERSION, MAGIC
+
+        data = (GOLDEN_DIR / "index_v3.ctsnap").read_bytes()
+        magic, version, _count = _HEADER.unpack_from(data, 0)
+        assert magic == MAGIC
+        assert version == BINARY_FORMAT_VERSION

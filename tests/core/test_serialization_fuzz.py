@@ -1,25 +1,55 @@
-"""Failure injection: corrupted index files must fail loudly and cleanly."""
+"""Failure injection: corrupted index files must fail loudly and cleanly.
+
+Two corpora share one built index:
+
+* **JSON documents** — field deletion, type corruption, truncation, and
+  a randomized key-deletion sweep against the v1/v2 loader;
+* **Binary snapshots** — truncation at every structural boundary,
+  deterministic single-bit flips over the whole file, and targeted
+  header corruption (magic, version, section count, section names)
+  against the v3 loader.  The CRC-32 section checksums mean every
+  payload flip must surface as a clean
+  :class:`~repro.exceptions.SerializationError`, never as garbage
+  labels or an uncaught ``struct.error``.
+"""
 
 from __future__ import annotations
 
 import json
 import random
+import struct
 
 import pytest
 
 from repro.core.ct_index import CTIndex
-from repro.core.serialization import load_ct_index, save_ct_index
+from repro.core.serialization import (
+    load_ct_index,
+    load_ct_index_binary,
+    save_ct_index,
+    save_ct_index_binary,
+)
 from repro.exceptions import SerializationError
 from repro.graphs.generators.random_graphs import gnp_graph
+from repro.storage.binary import _HEADER, _SECTION, _SECTION_NAMES, MAGIC
 
 
 @pytest.fixture(scope="module")
-def saved_document(tmp_path_factory):
-    g = gnp_graph(20, 0.2, seed=1)
-    index = CTIndex.build(g, 3)
+def built_index():
+    return CTIndex.build(gnp_graph(20, 0.2, seed=1), 3)
+
+
+@pytest.fixture(scope="module")
+def saved_document(tmp_path_factory, built_index):
     path = tmp_path_factory.mktemp("fuzz") / "index.json"
-    save_ct_index(index, path)
+    save_ct_index(built_index, path)
     return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def snapshot_bytes(tmp_path_factory, built_index):
+    path = tmp_path_factory.mktemp("fuzz-bin") / "index.ctsnap"
+    save_ct_index_binary(built_index, path)
+    return path.read_bytes()
 
 
 def write_and_load(tmp_path, document):
@@ -90,3 +120,121 @@ class TestRandomDeletionFuzz:
                 continue  # clean failure is the expected outcome
             # If it still loads, it must still answer queries sanely.
             index.distance(0, index.graph.n - 1)
+
+
+# ----------------------------------------------------------------------
+# Binary snapshot fuzzing
+# ----------------------------------------------------------------------
+
+
+def _load_bytes(tmp_path, data: bytes):
+    path = tmp_path / "candidate.ctsnap"
+    path.write_bytes(data)
+    return load_ct_index_binary(path)
+
+
+class TestBinaryTruncation:
+    def test_truncation_at_every_boundary(self, tmp_path, snapshot_bytes):
+        table_end = _HEADER.size + _SECTION.size * len(_SECTION_NAMES)
+        payload_len = len(snapshot_bytes) - table_end
+        cuts = {0, 1, 4, _HEADER.size - 1, _HEADER.size}
+        cuts.update(_HEADER.size + _SECTION.size * i for i in range(len(_SECTION_NAMES)))
+        cuts.update(table_end + (payload_len * i) // 16 for i in range(16))
+        cuts.add(len(snapshot_bytes) - 1)
+        for cut in sorted(cuts):
+            with pytest.raises(SerializationError):
+                _load_bytes(tmp_path, snapshot_bytes[:cut])
+
+    def test_truncated_snapshot_fails_cleanly_via_autodetect(
+        self, tmp_path, snapshot_bytes
+    ):
+        # load_ct_index routes magic-prefixed files to the binary loader;
+        # a truncated snapshot must not fall through to the JSON parser.
+        path = tmp_path / "trunc.ctsnap"
+        path.write_bytes(snapshot_bytes[: len(snapshot_bytes) // 2])
+        with pytest.raises(SerializationError):
+            load_ct_index(path)
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(SerializationError, match="too short"):
+            _load_bytes(tmp_path, b"")
+
+
+class TestBinaryBitFlips:
+    def test_single_bit_flips_fail_cleanly(self, tmp_path, snapshot_bytes, built_index):
+        """Flip one bit at 120 deterministic positions across the file.
+
+        Every flip must either raise SerializationError (the expected
+        outcome: CRC mismatch, bad magic, bounds violation, ...) or — in
+        the astronomically unlikely event a flip survives the checksums —
+        still load into an index that answers like the original.
+        """
+        rng = random.Random(20260806)
+        positions = sorted(
+            rng.randrange(len(snapshot_bytes)) for _ in range(120)
+        )
+        survivors = 0
+        for pos in positions:
+            corrupted = bytearray(snapshot_bytes)
+            corrupted[pos] ^= 1 << rng.randrange(8)
+            try:
+                index = _load_bytes(tmp_path, bytes(corrupted))
+            except SerializationError:
+                continue
+            survivors += 1
+            n = index.graph.n
+            assert index.distance(0, n - 1) == built_index.distance(0, n - 1)
+        # CRC-32 over every section means essentially no flip loads.
+        assert survivors == 0
+
+    def test_payload_flip_reports_checksum(self, tmp_path, snapshot_bytes):
+        table_end = _HEADER.size + _SECTION.size * len(_SECTION_NAMES)
+        corrupted = bytearray(snapshot_bytes)
+        corrupted[table_end + 5] ^= 0x40
+        with pytest.raises(SerializationError, match="checksum mismatch"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+
+class TestBinaryHeaderCorruption:
+    def test_bad_magic(self, tmp_path, snapshot_bytes):
+        corrupted = b"NOTANIDX" + snapshot_bytes[len(MAGIC) :]
+        with pytest.raises(SerializationError, match="bad magic"):
+            _load_bytes(tmp_path, corrupted)
+
+    def test_bad_magic_via_autodetect_is_not_json(self, tmp_path, snapshot_bytes):
+        # Without the magic the generic loader tries JSON; raw binary
+        # must still fail with SerializationError, not UnicodeDecodeError.
+        path = tmp_path / "notmagic.ctsnap"
+        path.write_bytes(b"NOTANIDX" + snapshot_bytes[len(MAGIC) :])
+        with pytest.raises(SerializationError):
+            load_ct_index(path)
+
+    @pytest.mark.parametrize("version", [0, 1, 2, 4, 99, 2**32 - 1])
+    def test_unsupported_header_version(self, tmp_path, snapshot_bytes, version):
+        corrupted = bytearray(snapshot_bytes)
+        corrupted[len(MAGIC) : len(MAGIC) + 4] = struct.pack("<I", version)
+        with pytest.raises(SerializationError, match=f"version {version}"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+    def test_huge_section_count(self, tmp_path, snapshot_bytes):
+        corrupted = bytearray(snapshot_bytes)
+        corrupted[_HEADER.size - 4 : _HEADER.size] = struct.pack("<I", 50_000)
+        with pytest.raises(SerializationError, match="section table"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+    def test_renamed_section_reported_missing(self, tmp_path, snapshot_bytes):
+        # Smash the first section's name (not covered by its payload CRC):
+        # the loader must report the section as missing, not decode junk.
+        corrupted = bytearray(snapshot_bytes)
+        corrupted[_HEADER.size : _HEADER.size + 4] = b"XXXX"
+        with pytest.raises(SerializationError, match="missing snapshot sections"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+    def test_random_garbage_behind_magic(self, tmp_path):
+        rng = random.Random(11)
+        for trial in range(10):
+            garbage = MAGIC + bytes(
+                rng.randrange(256) for _ in range(rng.randrange(4, 4096))
+            )
+            with pytest.raises(SerializationError):
+                _load_bytes(tmp_path, garbage)

@@ -7,6 +7,12 @@ mismatch fails with the case's minimal reproducer — one line of Python
 that regenerates the graph — plus the first offending pair, so a sweep
 failure is debuggable without re-running the sweep.
 
+Every family is also cross-checked under the CSR ``backend="flat"``
+storage: the flat build must answer every pair exactly like the dict
+build *and* hash to the same :func:`index_fingerprint` — the
+storage-equivalence guarantee behind ``compact()`` and the binary
+snapshot format.
+
 The fast cases run on every tier-1 invocation; the bigger randomized
 sweep is marked ``slow`` (run it with ``pytest tests/differential``,
 skip it with ``-m "not slow"``).
@@ -44,6 +50,7 @@ def _cross_check(case: DifferentialCase) -> None:
     truth = all_pairs_distances(graph)
 
     _check_oracle(case, "PLL", build_pll(graph), truth)
+    _check_oracle(case, "PLL (flat)", build_pll(graph, backend="flat"), truth)
     if graph.unweighted:
         _check_oracle(case, "PSL", build_psl(graph), truth)
 
@@ -62,6 +69,21 @@ def _cross_check(case: DifferentialCase) -> None:
             f"on {case.name}.\nReproducer: {case.reproducer()}"
         )
     _check_oracle(case, f"CT-{bandwidth} (workers=2)", parallel, truth)
+
+    # Flat-storage build at the largest bandwidth: same answers, same
+    # fingerprint — the CSR backend must be invisible to both the query
+    # layer and the serialized document.
+    flat = CTIndex.build(graph, bandwidth, backend="flat")
+    assert flat.storage_backend == "flat"
+    if index_fingerprint(flat) != index_fingerprint(serial):
+        pytest.fail(
+            f"CT-{bandwidth} backend='flat' build fingerprint differs from "
+            f"the dict build on {case.name} — the fingerprint must be "
+            f"storage-agnostic.\nReproducer: {case.reproducer()}"
+        )
+    _check_oracle(case, f"CT-{bandwidth} (flat)", flat, truth)
+    # And converting back must not change a single answer.
+    _check_oracle(case, f"CT-{bandwidth} (flat->dict)", flat.to_dict_backend(), truth)
 
 
 @pytest.mark.parametrize("case", FAST_CASES, ids=lambda c: c.name)

@@ -1,0 +1,247 @@
+"""Property-based tests for the CSR storage layer (``repro.storage``).
+
+Three invariants, each pitted against randomly generated inputs:
+
+* **Lossless round-trip** — packing any hub labeling (or tree-label
+  list) into the flat backend and unpacking it again reproduces the
+  exact entries; fingerprints never move under conversion.
+* **Sorted runs** — every packed node's hub run is strictly ascending
+  in rank (the precondition of the merge kernel), and violating inputs
+  are rejected with :class:`~repro.exceptions.StorageError`.
+* **Merge = dict intersection** — the two-pointer
+  :func:`~repro.storage.flat_labels.merge_intersection` agrees with the
+  naive dict-based intersection on arbitrary rank-sorted runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.graphs.graph import INF
+from repro.labeling.hub_labels import HubLabeling
+from repro.labeling.pll import build_pll
+from repro.storage.flat_labels import FlatLabelStore, merge_intersection
+from repro.storage.flat_tree import FlatTreeLabelStore
+from tests.properties.strategies import graphs
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def hub_labelings(draw, max_nodes: int = 12, weighted: bool = False):
+    """A random valid HubLabeling: random order, sorted random runs."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    order = draw(st.permutations(list(range(n))))
+    labels = HubLabeling(list(order))
+    dist = (
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False, width=32)
+        if weighted
+        else st.integers(min_value=0, max_value=50)
+    )
+    for v in range(n):
+        hubs = sorted(
+            draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+        )
+        for hub_rank in hubs:
+            labels.append_entry(v, hub_rank, draw(dist))
+    return labels
+
+
+@st.composite
+def sorted_runs(draw, max_len: int = 12, universe: int = 30):
+    """One rank-sorted label run: (ranks ascending, parallel dists)."""
+    ranks = sorted(
+        draw(st.sets(st.integers(0, universe - 1), max_size=max_len))
+    )
+    dists = [draw(st.integers(0, 40)) for _ in ranks]
+    return ranks, dists
+
+
+@st.composite
+def tree_label_lists(draw, max_positions: int = 8):
+    """A random ``list[dict]`` of tree labels, INF values included."""
+    positions = draw(st.integers(min_value=0, max_value=max_positions))
+    value = st.one_of(st.integers(0, 30), st.just(INF))
+    out = []
+    for _ in range(positions):
+        targets = draw(st.sets(st.integers(0, 40), max_size=6))
+        out.append({t: draw(value) for t in targets})
+    return out
+
+
+# ----------------------------------------------------------------------
+# Lossless round-trip
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(labels=hub_labelings())
+def test_hub_pack_unpack_round_trip(labels):
+    flat = FlatLabelStore.from_store(labels)
+    back = flat.to_hub_labeling()
+    assert back.n == labels.n
+    for v in range(labels.n):
+        assert list(back.iter_rank_entries(v)) == list(labels.iter_rank_entries(v))
+        assert back.node_of_rank(labels.rank_of(v)) == v
+
+
+@SETTINGS
+@given(labels=hub_labelings(weighted=True))
+def test_hub_pack_unpack_round_trip_float(labels):
+    flat = FlatLabelStore.from_store(labels)
+    back = flat.to_hub_labeling()
+    for v in range(labels.n):
+        assert list(back.iter_rank_entries(v)) == list(labels.iter_rank_entries(v))
+
+
+@SETTINGS
+@given(labels=hub_labelings())
+def test_flat_read_protocol_matches_dict(labels):
+    """Every read-protocol method answers exactly like the dict store."""
+    flat = FlatLabelStore.from_store(labels)
+    assert flat.n == labels.n
+    assert flat.total_entries() == labels.total_entries()
+    assert flat.max_label_size() == labels.max_label_size()
+    for v in range(labels.n):
+        assert flat.rank_of(v) == labels.rank_of(v)
+        assert flat.label_size(v) == labels.label_size(v)
+        assert flat.label_entries(v) == labels.label_entries(v)
+        assert flat.label_rank_map(v) == labels.label_rank_map(v)
+    for s in range(labels.n):
+        for t in range(labels.n):
+            assert flat.query(s, t) == labels.query(s, t), (s, t)
+
+
+@SETTINGS
+@given(tree_labels=tree_label_lists())
+def test_tree_pack_unpack_round_trip(tree_labels):
+    flat = FlatTreeLabelStore.from_labels(tree_labels)
+    assert len(flat) == len(tree_labels)
+    assert flat.to_dicts() == tree_labels
+    for pos, label in enumerate(tree_labels):
+        assert flat.run_size(pos) == len(label)
+        assert dict(flat[pos]) == label
+        for target, expected in label.items():
+            got = flat.local_get(pos, target, None)
+            assert got == expected or (
+                math.isinf(got) and math.isinf(expected)
+            ), (pos, target)
+        assert flat.local_get(pos, 10_000, "missing") == "missing"
+
+
+@SETTINGS
+@given(graph=graphs(max_nodes=16))
+def test_pll_fingerprint_stable_under_conversion(graph):
+    """A built index's labels survive flat→dict→flat unchanged."""
+    index = build_pll(graph)
+    before = [list(index.labels.iter_rank_entries(v)) for v in graph.nodes()]
+    index.compact()
+    index.to_dict_backend()
+    after = [list(index.labels.iter_rank_entries(v)) for v in graph.nodes()]
+    assert before == after
+
+
+# ----------------------------------------------------------------------
+# Sorted runs
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(labels=hub_labelings())
+def test_packed_runs_are_strictly_ascending(labels):
+    flat = FlatLabelStore.from_store(labels)
+    _, offsets, hub_ranks, _ = flat.csr_arrays()
+    assert offsets[0] == 0 and offsets[-1] == len(hub_ranks)
+    for v in range(flat.n):
+        run = list(hub_ranks[offsets[v] : offsets[v + 1]])
+        assert run == sorted(set(run)), v
+        assert all(hub < flat.n for hub in run)
+
+
+def test_unsorted_run_rejected():
+    with pytest.raises(StorageError, match="ascending"):
+        FlatLabelStore.from_arrays([0, 1], [0, 2, 2], [1, 0], [0, 0])
+
+
+def test_non_permutation_order_rejected():
+    with pytest.raises(StorageError, match="permutation"):
+        FlatLabelStore.from_arrays([0, 0], [0, 0, 0], [], [])
+
+
+def test_ragged_offsets_rejected():
+    with pytest.raises(StorageError):
+        FlatLabelStore.from_arrays([0, 1], [0, 5], [0], [1])
+
+
+def test_tree_unsorted_targets_rejected():
+    from array import array
+
+    with pytest.raises(StorageError, match="ascending"):
+        FlatTreeLabelStore(
+            array("q", [0, 2]), array("q", [5, 3]), array("q", [1, 1])
+        )
+
+
+@SETTINGS
+@given(labels=hub_labelings())
+def test_flat_store_is_immutable(labels):
+    flat = FlatLabelStore.from_store(labels)
+    with pytest.raises(StorageError, match="immutable"):
+        flat.append_entry(0, 0, 1)
+    with pytest.raises(StorageError, match="immutable"):
+        flat.drop_label(0)
+
+
+# ----------------------------------------------------------------------
+# Merge intersection = dict intersection
+# ----------------------------------------------------------------------
+
+
+def _dict_intersection(ranks_a, dists_a, ranks_b, dists_b):
+    map_a = dict(zip(ranks_a, dists_a))
+    best = INF
+    for rank, db in zip(ranks_b, dists_b):
+        da = map_a.get(rank)
+        if da is not None and da + db < best:
+            best = da + db
+    return best
+
+
+@SETTINGS
+@given(run_a=sorted_runs(), run_b=sorted_runs())
+def test_merge_intersection_matches_dict(run_a, run_b):
+    ranks_a, dists_a = run_a
+    ranks_b, dists_b = run_b
+    merged = merge_intersection(ranks_a, dists_a, ranks_b, dists_b)
+    assert merged == _dict_intersection(ranks_a, dists_a, ranks_b, dists_b)
+
+
+@SETTINGS
+@given(run_a=sorted_runs(), run_b=sorted_runs())
+def test_merge_intersection_symmetric(run_a, run_b):
+    ranks_a, dists_a = run_a
+    ranks_b, dists_b = run_b
+    assert merge_intersection(
+        ranks_a, dists_a, ranks_b, dists_b
+    ) == merge_intersection(ranks_b, dists_b, ranks_a, dists_a)
+
+
+@SETTINGS
+@given(graph=graphs(max_nodes=14))
+def test_flat_query_equals_dict_query(graph):
+    """End to end: the packed store's merge answers like HubLabeling."""
+    index = build_pll(graph)
+    flat = FlatLabelStore.from_store(index.labels)
+    for s in graph.nodes():
+        for t in graph.nodes():
+            assert flat.query(s, t) == index.labels.query(s, t), (s, t)

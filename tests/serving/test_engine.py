@@ -54,6 +54,20 @@ class TestAnswers:
         assert snap["index"]["method"] == "PLL"
         assert "case_counts" not in snap["index"]
 
+    def test_serves_flat_backend_index(self, cp_setup):
+        # The engine reads through the index's query protocol, so CSR
+        # flat storage must be invisible to every request shape.
+        graph, _, truth = cp_setup
+        flat = CTIndex.build(
+            graph, 5, use_equivalence_reduction=False, backend="flat"
+        )
+        engine = QueryEngine(flat, cache_capacity=256)
+        rng = random.Random(9)
+        pairs = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(80)]
+        assert engine.query_batch(pairs) == [truth[s][t] for s, t in pairs]
+        assert engine.query_from(1, range(graph.n)) == truth[1]
+        assert engine.stats_snapshot()["index"]["method"].startswith("CT")
+
     def test_pre_wrapped_cache_is_detected(self, cp_setup):
         _, index, truth = cp_setup
         engine = QueryEngine(CachedDistanceIndex(index, 128))

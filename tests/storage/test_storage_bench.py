@@ -1,0 +1,85 @@
+"""Smoke tests for the ``storage-bench`` driver on a tiny graph."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.storage_bench import (
+    StorageBenchResult,
+    record_storage_entry,
+    storage_bench_result,
+)
+from repro.graphs.generators.random_graphs import gnp_graph
+
+
+@pytest.fixture(scope="module")
+def result() -> StorageBenchResult:
+    graph = gnp_graph(40, 0.12, seed=17)
+    return storage_bench_result(graph, 4, name="smoke", queries=200)
+
+
+class TestResult:
+    def test_verified_before_recording(self, result):
+        assert result.verified is True
+
+    def test_shape(self, result):
+        assert result.name == "smoke"
+        assert result.n == 40
+        assert result.bandwidth == 4
+        assert result.entries > 0
+        assert set(result.resident) == {"dict", "flat"}
+        assert result.resident["flat"]["total"] > 0
+
+    def test_flat_is_smaller(self, result):
+        assert result.resident_reduction > 1.0
+
+    def test_entry_is_json_ready(self, result):
+        entry = result.entry()
+        json.dumps(entry)  # must not contain non-serializable values
+        assert entry["dataset"] == "smoke"
+        assert entry["answers_verified"] is True
+        assert entry["resident_reduction"] == round(result.resident_reduction, 3)
+
+    def test_row_columns(self, result):
+        row = result.row()
+        for column in (
+            "dataset",
+            "n",
+            "entries",
+            "dict_kb",
+            "flat_kb",
+            "resident_x",
+            "json_ms",
+            "bin_ms",
+            "load_x",
+            "verified",
+        ):
+            assert column in row
+
+
+class TestHistoryFile:
+    def test_appends_entries(self, result, tmp_path):
+        path = tmp_path / "BENCH_storage.json"
+        record_storage_entry(result, path)
+        record_storage_entry(result, path)
+        document = json.loads(path.read_text())
+        assert document["schema"] == 1
+        assert len(document["entries"]) == 2
+        assert document["entries"][0]["dataset"] == "smoke"
+        assert "recorded_at" in document["entries"][0]
+
+    def test_corrupt_history_starts_fresh(self, result, tmp_path):
+        path = tmp_path / "BENCH_storage.json"
+        path.write_text("{ not json")
+        record_storage_entry(result, path)
+        document = json.loads(path.read_text())
+        assert len(document["entries"]) == 1
+
+
+class TestExperimentRegistration:
+    def test_storage_driver_registered(self):
+        from repro.bench.experiments import ExperimentCatalog
+
+        assert "storage" in ExperimentCatalog().drivers
