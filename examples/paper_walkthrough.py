@@ -66,7 +66,7 @@ def main() -> None:
     # Figure 5 / Examples 6-7: the CT-Index (elimination hub order makes
     # the core labels match the paper's figure bit for bit).
     index = CTIndex.build(graph, 2, use_equivalence_reduction=False,
-                          core_order="elimination")
+                          order="elimination")
     print("tree-index (Figure 5, left):")
     for node_1b in range(1, 9):
         pos = index.decomposition.position[node_1b - 1]

@@ -15,18 +15,37 @@ Qin, Zhang, Chang, and Lin.  The package ships:
 * :mod:`repro.bench` — the experiment harness that regenerates every
   table and figure of the evaluation section.
 
-Quickstart::
+Quickstart (the stable facade — see :mod:`repro.api`)::
 
-    from repro import CTIndex
+    import repro
     from repro.graphs.generators import core_periphery_graph, CorePeripheryConfig
 
     graph = core_periphery_graph(CorePeripheryConfig(), seed=7)
-    index = CTIndex.build(graph, bandwidth=20)
-    index.distance(0, graph.n - 1)
+    index = repro.build(graph, bandwidth=20, backend="flat")
+    repro.save(index, "index.bin", format="binary")
+    repro.query(index, 0, graph.n - 1)
+
+Observability (off by default, no-op when disabled)::
+
+    import repro.obs as obs
+
+    with obs.observe() as tracer:
+        index = repro.build(graph, bandwidth=20)
+    obs.write_trace(tracer, "build.trace.jsonl")
 """
 
+from repro.api import (
+    SAVE_FORMATS,
+    build,
+    load,
+    query,
+    query_batch,
+    query_from,
+    save,
+)
 from repro.core import CTIndex, build_ct_index
 from repro.exceptions import (
+    ConfigurationError,
     DecompositionError,
     GraphError,
     IndexConstructionError,
@@ -39,10 +58,11 @@ from repro.graphs import Graph, GraphBuilder
 from repro.paths import distance_many, is_shortest_path, shortest_path
 from repro.serving import QueryEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CTIndex",
+    "ConfigurationError",
     "DecompositionError",
     "Graph",
     "GraphBuilder",
@@ -52,10 +72,17 @@ __all__ = [
     "QueryEngine",
     "QueryError",
     "ReproError",
+    "SAVE_FORMATS",
     "SerializationError",
     "__version__",
+    "build",
     "build_ct_index",
     "distance_many",
     "is_shortest_path",
+    "load",
+    "query",
+    "query_batch",
+    "query_from",
+    "save",
     "shortest_path",
 ]

@@ -1,0 +1,138 @@
+"""The stable public facade: five verbs over the whole library.
+
+Everything an application needs is here — construction, persistence,
+and querying — with one spelling per concept:
+
+    import repro
+
+    index = repro.build(graph, bandwidth=16, workers=4, backend="flat")
+    repro.save(index, "index.bin", format="binary")
+    index = repro.load("index.bin")
+    repro.query(index, 0, 9)
+    repro.query_batch(index, [(0, 9), (3, 7)])
+
+Stability tiers (see ``docs/api.md``):
+
+* **stable** — this module, re-exported from :mod:`repro`; signatures
+  only grow keyword arguments, never change meaning.
+* **supported** — the subsystem modules (``repro.core``,
+  ``repro.labeling``, ``repro.serving``, ``repro.obs``, ...): public
+  and tested, but their signatures may evolve with a one-release
+  :class:`DeprecationWarning` shim.
+* **internal** — everything prefixed with ``_`` and the ``repro.bench``
+  harness internals.
+
+Every function validates its arguments with
+:mod:`repro.exceptions` types (:class:`~repro.exceptions.
+ConfigurationError` subclasses both :class:`~repro.exceptions.
+ReproError` and :class:`ValueError`, so either discipline of caller
+catches it).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from typing import Union
+
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ConfigurationError
+from repro.graphs.graph import Graph, Weight
+
+PathLike = Union[str, os.PathLike]
+
+#: ``format=`` spellings accepted by :func:`save`.
+SAVE_FORMATS = ("json", "binary")
+
+
+def build(
+    graph: Graph,
+    bandwidth: int,
+    *,
+    workers: int | None = None,
+    backend: str = "dict",
+    order: str | None = None,
+    core_backend: str = "pll",
+    use_equivalence_reduction: bool = True,
+    extension_cache_size: int = 256,
+) -> CTIndex:
+    """Build a CT-Index on ``graph`` with bandwidth ``bandwidth``.
+
+    Thin, stable veneer over :meth:`repro.core.ct_index.CTIndex.build`
+    (which also accepts a memory ``budget=``).  ``workers`` and
+    ``backend`` never change answers — a ``workers=N`` flat-backend
+    index is byte-identical to a serial dict-backend one once
+    serialized.
+    """
+    return CTIndex.build(
+        graph,
+        bandwidth,
+        workers=workers,
+        backend=backend,
+        order=order,
+        core_backend=core_backend,
+        use_equivalence_reduction=use_equivalence_reduction,
+        extension_cache_size=extension_cache_size,
+    )
+
+
+def save(index: CTIndex, path: PathLike, *, format: str = "json") -> None:
+    """Write ``index`` to ``path``.
+
+    ``format`` is ``"json"`` (the inspectable interchange document) or
+    ``"binary"`` (the checksummed v3 snapshot — smaller, much faster to
+    reload).  :func:`load` auto-detects either, so the choice is purely
+    a size/speed trade.
+    """
+    if format not in SAVE_FORMATS:
+        raise ConfigurationError(
+            f"unknown index format {format!r}; expected one of {SAVE_FORMATS}"
+        )
+    if format == "binary":
+        from repro.storage.binary import save_ct_index_binary
+
+        save_ct_index_binary(index, path)
+    else:
+        from repro.core.serialization import save_ct_index
+
+        save_ct_index(index, path)
+
+
+def load(path: PathLike, *, backend: str | None = None) -> CTIndex:
+    """Reload an index written by :func:`save` (either format).
+
+    The format is detected from the file's leading bytes.  ``backend``
+    forces the label storage of the loaded index (``"dict"`` or
+    ``"flat"``); ``None`` keeps each format's natural layout.
+    """
+    from repro.core.serialization import load_ct_index
+
+    return load_ct_index(path, backend=backend)
+
+
+def query(index: CTIndex, s: int, t: int) -> Weight:
+    """Exact shortest-path distance between ``s`` and ``t``."""
+    return index.distance(s, t)
+
+
+def query_batch(
+    index: CTIndex, pairs: Iterable[tuple[int, int]]
+) -> list[Weight]:
+    """Distances for every ``(s, t)`` pair, in input order."""
+    return index.distances_batch(pairs)
+
+
+def query_from(index: CTIndex, s: int, targets: Iterable[int]) -> list[Weight]:
+    """Distances from one source ``s`` to every target, in input order."""
+    return index.distances_from(s, targets)
+
+
+__all__ = [
+    "SAVE_FORMATS",
+    "build",
+    "load",
+    "query",
+    "query_batch",
+    "query_from",
+    "save",
+]

@@ -16,7 +16,7 @@ import dataclasses
 import time
 import zlib
 
-from repro.exceptions import OverMemoryError
+from repro.exceptions import ConfigurationError, OverMemoryError
 from repro.bench.datasets import (
     EXP4_DATASETS,
     EXP6_DATASETS,
@@ -589,7 +589,7 @@ def ablation_ct_core_order(dataset: str = "talk", bandwidth: int = 20) -> tuple[
     workload = random_pairs(graph, 1000, seed=_workload_seed(dataset))
     rows: list[Row] = []
     for core_order in ("degree", "elimination"):
-        index = CTIndex.build(graph, bandwidth, core_order=core_order)
+        index = CTIndex.build(graph, bandwidth, order=core_order)
         query_seconds = measure_query_seconds(index, workload)
         rows.append(
             {
@@ -710,5 +710,5 @@ def run_experiment(name: str) -> tuple[list[Row], str]:
     drivers = ExperimentCatalog.drivers
     if name not in drivers:
         known = ", ".join(sorted(drivers))
-        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+        raise ConfigurationError(f"unknown experiment {name!r}; known: {known}")
     return drivers[name]()

@@ -12,6 +12,7 @@ import dataclasses
 import random
 from collections.abc import Sequence
 
+from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 
 
@@ -68,9 +69,9 @@ def skewed_pairs(
     off.
     """
     if not 0.0 <= hot_fraction <= 1.0:
-        raise ValueError(f"hot_fraction {hot_fraction} outside [0, 1]")
+        raise ConfigurationError(f"hot_fraction {hot_fraction} outside [0, 1]")
     if hot_pairs < 1:
-        raise ValueError(f"hot_pairs must be positive, got {hot_pairs}")
+        raise ConfigurationError(f"hot_pairs must be positive, got {hot_pairs}")
     rng = random.Random(seed)
     n = graph.n
     if n == 0:
@@ -117,7 +118,7 @@ def node_fractions(graph: Graph, fractions: Sequence[float], seed: int) -> list[
     result = []
     for fraction in fractions:
         if not 0.0 < fraction <= 1.0:
-            raise ValueError(f"fraction {fraction} outside (0, 1]")
+            raise ConfigurationError(f"fraction {fraction} outside (0, 1]")
         take = max(1, round(fraction * graph.n))
         result.append(sorted(permutation[:take]))
     return result

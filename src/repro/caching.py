@@ -118,3 +118,4 @@ class CachedDistanceIndex(DistanceIndex):
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+__all__ = ["CachedDistanceIndex"]

@@ -1,0 +1,74 @@
+"""Print (or check) the stable public API surface.
+
+The surface is the sorted contents of ``repro.__all__``; the checked-in
+copy lives at ``docs/api_surface.txt`` with a ``#``-comment header.
+CI runs the check mode so the facade cannot widen or narrow silently::
+
+    python -m repro.cli.api_surface                      # print
+    python -m repro.cli.api_surface --check docs/api_surface.txt
+
+Exit status in check mode: 0 on match, 1 with a readable diff on
+mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def current_surface() -> list[str]:
+    """The live surface: ``repro.__all__``, sorted."""
+    import repro
+
+    return sorted(repro.__all__)
+
+
+def read_manifest(path: str) -> list[str]:
+    """Read a manifest file, skipping blank and ``#``-comment lines."""
+    names: list[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                names.append(line)
+    return names
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli.api_surface", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--check",
+        metavar="MANIFEST",
+        default=None,
+        help="compare against a checked-in manifest instead of printing",
+    )
+    args = parser.parse_args(argv)
+    surface = current_surface()
+    if args.check is None:
+        for name in surface:
+            print(name)
+        return 0
+    manifest = read_manifest(args.check)
+    if surface == manifest:
+        print(f"api-surface: {len(surface)} names, matches {args.check}")
+        return 0
+    added = sorted(set(surface) - set(manifest))
+    removed = sorted(set(manifest) - set(surface))
+    print(f"api-surface: repro.__all__ diverges from {args.check}", file=sys.stderr)
+    for name in added:
+        print(f"  + {name} (exported but not in manifest)", file=sys.stderr)
+    for name in removed:
+        print(f"  - {name} (in manifest but not exported)", file=sys.stderr)
+    print(
+        "  regenerate with: PYTHONPATH=src python -m repro.cli.api_surface",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

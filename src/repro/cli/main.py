@@ -11,7 +11,16 @@ Subcommands::
     repro serve-bench GRAPH -d 20         cached vs uncached serving on a skewed stream
     repro build-bench GRAPH -d 20         serial vs parallel construction speedup
     repro storage-bench GRAPH -d 20       dict vs flat labels, JSON vs binary snapshots
+    repro obs-bench GRAPH -d 20           observability overhead, recorded in BENCH_obs.json
+    repro trace TRACE.jsonl               render a recorded span trace (tree + summary)
     repro datasets                        list the dataset registry
+
+Observability: ``build`` and ``serve-bench`` accept ``--trace FILE``
+(record per-phase / per-query spans to JSON lines — view with ``repro
+trace FILE``), ``--metrics FILE`` (Prometheus-style text dump of the
+metrics registry; ``-`` for stdout), and ``build`` also ``--profile
+FILE`` (cProfile text report).  All three are off by default and cost
+nothing when off.
 
 ``build`` writes either on-disk format (``--format json|binary``) and
 either in-memory backend (``--backend dict|flat``); ``query``, ``path``
@@ -29,7 +38,7 @@ import sys
 import time
 from collections.abc import Sequence
 
-from repro.exceptions import QueryError, ReproError
+from repro.exceptions import ConfigurationError, QueryError, ReproError
 from repro.graphs.graph import INF
 
 
@@ -92,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the parallel build (0 = one per CPU; "
         "any count builds the identical index)",
     )
+    _add_obs_arguments(p_build, profile=True)
     p_build.set_defaults(handler=_cmd_build)
 
     p_query = sub.add_parser("query", help="answer distance queries from a saved index")
@@ -141,6 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache", type=int, default=4096, help="pair-level LRU capacity"
     )
     p_serve.add_argument("--seed", type=int, default=12345)
+    _add_obs_arguments(p_serve)
     p_serve.set_defaults(handler=_cmd_serve_bench)
 
     p_bbench = sub.add_parser(
@@ -178,6 +189,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sbench.set_defaults(handler=_cmd_storage_bench)
 
+    p_obench = sub.add_parser(
+        "obs-bench",
+        help="measure observability overhead (disabled vs enabled), "
+        "recording BENCH_obs.json",
+    )
+    p_obench.add_argument("graph", help="edge-list file, or a registry dataset name")
+    p_obench.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_obench.add_argument("--queries", type=int, default=2000)
+    p_obench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_obs.json",
+        help="overhead history file to append to ('-' skips recording)",
+    )
+    p_obench.set_defaults(handler=_cmd_obs_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="render a JSON-lines span trace recorded with --trace"
+    )
+    p_trace.add_argument("trace", help="trace file written by a --trace run")
+    p_trace.add_argument(
+        "--max-spans",
+        type=int,
+        default=200,
+        help="cap on tree lines printed (the summary always covers everything)",
+    )
+    p_trace.set_defaults(handler=_cmd_trace)
+
     p_list = sub.add_parser("datasets", help="list the synthetic dataset registry")
     p_list.set_defaults(handler=_cmd_datasets)
 
@@ -201,6 +240,83 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser, *, profile: bool = False) -> None:
+    """Attach the shared observability flags to a subcommand parser."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record spans to FILE as JSON lines (view with `repro trace FILE`)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a Prometheus-style text dump of the metrics registry "
+        "to FILE ('-' for stdout)",
+    )
+    if profile:
+        parser.add_argument(
+            "--profile",
+            metavar="FILE",
+            default=None,
+            help="run under cProfile and write the cumulative-time report to FILE",
+        )
+
+
+class _ObsSession:
+    """Observability lifecycle for one CLI command.
+
+    Enables instrumentation only when a flag asks for it, and writes
+    the requested artifacts on :meth:`finish` — so the default CLI path
+    stays on the no-op instrumentation.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_path = getattr(args, "trace", None)
+        self.metrics_path = getattr(args, "metrics", None)
+        self.profile_path = getattr(args, "profile", None)
+        self.active = bool(self.trace_path or self.metrics_path)
+        self._profiler = None
+        if self.active:
+            import repro.obs as obs
+
+            obs.enable()
+        if self.profile_path:
+            import cProfile
+
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
+
+    def finish(self) -> None:
+        if self._profiler is not None:
+            from repro.obs.profiling import ProfileReport
+
+            self._profiler.disable()
+            report = ProfileReport(self._profiler)
+            with open(self.profile_path, "w", encoding="utf-8") as handle:
+                handle.write(report.text())
+            print(f"profile -> {self.profile_path}")
+        if not self.active:
+            return
+        import repro.obs as obs
+
+        tracer = obs.disable()
+        if self.trace_path and tracer is not None:
+            from repro.obs.export import write_trace
+
+            write_trace(tracer, self.trace_path)
+            print(f"trace: {len(tracer.finished)} spans -> {self.trace_path}")
+        if self.metrics_path:
+            text = obs.registry().render_prometheus()
+            if self.metrics_path == "-":
+                print(text, end="")
+            else:
+                with open(self.metrics_path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                print(f"metrics -> {self.metrics_path}")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.graphs.io import read_edge_list
     from repro.graphs.statistics import summarize
@@ -222,14 +338,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
     budget = (
         MemoryBudget.from_megabytes(args.memory_mb) if args.memory_mb is not None else None
     )
-    index = CTIndex.build(
-        graph,
-        args.bandwidth,
-        use_equivalence_reduction=not args.no_reduction,
-        budget=budget,
-        workers=args.workers,
-        backend=args.backend,
-    )
+    session = _ObsSession(args)
+    try:
+        index = CTIndex.build(
+            graph,
+            args.bandwidth,
+            use_equivalence_reduction=not args.no_reduction,
+            budget=budget,
+            workers=args.workers,
+            backend=args.backend,
+        )
+    finally:
+        session.finish()
     if args.format == "binary":
         save_ct_index_binary(index, args.output)
     else:
@@ -311,8 +431,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     try:
         _, text = run_experiment(args.experiment)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     print(text)
     return 0
@@ -336,7 +456,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         hot_fraction=args.hot_fraction,
         hot_pairs=args.hot_pairs,
     )
-    rows = serve_bench_rows(index, workload.pairs, cache_capacity=args.cache)
+    session = _ObsSession(args)
+    try:
+        rows = serve_bench_rows(index, workload.pairs, cache_capacity=args.cache)
+    finally:
+        session.finish()
     print(
         format_table(
             rows,
@@ -454,6 +578,66 @@ def _cmd_storage_bench(args: argparse.Namespace) -> int:
     if args.output != "-":
         record_storage_entry(result, args.output)
         print(f"recorded entry -> {args.output}")
+    return 0
+
+
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.datasets import dataset_names, load_dataset
+    from repro.bench.obs_bench import obs_bench_result, record_obs_entry
+    from repro.bench.reporting import format_table
+    from repro.graphs.io import read_edge_list
+
+    if args.graph in dataset_names() and not os.path.exists(args.graph):
+        name = args.graph
+        graph = load_dataset(name)
+    else:
+        name = args.graph
+        graph, _ = read_edge_list(args.graph)
+    result = obs_bench_result(graph, args.bandwidth, name=name, queries=args.queries)
+    print(
+        format_table(
+            result.rows,
+            ["config", "queries", "total_ms", "mean_us"],
+            title=(
+                f"obs-bench: CT-{args.bandwidth} on {name} "
+                f"(n={graph.n} m={graph.m}), {args.queries} queries"
+            ),
+        )
+    )
+    print(
+        f"enabled-tracing overhead: {result.overhead:+.1%} "
+        f"(answers identical: {result.identical})"
+    )
+    print("traced build phases (by total time):")
+    for phase in result.phases[:10]:
+        print(
+            f"  {phase['name']:24s} x{phase['count']:<4d} "
+            f"{phase['total_ms']:9.2f} ms  (mean {phase['mean_us']:.0f} us)"
+        )
+    if args.output != "-":
+        record_obs_entry(result, args.output)
+        print(f"recorded entry -> {args.output}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import format_trace_tree, read_trace, summarize_trace
+
+    records = read_trace(args.trace)
+    if not records:
+        print(f"{args.trace}: empty trace")
+        return 0
+    print(format_trace_tree(records, max_spans=args.max_spans))
+    print()
+    rows = summarize_trace(records)
+    print(f"{'span':28s} {'count':>7s} {'total_ms':>10s} {'mean_us':>10s} {'max_us':>10s}")
+    for row in rows:
+        print(
+            f"{row['name']:28s} {row['count']:7d} {row['total_ms']:10.2f} "
+            f"{row['mean_us']:10.1f} {row['max_us']:10.1f}"
+        )
     return 0
 
 

@@ -23,11 +23,13 @@ from __future__ import annotations
 import logging
 import time
 
+import repro.obs as obs
 from repro.exceptions import IndexConstructionError
 from repro.graphs.graph import INF, Graph, Weight
 from repro.labeling.base import MemoryBudget
 from repro.labeling.ordering import degree_order
 from repro.labeling.pll import PrunedLandmarkLabeling, build_pll
+from repro.obs.tracing import span as obs_span
 from repro.treedec.core_tree import CoreTreeDecomposition, core_tree_decomposition
 
 logger = logging.getLogger(__name__)
@@ -188,18 +190,26 @@ def build_tree_index(
         budget = MemoryBudget.unlimited()
     boundary = decomposition.boundary
     worker_count = resolve_workers(workers)
-    if worker_count > 1 and boundary:
-        from repro.parallel.forest import parallel_tree_labels
+    with obs_span(
+        "ct.forest_labeling", boundary=boundary, workers=worker_count
+    ) as forest_span:
+        if worker_count > 1 and boundary:
+            from repro.parallel.forest import parallel_tree_labels
 
-        labels = parallel_tree_labels(decomposition, workers=worker_count)
-        for pos in range(boundary - 1, -1, -1):
-            budget.charge(len(labels[pos]))
-    else:
-        labels = [{} for _ in range(boundary)]
-        compute_tree_labels(
-            decomposition, range(boundary - 1, -1, -1), labels, budget=budget
-        )
-    return TreeIndex(decomposition, labels)
+            labels = parallel_tree_labels(decomposition, workers=worker_count)
+            for pos in range(boundary - 1, -1, -1):
+                budget.charge(len(labels[pos]))
+        else:
+            labels = [{} for _ in range(boundary)]
+            compute_tree_labels(
+                decomposition, range(boundary - 1, -1, -1), labels, budget=budget
+            )
+        index = TreeIndex(decomposition, labels)
+        if obs.tracing_enabled():
+            forest_span.set(entries=index.size_entries())
+    if obs.enabled():
+        obs.registry().counter("ct.forest_label_entries").inc(index.size_entries())
+    return index
 
 
 def _iter_missing(
@@ -218,16 +228,19 @@ def build_core_index(
     decomposition: CoreTreeDecomposition,
     *,
     budget: MemoryBudget | None = None,
-    core_order: str = "degree",
+    order: str | None = None,
     core_backend: str = "pll",
     workers: int | None = None,
+    core_order: str | None = None,
 ) -> tuple[PrunedLandmarkLabeling, list[int], dict[int, int]]:
     """2-hop labeling on the weighted reduced core graph ``G_{λ+1}`` (line 33).
 
-    ``core_order`` selects the hub order: ``"degree"`` (the practical
+    ``order`` selects the hub order: ``"degree"`` (the practical
     default, as in PSL) or ``"elimination"`` — the reverse of a continued
     MDE run over the core, the order behind the paper's Theorem 4.4
-    bound and the one its Figure 5 example uses.
+    bound and the one its Figure 5 example uses.  ``core_order=`` is the
+    deprecated pre-PR-4 spelling and maps onto ``order=`` with a
+    :class:`DeprecationWarning`.
 
     ``core_backend`` selects the construction schedule — the paper's
     line 33 says "PLL (or PSL equivalently)".  ``"psl"`` uses the
@@ -245,30 +258,40 @@ def build_core_index(
     over the compacted core graph, the original node id per compact id,
     and the reverse map.
     """
-    core_graph, originals = decomposition.core_graph()
-    if core_order == "degree":
-        order = degree_order(core_graph)
-    elif core_order == "elimination":
-        from repro.treedec.elimination import minimum_degree_elimination
+    from repro.deprecation import resolve_renamed_kwarg
 
-        continued = minimum_degree_elimination(core_graph, bandwidth=None)
-        order = list(reversed(continued.eliminated_order()))
-    else:
-        raise IndexConstructionError(
-            f"unknown core order {core_order!r}; expected 'degree' or 'elimination'"
-        )
-    if core_backend not in ("pll", "psl"):
-        raise IndexConstructionError(
-            f"unknown core backend {core_backend!r}; expected 'pll' or 'psl'"
-        )
-    if core_backend == "psl" and core_graph.unweighted:
-        from repro.labeling.psl import build_psl
+    order = resolve_renamed_kwarg("core_order", "order", core_order, order) or "degree"
+    with obs_span(
+        "ct.core_labeling", order=order, core_backend=core_backend
+    ) as core_span:
+        core_graph, originals = decomposition.core_graph()
+        if order == "degree":
+            hub_order = degree_order(core_graph)
+        elif order == "elimination":
+            from repro.treedec.elimination import minimum_degree_elimination
 
-        psl = build_psl(core_graph, order, budget=budget, workers=workers)
-        labeling = PrunedLandmarkLabeling(core_graph, psl.labels, psl.order)
-        labeling.build_seconds = psl.build_seconds
-    else:
-        labeling = build_pll(core_graph, order, budget=budget)
+            continued = minimum_degree_elimination(core_graph, bandwidth=None)
+            hub_order = list(reversed(continued.eliminated_order()))
+        else:
+            raise IndexConstructionError(
+                f"unknown core order {order!r}; expected 'degree' or 'elimination'"
+            )
+        if core_backend not in ("pll", "psl"):
+            raise IndexConstructionError(
+                f"unknown core backend {core_backend!r}; expected 'pll' or 'psl'"
+            )
+        if core_backend == "psl" and core_graph.unweighted:
+            from repro.labeling.psl import build_psl
+
+            psl = build_psl(core_graph, hub_order, budget=budget, workers=workers)
+            labeling = PrunedLandmarkLabeling(core_graph, psl.labels, psl.order)
+            labeling.build_seconds = psl.build_seconds
+        else:
+            labeling = build_pll(core_graph, hub_order, budget=budget)
+        if obs.tracing_enabled():
+            core_span.set(core_n=core_graph.n, entries=labeling.size_entries())
+    if obs.enabled():
+        obs.registry().counter("ct.core_label_entries").inc(labeling.size_entries())
     compact = {orig: i for i, orig in enumerate(originals)}
     return labeling, originals, compact
 
@@ -278,9 +301,10 @@ def construct(
     bandwidth: int,
     *,
     budget: MemoryBudget | None = None,
-    core_order: str = "degree",
+    order: str | None = None,
     core_backend: str = "pll",
     workers: int | None = None,
+    core_order: str | None = None,
 ) -> tuple[CoreTreeDecomposition, TreeIndex, PrunedLandmarkLabeling, list[int], dict[int, int], float]:
     """Run the full Algorithm 1 and return all the pieces plus build time.
 
@@ -288,16 +312,21 @@ def construct(
     labeling when ``core_backend="psl"`` applies) without changing any
     label — the decomposition itself (bounded MDE) stays sequential, as
     each elimination step depends on the fill-in of the previous one.
+    ``core_order=`` is the deprecated spelling of ``order=``.
     """
+    from repro.deprecation import resolve_renamed_kwarg
+
+    order = resolve_renamed_kwarg("core_order", "order", core_order, order) or "degree"
     started = time.perf_counter()
     if budget is None:
         budget = MemoryBudget.unlimited()
-    decomposition = core_tree_decomposition(graph, bandwidth)
+    with obs_span("ct.decompose", n=graph.n, bandwidth=bandwidth):
+        decomposition = core_tree_decomposition(graph, bandwidth)
     tree_index = build_tree_index(decomposition, budget=budget, workers=workers)
     core_index, originals, compact = build_core_index(
         decomposition,
         budget=budget,
-        core_order=core_order,
+        order=order,
         core_backend=core_backend,
         workers=workers,
     )

@@ -29,8 +29,10 @@ from __future__ import annotations
 import time
 from collections import Counter, OrderedDict
 
+import repro.obs as obs
 from repro.exceptions import QueryError
 from repro.graphs.graph import INF, Graph, Weight
+from repro.obs.tracing import span as obs_span
 from repro.graphs.reductions import (
     EquivalenceReduction,
     eliminate_equivalent_nodes,
@@ -98,11 +100,12 @@ class CTIndex(DistanceIndex):
         *,
         use_equivalence_reduction: bool = True,
         budget: MemoryBudget | None = None,
-        core_order: str = "degree",
+        order: str | None = None,
         core_backend: str = "pll",
         extension_cache_size: int = 256,
         workers: int | None = None,
         backend: str = "dict",
+        core_order: str | None = None,
     ) -> "CTIndex":
         """Construct a CT-Index (Algorithm 1).
 
@@ -120,10 +123,10 @@ class CTIndex(DistanceIndex):
             Optional memory budget; exceeding it raises
             :class:`~repro.exceptions.OverMemoryError` mid-build (the
             paper's "OM" outcome).
-        core_order:
+        order:
             Hub order for the core 2-hop labeling: ``"degree"`` (PSL's
-            practical choice, the default) or ``"elimination"`` (the
-            theory order of Theorem 4.4 [2]).
+            practical choice, the default when ``None``) or
+            ``"elimination"`` (the theory order of Theorem 4.4 [2]).
         core_backend:
             ``"pll"`` (pruned searches) or ``"psl"`` (round-synchronous
             propagation where applicable) — the paper's line 33 treats
@@ -142,34 +145,49 @@ class CTIndex(DistanceIndex):
             per-node containers) or ``"flat"`` (the CSR arrays of
             :mod:`repro.storage`, packed after construction).  Never
             changes an answer.
+        core_order:
+            Deprecated spelling of ``order=`` (kept one release; warns
+            with :class:`DeprecationWarning`).
         """
+        from repro.deprecation import resolve_renamed_kwarg
+
+        order = resolve_renamed_kwarg("core_order", "order", core_order, order)
         validate_backend(backend)
         started = time.perf_counter()
-        if use_equivalence_reduction:
-            reduction = eliminate_equivalent_nodes(graph)
-        else:
-            reduction = reduction_identity(graph)
-        decomposition, tree_index, core_index, originals, compact, _ = construct(
-            reduction.reduced,
-            bandwidth,
-            budget=budget,
-            core_order=core_order,
-            core_backend=core_backend,
-            workers=workers,
-        )
-        del decomposition  # reachable through tree_index
-        index = cls(
-            graph=graph,
+        with obs_span(
+            "ct.build",
+            n=graph.n,
+            m=graph.m,
             bandwidth=bandwidth,
-            reduction=reduction,
-            tree_index=tree_index,
-            core_index=core_index,
-            core_originals=originals,
-            core_compact=compact,
-            extension_cache_size=extension_cache_size,
-        )
-        if backend == "flat":
-            index.compact()
+            backend=backend,
+            workers=workers,
+        ):
+            with obs_span("ct.reduction"):
+                if use_equivalence_reduction:
+                    reduction = eliminate_equivalent_nodes(graph)
+                else:
+                    reduction = reduction_identity(graph)
+            decomposition, tree_index, core_index, originals, compact, _ = construct(
+                reduction.reduced,
+                bandwidth,
+                budget=budget,
+                order=order,
+                core_backend=core_backend,
+                workers=workers,
+            )
+            del decomposition  # reachable through tree_index
+            index = cls(
+                graph=graph,
+                bandwidth=bandwidth,
+                reduction=reduction,
+                tree_index=tree_index,
+                core_index=core_index,
+                core_originals=originals,
+                core_compact=compact,
+                extension_cache_size=extension_cache_size,
+            )
+            if backend == "flat":
+                index.compact()
         index.build_seconds = time.perf_counter() - started
         return index
 
@@ -200,13 +218,16 @@ class CTIndex(DistanceIndex):
         from repro.storage.flat_labels import FlatLabelStore
         from repro.storage.flat_tree import FlatTreeLabelStore
 
-        if not isinstance(self.core_index.labels, FlatLabelStore):
-            self.core_index.compact()
-        if not isinstance(self.tree_index.labels, FlatTreeLabelStore):
-            flat = FlatTreeLabelStore.from_labels(self.tree_index.labels)
-            self.tree_index.labels = flat
-            self.tree_index._local_get = flat.local_get
-        self.clear_extension_cache()
+        with obs_span("storage.compact", entries=self.size_entries()):
+            if not isinstance(self.core_index.labels, FlatLabelStore):
+                self.core_index.compact()
+            if not isinstance(self.tree_index.labels, FlatTreeLabelStore):
+                flat = FlatTreeLabelStore.from_labels(self.tree_index.labels)
+                self.tree_index.labels = flat
+                self.tree_index._local_get = flat.local_get
+            self.clear_extension_cache()
+        if obs.enabled():
+            obs.registry().counter("storage.compactions").inc()
         return self
 
     def to_dict_backend(self) -> "CTIndex":
@@ -520,11 +541,12 @@ def build_ct_index(
     *,
     use_equivalence_reduction: bool = True,
     budget: MemoryBudget | None = None,
-    core_order: str = "degree",
+    order: str | None = None,
     core_backend: str = "pll",
     extension_cache_size: int = 256,
     workers: int | None = None,
     backend: str = "dict",
+    core_order: str | None = None,
 ) -> CTIndex:
     """Functional alias of :meth:`CTIndex.build` (same keywords)."""
     return CTIndex.build(
@@ -532,9 +554,10 @@ def build_ct_index(
         bandwidth,
         use_equivalence_reduction=use_equivalence_reduction,
         budget=budget,
-        core_order=core_order,
+        order=order,
         core_backend=core_backend,
         extension_cache_size=extension_cache_size,
         workers=workers,
         backend=backend,
+        core_order=core_order,
     )

@@ -41,6 +41,17 @@ class OverMemoryError(IndexConstructionError):
         self.limit_bytes = limit_bytes
 
 
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a public entry point receives an invalid argument value.
+
+    Covers bad knob values (worker counts, workload fractions, quantiles,
+    unknown experiment or format names) as opposed to malformed *data*
+    (see :class:`GraphError` / :class:`SerializationError`).  Subclasses
+    :class:`ValueError` so callers that predate the unified hierarchy and
+    catch ``ValueError`` keep working.
+    """
+
+
 class QueryError(ReproError):
     """Raised when a distance query is issued against an unusable index."""
 
@@ -57,3 +68,17 @@ class StorageError(ReproError):
     arrays.  It also flags malformed array inputs (non-monotone offsets,
     unsorted hub runs) when a store is assembled from raw buffers.
     """
+
+
+__all__ = [
+    "ConfigurationError",
+    "DecompositionError",
+    "GraphError",
+    "GraphFormatError",
+    "IndexConstructionError",
+    "OverMemoryError",
+    "QueryError",
+    "ReproError",
+    "SerializationError",
+    "StorageError",
+]

@@ -28,6 +28,7 @@ from repro.labeling.base import (
 )
 from repro.labeling.hub_labels import HubLabeling
 from repro.labeling.ordering import degree_order, validate_order
+from repro.obs.tracing import span as obs_span, tracing_enabled
 
 logger = logging.getLogger(__name__)
 
@@ -66,6 +67,7 @@ def build_pll(
     *,
     budget: MemoryBudget | None = None,
     budget_exempt: frozenset[int] | None = None,
+    workers: int | None = None,
     backend: str = "dict",
 ) -> PrunedLandmarkLabeling:
     """Build a PLL index on ``graph``.
@@ -83,29 +85,42 @@ def build_pll(
         Nodes whose label entries do not count against the budget —
         used by PSL*, whose local-minimum label sets exist only during
         construction and never reach the final index.
+    workers:
+        Accepted for signature parity with :func:`~repro.labeling.psl.
+        build_psl` and :meth:`~repro.core.ct_index.CTIndex.build`; PLL's
+        pruned searches are inherently sequential (each root's search
+        prunes against every earlier root's finished label), so any
+        value is validated and then runs the serial schedule.
     backend:
         Label storage of the returned index: ``"dict"`` (mutable
         per-node lists) or ``"flat"`` (CSR arrays, packed after the
         pruned searches finish).  Both answer identically.
     """
     validate_backend(backend)
+    if workers is not None:
+        from repro.parallel.pool import resolve_workers
+
+        resolve_workers(workers)  # validate; PLL always runs serially
     started = time.perf_counter()
-    if order is None:
-        order = degree_order(graph)
-    else:
-        validate_order(graph, order)
-    if budget is None:
-        budget = MemoryBudget.unlimited()
-    if budget_exempt is None:
-        budget_exempt = frozenset()
-    labels = HubLabeling(order)
-    if graph.unweighted:
-        _build_unweighted(graph, labels, order, budget, budget_exempt)
-    else:
-        _build_weighted(graph, labels, order, budget, budget_exempt)
-    index = PrunedLandmarkLabeling(graph, labels, order)
-    if backend == "flat":
-        index.compact()
+    with obs_span("labeling.pll", n=graph.n, m=graph.m) as pll_span:
+        if order is None:
+            order = degree_order(graph)
+        else:
+            validate_order(graph, order)
+        if budget is None:
+            budget = MemoryBudget.unlimited()
+        if budget_exempt is None:
+            budget_exempt = frozenset()
+        labels = HubLabeling(order)
+        if graph.unweighted:
+            _build_unweighted(graph, labels, order, budget, budget_exempt)
+        else:
+            _build_weighted(graph, labels, order, budget, budget_exempt)
+        index = PrunedLandmarkLabeling(graph, labels, order)
+        if backend == "flat":
+            index.compact()
+        if tracing_enabled():
+            pll_span.set(entries=labels.total_entries())
     index.build_seconds = time.perf_counter() - started
     logger.debug(
         "PLL built: n=%d m=%d entries=%d max_label=%d in %.3fs",

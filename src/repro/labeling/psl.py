@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable
 
+import repro.obs as obs
 from repro.exceptions import IndexConstructionError
 from repro.graphs.graph import INF, Graph, Weight
 from repro.labeling.base import (
@@ -33,6 +34,7 @@ from repro.labeling.base import (
 )
 from repro.labeling.hub_labels import HubLabeling
 from repro.labeling.ordering import degree_order, validate_order
+from repro.obs.tracing import span as obs_span, tracing_enabled
 
 
 class ParallelShortestPathLabeling(HubLabelBackendMixin, DistanceIndex):
@@ -187,48 +189,62 @@ def build_psl(
     # Hubs committed in the previous round, per node.
     last_added: list[list[int]] = [[rank[v]] for v in graph.nodes()]
 
-    if worker_count > 1:
-        from repro.parallel.psl import run_parallel_rounds
+    with obs_span(
+        "labeling.psl", n=graph.n, m=graph.m, workers=worker_count
+    ) as psl_span:
+        if worker_count > 1:
+            from repro.parallel.psl import run_parallel_rounds
 
-        level = run_parallel_rounds(
-            graph,
-            rank,
-            order,
-            label_maps,
-            last_added,
-            workers=worker_count,
-            budget=budget,
-            budget_exempt=budget_exempt,
-        )
-    else:
-        level = 0
-        while True:
-            level += 1
-            # Phase 1 (parallel-for over nodes): gather candidate hubs
-            # from neighbors' previous-round labels and prune against
-            # the labels committed so far (levels < current).
-            additions = psl_level_additions(
-                graph, rank, order, label_maps, last_added, level, graph.nodes()
-            )
-            if not additions:
-                break
-            # Phase 2 (synchronous commit): apply every node's additions.
-            psl_commit_level(
-                additions,
+            level = run_parallel_rounds(
+                graph,
+                rank,
+                order,
                 label_maps,
                 last_added,
-                level,
+                workers=worker_count,
                 budget=budget,
                 budget_exempt=budget_exempt,
             )
+        else:
+            level = 0
+            while True:
+                level += 1
+                # Phase 1 (parallel-for over nodes): gather candidate hubs
+                # from neighbors' previous-round labels and prune against
+                # the labels committed so far (levels < current).
+                with obs_span("labeling.psl.level", level=level) as level_span:
+                    additions = psl_level_additions(
+                        graph, rank, order, label_maps, last_added, level, graph.nodes()
+                    )
+                    if tracing_enabled():
+                        level_span.set(
+                            additions=sum(len(hubs) for _, hubs in additions)
+                        )
+                if not additions:
+                    break
+                # Phase 2 (synchronous commit): apply every node's additions.
+                psl_commit_level(
+                    additions,
+                    label_maps,
+                    last_added,
+                    level,
+                    budget=budget,
+                    budget_exempt=budget_exempt,
+                )
 
-    labels = HubLabeling(order)
-    for v in graph.nodes():
-        for hub_rank in sorted(label_maps[v]):
-            labels.append_entry(v, hub_rank, label_maps[v][hub_rank])
-    index = ParallelShortestPathLabeling(graph, labels, order, rounds=level)
-    if backend == "flat":
-        index.compact()
+        labels = HubLabeling(order)
+        for v in graph.nodes():
+            for hub_rank in sorted(label_maps[v]):
+                labels.append_entry(v, hub_rank, label_maps[v][hub_rank])
+        index = ParallelShortestPathLabeling(graph, labels, order, rounds=level)
+        if backend == "flat":
+            index.compact()
+        if tracing_enabled():
+            psl_span.set(rounds=level, entries=labels.total_entries())
+    if obs.enabled():
+        metrics = obs.registry()
+        metrics.counter("psl.builds").inc()
+        metrics.counter("psl.rounds").inc(level)
     index.build_seconds = time.perf_counter() - started
     return index
 

@@ -1,0 +1,131 @@
+"""Trace export: JSON-lines files, summaries, and tree rendering.
+
+A trace file is one JSON object per line (the ``as_record()`` form of
+:class:`~repro.obs.tracing.Span`), so it streams, greps, and appends —
+the same reasons the bench artifacts are JSON.  ``repro trace FILE``
+renders a file back as an indented span tree plus a per-name summary
+table; the functions here are that command's library form.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import SerializationError
+from repro.obs.tracing import Span, Tracer
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_trace(spans, path: PathLike) -> int:
+    """Write spans (or a :class:`Tracer`) to ``path`` as JSON lines.
+
+    Returns the number of spans written.
+    """
+    if isinstance(spans, Tracer):
+        spans = spans.finished
+    records = [
+        span.as_record() if isinstance(span, Span) else span for span in spans
+    ]
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, allow_nan=False, sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+def read_trace(path: PathLike) -> list[dict]:
+    """Read a JSON-lines trace file back into span records."""
+    path = Path(path)
+    records: list[dict] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SerializationError(
+                        f"bad trace line {line_no} in {path}: {exc}"
+                    ) from exc
+                if not isinstance(record, dict) or "name" not in record:
+                    raise SerializationError(
+                        f"bad trace line {line_no} in {path}: not a span record"
+                    )
+                records.append(record)
+    except OSError as exc:
+        raise SerializationError(f"cannot read trace file {path}: {exc}") from exc
+    return records
+
+
+def summarize_trace(records: list[dict]) -> list[dict]:
+    """Per-name aggregate rows: count, total/mean/max duration (ms).
+
+    Rows are sorted by total duration descending — the profile view:
+    the top row is where the time went.
+    """
+    totals: dict[str, dict] = {}
+    for record in records:
+        entry = totals.setdefault(
+            record["name"], {"name": record["name"], "count": 0, "total_us": 0.0, "max_us": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_us"] += record["dur_us"]
+        entry["max_us"] = max(entry["max_us"], record["dur_us"])
+    rows = []
+    for entry in sorted(totals.values(), key=lambda e: -e["total_us"]):
+        rows.append(
+            {
+                "name": entry["name"],
+                "count": entry["count"],
+                "total_ms": round(entry["total_us"] / 1e3, 3),
+                "mean_us": round(entry["total_us"] / entry["count"], 1),
+                "max_us": round(entry["max_us"], 1),
+            }
+        )
+    return rows
+
+
+def format_trace_tree(records: list[dict], *, max_spans: int = 200) -> str:
+    """Indented parent/child rendering of a span list.
+
+    Children are nested under their ``parent`` id; top-level spans print
+    in start order.  Long traces are truncated at ``max_spans`` lines
+    with a trailing marker (the summary still covers everything).
+    """
+    by_parent: dict[int | None, list[dict]] = {}
+    for record in records:
+        by_parent.setdefault(record.get("parent"), []).append(record)
+    for children in by_parent.values():
+        children.sort(key=lambda r: r.get("start_us", 0.0))
+
+    lines: list[str] = []
+
+    def render(record: dict, depth: int) -> None:
+        if len(lines) >= max_spans:
+            return
+        attrs = record.get("attrs") or {}
+        attr_text = (
+            " " + " ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) if attrs else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{record['name']}  {record['dur_us'] / 1e3:.3f} ms{attr_text}"
+        )
+        for child in by_parent.get(record.get("id"), []):
+            render(child, depth + 1)
+
+    for top in by_parent.get(None, []):
+        render(top, 0)
+    truncated = len(records) - len(lines)
+    if truncated > 0:
+        lines.append(f"... {truncated} more spans (see summary)")
+    return "\n".join(lines)
+
+
+__all__ = ["format_trace_tree", "read_trace", "summarize_trace", "write_trace"]

@@ -1,0 +1,71 @@
+"""Deterministic-profiler hooks (cProfile behind a context manager).
+
+Tracing answers "which phase is slow"; the profiler answers "which
+*function* inside the phase".  :func:`profile_block` wraps any block in
+:mod:`cProfile` and hands back a :class:`ProfileReport` whose ``text()``
+is the familiar ``pstats`` top-N table — this is what the CLI
+``--profile`` flags print.  Profiling is orthogonal to the enabled flag:
+it costs real overhead (every Python call is intercepted), so it only
+runs where explicitly requested and is never wired into a hot path by
+default.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+
+from repro.exceptions import ConfigurationError
+
+#: pstats sort keys accepted by :func:`profile_block`.
+SORT_KEYS = ("cumulative", "tottime", "calls", "ncalls", "time")
+
+
+class ProfileReport:
+    """Holds one finished cProfile run; render with :meth:`text`."""
+
+    def __init__(self, profiler: cProfile.Profile) -> None:
+        self._profiler = profiler
+
+    def stats(self, sort: str = "cumulative") -> pstats.Stats:
+        """The raw :class:`pstats.Stats`, sorted."""
+        if sort not in SORT_KEYS:
+            raise ConfigurationError(
+                f"unknown profile sort {sort!r}; expected one of {SORT_KEYS}"
+            )
+        return pstats.Stats(self._profiler).sort_stats(sort)
+
+    def text(self, *, sort: str = "cumulative", limit: int = 25) -> str:
+        """Top-``limit`` rows of the profile as a pstats table."""
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._profiler, stream=buffer)
+        if sort not in SORT_KEYS:
+            raise ConfigurationError(
+                f"unknown profile sort {sort!r}; expected one of {SORT_KEYS}"
+            )
+        stats.sort_stats(sort).print_stats(limit)
+        return buffer.getvalue()
+
+
+@contextmanager
+def profile_block():
+    """Profile the enclosed block; yields a :class:`ProfileReport`.
+
+    The report is empty until the block exits::
+
+        with profile_block() as report:
+            engine.query_batch(pairs)
+        print(report.text(limit=10))
+    """
+    profiler = cProfile.Profile()
+    report = ProfileReport(profiler)
+    profiler.enable()
+    try:
+        yield report
+    finally:
+        profiler.disable()
+
+
+__all__ = ["ProfileReport", "SORT_KEYS", "profile_block"]

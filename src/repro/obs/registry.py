@@ -1,0 +1,182 @@
+"""Process-wide metrics registry.
+
+One :class:`MetricsRegistry` maps ``(name, labels)`` pairs to metric
+instances (:class:`~repro.obs.metrics.Counter`,
+:class:`~repro.obs.metrics.Gauge`,
+:class:`~repro.obs.metrics.LatencyHistogram`).  Accessors are
+get-or-create, so instrumented code never needs a registration phase::
+
+    registry().counter("mde.rounds").inc(boundary)
+    registry().histogram("serving.request_latency", kind="single").record(dt)
+
+Metric identity is stable: repeated lookups return the same object, and
+``reset()`` zeroes values without dropping entries, so long-lived
+handles (the serving engine keeps direct references to its histograms)
+survive a measurement-window reset.
+
+``render_prometheus()`` emits the text exposition format (counters and
+gauges as single samples, histograms as cumulative ``_bucket`` series
+plus ``_sum``/``_count``), which is what the ``--metrics`` CLI flags
+dump.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import BUCKET_EDGES, Counter, Gauge, LatencyHistogram
+
+#: Label key/value pairs, sorted — the hashable half of a metric key.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _label_set(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, optionally labeled metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelSet], object] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter registered under ``name`` + ``labels``."""
+        return self._get_or_create(name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge registered under ``name`` + ``labels``."""
+        return self._get_or_create(name, labels, Gauge)
+
+    def histogram(self, name: str, **labels) -> LatencyHistogram:
+        """The histogram registered under ``name`` + ``labels``."""
+        return self._get_or_create(name, labels, LatencyHistogram)
+
+    def _get_or_create(self, name: str, labels: dict, kind: type):
+        key = (name, _label_set(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = kind()
+        elif type(metric) is not kind:
+            raise ConfigurationError(
+                f"metric {name!r} with labels {dict(key[1])} is a "
+                f"{type(metric).__name__}, requested as {kind.__name__}"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key[0] == name for key in self._metrics)
+
+    def items(self):
+        """``((name, labels), metric)`` pairs, sorted by name then labels."""
+        return sorted(self._metrics.items(), key=lambda item: item[0])
+
+    def reset(self) -> None:
+        """Zero every metric's value; entries (and handles) survive."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every entry.  Outstanding handles become unregistered."""
+        self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data dump: ``name`` -> list of ``{labels, ...value}``."""
+        out: dict[str, list[dict]] = {}
+        for (name, labels), metric in self.items():
+            entry: dict = {"labels": dict(labels)}
+            if isinstance(metric, LatencyHistogram):
+                entry["histogram"] = metric.snapshot()
+            else:
+                entry["value"] = metric.snapshot()
+            out.setdefault(name, []).append(entry)
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: list[str] = []
+        last_name: str | None = None
+        for (name, labels), metric in self.items():
+            metric_name = _sanitize(name)
+            if isinstance(metric, Counter):
+                kind = "counter"
+            elif isinstance(metric, Gauge):
+                kind = "gauge"
+            else:
+                kind = "histogram"
+            if name != last_name:
+                lines.append(f"# TYPE {metric_name} {kind}")
+                last_name = name
+            if isinstance(metric, LatencyHistogram):
+                cumulative = 0
+                for index, bucket_count in enumerate(metric.counts):
+                    cumulative += bucket_count
+                    edge = (
+                        _format_value(BUCKET_EDGES[index])
+                        if index < len(BUCKET_EDGES)
+                        else "+Inf"
+                    )
+                    bucket_labels = labels + (("le", edge),)
+                    lines.append(
+                        f"{metric_name}_bucket{_render_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{metric_name}_sum{_render_labels(labels)} "
+                    f"{_format_value(metric.total_seconds)}"
+                )
+                lines.append(
+                    f"{metric_name}_count{_render_labels(labels)} {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{metric_name}{_render_labels(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _sanitize(name: str) -> str:
+    """Metric name with Prometheus-illegal characters folded to ``_``."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _render_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_sanitize(k)}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+#: The process-wide default registry the instrumented hot paths use.
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT
+
+
+__all__ = ["MetricsRegistry", "registry"]

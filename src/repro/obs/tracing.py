@@ -1,0 +1,224 @@
+"""Span-based structured tracing with a context-manager API.
+
+Tracing is **off by default** and compiles to a no-op: the module-level
+enabled flag is a single global, and a disabled :func:`span` call
+returns one shared :data:`NOOP_SPAN` whose ``__enter__``/``__exit__``/
+``set`` do nothing — no clock reads, no allocation beyond the kwargs
+dict at the call site.  The instrumented hot paths therefore cost one
+predicate per *phase* (not per inner-loop iteration) when observability
+is disabled; ``repro obs-bench`` measures the residual overhead.
+
+When enabled, every ``with span("name", attr=...)`` block records a
+:class:`Span` — name, start offset, duration, attributes, and its
+parent via the tracer's stack — into the active :class:`Tracer`.
+Spans nest naturally with the ``with`` nesting, so a traced
+``CTIndex.build`` yields the per-phase breakdown (MDE, core labeling,
+forest labeling, compaction) the labeling literature reports as a
+first-class output.
+
+Typical use::
+
+    with capture() as tracer:
+        index = repro.build(graph, bandwidth=16)
+    write_trace(tracer.finished, "build.trace.jsonl")
+
+Attributes set after the work are supported (the serving engine knows a
+query's 4-case attribution only once the query returns)::
+
+    with span("serving.query") as sp:
+        value = index.distance(s, t)
+        sp.set(case=case)
+
+The tracer is single-process: multiprocess build workers
+(:mod:`repro.parallel`) run pure functions and report through their
+return values, so spans are recorded master-side around the fan-out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from contextlib import contextmanager
+
+
+@dataclasses.dataclass
+class Span:
+    """One finished traced operation."""
+
+    name: str
+    #: Start time, seconds since the tracer's epoch.
+    start_s: float
+    #: Wall-clock duration in seconds.
+    duration_s: float
+    #: User attributes (sizes, counts, case labels, ...).
+    attrs: dict
+    #: Tracer-unique id, in start order.
+    span_id: int
+    #: ``span_id`` of the enclosing span, or ``None`` at top level.
+    parent_id: int | None
+
+    def as_record(self) -> dict:
+        """JSON-ready form (microsecond times, stable key order)."""
+        return {
+            "name": self.name,
+            "start_us": round(self.start_s * 1e6, 3),
+            "dur_us": round(self.duration_s * 1e6, 3),
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "attrs": self.attrs,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+#: The singleton handed out by :func:`span` when tracing is off.
+NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> "_LiveSpan":
+        """Attach attributes (inside or after the timed block)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self.span_id)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        ended = time.perf_counter()
+        tracer = self._tracer
+        tracer._stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        tracer.finished.append(
+            Span(
+                name=self.name,
+                start_s=self._started - tracer.epoch,
+                duration_s=ended - self._started,
+                attrs=self.attrs,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects finished spans; one per enable()d trace session."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.finished: list[Span] = []
+        self._stack: list[int] = []
+        self._next_id = 0
+
+    def span(self, name: str, attrs: dict) -> _LiveSpan:
+        return _LiveSpan(self, name, attrs)
+
+    def records(self) -> list[dict]:
+        """JSON-ready records of every finished span, in finish order."""
+        return [span.as_record() for span in self.finished]
+
+
+# ----------------------------------------------------------------------
+# Module-level switch
+# ----------------------------------------------------------------------
+
+#: The active tracer, or ``None`` while tracing is disabled.
+_TRACER: Tracer | None = None
+
+
+def tracing_enabled() -> bool:
+    """True while a tracer is installed."""
+    return _TRACER is not None
+
+
+def current_tracer() -> Tracer | None:
+    """The installed tracer (``None`` when tracing is disabled)."""
+    return _TRACER
+
+
+def enable_tracing(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the active tracer."""
+    global _TRACER
+    if tracer is None:
+        tracer = Tracer()
+    _TRACER = tracer
+    return tracer
+
+
+def disable_tracing() -> Tracer | None:
+    """Uninstall and return the active tracer (with its spans)."""
+    global _TRACER
+    tracer = _TRACER
+    _TRACER = None
+    return tracer
+
+
+def span(name: str, **attrs):
+    """A context manager timing one operation (no-op while disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, attrs)
+
+
+@contextmanager
+def capture(tracer: Tracer | None = None):
+    """Enable tracing for one block, restoring the previous state after.
+
+    Yields the :class:`Tracer`; read ``tracer.finished`` after the
+    block::
+
+        with capture() as tracer:
+            repro.build(graph, bandwidth=8)
+        phases = {s.name for s in tracer.finished}
+    """
+    global _TRACER
+    previous = _TRACER
+    installed = enable_tracing(tracer)
+    try:
+        yield installed
+    finally:
+        _TRACER = previous
+
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "capture",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "span",
+    "tracing_enabled",
+]

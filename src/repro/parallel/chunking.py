@@ -21,6 +21,8 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 
+from repro.exceptions import ConfigurationError
+
 #: Tasks produced per worker by :func:`balanced_tasks`; >1 lets the pool
 #: steal work from stragglers instead of waiting on one giant task.
 TASKS_PER_WORKER = 4
@@ -33,7 +35,7 @@ def vertex_chunks(n: int, chunks: int) -> list[range]:
     order, so concatenating per-chunk results restores vertex order.
     """
     if chunks < 1:
-        raise ValueError(f"chunk count must be positive, got {chunks}")
+        raise ConfigurationError(f"chunk count must be positive, got {chunks}")
     chunks = min(chunks, n) or 1
     base, extra = divmod(n, chunks)
     ranges: list[range] = []
@@ -57,7 +59,7 @@ def balanced_tasks(
     tasks earliest, which minimizes the tail under dynamic scheduling.
     """
     if workers < 1:
-        raise ValueError(f"worker count must be positive, got {workers}")
+        raise ConfigurationError(f"worker count must be positive, got {workers}")
     if not sized_items:
         return []
     task_count = min(len(sized_items), max(1, workers * tasks_per_worker))

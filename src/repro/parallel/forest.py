@@ -21,6 +21,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.graphs.graph import Weight
+from repro.obs.tracing import span as obs_span
 from repro.parallel.chunking import balanced_tasks
 from repro.parallel.pool import pool_context
 from repro.treedec.core_tree import CoreTreeDecomposition
@@ -74,13 +75,14 @@ def parallel_tree_labels(
     labels: list[dict[int, Weight]] = [{} for _ in range(decomposition.boundary)]
     if not tasks:
         return labels
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)) or 1,
-        mp_context=pool_context(),
-        initializer=_init_forest,
-        initargs=(decomposition,),
-    ) as pool:
-        for part in pool.map(_label_trees, tasks):
-            for pos, label in part.items():
-                labels[pos] = label
+    with obs_span("parallel.forest_fanout", tasks=len(tasks), workers=workers):
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)) or 1,
+            mp_context=pool_context(),
+            initializer=_init_forest,
+            initargs=(decomposition,),
+        ) as pool:
+            for part in pool.map(_label_trees, tasks):
+                for pos, label in part.items():
+                    labels[pos] = label
     return labels

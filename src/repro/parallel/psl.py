@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.graphs.graph import Graph
 from repro.labeling.base import MemoryBudget
+from repro.obs.tracing import span as obs_span, tracing_enabled
 from repro.parallel.chunking import vertex_chunks
 from repro.parallel.pool import pool_context
 
@@ -81,16 +82,21 @@ def run_parallel_rounds(
         # level's committed state; under fork the fork itself *is* the
         # snapshot, so per-round pool setup is cheap.
         snapshot = (graph, rank, order, label_maps, last_added)
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)) or 1,
-            mp_context=context,
-            initializer=_init_round,
-            initargs=(snapshot,),
-        ) as pool:
-            parts = list(
-                pool.map(_gather_chunk, [(level, c.start, c.stop) for c in chunks])
-            )
-        additions = [pair for part in parts for pair in part]
+        with obs_span(
+            "labeling.psl.level", level=level, workers=workers
+        ) as level_span:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)) or 1,
+                mp_context=context,
+                initializer=_init_round,
+                initargs=(snapshot,),
+            ) as pool:
+                parts = list(
+                    pool.map(_gather_chunk, [(level, c.start, c.stop) for c in chunks])
+                )
+            additions = [pair for part in parts for pair in part]
+            if tracing_enabled():
+                level_span.set(additions=sum(len(hubs) for _, hubs in additions))
         if not additions:
             break
         psl_commit_level(

@@ -106,3 +106,10 @@ def _next_hop(
         if w <= remaining and w + index.distance(u, target) == remaining:
             return u
     return None
+__all__ = [
+    "distance_many",
+    "eccentricity_lower_bound",
+    "is_shortest_path",
+    "path_length",
+    "shortest_path",
+]

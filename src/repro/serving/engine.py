@@ -13,13 +13,21 @@ optionally fronts the index with a pair-level LRU
 (:class:`~repro.caching.CachedDistanceIndex`), and instruments every
 request: latency histograms per request kind and per CT query case,
 request/query counters, cache hit rates, and core-probe counts.
-:meth:`QueryEngine.stats_snapshot` exports everything as plain data for
-the bench harness, the ``repro serve-bench`` command, or a monitoring
-pipeline.
+
+The histograms live in a shared :class:`~repro.obs.registry.
+MetricsRegistry` (the process-wide one by default), labeled by engine
+id and request kind / query case — so a Prometheus dump of the registry
+sees serving latency without any serving-specific glue.
+:meth:`QueryEngine.stats_snapshot` still exports everything as plain
+data for the bench harness, the ``repro serve-bench`` command, or a
+monitoring pipeline.  When tracing is enabled (:mod:`repro.obs`), each
+request additionally records a span — single queries carry their 4-case
+attribution as a span attribute.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import Counter
 from collections.abc import Iterable
@@ -27,7 +35,8 @@ from collections.abc import Iterable
 from repro.caching import CachedDistanceIndex
 from repro.graphs.graph import Weight
 from repro.labeling.base import DistanceIndex
-from repro.serving.metrics import LatencyHistogram
+from repro.obs.registry import MetricsRegistry, registry as default_registry
+from repro.obs.tracing import span as obs_span
 
 #: The three request kinds the engine distinguishes in its histograms.
 REQUEST_KINDS = ("single", "batch_pairs", "batch_from")
@@ -35,6 +44,13 @@ REQUEST_KINDS = ("single", "batch_pairs", "batch_from")
 #: Case label used for single queries the index never dispatched
 #: (answered by the pair cache, a twin class, or ``s == t``).
 _CASE_LOCAL = "local"
+
+#: Registry metric names the engine records under.
+REQUEST_LATENCY_METRIC = "serving.request_latency"
+CASE_LATENCY_METRIC = "serving.case_latency"
+
+#: Distinguishes engines sharing one registry (label value).
+_ENGINE_IDS = itertools.count()
 
 
 class QueryEngine:
@@ -51,6 +67,12 @@ class QueryEngine:
     symmetric:
         Forwarded to the cache wrapper (set ``False`` for directed
         oracles).  Ignored when ``cache_capacity`` is ``None``.
+    registry:
+        The :class:`MetricsRegistry` the latency histograms register
+        in; defaults to the process-wide registry
+        (:func:`repro.obs.registry`).  Histograms are labeled
+        ``engine=<id>`` plus ``kind=``/``case=``, so several engines
+        share one registry without clashing.
     """
 
     def __init__(
@@ -59,6 +81,7 @@ class QueryEngine:
         *,
         cache_capacity: int | None = None,
         symmetric: bool = True,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.raw_index = index
         if cache_capacity is not None:
@@ -70,10 +93,19 @@ class QueryEngine:
         while isinstance(inner, CachedDistanceIndex):
             inner = inner.inner
         self._tracked = inner if hasattr(inner, "case_counts") else None
+        self.metrics_registry = registry if registry is not None else default_registry()
+        self.engine_id = next(_ENGINE_IDS)
         self.request_counts: Counter[str] = Counter()
         self.queries_served = 0
-        self.request_histograms = {kind: LatencyHistogram() for kind in REQUEST_KINDS}
-        self.case_histograms: dict[str, LatencyHistogram] = {}
+        self.request_histograms = {
+            kind: self.metrics_registry.histogram(
+                REQUEST_LATENCY_METRIC, engine=self.engine_id, kind=kind
+            )
+            for kind in REQUEST_KINDS
+        }
+        for histogram in self.request_histograms.values():
+            histogram.reset()
+        self.case_histograms: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Request entry points
@@ -83,26 +115,31 @@ class QueryEngine:
         """Answer one pair, recording latency per request and per case."""
         tracker = self._tracked
         before = dict(tracker.case_counts) if tracker is not None else None
-        started = time.perf_counter()
-        value = self.index.distance(s, t)
-        elapsed = time.perf_counter() - started
+        with obs_span("serving.query") as sp:
+            started = time.perf_counter()
+            value = self.index.distance(s, t)
+            elapsed = time.perf_counter() - started
         self.request_counts["single"] += 1
         self.queries_served += 1
         self.request_histograms["single"].record(elapsed)
         if tracker is not None:
             case = _incremented_case(before, tracker.case_counts)
+            sp.set(case=case)
             histogram = self.case_histograms.get(case)
             if histogram is None:
-                histogram = self.case_histograms[case] = LatencyHistogram()
+                histogram = self.case_histograms[case] = self.metrics_registry.histogram(
+                    CASE_LATENCY_METRIC, engine=self.engine_id, case=case
+                )
             histogram.record(elapsed)
         return value
 
     def query_batch(self, pairs: Iterable[tuple[int, int]]) -> list[Weight]:
         """Answer a pairwise batch via ``distances_batch``."""
         pairs = list(pairs)
-        started = time.perf_counter()
-        values = self.index.distances_batch(pairs)
-        elapsed = time.perf_counter() - started
+        with obs_span("serving.query_batch", size=len(pairs)):
+            started = time.perf_counter()
+            values = self.index.distances_batch(pairs)
+            elapsed = time.perf_counter() - started
         self.request_counts["batch_pairs"] += 1
         self.queries_served += len(pairs)
         self.request_histograms["batch_pairs"].record(elapsed)
@@ -111,9 +148,10 @@ class QueryEngine:
     def query_from(self, s: int, targets: Iterable[int]) -> list[Weight]:
         """Answer a one-to-many batch via ``distances_from``."""
         targets = list(targets)
-        started = time.perf_counter()
-        values = self.index.distances_from(s, targets)
-        elapsed = time.perf_counter() - started
+        with obs_span("serving.query_from", size=len(targets)):
+            started = time.perf_counter()
+            values = self.index.distances_from(s, targets)
+            elapsed = time.perf_counter() - started
         self.request_counts["batch_from"] += 1
         self.queries_served += len(targets)
         self.request_histograms["batch_from"].record(elapsed)
@@ -179,13 +217,18 @@ class QueryEngine:
     def reset_stats(self, *, reset_index: bool = True) -> None:
         """Zero the engine's counters and histograms.
 
-        With ``reset_index`` (the default) the pair cache is cleared and
-        the underlying index's query counters/extension cache are reset
-        too, so back-to-back measurement runs start cold.
+        Histograms are reset in place — registry entries (and any
+        monitoring handle onto them) keep their identity.  With
+        ``reset_index`` (the default) the pair cache is cleared and the
+        underlying index's query counters/extension cache are reset too,
+        so back-to-back measurement runs start cold.
         """
         self.request_counts.clear()
         self.queries_served = 0
-        self.request_histograms = {kind: LatencyHistogram() for kind in REQUEST_KINDS}
+        for histogram in self.request_histograms.values():
+            histogram.reset()
+        for histogram in self.case_histograms.values():
+            histogram.reset()
         self.case_histograms = {}
         if reset_index:
             cache = self.pair_cache
@@ -203,3 +246,9 @@ def _incremented_case(before: dict[str, int] | None, after: Counter[str]) -> str
             if count != before.get(case, 0):
                 return case
     return _CASE_LOCAL
+__all__ = [
+    "CASE_LATENCY_METRIC",
+    "QueryEngine",
+    "REQUEST_KINDS",
+    "REQUEST_LATENCY_METRIC",
+]

@@ -40,6 +40,7 @@ from typing import Union
 
 from repro.exceptions import ReproError, SerializationError
 from repro.graphs.graph import INF, Graph, Weight
+from repro.obs.tracing import span as obs_span, tracing_enabled
 from repro.graphs.reductions import EquivalenceReduction
 from repro.storage.flat_labels import FlatLabelStore
 from repro.storage.flat_tree import INF_SENTINEL, FlatTreeLabelStore
@@ -404,26 +405,29 @@ def load_ct_index_binary(path: PathLike, *, backend: str = "flat"):
             f"unknown storage backend {backend!r}; expected 'dict' or 'flat'"
         )
     path = Path(path)
-    sections = _read_sections(path)
-    try:
-        return _decode_snapshot(path, sections, backend)
-    except SerializationError:
-        raise
-    except (
-        KeyError,
-        TypeError,
-        ValueError,
-        IndexError,
-        AttributeError,
-        OverflowError,
-        struct.error,
-        ReproError,
-    ) as exc:
-        # One library error for any malformed payload, mirroring the
-        # JSON loader's contract.
-        raise SerializationError(
-            f"corrupt CT-Index snapshot in {path}: {exc!r}"
-        ) from exc
+    with obs_span("storage.binary_load", backend=backend) as load_span:
+        sections = _read_sections(path)
+        if tracing_enabled():
+            load_span.set(bytes=sum(len(body) for body in sections.values()))
+        try:
+            return _decode_snapshot(path, sections, backend)
+        except SerializationError:
+            raise
+        except (
+            KeyError,
+            TypeError,
+            ValueError,
+            IndexError,
+            AttributeError,
+            OverflowError,
+            struct.error,
+            ReproError,
+        ) as exc:
+            # One library error for any malformed payload, mirroring the
+            # JSON loader's contract.
+            raise SerializationError(
+                f"corrupt CT-Index snapshot in {path}: {exc!r}"
+            ) from exc
 
 
 def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):

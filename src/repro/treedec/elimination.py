@@ -25,8 +25,10 @@ from __future__ import annotations
 import dataclasses
 import heapq
 
+import repro.obs as obs
 from repro.exceptions import DecompositionError
 from repro.graphs.graph import Graph, Weight
+from repro.obs.tracing import span as obs_span
 
 
 @dataclasses.dataclass
@@ -170,43 +172,61 @@ def minimum_degree_elimination(
     steps: list[EliminationStep] = []
     position: list[int | None] = [None] * graph.n
     step_cap = max_steps if max_steps is not None else graph.n
+    cutoff_degree: int | None = None
 
-    while heap and len(steps) < step_cap:
-        degree, v = heapq.heappop(heap)
-        row = adjacency[v]
-        if row is None or degree != len(row):
-            continue  # stale heap entry
-        if bandwidth is not None and degree > bandwidth:
-            # Paper semantics (Section 4.3 / Example 5): the eliminated
-            # bags have at most d+1 nodes (|N_i| <= d), and elimination
-            # stops at the first bag that would exceed that — so every
-            # tree interface has at most d nodes.
-            break
-        neighbors = tuple(sorted(row))
-        local_distance = dict(row)
-        position[v] = len(steps)
-        steps.append(EliminationStep(node=v, neighbors=neighbors, local_distance=local_distance))
+    with obs_span(
+        "treedec.mde", n=graph.n, m=graph.m, bandwidth=bandwidth
+    ) as mde_span:
+        while heap and len(steps) < step_cap:
+            degree, v = heapq.heappop(heap)
+            row = adjacency[v]
+            if row is None or degree != len(row):
+                continue  # stale heap entry
+            if bandwidth is not None and degree > bandwidth:
+                # Paper semantics (Section 4.3 / Example 5): the eliminated
+                # bags have at most d+1 nodes (|N_i| <= d), and elimination
+                # stops at the first bag that would exceed that — so every
+                # tree interface has at most d nodes.
+                cutoff_degree = degree
+                break
+            neighbors = tuple(sorted(row))
+            local_distance = dict(row)
+            position[v] = len(steps)
+            steps.append(EliminationStep(node=v, neighbors=neighbors, local_distance=local_distance))
 
-        # Remove v and re-insert the weighted clique over its neighbors.
-        adjacency[v] = None
-        for u in neighbors:
-            row_u = adjacency[u]
-            assert row_u is not None  # neighbors of a live node are live
-            del row_u[v]
-        for a_index, u in enumerate(neighbors):
-            row_u = adjacency[u]
-            du = local_distance[u]
-            for w in neighbors[a_index + 1 :]:
-                wedge = du + local_distance[w]
-                row_w = adjacency[w]
-                old = row_u.get(w)
-                if old is None or wedge < old:
-                    row_u[w] = wedge
-                    row_w[u] = wedge
-        for u in neighbors:
-            heapq.heappush(heap, (len(adjacency[u]), u))
+            # Remove v and re-insert the weighted clique over its neighbors.
+            adjacency[v] = None
+            for u in neighbors:
+                row_u = adjacency[u]
+                assert row_u is not None  # neighbors of a live node are live
+                del row_u[v]
+            for a_index, u in enumerate(neighbors):
+                row_u = adjacency[u]
+                du = local_distance[u]
+                for w in neighbors[a_index + 1 :]:
+                    wedge = du + local_distance[w]
+                    row_w = adjacency[w]
+                    old = row_u.get(w)
+                    if old is None or wedge < old:
+                        row_u[w] = wedge
+                        row_w[u] = wedge
+            for u in neighbors:
+                heapq.heappush(heap, (len(adjacency[u]), u))
 
-    core_nodes = sorted(v for v in graph.nodes() if position[v] is None)
+        core_nodes = sorted(v for v in graph.nodes() if position[v] is None)
+        if obs.tracing_enabled():
+            mde_span.set(
+                boundary=len(steps),
+                core=len(core_nodes),
+                width=max((len(step.neighbors) for step in steps), default=0),
+                cutoff_degree=cutoff_degree,
+            )
+    if obs.enabled():
+        metrics = obs.registry()
+        metrics.counter("mde.rounds").inc(len(steps))
+        if cutoff_degree is not None:
+            metrics.counter("mde.bandwidth_cutoffs").inc()
+            metrics.gauge("mde.cutoff_degree").set(cutoff_degree)
     core_adjacency = {v: dict(adjacency[v] or {}) for v in core_nodes}
     return EliminationResult(
         graph=graph,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 
+from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 
 
@@ -30,7 +31,7 @@ class TreewidthBounds:
 
     def __post_init__(self) -> None:
         if self.lower > self.upper:
-            raise ValueError(f"invalid bracket [{self.lower}, {self.upper}]")
+            raise ConfigurationError(f"invalid bracket [{self.lower}, {self.upper}]")
 
 
 def mmd_plus_lower_bound(graph: Graph) -> int:

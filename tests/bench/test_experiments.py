@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.bench.experiments import (
     ExperimentCatalog,
     ablation_ct_core_order,
@@ -105,5 +106,5 @@ class TestCatalog:
             assert name in drivers
 
     def test_run_experiment_unknown(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigurationError):
             run_experiment("exp42")

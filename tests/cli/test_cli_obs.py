@@ -1,0 +1,139 @@
+"""End-to-end tests of the observability CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.cli.main import main
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph = gnp_graph(60, 0.12, seed=23)
+    path = tmp_path / "graph.edges"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestTracedBuild:
+    def test_build_with_trace_metrics_profile(self, edge_file, tmp_path, capsys):
+        trace = tmp_path / "build.trace.jsonl"
+        metrics = tmp_path / "metrics.txt"
+        profile = tmp_path / "profile.txt"
+        code = main(
+            [
+                "build",
+                str(edge_file),
+                "-d",
+                "3",
+                "-o",
+                str(tmp_path / "idx.json"),
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+                "--profile",
+                str(profile),
+            ]
+        )
+        assert code == 0
+        # The session cleans up after itself.
+        assert not obs.enabled()
+        assert obs.current_tracer() is None
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert {"ct.build", "treedec.mde"} <= {r["name"] for r in records}
+        metrics_text = metrics.read_text()
+        assert "# TYPE mde_rounds counter" in metrics_text
+        assert "function calls" in profile.read_text()
+
+    def test_build_without_flags_stays_dark(self, edge_file, tmp_path):
+        assert (
+            main(["build", str(edge_file), "-d", "3", "-o", str(tmp_path / "i.json")])
+            == 0
+        )
+        assert not obs.enabled()
+        assert obs.current_tracer() is None
+
+
+class TestTraceCommand:
+    def test_renders_tree_and_summary(self, edge_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(
+            [
+                "build",
+                str(edge_file),
+                "-d",
+                "3",
+                "-o",
+                str(tmp_path / "i.json"),
+                "--trace",
+                str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "ct.build" in out
+        assert "total_ms" in out
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["trace", str(trace)]) == 0
+        assert "empty trace" in capsys.readouterr().out
+
+    def test_corrupt_trace_is_a_handled_error(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text("not json\n")
+        assert main(["trace", str(trace)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeBenchTrace:
+    def test_serve_bench_records_query_spans(self, edge_file, tmp_path, capsys):
+        trace = tmp_path / "serve.trace.jsonl"
+        code = main(
+            [
+                "serve-bench",
+                str(edge_file),
+                "-d",
+                "3",
+                "--queries",
+                "40",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        names = {
+            json.loads(line)["name"] for line in trace.read_text().splitlines()
+        }
+        assert "serving.query" in names
+
+
+class TestObsBenchCommand:
+    def test_obs_bench_records_artifact(self, edge_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "obs-bench",
+                str(edge_file),
+                "-d",
+                "3",
+                "--queries",
+                "80",
+                "-o",
+                str(tmp_path / "BENCH_obs.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "disabled" in out and "enabled" in out
+        assert "overhead" in out
+        document = json.loads((tmp_path / "BENCH_obs.json").read_text())
+        assert document["entries"][0]["identical"] is True

@@ -1,0 +1,56 @@
+"""Smoke tests for the observability-overhead bench driver."""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+from repro.bench.obs_bench import obs_bench_result, record_obs_entry
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+
+
+def _small_graph():
+    cfg = CorePeripheryConfig(
+        core_size=25,
+        community_count=5,
+        community_size_min=4,
+        community_size_max=15,
+        fringe_size=90,
+    )
+    return core_periphery_graph(cfg, seed=11)
+
+
+class TestObsBench:
+    def test_result_rows_and_phases(self):
+        result = obs_bench_result(
+            _small_graph(), 4, name="smoke", queries=120, repeats=1
+        )
+        assert [row["config"] for row in result.rows] == ["disabled", "enabled"]
+        assert all(row["queries"] == 120 for row in result.rows)
+        assert result.identical
+        assert isinstance(result.overhead, float)
+        phase_names = {phase["name"] for phase in result.phases}
+        assert "ct.build" in phase_names
+        assert "treedec.mde" in phase_names
+        # The bench restores the observability switches it flipped.
+        assert not obs.enabled()
+        assert obs.current_tracer() is None
+
+    def test_record_appends_history(self, tmp_path):
+        result = obs_bench_result(
+            _small_graph(), 4, name="smoke", queries=60, repeats=1
+        )
+        path = tmp_path / "BENCH_obs.json"
+        record_obs_entry(result, path)
+        record_obs_entry(result, path)
+        document = json.loads(path.read_text())
+        assert document["schema"] == 1
+        assert len(document["entries"]) == 2
+        entry = document["entries"][0]
+        assert entry["dataset"] == "smoke"
+        assert entry["identical"] is True
+        assert "overhead_pct" in entry
+        assert "recorded_at" in entry

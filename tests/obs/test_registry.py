@@ -1,0 +1,136 @@
+"""Unit tests for the metrics registry and metric primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.obs.metrics import BUCKET_EDGES, Counter, Gauge, LatencyHistogram
+from repro.obs.registry import MetricsRegistry, registry
+
+
+class TestPrimitives:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+        # ConfigurationError is catchable under both disciplines.
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+        counter.reset()
+        assert counter.snapshot() == 0
+
+    def test_gauge_set_inc_dec_reset(self):
+        gauge = Gauge()
+        gauge.set(7.5)
+        gauge.inc(0.5)
+        gauge.dec(3.0)
+        assert gauge.snapshot() == 5.0
+        gauge.reset()
+        assert gauge.snapshot() == 0.0
+
+    def test_histogram_reset_zeroes_everything(self):
+        histogram = LatencyHistogram()
+        for seconds in (1e-6, 5e-5, 2e-3):
+            histogram.record(seconds)
+        assert histogram.count == 3
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.total_seconds == 0.0
+        assert histogram.snapshot() == {"count": 0}
+        assert all(c == 0 for c in histogram.counts)
+        # Still usable after reset.
+        histogram.record(1e-4)
+        assert histogram.count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x.count")
+        b = reg.counter("x.count")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_distinguish_metrics_order_insensitively(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("lat", kind="single", engine=1)
+        b = reg.histogram("lat", engine=1, kind="single")
+        c = reg.histogram("lat", engine=2, kind="single")
+        assert a is b
+        assert a is not c
+        assert len(reg) == 2
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("metric")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("metric")
+
+    def test_reset_keeps_entries_clear_drops_them(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc(3)
+        reg.reset()
+        assert counter.snapshot() == 0
+        assert reg.counter("c") is counter
+        reg.clear()
+        assert reg.counter("c") is not counter
+
+    def test_contains_by_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", shard="0")
+        assert "g" in reg
+        assert "missing" not in reg
+
+    def test_snapshot_is_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("c", kind="a").inc(2)
+        reg.histogram("h").record(1e-5)
+        snap = reg.snapshot()
+        assert snap["c"] == [{"labels": {"kind": "a"}, "value": 2}]
+        assert snap["h"][0]["histogram"]["count"] == 1
+
+    def test_default_registry_is_a_singleton(self):
+        assert registry() is registry()
+        assert isinstance(registry(), MetricsRegistry)
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("mde.rounds").inc(7)
+        reg.gauge("boundary.size", graph="talk").set(561)
+        text = reg.render_prometheus()
+        assert "# TYPE mde_rounds counter" in text
+        assert "mde_rounds 7" in text
+        assert '# TYPE boundary_size gauge' in text
+        assert 'boundary_size{graph="talk"} 561' in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        histogram = reg.histogram("lat", kind="single")
+        histogram.record(BUCKET_EDGES[0] / 2)  # first bucket
+        histogram.record(BUCKET_EDGES[3])      # fourth bucket
+        text = reg.render_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{kind="single",le="+Inf"} 2' in text
+        assert 'lat_count{kind="single"} 2' in text
+        assert "lat_sum{" in text
+        # Cumulative counts never decrease along the bucket series.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

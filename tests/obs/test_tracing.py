@@ -1,0 +1,159 @@
+"""Unit tests for span tracing, export, and the profiling hook."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.obs.export import (
+    format_trace_tree,
+    read_trace,
+    summarize_trace,
+    write_trace,
+)
+from repro.obs.profiling import profile_block
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Tracer,
+    capture,
+    current_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+class TestSpans:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert not tracing_enabled()
+        assert span("anything", n=1) is NOOP_SPAN
+        with span("anything") as sp:
+            assert sp is NOOP_SPAN
+            sp.set(ignored=True)
+
+    def test_capture_records_nested_spans_with_parents(self):
+        with capture() as tracer:
+            with span("outer", n=10) as outer:
+                with span("inner") as inner:
+                    pass
+                outer.set(done=True)
+        assert current_tracer() is None
+        names = [s.name for s in tracer.finished]
+        assert names == ["inner", "outer"]  # finish order
+        inner_span, outer_span = tracer.finished
+        assert inner_span.parent_id == outer_span.span_id
+        assert outer_span.parent_id is None
+        assert outer_span.attrs == {"n": 10, "done": True}
+        assert outer_span.duration_s >= inner_span.duration_s >= 0.0
+
+    def test_set_after_exit_lands_on_the_recorded_span(self):
+        # The serving engine attributes the query case after the timed
+        # block closes; the attrs dict is shared with the record.
+        with capture() as tracer:
+            with span("serving.query") as sp:
+                pass
+            sp.set(case="case2")
+        assert tracer.finished[0].attrs == {"case": "case2"}
+
+    def test_exception_marks_error_and_propagates(self):
+        with capture() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("x")
+        assert tracer.finished[0].attrs["error"] == "RuntimeError"
+
+    def test_capture_restores_an_outer_tracer(self):
+        with capture() as outer:
+            with capture() as inner:
+                with span("in-inner"):
+                    pass
+            assert current_tracer() is outer
+            with span("in-outer"):
+                pass
+        assert [s.name for s in inner.finished] == ["in-inner"]
+        assert [s.name for s in outer.finished] == ["in-outer"]
+
+
+class TestObserve:
+    def test_observe_sets_and_restores_both_switches(self):
+        assert not obs.enabled() and not tracing_enabled()
+        with obs.observe() as tracer:
+            assert obs.enabled() and tracing_enabled()
+            assert isinstance(tracer, Tracer)
+        assert not obs.enabled() and not tracing_enabled()
+
+    def test_observe_reuses_an_installed_tracer(self):
+        with capture() as tracer:
+            with obs.observe() as inner:
+                assert inner is tracer
+
+    def test_enable_disable_roundtrip(self):
+        tracer = obs.enable()
+        try:
+            with span("op"):
+                pass
+        finally:
+            returned = obs.disable()
+        assert returned is tracer
+        assert [s.name for s in tracer.finished] == ["op"]
+
+
+class TestExport:
+    def test_write_read_roundtrip(self, tmp_path):
+        with capture() as tracer:
+            with span("a", k=1):
+                with span("b"):
+                    pass
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(tracer, path) == 2
+        records = read_trace(path)
+        assert [r["name"] for r in records] == ["b", "a"]
+        assert records[1]["attrs"] == {"k": 1}
+        assert records[0]["parent"] == records[1]["id"]
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok", "dur_us": 1, "start_us": 0, "id": 0, "parent": null, "attrs": {}}\nnot json\n')
+        with pytest.raises(SerializationError):
+            read_trace(path)
+        with pytest.raises(SerializationError):
+            read_trace(tmp_path / "missing.jsonl")
+
+    def test_summary_sorted_by_total(self):
+        records = [
+            {"name": "fast", "dur_us": 1.0, "start_us": 0, "id": 0, "parent": None, "attrs": {}},
+            {"name": "slow", "dur_us": 100.0, "start_us": 1, "id": 1, "parent": None, "attrs": {}},
+            {"name": "fast", "dur_us": 3.0, "start_us": 2, "id": 2, "parent": None, "attrs": {}},
+        ]
+        rows = summarize_trace(records)
+        assert [r["name"] for r in rows] == ["slow", "fast"]
+        fast = rows[1]
+        assert fast["count"] == 2
+        assert fast["mean_us"] == 2.0
+        assert fast["max_us"] == 3.0
+
+    def test_tree_indents_children_and_truncates(self):
+        records = [
+            {"name": "root", "dur_us": 10.0, "start_us": 0, "id": 0, "parent": None, "attrs": {}},
+            {"name": "child", "dur_us": 5.0, "start_us": 1, "id": 1, "parent": 0, "attrs": {"k": 2}},
+        ]
+        text = format_trace_tree(records)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "k=2" in lines[1]
+        truncated = format_trace_tree(records, max_spans=1)
+        assert "1 more spans" in truncated
+
+
+class TestProfiling:
+    def test_profile_block_reports_function_rows(self):
+        def workload():
+            return sum(range(2000))
+
+        with profile_block() as report:
+            workload()
+        text = report.text(limit=5)
+        assert "function calls" in text
+        with pytest.raises(ConfigurationError):
+            report.text(sort="bogus")
