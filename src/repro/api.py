@@ -55,14 +55,17 @@ def build(
     core_backend: str = "pll",
     use_equivalence_reduction: bool = True,
     extension_cache_size: int = 256,
+    kernel: str = "auto",
 ) -> CTIndex:
     """Build a CT-Index on ``graph`` with bandwidth ``bandwidth``.
 
     Thin, stable veneer over :meth:`repro.core.ct_index.CTIndex.build`
-    (which also accepts a memory ``budget=``).  ``workers`` and
-    ``backend`` never change answers — a ``workers=N`` flat-backend
-    index is byte-identical to a serial dict-backend one once
-    serialized.
+    (which also accepts a memory ``budget=``).  ``workers``,
+    ``backend``, and ``kernel`` never change answers — a ``workers=N``
+    flat-backend index is byte-identical to a serial dict-backend one
+    once serialized, and the ``"numpy"`` query kernel
+    (:mod:`repro.kernels`) is differentially verified against the
+    ``"python"`` one.
     """
     return CTIndex.build(
         graph,
@@ -73,6 +76,7 @@ def build(
         core_backend=core_backend,
         use_equivalence_reduction=use_equivalence_reduction,
         extension_cache_size=extension_cache_size,
+        kernel=kernel,
     )
 
 

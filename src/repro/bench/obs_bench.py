@@ -68,6 +68,8 @@ class ObsBenchResult:
     phases: list[dict]
     #: Both query passes returned the same answers.
     identical: bool
+    #: The query kernel the measured index resolved to.
+    kernel: str = "python"
 
     @property
     def overhead(self) -> float:
@@ -89,6 +91,7 @@ class ObsBenchResult:
             "phases": self.phases,
             "overhead_pct": round(self.overhead * 100, 2),
             "identical": self.identical,
+            "kernel": self.kernel,
         }
 
 
@@ -112,14 +115,19 @@ def obs_bench_result(
     queries: int = 2000,
     seed: int = 12345,
     repeats: int = 3,
+    kernel: str = "auto",
 ) -> ObsBenchResult:
     """Measure observability overhead on ``graph``'s serving hot path.
+
+    ``kernel`` pins the query kernel of the measured index
+    (``"auto"`` | ``"numpy"`` | ``"python"``, see :mod:`repro.kernels`)
+    so overhead numbers are attributable to one code path.
 
     Raises :class:`ReproError` if the instrumented pass returns a
     different answer than the plain pass for any query — that would be
     an observability bug, not a benchmark data point.
     """
-    index = CTIndex.build(graph, bandwidth, backend="flat")
+    index = CTIndex.build(graph, bandwidth, backend="flat", kernel=kernel)
     workload = random_pairs(graph, queries, seed=seed)
     pairs = workload.pairs
 
@@ -171,6 +179,7 @@ def obs_bench_result(
         rows=rows,
         phases=phases,
         identical=identical,
+        kernel=index.kernel,
     )
 
 

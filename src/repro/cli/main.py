@@ -150,6 +150,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache", type=int, default=4096, help="pair-level LRU capacity"
     )
+    p_serve.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        help="query kernel of the served index; 'numpy' builds the flat "
+        "backend and requires the repro[fast] extra (default auto)",
+    )
     p_serve.add_argument("--seed", type=int, default=12345)
     _add_obs_arguments(p_serve)
     p_serve.set_defaults(handler=_cmd_serve_bench)
@@ -197,6 +204,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_obench.add_argument("graph", help="edge-list file, or a registry dataset name")
     p_obench.add_argument("-d", "--bandwidth", type=int, default=20)
     p_obench.add_argument("--queries", type=int, default=2000)
+    p_obench.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        help="query kernel of the measured index (default auto)",
+    )
     p_obench.add_argument(
         "-o",
         "--output",
@@ -448,7 +461,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if not 0.0 <= args.hot_fraction <= 1.0:
         raise QueryError(f"--hot-fraction {args.hot_fraction} outside [0, 1]")
     graph, _ = read_edge_list(args.graph)
-    index = CTIndex.build(graph, args.bandwidth)
+    # The numpy kernel reads CSR arrays, so an explicit request selects
+    # the flat backend; otherwise keep the historical dict-backend build.
+    backend = "flat" if args.kernel == "numpy" else "dict"
+    index = CTIndex.build(graph, args.bandwidth, backend=backend, kernel=args.kernel)
     workload = skewed_pairs(
         graph,
         args.queries,
@@ -475,7 +491,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             ],
             title=(
                 f"serve-bench: CT-{args.bandwidth} on n={graph.n} m={graph.m}, "
-                f"{args.queries} queries ({args.hot_fraction:.0%} hot)"
+                f"{args.queries} queries ({args.hot_fraction:.0%} hot), "
+                f"kernel={index.kernel}"
             ),
         )
     )
@@ -595,14 +612,17 @@ def _cmd_obs_bench(args: argparse.Namespace) -> int:
     else:
         name = args.graph
         graph, _ = read_edge_list(args.graph)
-    result = obs_bench_result(graph, args.bandwidth, name=name, queries=args.queries)
+    result = obs_bench_result(
+        graph, args.bandwidth, name=name, queries=args.queries, kernel=args.kernel
+    )
     print(
         format_table(
             result.rows,
             ["config", "queries", "total_ms", "mean_us"],
             title=(
                 f"obs-bench: CT-{args.bandwidth} on {name} "
-                f"(n={graph.n} m={graph.m}), {args.queries} queries"
+                f"(n={graph.n} m={graph.m}), {args.queries} queries, "
+                f"kernel={result.kernel}"
             ),
         )
     )

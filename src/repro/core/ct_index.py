@@ -32,6 +32,12 @@ from collections import Counter, OrderedDict
 import repro.obs as obs
 from repro.exceptions import QueryError
 from repro.graphs.graph import INF, Graph, Weight
+from repro.kernels import (
+    KERNEL_AUTO,
+    KERNEL_NUMPY,
+    record_kernel_queries,
+    resolve_kernel,
+)
 from repro.obs.tracing import span as obs_span
 from repro.graphs.reductions import (
     EquivalenceReduction,
@@ -41,6 +47,10 @@ from repro.graphs.reductions import (
 from repro.labeling.base import DistanceIndex, MemoryBudget, validate_backend
 from repro.labeling.pll import PrunedLandmarkLabeling
 from repro.core.construction import TreeIndex, construct
+
+#: Kernel-state sentinel: "not resolved yet" (distinct from None, which
+#: means "resolved to the python kernel").
+_UNRESOLVED = object()
 
 
 class CTIndex(DistanceIndex):
@@ -68,6 +78,7 @@ class CTIndex(DistanceIndex):
         core_originals: list[int],
         core_compact: dict[int, int],
         extension_cache_size: int = 256,
+        kernel: str = KERNEL_AUTO,
     ) -> None:
         self.graph = graph
         self.bandwidth = bandwidth
@@ -86,7 +97,12 @@ class CTIndex(DistanceIndex):
         #: Extension sets served from / missing the LRU.
         self.extension_cache_hits = 0
         self.extension_cache_misses = 0
-        self._extension_cache: OrderedDict[int, dict[int, Weight]] = OrderedDict()
+        self._extension_cache: OrderedDict[int, object] = OrderedDict()
+        #: Requested query kernel ("auto" | "numpy" | "python").
+        self._kernel_request = kernel
+        #: Resolved kernel state: _UNRESOLVED until first use, then a
+        #: CTKernelState (numpy) or None (python fallback).
+        self._kernel_state: object = _UNRESOLVED
 
     # ------------------------------------------------------------------
     # Build entry points
@@ -105,6 +121,7 @@ class CTIndex(DistanceIndex):
         extension_cache_size: int = 256,
         workers: int | None = None,
         backend: str = "dict",
+        kernel: str = KERNEL_AUTO,
         core_order: str | None = None,
     ) -> "CTIndex":
         """Construct a CT-Index (Algorithm 1).
@@ -145,6 +162,13 @@ class CTIndex(DistanceIndex):
             per-node containers) or ``"flat"`` (the CSR arrays of
             :mod:`repro.storage`, packed after construction).  Never
             changes an answer.
+        kernel:
+            Query kernel selection (see :mod:`repro.kernels`):
+            ``"auto"`` (default — NumPy when installed and the backend
+            is flat), ``"numpy"`` (required; raises
+            :class:`~repro.exceptions.ConfigurationError` when NumPy is
+            missing or ``backend`` is not ``"flat"``), or ``"python"``
+            (always the interpreter kernels).  Never changes an answer.
         core_order:
             Deprecated spelling of ``order=`` (kept one release; warns
             with :class:`DeprecationWarning`).
@@ -153,6 +177,9 @@ class CTIndex(DistanceIndex):
 
         order = resolve_renamed_kwarg("core_order", "order", core_order, order)
         validate_backend(backend)
+        # Fail fast on an unsatisfiable kernel request (numpy missing,
+        # or kernel='numpy' on the dict backend).
+        resolve_kernel(kernel, flat=backend == "flat")
         started = time.perf_counter()
         with obs_span(
             "ct.build",
@@ -185,6 +212,7 @@ class CTIndex(DistanceIndex):
                 core_originals=originals,
                 core_compact=compact,
                 extension_cache_size=extension_cache_size,
+                kernel=kernel,
             )
             if backend == "flat":
                 index.compact()
@@ -226,12 +254,18 @@ class CTIndex(DistanceIndex):
                 self.tree_index.labels = flat
                 self.tree_index._local_get = flat.local_get
             self.clear_extension_cache()
+            self._kernel_state = _UNRESOLVED
         if obs.enabled():
             obs.registry().counter("storage.compactions").inc()
         return self
 
     def to_dict_backend(self) -> "CTIndex":
-        """Unpack both label halves into the mutable dict backend."""
+        """Unpack both label halves into the mutable dict backend.
+
+        An explicit ``kernel="numpy"`` request is demoted to ``"auto"``
+        (the numpy kernels cannot read dict labels); converting back
+        with :meth:`compact` re-enables them.
+        """
         from repro.storage.flat_tree import FlatTreeLabelStore
 
         self.core_index.to_dict_backend()
@@ -239,7 +273,50 @@ class CTIndex(DistanceIndex):
             self.tree_index.labels = self.tree_index.labels.to_dicts()
             self.tree_index._local_get = None
         self.clear_extension_cache()
+        if self._kernel_request == KERNEL_NUMPY:
+            self._kernel_request = KERNEL_AUTO
+        self._kernel_state = _UNRESOLVED
         return self
+
+    # ------------------------------------------------------------------
+    # Query kernels
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel(self) -> str:
+        """The resolved query kernel: ``"numpy"`` or ``"python"``."""
+        return KERNEL_NUMPY if self._resolved_kernel_state() is not None else "python"
+
+    def set_kernel(self, kernel: str = KERNEL_AUTO) -> "CTIndex":
+        """Select the query kernel (``"auto"`` | ``"numpy"`` | ``"python"``).
+
+        An explicit ``"numpy"`` that cannot be honoured raises
+        :class:`~repro.exceptions.ConfigurationError` immediately.  The
+        extension cache is dropped — the two kernels memoize extension
+        sets in different shapes (dicts vs sorted array pairs).
+        Returns ``self``.
+        """
+        resolve_kernel(kernel, flat=self.storage_backend == "flat")
+        self._kernel_request = kernel
+        self._kernel_state = _UNRESOLVED
+        self.clear_extension_cache()
+        return self
+
+    def _resolved_kernel_state(self):
+        """The CTKernelState to query through, or None (python kernel)."""
+        state = self._kernel_state
+        if state is _UNRESOLVED:
+            resolved = resolve_kernel(
+                self._kernel_request, flat=self.storage_backend == "flat"
+            )
+            if resolved == KERNEL_NUMPY:
+                from repro.kernels.ct_kernels import CTKernelState
+
+                state = CTKernelState(self)
+            else:
+                state = None
+            self._kernel_state = state
+        return state
 
     # ------------------------------------------------------------------
     # Introspection
@@ -327,6 +404,11 @@ class CTIndex(DistanceIndex):
         rt = self.reduction.representative[t]
         if rs == rt:
             return self.reduction.class_distance(s, t)
+        state = self._resolved_kernel_state()
+        if state is not None:
+            record_kernel_queries(KERNEL_NUMPY)
+            return state.reduced_distance(rs, rt)
+        record_kernel_queries("python")
         return self._reduced_distance(rs, rt)
 
     def distances_from(self, s: int, targets) -> list[Weight]:
@@ -338,6 +420,14 @@ class CTIndex(DistanceIndex):
         """
         if not 0 <= s < self.graph.n:
             raise QueryError(f"source {s} out of range")
+        state = self._resolved_kernel_state()
+        if state is not None:
+            targets = list(targets)
+            for t in targets:
+                if not 0 <= t < self.graph.n:
+                    raise QueryError(f"target {t} out of range")
+            record_kernel_queries(KERNEL_NUMPY, len(targets))
+            return state.distances_from(s, targets)
         rs = self.reduction.representative[s]
         pos_s = self.decomposition.position[rs]
         ext_s: dict[int, Weight] | None = None
@@ -379,7 +469,25 @@ class CTIndex(DistanceIndex):
             else:
                 self.case_counts["case3"] += 1
                 results.append(_dict_intersection(ext_s, self._extended_labels(pos_t)))
+        record_kernel_queries("python", len(results))
         return results
+
+    def distances_batch(self, pairs) -> list[Weight]:
+        """Pairwise batch; the numpy kernel groups pairs by source.
+
+        Grouping lets every source pay its dense scatter / extension
+        computation once across all its pairs; answers stay positional
+        and identical to the scalar loop.
+        """
+        state = self._resolved_kernel_state()
+        if state is None:
+            return super().distances_batch(pairs)
+        pairs = list(pairs)
+        for s, t in pairs:
+            if not 0 <= s < self.graph.n or not 0 <= t < self.graph.n:
+                raise QueryError(f"query nodes ({s}, {t}) out of range")
+        record_kernel_queries(KERNEL_NUMPY, len(pairs))
+        return state.distances_batch(pairs)
 
     def distance_naive_4hop(self, s: int, t: int) -> Weight:
         """Like :meth:`distance` but evaluating Equation 1 directly.
@@ -421,11 +529,20 @@ class CTIndex(DistanceIndex):
     # -- Case helpers ---------------------------------------------------
 
     def _core_distance(self, u: int, v: int) -> Weight:
-        """2-hop query between two core nodes (original ids)."""
+        """2-hop query between two core nodes (original ids).
+
+        Goes straight to the label store rather than through
+        ``core_index.distance``: these are *internal* probes of the
+        CT-Index cases, so they must not re-enter the core index's own
+        kernel dispatch (which would double-record them on the
+        per-kernel query counters).
+        """
         self.core_probes += 1
         if u == v:
             return 0
-        return self.core_index.distance(self._core_compact[u], self._core_compact[v])
+        return self.core_index.labels.query(
+            self._core_compact[u], self._core_compact[v]
+        )
 
     def _tree_to_core(self, s: int, pos_s: int, t: int) -> Weight:
         interface = self.decomposition.interface[self.decomposition.root[pos_s]]
@@ -473,6 +590,16 @@ class CTIndex(DistanceIndex):
         costs O(d) core-label scans; a hit is a dictionary lookup.
         Callers must not mutate the returned map.
         """
+        return self._extension_entry(pos, self._compute_extended_labels)
+
+    def _extension_entry(self, pos: int, compute):
+        """LRU discipline shared by both kernels' extension sets.
+
+        The python kernel memoizes ``rank -> dist`` dicts, the numpy
+        kernel sorted ``(ranks, dists)`` array pairs; the cache never
+        mixes shapes because every kernel switch (:meth:`set_kernel`,
+        :meth:`compact`, :meth:`to_dict_backend`) clears it.
+        """
         cache = self._extension_cache
         cached = cache.get(pos)
         if cached is not None:
@@ -480,7 +607,7 @@ class CTIndex(DistanceIndex):
             cache.move_to_end(pos)
             return cached
         self.extension_cache_misses += 1
-        extended = self._compute_extended_labels(pos)
+        extended = compute(pos)
         if self.extension_cache_size > 0:
             cache[pos] = extended
             if len(cache) > self.extension_cache_size:
@@ -546,6 +673,7 @@ def build_ct_index(
     extension_cache_size: int = 256,
     workers: int | None = None,
     backend: str = "dict",
+    kernel: str = KERNEL_AUTO,
     core_order: str | None = None,
 ) -> CTIndex:
     """Functional alias of :meth:`CTIndex.build` (same keywords)."""
@@ -559,5 +687,6 @@ def build_ct_index(
         extension_cache_size=extension_cache_size,
         workers=workers,
         backend=backend,
+        kernel=kernel,
         core_order=core_order,
     )

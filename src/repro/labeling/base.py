@@ -119,13 +119,25 @@ def validate_backend(backend: str) -> str:
 
 
 class HubLabelBackendMixin:
-    """Backend switching for indexes holding one ``labels`` hub store.
+    """Backend and kernel switching for indexes holding one hub store.
 
     Mixed into :class:`~repro.labeling.pll.PrunedLandmarkLabeling` and
     :class:`~repro.labeling.psl.ParallelShortestPathLabeling`: both keep
     every query reading through ``self.labels``, so converting the store
     in place converts the index.
+
+    The mixin also resolves the query kernel (:mod:`repro.kernels`):
+    queries go through :meth:`_query_labels` / the batch overrides,
+    which dispatch to a vectorized
+    :class:`~repro.kernels.label_kernels.NumpyLabelKernel` when the
+    resolved kernel is ``"numpy"`` and to the store's scalar ``query``
+    otherwise.  The resolved kernel is cached keyed on the label store's
+    identity, so ``compact()`` / ``to_dict_backend()`` invalidate it for
+    free.
     """
+
+    #: Requested query kernel; instances override via :meth:`set_kernel`.
+    _kernel_request = "auto"
 
     @property
     def storage_backend(self) -> str:
@@ -140,12 +152,91 @@ class HubLabelBackendMixin:
         return self
 
     def to_dict_backend(self):
-        """Unpack the labels into the mutable dict backend; returns ``self``."""
+        """Unpack the labels into the mutable dict backend; returns ``self``.
+
+        An explicit ``kernel="numpy"`` request is demoted to ``"auto"``
+        — the numpy kernel cannot read dict labels.
+        """
         from repro.storage.flat_labels import FlatLabelStore
 
         if isinstance(self.labels, FlatLabelStore):
             self.labels = self.labels.to_hub_labeling()
+        if self._kernel_request == "numpy":
+            self._kernel_request = "auto"
         return self
+
+    # -- Query kernels --------------------------------------------------
+
+    @property
+    def kernel(self) -> str:
+        """The resolved query kernel: ``"numpy"`` or ``"python"``."""
+        return "numpy" if self._label_kernel() is not None else "python"
+
+    def set_kernel(self, kernel: str = "auto"):
+        """Select the query kernel (``"auto"`` | ``"numpy"`` | ``"python"``).
+
+        An explicit ``"numpy"`` that cannot be honoured (NumPy missing,
+        dict backend) raises :class:`~repro.exceptions.
+        ConfigurationError` immediately.  Returns ``self``.
+        """
+        from repro.kernels import resolve_kernel
+
+        resolve_kernel(kernel, flat=self.storage_backend == "flat")
+        self._kernel_request = kernel
+        self.__dict__.pop("_kernel_cache", None)
+        return self
+
+    def _label_kernel(self):
+        """The NumpyLabelKernel to query through, or None (python)."""
+        cached = self.__dict__.get("_kernel_cache")
+        if cached is not None and cached[0] is self.labels:
+            return cached[1]
+        from repro.kernels import resolve_kernel
+
+        resolved = resolve_kernel(
+            self._kernel_request, flat=self.storage_backend == "flat"
+        )
+        if resolved == "numpy":
+            from repro.kernels.label_kernels import NumpyLabelKernel
+
+            kernel = NumpyLabelKernel(self.labels)
+        else:
+            kernel = None
+        self.__dict__["_kernel_cache"] = (self.labels, kernel)
+        return kernel
+
+    def _query_labels(self, s: int, t: int) -> Weight:
+        """One 2-hop query through the resolved kernel."""
+        from repro.kernels import record_kernel_queries
+
+        kernel = self._label_kernel()
+        if kernel is not None:
+            record_kernel_queries("numpy")
+            return kernel.query(s, t)
+        record_kernel_queries("python")
+        return self.labels.query(s, t)
+
+    def distances_from(self, s: int, targets: Iterable[int]) -> list[Weight]:
+        """One-to-many batch; vectorized under the numpy kernel."""
+        kernel = self._label_kernel()
+        if kernel is None:
+            return super().distances_from(s, targets)
+        from repro.kernels import record_kernel_queries
+
+        targets = list(targets)
+        record_kernel_queries("numpy", len(targets))
+        return kernel.query_from(s, targets)
+
+    def distances_batch(self, pairs: Iterable[tuple[int, int]]) -> list[Weight]:
+        """Pairwise batch; grouped by source under the numpy kernel."""
+        kernel = self._label_kernel()
+        if kernel is None:
+            return super().distances_batch(pairs)
+        from repro.kernels import record_kernel_queries
+
+        pairs = list(pairs)
+        record_kernel_queries("numpy", len(pairs))
+        return kernel.query_batch(pairs)
 
 
 @dataclasses.dataclass

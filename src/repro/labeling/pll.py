@@ -50,8 +50,8 @@ class PrunedLandmarkLabeling(HubLabelBackendMixin, DistanceIndex):
         self.order = order
 
     def distance(self, s: int, t: int) -> Weight:
-        """Exact distance via label intersection."""
-        return self.labels.query(s, t)
+        """Exact distance via label intersection (kernel-dispatched)."""
+        return self._query_labels(s, t)
 
     def size_entries(self) -> int:
         return self.labels.total_entries()

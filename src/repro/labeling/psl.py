@@ -52,7 +52,7 @@ class ParallelShortestPathLabeling(HubLabelBackendMixin, DistanceIndex):
         self.rounds = rounds
 
     def distance(self, s: int, t: int) -> Weight:
-        return self.labels.query(s, t)
+        return self._query_labels(s, t)
 
     def size_entries(self) -> int:
         return self.labels.total_entries()

@@ -73,6 +73,13 @@ class QueryEngine:
         (:func:`repro.obs.registry`).  Histograms are labeled
         ``engine=<id>`` plus ``kind=``/``case=``, so several engines
         share one registry without clashing.
+    kernel:
+        Query-kernel selection forwarded to the index's ``set_kernel``
+        (``"auto"`` | ``"numpy"`` | ``"python"``, see
+        :mod:`repro.kernels`).  ``None`` (the default) leaves the
+        index's own selection untouched.  An explicit ``"numpy"`` on an
+        index without kernel support raises
+        :class:`~repro.exceptions.ConfigurationError`.
     """
 
     def __init__(
@@ -82,8 +89,23 @@ class QueryEngine:
         cache_capacity: int | None = None,
         symmetric: bool = True,
         registry: MetricsRegistry | None = None,
+        kernel: str | None = None,
     ) -> None:
         self.raw_index = index
+        if kernel is not None:
+            from repro.kernels import KERNEL_NUMPY, validate_kernel
+
+            validate_kernel(kernel)
+            set_kernel = getattr(index, "set_kernel", None)
+            if set_kernel is not None:
+                set_kernel(kernel)
+            elif kernel == KERNEL_NUMPY:
+                from repro.exceptions import ConfigurationError
+
+                raise ConfigurationError(
+                    f"kernel='numpy' requested but {type(index).__name__} "
+                    f"has no query-kernel support"
+                )
         if cache_capacity is not None:
             index = CachedDistanceIndex(index, cache_capacity, symmetric=symmetric)
         self.index = index
@@ -174,8 +196,8 @@ class QueryEngine:
         kind), ``cases`` (histogram snapshot per CT query case, when the
         underlying index reports cases), ``pair_cache`` (hits/misses/
         hit_rate/capacity, when caching is on), and ``index`` (method
-        name plus, for CT-Indexes, case counts, core probes, and the
-        extension-cache counters).
+        name, the resolved query ``kernel``, plus, for CT-Indexes, case
+        counts, core probes, and the extension-cache counters).
         """
         snapshot: dict = {
             "requests": dict(self.request_counts),
@@ -199,7 +221,10 @@ class QueryEngine:
                 "hit_rate": cache.hit_rate,
                 "capacity": cache.capacity,
             }
-        index_stats: dict = {"method": self.raw_index.method_name}
+        index_stats: dict = {
+            "method": self.raw_index.method_name,
+            "kernel": getattr(self.raw_index, "kernel", "python"),
+        }
         tracked = self._tracked
         if tracked is not None:
             index_stats["case_counts"] = dict(tracked.case_counts)

@@ -1,4 +1,4 @@
-"""Versioned binary snapshots of built CT-Indexes (format version 3).
+"""Versioned binary snapshots of built CT-Indexes (format version 4).
 
 The JSON document of :mod:`repro.core.serialization` stays the
 inspectable interchange format; this module adds the fast path: label
@@ -8,7 +8,7 @@ millions of JSON tokens.
 
 Layout (full field-level description in ``docs/formats.md``)::
 
-    header   8s magic ("RCTINDEX")  u32 version (3)  u32 section count
+    header   8s magic ("RCTINDEX")  u32 version (4)  u32 section count
     table    per section: 12s name  u64 offset  u64 length  u32 crc32
     payload  concatenated section bodies
 
@@ -21,6 +21,13 @@ count; every section's CRC-32 is verified before a single byte is
 decoded, so truncated or bit-flipped snapshots raise
 :class:`~repro.exceptions.SerializationError` instead of unpacking
 garbage.
+
+Version 4 writes every integer array with the *narrowest sufficient*
+typecode of its signedness family (``b/h/i/q`` or ``B/H/I/Q``) instead
+of fixed 8-byte words — on real graphs this roughly halves the
+treelabels/core sections, which are almost entirely small distances and
+node ids.  The loader reads versions 3 (always 8-byte/4-byte arrays)
+and 4 alike: the typecode prefix already tells it the layout.
 
 Loading defaults to the flat backend — the on-disk CSR arrays *are* the
 in-memory representation — but ``backend="dict"`` unpacks into the
@@ -50,13 +57,31 @@ PathLike = Union[str, os.PathLike]
 #: First 8 bytes of every binary snapshot.
 MAGIC = b"RCTINDEX"
 
-#: Version 3 is the first binary format (versions 1-2 are the JSON
-#: documents of :mod:`repro.core.serialization`).
-BINARY_FORMAT_VERSION = 3
+#: Version written by :func:`save_ct_index_binary`.  Version 3 was the
+#: first binary format (versions 1-2 are the JSON documents of
+#: :mod:`repro.core.serialization`); version 4 narrows integer arrays
+#: to their smallest sufficient typecode.
+BINARY_FORMAT_VERSION = 4
+
+#: Header versions :func:`load_ct_index_binary` accepts.
+SUPPORTED_BINARY_VERSIONS = frozenset({3, 4})
 
 _HEADER = struct.Struct("<8sII")
 _SECTION = struct.Struct("<12sQQI")
 _SECTION_NAMES = ("meta", "graph", "reduction", "elim", "treelabels", "core")
+
+#: Typecode families a snapshot array may use.  v3 only ever wrote
+#: ``q``/``I``/``B``/``d``; v4 narrows within the same signedness
+#: family, so loaders accept the whole family wherever an integer
+#: array is expected.
+_SIGNED_INT_CODES = "bhiq"
+_UNSIGNED_INT_CODES = "BHIQ"
+_INT_CODES = _SIGNED_INT_CODES + _UNSIGNED_INT_CODES
+#: Distance arrays: a signed integer family (with the -1 INF sentinel)
+#: or float64.
+_DIST_CODES = _SIGNED_INT_CODES + "d"
+#: Hub-rank arrays: unsigned (v3 wrote 'I'; v4 narrows to B/H).
+_RANK_CODES = "BHI"
 
 #: twin_kind byte encoding (reduction section).
 _TWIN_CODES = {None: 0, "true": 1, "false": 2}
@@ -86,6 +111,33 @@ def _put_array(buf: bytearray, values: array) -> None:
     buf.append(values.itemsize)
     _put_u64(buf, len(values))
     buf += _little_endian(values).tobytes()
+
+
+def _narrowed(values: array) -> array:
+    """``values`` recoded to the narrowest typecode of its family.
+
+    Integer arrays only — floats and empty arrays come back unchanged.
+    Signed arrays stay signed (the -1 INF sentinel survives), unsigned
+    stay unsigned.
+    """
+    if values.typecode not in _INT_CODES or not len(values):
+        return values
+    signed = values.typecode in _SIGNED_INT_CODES
+    lo, hi = min(values), max(values)
+    for code in _SIGNED_INT_CODES if signed else _UNSIGNED_INT_CODES:
+        bits = array(code).itemsize * 8
+        if signed:
+            fits = -(1 << (bits - 1)) <= lo and hi < 1 << (bits - 1)
+        else:
+            fits = hi < 1 << bits
+        if fits:
+            return values if code == values.typecode else array(code, values)
+    return values  # pragma: no cover - 'q'/'Q' always fit
+
+
+def _put_narrow(buf: bytearray, values: array) -> None:
+    """:func:`_put_array` of the narrowest recoding (the v4 writer path)."""
+    _put_array(buf, _narrowed(values))
 
 
 def _put_blob(buf: bytearray, payload: bytes) -> None:
@@ -163,7 +215,7 @@ def _weights_to_array(values: list[Weight]) -> array:
 
 def _weights_from_array(packed: array) -> list[Weight]:
     """Invert :func:`_weights_to_array`; reject sub-sentinel garbage."""
-    if packed.typecode == "q":
+    if packed.typecode in _SIGNED_INT_CODES:
         lowest = min(packed, default=0)
         if lowest >= 0:  # common case: no INF entries, no decode loop
             return list(packed)
@@ -189,16 +241,16 @@ def _put_graph(buf: bytearray, graph: Graph) -> None:
         vs.append(v)
         ws.append(w)
     _put_u64(buf, graph.n)
-    _put_array(buf, array("q", us))
-    _put_array(buf, array("q", vs))
-    _put_array(buf, _weights_to_array(ws))
+    _put_narrow(buf, array("q", us))
+    _put_narrow(buf, array("q", vs))
+    _put_narrow(buf, _weights_to_array(ws))
 
 
 def _read_graph(cursor: _Cursor) -> Graph:
     n = cursor.u64()
-    us = cursor.typed_array("q")
-    vs = cursor.typed_array("q")
-    ws = _weights_from_array(cursor.typed_array("qd"))
+    us = cursor.typed_array(_INT_CODES)
+    vs = cursor.typed_array(_INT_CODES)
+    ws = _weights_from_array(cursor.typed_array(_DIST_CODES))
     if n > 1 << 40:
         raise SerializationError(
             f"section {cursor.name!r} claims an implausible node count {n}"
@@ -238,7 +290,7 @@ def _read_graph(cursor: _Cursor) -> Graph:
 
 
 def save_ct_index_binary(index, path: PathLike) -> None:
-    """Write ``index`` to ``path`` as a v3 binary snapshot.
+    """Write ``index`` to ``path`` as a v4 binary snapshot.
 
     Works on either storage backend (dict-backed labels are packed on
     the way out); the snapshot itself is backend-agnostic, like the JSON
@@ -261,8 +313,8 @@ def save_ct_index_binary(index, path: PathLike) -> None:
     reduction = index.reduction
     buf = bytearray()
     _put_graph(buf, reduction.reduced)
-    _put_array(buf, array("q", reduction.representative))
-    _put_array(buf, array("q", reduction.originals))
+    _put_narrow(buf, array("q", reduction.representative))
+    _put_narrow(buf, array("q", reduction.originals))
     try:
         twin_codes = array("B", (_TWIN_CODES[kind] for kind in reduction.twin_kind))
     except KeyError as exc:
@@ -283,10 +335,10 @@ def save_ct_index_binary(index, path: PathLike) -> None:
         counts.append(len(step.neighbors))
         flat_neighbors.extend(step.neighbors)
         flat_dists.extend(step.local_distance[u] for u in step.neighbors)
-    _put_array(buf, array("q", nodes))
-    _put_array(buf, array("q", counts))
-    _put_array(buf, array("q", flat_neighbors))
-    _put_array(buf, _weights_to_array(flat_dists))
+    _put_narrow(buf, array("q", nodes))
+    _put_narrow(buf, array("q", counts))
+    _put_narrow(buf, array("q", flat_neighbors))
+    _put_narrow(buf, _weights_to_array(flat_dists))
     core_nodes = elimination.core_nodes
     core_counts: list[int] = []
     core_targets: list[int] = []
@@ -297,28 +349,28 @@ def save_ct_index_binary(index, path: PathLike) -> None:
         for u in sorted(row):
             core_targets.append(u)
             core_weights.append(row[u])
-    _put_array(buf, array("q", core_nodes))
-    _put_array(buf, array("q", core_counts))
-    _put_array(buf, array("q", core_targets))
-    _put_array(buf, _weights_to_array(core_weights))
+    _put_narrow(buf, array("q", core_nodes))
+    _put_narrow(buf, array("q", core_counts))
+    _put_narrow(buf, array("q", core_targets))
+    _put_narrow(buf, _weights_to_array(core_weights))
     sections["elim"] = bytes(buf)
 
     tree_store = FlatTreeLabelStore.from_labels(index.tree_index.labels)
     offsets, targets, dists = tree_store.csr_arrays()
     buf = bytearray()
-    _put_array(buf, offsets)
-    _put_array(buf, targets)
-    _put_array(buf, dists)
+    _put_narrow(buf, offsets)
+    _put_narrow(buf, targets)
+    _put_narrow(buf, dists)
     sections["treelabels"] = bytes(buf)
 
     core_store = FlatLabelStore.from_store(index.core_index.labels)
     order, offsets, hub_ranks, hub_dists = core_store.csr_arrays()
     buf = bytearray()
-    _put_array(buf, array("q", index.core_originals))
-    _put_array(buf, order)
-    _put_array(buf, offsets)
-    _put_array(buf, hub_ranks)
-    _put_array(buf, hub_dists)
+    _put_narrow(buf, array("q", index.core_originals))
+    _put_narrow(buf, order)
+    _put_narrow(buf, offsets)
+    _put_narrow(buf, hub_ranks)
+    _put_narrow(buf, hub_dists)
     _put_graph(buf, index.core_index.graph)
     sections["core"] = bytes(buf)
 
@@ -342,7 +394,7 @@ def save_ct_index_binary(index, path: PathLike) -> None:
 
 
 def is_binary_snapshot(path: PathLike) -> bool:
-    """True when ``path`` starts with the v3 snapshot magic."""
+    """True when ``path`` starts with the binary snapshot magic."""
     try:
         with open(path, "rb") as handle:
             return handle.read(len(MAGIC)) == MAGIC
@@ -350,7 +402,7 @@ def is_binary_snapshot(path: PathLike) -> bool:
         return False
 
 
-def _read_sections(path: Path) -> dict[str, bytes]:
+def _read_sections(path: Path) -> tuple[int, dict[str, bytes]]:
     try:
         data = path.read_bytes()
     except OSError as exc:
@@ -360,10 +412,10 @@ def _read_sections(path: Path) -> dict[str, bytes]:
     magic, version, count = _HEADER.unpack_from(data, 0)
     if magic != MAGIC:
         raise SerializationError(f"{path} is not a CT-Index binary snapshot (bad magic)")
-    if version != BINARY_FORMAT_VERSION:
+    if version not in SUPPORTED_BINARY_VERSIONS:
         raise SerializationError(
             f"unsupported binary snapshot version {version} in {path}; "
-            f"this build reads version {BINARY_FORMAT_VERSION}"
+            f"this build reads versions {sorted(SUPPORTED_BINARY_VERSIONS)}"
         )
     table_end = _HEADER.size + _SECTION.size * count
     if count > 1024 or table_end > len(data):
@@ -390,7 +442,7 @@ def _read_sections(path: Path) -> dict[str, bytes]:
         raise SerializationError(
             f"{path} is missing snapshot sections: {', '.join(missing)}"
         )
-    return sections
+    return version, sections
 
 
 def load_ct_index_binary(path: PathLike, *, backend: str = "flat"):
@@ -406,11 +458,11 @@ def load_ct_index_binary(path: PathLike, *, backend: str = "flat"):
         )
     path = Path(path)
     with obs_span("storage.binary_load", backend=backend) as load_span:
-        sections = _read_sections(path)
+        version, sections = _read_sections(path)
         if tracing_enabled():
             load_span.set(bytes=sum(len(body) for body in sections.values()))
         try:
-            return _decode_snapshot(path, sections, backend)
+            return _decode_snapshot(path, sections, backend, version)
         except SerializationError:
             raise
         except (
@@ -430,7 +482,9 @@ def load_ct_index_binary(path: PathLike, *, backend: str = "flat"):
             ) from exc
 
 
-def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):
+def _decode_snapshot(
+    path: Path, sections: dict[str, bytes], backend: str, version: int
+):
     from repro.core.construction import TreeIndex
     from repro.core.ct_index import CTIndex
     from repro.labeling.pll import PrunedLandmarkLabeling
@@ -445,9 +499,10 @@ def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):
         ) from exc
     if meta.get("format") != "repro-ct-index":
         raise SerializationError(f"{path} is not a CT-Index snapshot")
-    if meta.get("version") != BINARY_FORMAT_VERSION:
+    if meta.get("version") != version:
         raise SerializationError(
-            f"unsupported snapshot version {meta.get('version')!r} in {path}"
+            f"meta section claims version {meta.get('version')!r} but the "
+            f"header of {path} says {version}"
         )
     bandwidth = meta["bandwidth"]
     if not isinstance(bandwidth, int) or bandwidth < 0:
@@ -459,8 +514,8 @@ def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):
 
     cursor = _Cursor("reduction", sections["reduction"])
     reduced = _read_graph(cursor)
-    representative = list(cursor.typed_array("q"))
-    originals_map = list(cursor.typed_array("q"))
+    representative = list(cursor.typed_array(_INT_CODES))
+    originals_map = list(cursor.typed_array(_INT_CODES))
     twin_codes = cursor.typed_array("B")
     cursor.done()
     try:
@@ -478,14 +533,14 @@ def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):
     )
 
     cursor = _Cursor("elim", sections["elim"])
-    nodes = cursor.typed_array("q")
-    counts = cursor.typed_array("q")
-    flat_neighbors = cursor.typed_array("q")
-    flat_dists = _weights_from_array(cursor.typed_array("qd"))
-    core_nodes = list(cursor.typed_array("q"))
-    core_counts = cursor.typed_array("q")
-    core_targets = cursor.typed_array("q")
-    core_weights = _weights_from_array(cursor.typed_array("qd"))
+    nodes = cursor.typed_array(_INT_CODES)
+    counts = cursor.typed_array(_INT_CODES)
+    flat_neighbors = cursor.typed_array(_INT_CODES)
+    flat_dists = _weights_from_array(cursor.typed_array(_DIST_CODES))
+    core_nodes = list(cursor.typed_array(_INT_CODES))
+    core_counts = cursor.typed_array(_INT_CODES)
+    core_targets = cursor.typed_array(_INT_CODES)
+    core_weights = _weights_from_array(cursor.typed_array(_DIST_CODES))
     cursor.done()
     if len(nodes) != len(counts) or sum(counts) != len(flat_neighbors):
         raise SerializationError(f"ragged elimination arrays in {path}")
@@ -530,9 +585,9 @@ def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):
     decomposition = core_tree_decomposition(reduced, bandwidth, elimination=elimination)
 
     cursor = _Cursor("treelabels", sections["treelabels"])
-    tree_offsets = cursor.typed_array("q")
-    tree_targets = cursor.typed_array("q")
-    tree_dists = cursor.typed_array("qd")
+    tree_offsets = cursor.typed_array(_INT_CODES)
+    tree_targets = cursor.typed_array(_INT_CODES)
+    tree_dists = cursor.typed_array(_DIST_CODES)
     cursor.done()
     tree_store = FlatTreeLabelStore(tree_offsets, tree_targets, tree_dists)
     if len(tree_store) != decomposition.boundary:
@@ -544,14 +599,14 @@ def _decode_snapshot(path: Path, sections: dict[str, bytes], backend: str):
     tree_index = TreeIndex(decomposition, tree_labels)
 
     cursor = _Cursor("core", sections["core"])
-    core_originals = list(cursor.typed_array("q"))
-    order = list(cursor.typed_array("q"))
-    offsets = cursor.typed_array("q")
-    hub_ranks = cursor.typed_array("I")
-    hub_dists = cursor.typed_array("qd")
+    core_originals = list(cursor.typed_array(_INT_CODES))
+    order = list(cursor.typed_array(_INT_CODES))
+    offsets = cursor.typed_array(_INT_CODES)
+    hub_ranks = cursor.typed_array(_RANK_CODES)
+    hub_dists = cursor.typed_array(_DIST_CODES)
     core_graph = _read_graph(cursor)
     cursor.done()
-    if hub_dists.typecode == "q" and any(d < 0 for d in hub_dists):
+    if hub_dists.typecode in _SIGNED_INT_CODES and any(d < 0 for d in hub_dists):
         raise SerializationError(f"negative core label distance in {path}")
     store = FlatLabelStore.from_arrays(order, offsets, hub_ranks, hub_dists)
     if store.n != core_graph.n or store.n != len(core_originals):

@@ -38,6 +38,13 @@ RANK_TYPECODE = "I"
 INT_DIST_TYPECODE = "q"
 FLOAT_DIST_TYPECODE = "d"
 
+#: Typecodes describing float layouts.  Anything else held by a flat
+#: store is an integer family — the builders pack 8-byte words, while a
+#: v4 binary snapshot may adopt narrower integer arrays (see
+#: ``docs/formats.md``), so consumers test membership here instead of
+#: comparing against one typecode.
+FLOAT_TYPECODES = ("f", "d")
+
 
 def pack_distances(values: Iterable[Weight]) -> array:
     """Pack distances into ``array('q')`` when all-int, ``array('d')`` otherwise.
@@ -64,7 +71,7 @@ class FlatLabelStore:
     #: Marker read by ``storage_backend`` properties up the stack.
     storage_backend = "flat"
 
-    __slots__ = ("_order", "_rank", "_offsets", "_hub_ranks", "_hub_dists")
+    __slots__ = ("_order", "_rank", "_offsets", "_hub_ranks", "_hub_dists", "_views")
 
     def __init__(
         self,
@@ -80,6 +87,9 @@ class FlatLabelStore:
         self._offsets = offsets
         self._hub_ranks = hub_ranks
         self._hub_dists = hub_dists
+        # Lazily built, kernel-owned NumPy views (repro.kernels.views);
+        # safe to cache forever because the store is immutable.
+        self._views = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -192,7 +202,9 @@ class FlatLabelStore:
 
     @property
     def dists_typecode(self) -> str:
-        """``'q'`` (all-int distances) or ``'d'`` (float layout)."""
+        """Distance array typecode: an integer code (``'q'``, or narrower
+        when adopted from a v4 snapshot) for all-int distances, ``'d'``
+        for the float layout."""
         return self._hub_dists.typecode
 
     def rank_of(self, v: int) -> int:

@@ -26,7 +26,11 @@ from collections.abc import Mapping, Sequence
 
 from repro.exceptions import StorageError
 from repro.graphs.graph import INF, Weight
-from repro.storage.flat_labels import INT_DIST_TYPECODE, OFFSET_TYPECODE
+from repro.storage.flat_labels import (
+    FLOAT_TYPECODES,
+    INT_DIST_TYPECODE,
+    OFFSET_TYPECODE,
+)
 
 #: Sentinel for ``INF`` inside an integer distance array (distances are
 #: non-negative, so -1 is unambiguous).
@@ -81,7 +85,7 @@ class FlatTreeLabelStore(Sequence):
 
     storage_backend = "flat"
 
-    __slots__ = ("_offsets", "_targets", "_dists")
+    __slots__ = ("_offsets", "_targets", "_dists", "_views")
 
     def __init__(self, offsets: array, targets: array, dists: array) -> None:
         if len(offsets) == 0 or offsets[0] != 0 or offsets[-1] != len(targets):
@@ -114,6 +118,8 @@ class FlatTreeLabelStore(Sequence):
         self._offsets = offsets
         self._targets = targets
         self._dists = dists
+        # Lazily built, kernel-owned NumPy views (repro.kernels.views).
+        self._views = None
 
     @classmethod
     def from_labels(cls, labels) -> "FlatTreeLabelStore":
@@ -174,7 +180,7 @@ class FlatTreeLabelStore(Sequence):
         start, stop = self._offsets[pos], self._offsets[pos + 1]
         targets = self._targets
         dists = self._dists
-        decode_inf = dists.typecode == INT_DIST_TYPECODE
+        decode_inf = dists.typecode not in FLOAT_TYPECODES
         for i in range(start, stop):
             value = dists[i]
             if decode_inf and value == INF_SENTINEL:
@@ -189,7 +195,7 @@ class FlatTreeLabelStore(Sequence):
         if i == stop or self._targets[i] != target:
             return default
         value = self._dists[i]
-        if value == INF_SENTINEL and self._dists.typecode == INT_DIST_TYPECODE:
+        if value == INF_SENTINEL and self._dists.typecode not in FLOAT_TYPECODES:
             return INF
         return value
 

@@ -144,6 +144,41 @@ class TestOtherCommands:
         assert "error" in capsys.readouterr().err
 
 
+class TestServeBenchKernel:
+    def _run(self, edge_file, kernel):
+        return main(
+            [
+                "serve-bench",
+                str(edge_file),
+                "-d",
+                "3",
+                "--queries",
+                "200",
+                "--kernel",
+                kernel,
+            ]
+        )
+
+    def test_kernel_python_is_reported_in_the_title(self, edge_file, capsys):
+        assert self._run(edge_file, "python") == 0
+        assert "kernel=python" in capsys.readouterr().out
+
+    def test_kernel_numpy_serves_the_vectorized_path(self, edge_file, capsys):
+        pytest.importorskip("numpy")
+        assert self._run(edge_file, "numpy") == 0
+        assert "kernel=numpy" in capsys.readouterr().out
+
+    def test_kernel_auto_resolves_and_reports(self, edge_file, capsys):
+        assert self._run(edge_file, "auto") == 0
+        out = capsys.readouterr().out
+        assert "kernel=python" in out or "kernel=numpy" in out
+
+    def test_unknown_kernel_rejected_by_argparse(self, edge_file, capsys):
+        with pytest.raises(SystemExit):
+            self._run(edge_file, "vectorized")
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestStorageCli:
     def test_build_binary_and_query(self, edge_file, tmp_path, capsys):
         index_path = tmp_path / "idx.ctsnap"

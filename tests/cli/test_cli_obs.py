@@ -137,3 +137,25 @@ class TestObsBenchCommand:
         assert "overhead" in out
         document = json.loads((tmp_path / "BENCH_obs.json").read_text())
         assert document["entries"][0]["identical"] is True
+
+    def test_obs_bench_kernel_flag_pins_the_measured_path(
+        self, edge_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "obs-bench",
+                str(edge_file),
+                "-d",
+                "3",
+                "--queries",
+                "60",
+                "--kernel",
+                "python",
+                "-o",
+                str(tmp_path / "BENCH_obs.json"),
+            ]
+        )
+        assert code == 0
+        assert "kernel=python" in capsys.readouterr().out
+        document = json.loads((tmp_path / "BENCH_obs.json").read_text())
+        assert document["entries"][0]["kernel"] == "python"

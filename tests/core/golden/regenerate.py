@@ -5,10 +5,15 @@ Run from the repository root::
     PYTHONPATH=src python tests/core/golden/regenerate.py
 
 The fixtures pin the on-disk formats: ``index_v2.json`` is the JSON
-document (format version 2) and ``index_v3.ctsnap`` the binary snapshot
-(format version 3) of the same deterministic build —
+document (format version 2), ``index_v3.ctsnap`` the binary snapshot
+of format version 3 and ``index_v4.ctsnap`` of format version 4, all
+of the same deterministic build —
 ``CTIndex.build(gnp_graph(20, 0.2, seed=1), bandwidth=3)`` with
 ``build_seconds`` zeroed so the bytes are reproducible.
+
+``index_v3.ctsnap`` is *frozen*: the current writer only emits version
+4, so the v3 fixture can never be regenerated — it exists precisely to
+prove today's loader still reads bytes written by the v3 writer.
 
 Only regenerate after an *intentional* format change; the golden tests
 in ``tests/core/test_serialization.py`` exist to catch accidental ones.
@@ -41,8 +46,8 @@ def golden_index() -> CTIndex:
 def main() -> None:
     index = golden_index()
     save_ct_index(index, GOLDEN_DIR / "index_v2.json")
-    save_ct_index_binary(index, GOLDEN_DIR / "index_v3.ctsnap")
-    print(f"wrote fixtures to {GOLDEN_DIR}")
+    save_ct_index_binary(index, GOLDEN_DIR / "index_v4.ctsnap")
+    print(f"wrote fixtures to {GOLDEN_DIR} (index_v3.ctsnap is frozen)")
 
 
 if __name__ == "__main__":

@@ -232,8 +232,9 @@ class TestGoldenFixtures:
             for t in index.graph.nodes():
                 assert index.distance(s, t) == truth[s][t], (s, t)
 
-    def test_golden_binary_loads_and_answers(self):
-        index = load_ct_index(GOLDEN_DIR / "index_v3.ctsnap")
+    @pytest.mark.parametrize("fixture", ["index_v3.ctsnap", "index_v4.ctsnap"])
+    def test_golden_binary_loads_and_answers(self, fixture):
+        index = load_ct_index(GOLDEN_DIR / fixture)
         assert index.bandwidth == self.BANDWIDTH
         assert index.storage_backend == "flat"
         truth = self._golden_truth()
@@ -241,9 +242,10 @@ class TestGoldenFixtures:
             for t in index.graph.nodes():
                 assert index.distance(s, t) == truth[s][t], (s, t)
 
-    def test_golden_fixtures_are_the_same_index(self):
+    @pytest.mark.parametrize("fixture", ["index_v3.ctsnap", "index_v4.ctsnap"])
+    def test_golden_fixtures_are_the_same_index(self, fixture):
         from_json = load_ct_index(GOLDEN_DIR / "index_v2.json")
-        from_binary = load_ct_index(GOLDEN_DIR / "index_v3.ctsnap")
+        from_binary = load_ct_index(GOLDEN_DIR / fixture)
         assert index_fingerprint(from_json) == index_fingerprint(from_binary)
 
     def test_golden_fixtures_match_a_fresh_build(self):
@@ -255,10 +257,18 @@ class TestGoldenFixtures:
         document = json.loads((GOLDEN_DIR / "index_v2.json").read_text())
         assert document["version"] == 2
 
-    def test_golden_binary_header_is_version_3(self):
+    def test_golden_binary_headers_pin_their_versions(self):
         from repro.storage.binary import _HEADER, BINARY_FORMAT_VERSION, MAGIC
 
-        data = (GOLDEN_DIR / "index_v3.ctsnap").read_bytes()
-        magic, version, _count = _HEADER.unpack_from(data, 0)
-        assert magic == MAGIC
-        assert version == BINARY_FORMAT_VERSION
+        for fixture, expected in (("index_v3.ctsnap", 3), ("index_v4.ctsnap", 4)):
+            data = (GOLDEN_DIR / fixture).read_bytes()
+            magic, version, _count = _HEADER.unpack_from(data, 0)
+            assert magic == MAGIC
+            assert version == expected
+        assert BINARY_FORMAT_VERSION == 4
+
+    def test_golden_v4_fixture_is_smaller_than_v3(self):
+        # The point of v4: narrowest-sufficient typecodes shrink the file.
+        v3 = (GOLDEN_DIR / "index_v3.ctsnap").stat().st_size
+        v4 = (GOLDEN_DIR / "index_v4.ctsnap").stat().st_size
+        assert v4 < v3

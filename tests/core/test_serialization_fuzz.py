@@ -209,11 +209,21 @@ class TestBinaryHeaderCorruption:
         with pytest.raises(SerializationError):
             load_ct_index(path)
 
-    @pytest.mark.parametrize("version", [0, 1, 2, 4, 99, 2**32 - 1])
+    @pytest.mark.parametrize("version", [0, 1, 2, 5, 99, 2**32 - 1])
     def test_unsupported_header_version(self, tmp_path, snapshot_bytes, version):
         corrupted = bytearray(snapshot_bytes)
         corrupted[len(MAGIC) : len(MAGIC) + 4] = struct.pack("<I", version)
         with pytest.raises(SerializationError, match=f"version {version}"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+    def test_version_3_header_on_v4_payload_mismatches_meta(
+        self, tmp_path, snapshot_bytes
+    ):
+        # 3 is an accepted header version, but the meta section of a v4
+        # snapshot pins 4 — rewriting only the header must not load.
+        corrupted = bytearray(snapshot_bytes)
+        corrupted[len(MAGIC) : len(MAGIC) + 4] = struct.pack("<I", 3)
+        with pytest.raises(SerializationError, match="meta section claims"):
             _load_bytes(tmp_path, bytes(corrupted))
 
     def test_huge_section_count(self, tmp_path, snapshot_bytes):

@@ -11,7 +11,10 @@ Every family is also cross-checked under the CSR ``backend="flat"``
 storage: the flat build must answer every pair exactly like the dict
 build *and* hash to the same :func:`index_fingerprint` — the
 storage-equivalence guarantee behind ``compact()`` and the binary
-snapshot format.
+snapshot format.  When NumPy is installed the vectorized query kernels
+(:mod:`repro.kernels`) are cross-checked too: ``kernel="numpy"`` builds
+must answer every pair and both batch shapes identically to the scalar
+path.
 
 The fast cases run on every tier-1 invocation; the bigger randomized
 sweep is marked ``slow`` (run it with ``pytest tests/differential``,
@@ -25,6 +28,7 @@ import pytest
 from repro.core.ct_index import CTIndex
 from repro.core.serialization import index_fingerprint
 from repro.graphs.traversal import all_pairs_distances
+from repro.kernels import numpy_available
 from repro.labeling.pll import build_pll
 from repro.labeling.psl import build_psl
 
@@ -82,6 +86,36 @@ def _cross_check(case: DifferentialCase) -> None:
             f"storage-agnostic.\nReproducer: {case.reproducer()}"
         )
     _check_oracle(case, f"CT-{bandwidth} (flat)", flat, truth)
+
+    # Vectorized kernels (when NumPy is installed): the numpy CT kernel
+    # and the numpy label kernel must answer every pair — point and both
+    # batch shapes — exactly like the scalar path, across all four CT
+    # cases including the Lemma 9 extension.
+    if numpy_available():
+        fast = CTIndex.build(graph, bandwidth, backend="flat", kernel="numpy")
+        assert fast.kernel == "numpy"
+        _check_oracle(case, f"CT-{bandwidth} (numpy kernel)", fast, truth)
+        nodes = list(graph.nodes())
+        pairs = [(s, t) for s in nodes for t in nodes]
+        expected = [truth[s][t] for s, t in pairs]
+        if fast.distances_batch(pairs) != expected:
+            pytest.fail(
+                f"CT-{bandwidth} numpy distances_batch disagrees with ground "
+                f"truth on {case.name}.\nReproducer: {case.reproducer()}"
+            )
+        source = nodes[len(nodes) // 2]
+        if fast.distances_from(source, nodes) != [truth[source][t] for t in nodes]:
+            pytest.fail(
+                f"CT-{bandwidth} numpy distances_from({source}) disagrees with "
+                f"ground truth on {case.name}.\nReproducer: {case.reproducer()}"
+            )
+        _check_oracle(
+            case,
+            "PLL (numpy kernel)",
+            build_pll(graph, backend="flat").set_kernel("numpy"),
+            truth,
+        )
+
     # And converting back must not change a single answer.
     _check_oracle(case, f"CT-{bandwidth} (flat->dict)", flat.to_dict_backend(), truth)
 

@@ -1,0 +1,131 @@
+"""CT-Index numpy kernels: the 4-case dispatch is answer-identical.
+
+Builds graphs whose query mix exercises every case of the CT answering
+scheme — core–core (case 1), tree–core through the Lemma 9 extension
+(case 2), cross-tree (case 3), and same-tree with the LCA-bag / d4
+minimum (case 4) — and pins the vectorized kernel against the scalar
+kernel on all pairs, both batch shapes, and the case/counter
+bookkeeping.  Skips without NumPy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.traversal import all_pairs_distances
+
+
+def build_pair(graph, bandwidth):
+    """The same index twice: scalar kernel and numpy kernel."""
+    slow = CTIndex.build(graph, bandwidth, backend="flat", kernel="python")
+    fast = CTIndex.build(graph, bandwidth, backend="flat", kernel="numpy")
+    assert slow.kernel == "python" and fast.kernel == "numpy"
+    return slow, fast
+
+
+def assert_identical(slow, fast, graph):
+    nodes = list(graph.nodes())
+    truth = all_pairs_distances(graph)
+    for s in nodes:
+        row = truth[s]
+        for t in nodes:
+            got = fast.distance(s, t)
+            assert got == row[t], (s, t)
+            assert type(got) is type(slow.distance(s, t)), (s, t)
+    # Both batch shapes, including repeated sources and s == t pairs.
+    pairs = [(s, t) for s in nodes[:: max(1, len(nodes) // 12)] for t in nodes]
+    assert fast.distances_batch(pairs) == slow.distances_batch(pairs)
+    mid = nodes[len(nodes) // 2]
+    assert fast.distances_from(mid, nodes) == slow.distances_from(mid, nodes)
+
+
+class TestFourCases:
+    @pytest.fixture(scope="class")
+    def cp_graph(self):
+        cfg = CorePeripheryConfig(core_size=24, community_count=4, fringe_size=70)
+        return core_periphery_graph(cfg, seed=11)
+
+    def test_core_periphery_all_pairs(self, cp_graph):
+        slow, fast = build_pair(cp_graph, 4)
+        assert_identical(slow, fast, cp_graph)
+
+    def test_every_case_fires_and_counts_match(self, cp_graph):
+        slow, fast = build_pair(cp_graph, 4)
+        slow.reset_counters()
+        fast.reset_counters()
+        pairs = [(s, t) for s in cp_graph.nodes() for t in cp_graph.nodes()]
+        assert fast.distances_batch(pairs) == slow.distances_batch(pairs)
+        # The numpy kernel mirrors the scalar case accounting exactly.
+        assert dict(fast.case_counts) == dict(slow.case_counts)
+        assert set(slow.case_counts) == {"case1", "case2", "case3", "case4"}
+
+    def test_weighted_graph(self):
+        graph = random_weighted(gnp_graph(50, 0.08, seed=43), 1, 9, seed=44)
+        slow, fast = build_pair(graph, 4)
+        assert_identical(slow, fast, graph)
+
+    def test_bandwidth_zero_degenerates_to_core_only(self):
+        # d=0 keeps every vertex in the core: the whole query mix is
+        # case 1, the pure 2-hop kernel.
+        graph = gnp_graph(40, 0.1, seed=47)
+        slow, fast = build_pair(graph, 0)
+        assert_identical(slow, fast, graph)
+
+    def test_disconnected_components(self):
+        graph = gnp_graph(36, 0.06, seed=53)  # sparse: usually disconnected
+        slow, fast = build_pair(graph, 3)
+        assert_identical(slow, fast, graph)
+
+
+class TestKernelLifecycle:
+    @pytest.fixture()
+    def graph(self):
+        cfg = CorePeripheryConfig(core_size=16, community_count=3, fringe_size=40)
+        return core_periphery_graph(cfg, seed=19)
+
+    def test_set_kernel_switches_without_changing_answers(self, graph):
+        index = CTIndex.build(graph, 3, backend="flat")
+        pairs = [(s, t) for s in range(0, graph.n, 5) for t in range(graph.n)]
+        python = index.set_kernel("python").distances_batch(pairs)
+        assert index.kernel == "python"
+        numpy_ = index.set_kernel("numpy").distances_batch(pairs)
+        assert index.kernel == "numpy"
+        assert numpy_ == python
+
+    def test_compact_enables_auto_numpy(self, graph):
+        index = CTIndex.build(graph, 3, backend="dict")
+        assert index.kernel == "python"
+        before = index.distance(0, graph.n - 1)
+        index.compact()
+        assert index.kernel == "numpy"
+        assert index.distance(0, graph.n - 1) == before
+
+    def test_to_dict_backend_falls_back_to_python(self, graph):
+        index = CTIndex.build(graph, 3, backend="flat", kernel="numpy")
+        before = index.distances_from(1, list(range(graph.n)))
+        index.to_dict_backend()
+        assert index.kernel == "python"
+        assert index.distances_from(1, list(range(graph.n))) == before
+
+    def test_extension_cache_never_mixes_kernel_shapes(self, graph):
+        # Warm the python kernel's dict-shaped extension cache, switch to
+        # numpy (array-shaped entries), and query again: set_kernel must
+        # have dropped the cache instead of serving the wrong shape.
+        index = CTIndex.build(graph, 3, backend="flat", kernel="python")
+        pairs = [(s, t) for s in range(graph.n) for t in range(0, graph.n, 7)]
+        python = index.distances_batch(pairs)
+        assert index.extension_cache_misses >= 0
+        index.set_kernel("numpy")
+        assert len(index._extension_cache) == 0
+        assert index.distances_batch(pairs) == python
+        index.set_kernel("python")
+        assert len(index._extension_cache) == 0
+        assert index.distances_batch(pairs) == python

@@ -1,0 +1,207 @@
+"""Kernel selection: validation, resolution, fallback, and wiring.
+
+Everything here runs **without NumPy** — the dispatch layer is exactly
+the part of :mod:`repro.kernels` that must import and behave sensibly
+when the ``repro[fast]`` extra is absent.  The NumPy-less environment
+is simulated by monkeypatching the cached availability probe
+(``repro.kernels._NUMPY_STATE``), which is the documented test hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kernels as kernels
+import repro.obs as obs
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.kernels import (
+    FAST_EXTRA,
+    KERNEL_NAMES,
+    record_kernel_queries,
+    resolve_kernel,
+    validate_kernel,
+)
+from repro.labeling.pll import build_pll
+from repro.obs.tracing import Tracer
+from repro.serving.engine import QueryEngine
+
+
+@pytest.fixture
+def graph():
+    return gnp_graph(30, 0.15, seed=5)
+
+
+def force_numpy(monkeypatch, available: bool) -> None:
+    monkeypatch.setattr(kernels, "_NUMPY_STATE", available)
+
+
+# ----------------------------------------------------------------------
+# validate_kernel / resolve_kernel
+# ----------------------------------------------------------------------
+
+
+class TestValidate:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_accepts_every_spelling(self, name):
+        assert validate_kernel(name) == name
+
+    @pytest.mark.parametrize("bogus", ["np", "fast", "", "NUMPY", None])
+    def test_rejects_everything_else(self, bogus):
+        with pytest.raises(ConfigurationError, match="unknown query kernel"):
+            validate_kernel(bogus)
+
+
+class TestResolve:
+    def test_python_is_always_python(self, monkeypatch):
+        for available in (True, False):
+            force_numpy(monkeypatch, available)
+            assert resolve_kernel("python", flat=True) == "python"
+            assert resolve_kernel("python", flat=False) == "python"
+
+    def test_auto_without_numpy_falls_back(self, monkeypatch):
+        force_numpy(monkeypatch, False)
+        assert resolve_kernel("auto", flat=True) == "python"
+        assert resolve_kernel("auto", flat=False) == "python"
+
+    def test_auto_with_numpy_needs_flat(self, monkeypatch):
+        force_numpy(monkeypatch, True)
+        assert resolve_kernel("auto", flat=True) == "numpy"
+        assert resolve_kernel("auto", flat=False) == "python"
+
+    def test_explicit_numpy_without_numpy_names_the_extra(self, monkeypatch):
+        force_numpy(monkeypatch, False)
+        with pytest.raises(ConfigurationError, match=r"repro\[fast\]"):
+            resolve_kernel("numpy", flat=True)
+
+    def test_explicit_numpy_on_dict_backend_names_compact(self, monkeypatch):
+        force_numpy(monkeypatch, True)
+        with pytest.raises(ConfigurationError, match="compact"):
+            resolve_kernel("numpy", flat=False)
+
+    def test_auto_never_raises(self, monkeypatch):
+        for available in (True, False):
+            force_numpy(monkeypatch, available)
+            for flat in (True, False):
+                assert resolve_kernel("auto", flat=flat) in ("numpy", "python")
+
+    def test_fast_extra_spelling(self):
+        assert FAST_EXTRA == "repro[fast]"
+
+
+# ----------------------------------------------------------------------
+# Index-level wiring (works on both legs; forced python via monkeypatch)
+# ----------------------------------------------------------------------
+
+
+class TestIndexWiring:
+    def test_build_rejects_unknown_kernel(self, graph):
+        with pytest.raises(ConfigurationError, match="unknown query kernel"):
+            CTIndex.build(graph, 4, kernel="fast")
+
+    def test_build_fails_fast_on_numpy_dict_mismatch(self, graph, monkeypatch):
+        force_numpy(monkeypatch, True)
+        with pytest.raises(ConfigurationError, match="flat"):
+            CTIndex.build(graph, 4, backend="dict", kernel="numpy")
+
+    def test_build_fails_fast_without_numpy(self, graph, monkeypatch):
+        force_numpy(monkeypatch, False)
+        with pytest.raises(ConfigurationError, match=r"repro\[fast\]"):
+            CTIndex.build(graph, 4, backend="flat", kernel="numpy")
+
+    def test_python_kernel_resolves_python(self, graph):
+        index = CTIndex.build(graph, 4, backend="flat", kernel="python")
+        assert index.kernel == "python"
+        assert index.distance(0, graph.n - 1) is not None
+
+    def test_auto_without_numpy_serves_python(self, graph, monkeypatch):
+        force_numpy(monkeypatch, False)
+        index = CTIndex.build(graph, 4, backend="flat", kernel="auto")
+        assert index.kernel == "python"
+
+    def test_set_kernel_numpy_then_to_dict_demotes_to_auto(self, graph):
+        pytest.importorskip("numpy")
+        index = CTIndex.build(graph, 4, backend="flat", kernel="numpy")
+        assert index.kernel == "numpy"
+        index.to_dict_backend()
+        # The explicit request was demoted: dict backend resolves python
+        # instead of raising on the next query.
+        assert index._kernel_request == "auto"
+        assert index.kernel == "python"
+
+    def test_set_kernel_numpy_on_dict_raises(self, graph, monkeypatch):
+        # Pretend NumPy is importable so the error under test is the
+        # backend check, not the availability check — the test then
+        # holds on NumPy-less environments too (the flat check never
+        # loads the array modules).
+        force_numpy(monkeypatch, True)
+        index = CTIndex.build(graph, 4, backend="dict")
+        with pytest.raises(ConfigurationError, match="flat"):
+            index.set_kernel("numpy")
+
+    def test_pll_mixin_mirrors_the_same_contract(self, graph, monkeypatch):
+        index = build_pll(graph, backend="flat")
+        force_numpy(monkeypatch, False)
+        assert index.set_kernel("auto").kernel == "python"
+        with pytest.raises(ConfigurationError, match=r"repro\[fast\]"):
+            index.set_kernel("numpy")
+        index.to_dict_backend()
+        with pytest.raises(ConfigurationError, match="flat"):
+            force_numpy(monkeypatch, True)
+            index.set_kernel("numpy")
+
+
+# ----------------------------------------------------------------------
+# QueryEngine kernel parameter
+# ----------------------------------------------------------------------
+
+
+class TestEngineKernel:
+    def test_default_leaves_index_selection_alone(self, graph):
+        index = CTIndex.build(graph, 4, backend="flat", kernel="python")
+        engine = QueryEngine(index)
+        assert engine.stats_snapshot()["index"]["kernel"] == "python"
+
+    def test_explicit_kernel_forwards_to_the_index(self, graph):
+        index = CTIndex.build(graph, 4, backend="flat")
+        engine = QueryEngine(index, kernel="python")
+        assert index.kernel == "python"
+        assert engine.stats_snapshot()["index"]["kernel"] == "python"
+
+    def test_explicit_numpy_on_kernelless_index_raises(self, graph):
+        from repro.caching import CachedDistanceIndex
+
+        index = CachedDistanceIndex(build_pll(graph), capacity=8)
+        if hasattr(index, "set_kernel"):
+            pytest.skip("wrapper grew kernel support; test needs a new dummy")
+        with pytest.raises(ConfigurationError, match="no query-kernel support"):
+            QueryEngine(index, kernel="numpy")
+
+    def test_bogus_kernel_rejected_before_touching_the_index(self, graph):
+        index = CTIndex.build(graph, 4, backend="flat")
+        with pytest.raises(ConfigurationError, match="unknown query kernel"):
+            QueryEngine(index, kernel="vectorized")
+
+
+# ----------------------------------------------------------------------
+# Observability counters
+# ----------------------------------------------------------------------
+
+
+class TestKernelCounters:
+    def test_disabled_obs_records_nothing(self, monkeypatch):
+        counter = obs.registry().counter("kernels.queries", kernel="python")
+        before = counter.value
+        assert not obs.enabled()
+        record_kernel_queries("python", 5)
+        assert counter.value == before
+
+    def test_enabled_obs_counts_per_kernel(self, graph):
+        index = CTIndex.build(graph, 4, backend="flat", kernel="python")
+        counter = obs.registry().counter("kernels.queries", kernel="python")
+        before = counter.value
+        with obs.observe(Tracer()):
+            index.distance(0, 1)
+            index.distances_from(0, [1, 2, 3])
+        assert counter.value == before + 4

@@ -1,0 +1,234 @@
+"""NumPy 2-hop label kernels: answer identity, views, batch shapes.
+
+Everything in this module requires NumPy and skips cleanly without it
+(the dispatch layer's NumPy-less behavior lives in ``test_dispatch``).
+Identity is always checked against the *scalar* path — ``merge_
+intersection`` / ``HubLabeling.query`` — which the differential suite
+in turn pins against BFS/Dijkstra ground truth.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.graph import INF
+from repro.kernels.label_kernels import (
+    NumpyLabelKernel,
+    intersect_runs_min,
+    weight_from_float,
+    weights_from_floats,
+)
+from repro.kernels.views import as_ndarray, label_views
+from repro.labeling.pll import build_pll
+from repro.storage.flat_labels import FlatLabelStore, merge_intersection
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def sorted_runs(draw, max_len: int = 10, universe: int = 25):
+    ranks = sorted(draw(st.sets(st.integers(0, universe - 1), max_size=max_len)))
+    dists = [draw(st.integers(0, 40)) for _ in ranks]
+    return ranks, dists
+
+
+def as_run(ranks, dists):
+    return (
+        np.asarray(ranks, dtype=np.int64),
+        np.asarray(dists, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# intersect_runs_min == merge_intersection
+# ----------------------------------------------------------------------
+
+
+class TestIntersect:
+    @SETTINGS
+    @given(run_a=sorted_runs(), run_b=sorted_runs())
+    def test_matches_scalar_merge(self, run_a, run_b):
+        expected = merge_intersection(*run_a, *run_b)
+        got = intersect_runs_min(*as_run(*run_a), *as_run(*run_b))
+        assert weight_from_float(got, integral=True) == expected
+
+    def test_empty_runs_are_unreachable(self):
+        empty = as_run([], [])
+        full = as_run([0, 3], [1, 2])
+        assert intersect_runs_min(*empty, *full) == np.inf
+        assert intersect_runs_min(*full, *empty) == np.inf
+        assert intersect_runs_min(*empty, *empty) == np.inf
+
+    def test_match_beyond_the_longer_run_is_rejected(self):
+        # Every rank of the shorter run searchsorts past the end of the
+        # longer one — the clamp-to-slot-0 trick must not fabricate a hit.
+        short = as_run([90, 95], [1, 1])
+        long = as_run([0, 1, 2, 3], [1, 1, 1, 1])
+        assert intersect_runs_min(*short, *long) == np.inf
+
+    def test_shared_boundary_hubs(self):
+        # Shared hub at the very start and very end of both runs.
+        a = as_run([0, 9], [4, 1])
+        b = as_run([0, 5, 9], [3, 2, 2])
+        assert intersect_runs_min(*a, *b) == 3  # min(4+3, 1+2)
+
+
+# ----------------------------------------------------------------------
+# Views
+# ----------------------------------------------------------------------
+
+
+class TestViews:
+    def test_views_are_cached_on_the_store(self):
+        index = build_pll(gnp_graph(20, 0.2, seed=1), backend="flat")
+        store = index.labels
+        assert label_views(store) is label_views(store)
+
+    def test_views_are_read_only_and_zero_copy(self):
+        values = array("q", [3, 1, 4, 1, 5])
+        view = as_ndarray(values)
+        assert not view.flags.writeable
+        assert view.tolist() == [3, 1, 4, 1, 5]
+        with pytest.raises(ValueError):
+            view[0] = 9
+
+    def test_narrow_distance_arrays_widen_to_int64(self):
+        # A v4 binary snapshot stores the narrowest sufficient typecode;
+        # the kernel views must widen so d_s + d_t cannot overflow it.
+        store = FlatLabelStore.from_arrays(
+            [0, 1], [0, 1, 2], array("I", [0, 0]), array("b", [120, 125])
+        )
+        views = label_views(store)
+        assert views.dists.dtype == np.int64
+        assert views.integral
+        kernel = NumpyLabelKernel(store)
+        assert kernel.query(0, 1) == 245  # would overflow int8
+
+    def test_float_stores_are_not_integral(self):
+        store = FlatLabelStore.from_arrays(
+            [0, 1], [0, 1, 2], array("I", [0, 0]), array("d", [0.5, 1.5])
+        )
+        views = label_views(store)
+        assert not views.integral
+        assert views.dists.dtype == np.float64
+
+
+# ----------------------------------------------------------------------
+# Kernel == scalar store on built indexes
+# ----------------------------------------------------------------------
+
+
+def pll_flat(graph):
+    index = build_pll(graph, backend="flat")
+    return index, NumpyLabelKernel(index.labels)
+
+
+class TestKernelIdentity:
+    @pytest.fixture(scope="class")
+    def unweighted(self):
+        return pll_flat(gnp_graph(45, 0.08, seed=23))
+
+    @pytest.fixture(scope="class")
+    def weighted(self):
+        graph = random_weighted(gnp_graph(35, 0.1, seed=29), 1, 9, seed=30)
+        return pll_flat(graph)
+
+    @pytest.mark.parametrize("fixture", ["unweighted", "weighted"])
+    def test_point_queries_identical(self, fixture, request):
+        index, kernel = request.getfixturevalue(fixture)
+        store = index.labels
+        for s in range(store.n):
+            for t in range(store.n):
+                expected = store.query(s, t)
+                got = kernel.query(s, t)
+                assert got == expected and type(got) is type(expected), (s, t)
+
+    @pytest.mark.parametrize("fixture", ["unweighted", "weighted"])
+    def test_query_from_identical(self, fixture, request):
+        index, kernel = request.getfixturevalue(fixture)
+        store = index.labels
+        targets = list(range(store.n))
+        for s in (0, store.n // 2, store.n - 1):
+            assert kernel.query_from(s, targets) == [
+                store.query(s, t) for t in targets
+            ]
+
+    @pytest.mark.parametrize("fixture", ["unweighted", "weighted"])
+    def test_query_batch_identical(self, fixture, request):
+        index, kernel = request.getfixturevalue(fixture)
+        store = index.labels
+        pairs = [(s, t) for s in range(0, store.n, 3) for t in range(store.n)]
+        assert kernel.query_batch(pairs) == [store.query(s, t) for s, t in pairs]
+
+    def test_empty_batches(self, unweighted):
+        _, kernel = unweighted
+        assert kernel.query_from(0, []) == []
+        assert kernel.query_batch([]) == []
+
+    def test_self_distance_is_exact_zero(self, unweighted):
+        _, kernel = unweighted
+        assert kernel.query(7, 7) == 0
+        assert kernel.query_from(7, [7, 8, 7]) == [
+            0,
+            kernel.query(7, 8),
+            0,
+        ]
+
+
+# ----------------------------------------------------------------------
+# Mixin dispatch (PLL/PSL share HubLabelBackendMixin)
+# ----------------------------------------------------------------------
+
+
+class TestMixinDispatch:
+    def test_numpy_and_python_kernels_agree_end_to_end(self):
+        graph = gnp_graph(40, 0.1, seed=31)
+        index = build_pll(graph, backend="flat")
+        pairs = [(s, t) for s in range(0, 40, 4) for t in range(40)]
+        python = index.set_kernel("python").distances_batch(pairs)
+        numpy_ = index.set_kernel("numpy").distances_batch(pairs)
+        assert numpy_ == python
+        assert index.kernel == "numpy"
+        assert index.set_kernel("numpy").distances_from(3, range(40)) == [
+            index.labels.query(3, t) for t in range(40)
+        ]
+
+    def test_kernel_cache_invalidates_on_backend_change(self):
+        graph = gnp_graph(25, 0.15, seed=37)
+        index = build_pll(graph, backend="flat").set_kernel("auto")
+        assert index.kernel == "numpy"
+        index.to_dict_backend()
+        assert index.kernel == "python"
+        assert index.distance(0, 1) == index.labels.query(0, 1)
+        index.compact()
+        assert index.kernel == "numpy"
+
+    def test_disconnected_pairs_answer_inf(self):
+        graph = gnp_graph(12, 0.0, seed=2)  # no edges at all
+        index = build_pll(graph, backend="flat").set_kernel("numpy")
+        assert index.distance(0, 11) == INF
+        assert index.distances_from(0, [0, 1, 2]) == [0, INF, INF]
+
+
+# ----------------------------------------------------------------------
+# Result-type conversion helpers
+# ----------------------------------------------------------------------
+
+
+class TestWeightConversion:
+    def test_integral_results_are_plain_ints(self):
+        out = weights_from_floats(np.array([1.0, np.inf, 3.0]), integral=True)
+        assert out == [1, INF, 3]
+        assert type(out[0]) is int and type(out[2]) is int
+
+    def test_float_results_stay_floats(self):
+        out = weights_from_floats(np.array([1.5, np.inf]), integral=False)
+        assert out == [1.5, INF]
+        assert type(out[0]) is float

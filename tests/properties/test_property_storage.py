@@ -237,6 +237,80 @@ def test_merge_intersection_symmetric(run_a, run_b):
 
 
 @SETTINGS
+@given(run=sorted_runs())
+def test_merge_intersection_empty_run_is_unreachable(run):
+    """Either side empty (or both) intersects to INF, never raises."""
+    ranks, dists = run
+    assert merge_intersection([], [], ranks, dists) == INF
+    assert merge_intersection(ranks, dists, [], []) == INF
+    assert merge_intersection([], [], [], []) == INF
+
+
+@SETTINGS
+@given(
+    run=sorted_runs(max_len=8, universe=20),
+    hub=st.integers(0, 29),
+    da=st.integers(0, 40),
+    db=st.integers(0, 40),
+)
+def test_merge_intersection_single_boundary_hub(run, hub, da, db):
+    """One shared hub — wherever it falls in either run — is found.
+
+    Exercises the boundary positions the two-pointer merge is most
+    likely to get wrong: the shared hub first, last, or alone in a run.
+    """
+    ranks, dists = run
+    if hub in ranks:
+        slot = ranks.index(hub)
+        ranks, dists = ranks[:slot] + ranks[slot + 1 :], dists[:slot] + dists[slot + 1 :]
+    slot = sum(1 for r in ranks if r < hub)
+    merged_ranks = ranks[:slot] + [hub] + ranks[slot:]
+    merged_dists = dists[:slot] + [da] + dists[slot:]
+    other = ([hub], [db])
+    assert merge_intersection(merged_ranks, merged_dists, *other) == da + db
+    assert merge_intersection(*other, merged_ranks, merged_dists) == da + db
+
+
+@SETTINGS
+@given(
+    run_a=sorted_runs(),
+    dists_b=st.lists(
+        st.floats(min_value=0.0, max_value=40.0, allow_nan=False, width=32),
+        max_size=10,
+    ),
+)
+def test_merge_intersection_mixed_int_float_runs(run_a, dists_b):
+    """An integer run against a float run answers like the dict merge.
+
+    This is the shape a weighted flat store produces when intersected
+    with an unweighted one's run (and what the kernels must preserve
+    when widening to float64).
+    """
+    ranks_a, dists_a = run_a
+    ranks_b = sorted(range(len(dists_b)))
+    merged = merge_intersection(ranks_a, dists_a, ranks_b, dists_b)
+    assert merged == _dict_intersection(ranks_a, dists_a, ranks_b, dists_b)
+
+
+@SETTINGS
+@given(run=sorted_runs(max_len=8, universe=12), position=st.integers(0, 7))
+def test_duplicate_hub_in_a_run_is_rejected(run, position):
+    """Duplicating any hub of a valid run breaks the strictly-ascending
+    store invariant, and ``from_arrays`` refuses the payload."""
+    ranks, dists = run
+    if not ranks:
+        ranks, dists = [0], [1]
+    position = position % len(ranks)
+    bad_ranks = ranks[: position + 1] + ranks[position:]
+    bad_dists = dists[: position + 1] + dists[position:]
+    n = max(12, max(bad_ranks) + 1)
+    order = list(range(n))
+    offsets = [0, len(bad_ranks)] + [len(bad_ranks)] * (n - 1)
+    with pytest.raises(StorageError, match="ascending"):
+        FlatLabelStore.from_arrays(order, offsets, bad_ranks, bad_dists)
+
+
+@SETTINGS
 @given(graph=graphs(max_nodes=14))
 def test_flat_query_equals_dict_query(graph):
     """End to end: the packed store's merge answers like HubLabeling."""

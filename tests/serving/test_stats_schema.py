@@ -50,6 +50,25 @@ class TestSnapshotSchema:
         assert snap["index"]["method"].startswith("CT")
         assert {"case_counts", "core_probes", "extension_cache"} <= set(snap["index"])
 
+    def test_index_block_reports_the_resolved_kernel(self, index):
+        # Regression: the ``kernel`` field joined the index block when
+        # the vectorized kernels landed; serve-bench and monitoring glue
+        # read it to attribute latency numbers to one code path.
+        snap = QueryEngine(index).stats_snapshot()
+        assert snap["index"]["kernel"] in ("numpy", "python")
+        assert snap["index"]["kernel"] == index.kernel
+
+    def test_kernel_field_follows_the_engine_kernel_argument(self, index):
+        engine = QueryEngine(index, kernel="python")
+        snap = engine.stats_snapshot()
+        assert snap["index"]["kernel"] == "python"
+
+    def test_kernel_field_defaults_to_python_for_plain_indexes(self, index):
+        from repro.caching import CachedDistanceIndex
+
+        wrapped = QueryEngine(CachedDistanceIndex(index, capacity=8))
+        assert wrapped.stats_snapshot()["index"]["kernel"] == "python"
+
     def test_empty_engine_snapshot_shape(self, index):
         snap = QueryEngine(index).stats_snapshot()
         assert snap["requests"] == {}

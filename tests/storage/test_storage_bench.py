@@ -35,6 +35,17 @@ class TestResult:
     def test_flat_is_smaller(self, result):
         assert result.resident_reduction > 1.0
 
+    def test_query_timings_cover_every_kernel(self, result):
+        from repro.kernels import numpy_available
+
+        assert set(result.query) == {"dict_us", "flat_python_us", "flat_numpy_us"}
+        assert result.query["dict_us"] > 0
+        assert result.query["flat_python_us"] > 0
+        if numpy_available():
+            assert result.query["flat_numpy_us"] > 0
+        else:
+            assert result.query["flat_numpy_us"] is None
+
     def test_entry_is_json_ready(self, result):
         entry = result.entry()
         json.dumps(entry)  # must not contain non-serializable values
@@ -54,6 +65,9 @@ class TestResult:
             "json_ms",
             "bin_ms",
             "load_x",
+            "dict_us",
+            "fpy_us",
+            "fnp_us",
             "verified",
         ):
             assert column in row
@@ -65,10 +79,23 @@ class TestHistoryFile:
         record_storage_entry(result, path)
         record_storage_entry(result, path)
         document = json.loads(path.read_text())
-        assert document["schema"] == 1
+        assert document["schema"] == 2
         assert len(document["entries"]) == 2
         assert document["entries"][0]["dataset"] == "smoke"
+        assert document["entries"][0]["schema"] == 2
         assert "recorded_at" in document["entries"][0]
+
+    def test_schema_1_history_is_kept_and_upgraded(self, result, tmp_path):
+        # Entries written by the schema-1 driver survive untouched next
+        # to new schema-2 entries; the document-level schema moves to 2.
+        path = tmp_path / "BENCH_storage.json"
+        old_entry = {"dataset": "legacy", "query_us": {"dict_us": 1.0, "flat_us": 2.0}}
+        path.write_text(json.dumps({"schema": 1, "entries": [old_entry]}))
+        record_storage_entry(result, path)
+        document = json.loads(path.read_text())
+        assert document["schema"] == 2
+        assert document["entries"][0] == old_entry
+        assert document["entries"][1]["dataset"] == "smoke"
 
     def test_corrupt_history_starts_fresh(self, result, tmp_path):
         path = tmp_path / "BENCH_storage.json"
