@@ -102,16 +102,23 @@ def save(index: CTIndex, path: PathLike, *, format: str = "json") -> None:
         save_ct_index(index, path)
 
 
-def load(path: PathLike, *, backend: str | None = None) -> CTIndex:
+def load(path: PathLike, *, backend: str | None = None, mmap: bool = False) -> CTIndex:
     """Reload an index written by :func:`save` (either format).
 
     The format is detected from the file's leading bytes.  ``backend``
     forces the label storage of the loaded index (``"dict"`` or
     ``"flat"``); ``None`` keeps each format's natural layout.
+
+    ``mmap=True`` memory-maps a binary snapshot read-only instead of
+    copying it into process memory: start-up touches only the section
+    table and CRCs, the label arrays are views over the file, and every
+    process mapping the same snapshot shares one resident copy through
+    the page cache.  Only valid for binary snapshots with the flat
+    backend.
     """
     from repro.core.serialization import load_ct_index
 
-    return load_ct_index(path, backend=backend)
+    return load_ct_index(path, backend=backend, mmap=mmap)
 
 
 def query(index: CTIndex, s: int, t: int) -> Weight:

@@ -1,0 +1,278 @@
+"""Fleet benchmark: workers vs throughput over one mapped snapshot.
+
+``fleet_bench_result`` builds (or accepts) a CT-Index, saves it as a
+binary snapshot, and measures three things:
+
+* **load** — copying load vs ``mmap=True`` load of the same snapshot
+  (the zero-copy start-up win);
+* **serving** — a query workload replayed through a single-process
+  :class:`~repro.serving.QueryEngine` baseline, then through
+  :class:`~repro.serving.ServingFleet` at each requested worker count
+  (throughput in queries/second, per-worker resident KiB);
+* **identity** — *before any throughput row is recorded*, every fleet
+  answers the entire workload identically to the single-process
+  baseline and every worker's index-fingerprint digest matches the
+  parent's (:meth:`ServingFleet.verify`).  A fleet that routes to a
+  divergent worker is a bug, not a benchmark data point.
+
+``run_fleet_bench`` appends one schema-1 entry per dataset to
+``BENCH_fleet.json`` (same accumulating-history shape as the other
+BENCH artifacts).  Per-worker RSS is reported raw: because the label
+pages are file-backed and shared, fleet workers grow by an interpreter
+heap each, not by an index each — the entry records the snapshot size
+next to the per-worker RSS so the sharing is visible in the artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+import time
+import zlib
+from pathlib import Path
+
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_pairs
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.serving.engine import QueryEngine
+from repro.serving.fleet import ServingFleet, _resident_kb
+from repro.storage.binary import load_ct_index_binary, save_ct_index_binary
+
+#: Default sweep dataset (matches storage-bench).
+DEFAULT_DATASETS = ("fb",)
+
+#: Default artifact path, relative to the working directory.
+BENCH_FLEET_PATH = "BENCH_fleet.json"
+
+#: Version of the ``BENCH_fleet.json`` document this module writes.
+BENCH_FLEET_SCHEMA = 1
+
+#: Queries in the replayed workload.
+DEFAULT_QUERY_COUNT = 2000
+
+#: Worker counts swept by default (1 included: fleet-of-one vs the
+#: in-process baseline isolates the queue/IPC overhead).
+DEFAULT_WORKER_COUNTS = (1, 2)
+
+#: Pairs per routed batch — large enough to amortize one IPC round
+#: trip, small enough that several batches are in flight per worker.
+BATCH_SIZE = 200
+
+#: Load timings take the minimum of this many repeats.
+LOAD_REPEATS = 5
+
+
+@dataclasses.dataclass
+class FleetBenchResult:
+    """One dataset's load comparison + workers-vs-throughput sweep."""
+
+    name: str
+    n: int
+    m: int
+    bandwidth: int
+    queries: int
+    snapshot_bytes: int
+    load: dict
+    baseline_qps: float
+    sweep: list[dict]
+    verified: bool
+
+    @property
+    def load_speedup(self) -> float:
+        """Copying load seconds over mapped load seconds."""
+        mapped = self.load["mmap_s"]
+        return self.load["copy_s"] / mapped if mapped else 0.0
+
+    def entry(self) -> dict:
+        """JSON-ready record for ``BENCH_fleet.json`` (schema 1)."""
+        return {
+            "schema": BENCH_FLEET_SCHEMA,
+            "dataset": self.name,
+            "n": self.n,
+            "m": self.m,
+            "bandwidth": self.bandwidth,
+            "queries": self.queries,
+            "snapshot_bytes": self.snapshot_bytes,
+            "load_seconds": self.load,
+            "load_speedup": round(self.load_speedup, 3),
+            "baseline_qps": round(self.baseline_qps, 1),
+            "fleet": self.sweep,
+            "answers_verified": self.verified,
+        }
+
+    def rows(self) -> list[dict]:
+        """Flat rows (one per worker count) for table rendering."""
+        return [
+            {
+                "dataset": self.name,
+                "workers": point["workers"],
+                "qps": round(point["qps"], 1),
+                "speedup_x": round(point["qps"] / self.baseline_qps, 2)
+                if self.baseline_qps
+                else 0.0,
+                "worker_rss_kb": max(point["worker_rss_kb"], default=0),
+                "verified": self.verified,
+            }
+            for point in self.sweep
+        ]
+
+
+def _time_load(path: Path, *, mmap: bool) -> float:
+    best = float("inf")
+    for _ in range(LOAD_REPEATS):
+        started = time.perf_counter()
+        load_ct_index_binary(path, mmap=mmap)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _batches(pairs) -> list[list]:
+    return [pairs[i : i + BATCH_SIZE] for i in range(0, len(pairs), BATCH_SIZE)]
+
+
+def fleet_bench_result(
+    graph: Graph,
+    bandwidth: int,
+    *,
+    name: str = "graph",
+    queries: int = DEFAULT_QUERY_COUNT,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    kernel: str | None = None,
+) -> FleetBenchResult:
+    """Measure one graph; raises :class:`ReproError` on any divergence."""
+    index = CTIndex.build(graph, bandwidth, backend="flat")
+    workload = random_pairs(graph, queries, seed=zlib.crc32(name.encode()))
+    pairs = list(workload.pairs)
+    batches = _batches(pairs)
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
+        snapshot = Path(tmp) / "index.ctsnap"
+        save_ct_index_binary(index, snapshot)
+        snapshot_bytes = snapshot.stat().st_size
+        load = {
+            "copy_s": round(_time_load(snapshot, mmap=False), 6),
+            "mmap_s": round(_time_load(snapshot, mmap=True), 6),
+        }
+
+        baseline_engine = QueryEngine(
+            load_ct_index_binary(snapshot, mmap=True), kernel=kernel
+        )
+        started = time.perf_counter()
+        baseline_answers: list = []
+        for batch in batches:
+            baseline_answers.extend(baseline_engine.query_batch(batch))
+        baseline_qps = len(pairs) / (time.perf_counter() - started or 1e-9)
+
+        sweep: list[dict] = []
+        for workers in worker_counts:
+            with ServingFleet(snapshot, workers=workers, kernel=kernel) as fleet:
+                # Identity gates measurement: fingerprints first, then
+                # the whole workload against the baseline answers.
+                fleet.verify()
+                # Pipelined replay: every batch is dispatched before
+                # the first is gathered, so workers overlap across
+                # batch boundaries (the loaded-server shape) instead
+                # of idling at each round trip.
+                answers: list = []
+                started = time.perf_counter()
+                tickets = [fleet.submit_batch(batch) for batch in batches]
+                for ticket in tickets:
+                    answers.extend(fleet.gather(ticket))
+                elapsed = time.perf_counter() - started
+                if answers != baseline_answers:
+                    diverging = sum(
+                        a != b for a, b in zip(answers, baseline_answers)
+                    )
+                    raise ReproError(
+                        f"{workers}-worker fleet diverges from single-process "
+                        f"serving on {name!r}: {diverging} of {len(pairs)} "
+                        f"answers differ — refusing to record throughput for "
+                        f"a wrong fleet"
+                    )
+                sweep.append(
+                    {
+                        "workers": workers,
+                        "qps": len(pairs) / (elapsed or 1e-9),
+                        "worker_rss_kb": fleet.resident_kb(),
+                        "parent_rss_kb": _resident_kb(),
+                    }
+                )
+
+    return FleetBenchResult(
+        name=name,
+        n=graph.n,
+        m=graph.m,
+        bandwidth=bandwidth,
+        queries=len(pairs),
+        snapshot_bytes=snapshot_bytes,
+        load=load,
+        baseline_qps=baseline_qps,
+        sweep=sweep,
+        verified=True,
+    )
+
+
+def record_fleet_entry(result: FleetBenchResult, path=BENCH_FLEET_PATH) -> dict:
+    """Append ``result`` to the ``BENCH_fleet.json`` history document.
+
+    Same contract as the other BENCH artifacts: the document is
+    ``{"schema": 1, "entries": [...]}``, a missing or corrupt file
+    starts a fresh history, and the appended entry is returned.
+    """
+    path = Path(path)
+    document: dict = {"schema": BENCH_FLEET_SCHEMA, "entries": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("entries"), list):
+                document = loaded
+                document["schema"] = BENCH_FLEET_SCHEMA
+        except (OSError, json.JSONDecodeError):
+            pass
+    entry = result.entry()
+    entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["entries"].append(entry)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return entry
+
+
+def run_fleet_bench(
+    datasets=None,
+    bandwidth: int = 20,
+    *,
+    queries: int = DEFAULT_QUERY_COUNT,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    kernel: str | None = None,
+    output=BENCH_FLEET_PATH,
+) -> tuple[list[dict], str]:
+    """Sweep ``datasets`` (default :data:`DEFAULT_DATASETS`) and record entries.
+
+    Returns ``(rows, text)`` like the other experiment drivers.
+    """
+    names = list(datasets) if datasets is not None else list(DEFAULT_DATASETS)
+    rows: list[dict] = []
+    for dataset in names:
+        graph = load_dataset(dataset)
+        result = fleet_bench_result(
+            graph,
+            bandwidth,
+            name=dataset,
+            queries=queries,
+            worker_counts=worker_counts,
+            kernel=kernel,
+        )
+        if output is not None:
+            record_fleet_entry(result, output)
+        rows.extend(result.rows())
+    text = format_table(
+        rows,
+        ["dataset", "workers", "qps", "speedup_x", "worker_rss_kb", "verified"],
+        title=f"fleet-bench — CT-{bandwidth} multi-process serving over one snapshot",
+    )
+    return rows, text

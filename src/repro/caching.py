@@ -103,6 +103,46 @@ class CachedDistanceIndex(DistanceIndex):
                 self._insert(key, value)
         return results
 
+    def distances_batch(self, pairs: Iterable[tuple[int, int]]) -> list[Weight]:
+        """Pairwise batch with per-entry hit/miss accounting.
+
+        Mirrors :meth:`distances_from`: cached pairs are answered
+        locally, the residual misses go to one ``inner.distances_batch``
+        call (keeping the inner index's batch fast path), and every
+        fetched answer is inserted.  A pair whose key already appeared
+        earlier in the same batch counts as a hit — it shares the
+        pending answer without extra inner work.
+        """
+        pairs = list(pairs)
+        results: list[Weight | None] = [None] * len(pairs)
+        miss_keys: dict[tuple[int, int], list[int]] = {}
+        miss_pairs: list[tuple[int, int]] = []
+        for i, (s, t) in enumerate(pairs):
+            key = self._key(s, t)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                results[i] = cached
+                continue
+            positions = miss_keys.get(key)
+            if positions is not None:
+                # Duplicate within the batch: shares the pending answer.
+                self.hits += 1
+                positions.append(i)
+                continue
+            self.misses += 1
+            miss_keys[key] = [i]
+            miss_pairs.append((s, t))
+        if miss_pairs:
+            values = self.inner.distances_batch(miss_pairs)
+            for (s, t), value in zip(miss_pairs, values):
+                key = self._key(s, t)
+                for i in miss_keys[key]:
+                    results[i] = value
+                self._insert(key, value)
+        return results
+
     def size_entries(self) -> int:
         """The wrapped index's entries (the cache is working memory)."""
         return self.inner.size_entries()

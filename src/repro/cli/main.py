@@ -11,6 +11,7 @@ Subcommands::
     repro serve-bench GRAPH -d 20         cached vs uncached serving on a skewed stream
     repro build-bench GRAPH -d 20         serial vs parallel construction speedup
     repro storage-bench GRAPH -d 20       dict vs flat labels, JSON vs binary snapshots
+    repro fleet-bench GRAPH -d 20         N-worker serving over one mapped snapshot
     repro obs-bench GRAPH -d 20           observability overhead, recorded in BENCH_obs.json
     repro trace TRACE.jsonl               render a recorded span trace (tree + summary)
     repro datasets                        list the dataset registry
@@ -195,6 +196,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="storage history file to append to ('-' skips recording)",
     )
     p_sbench.set_defaults(handler=_cmd_storage_bench)
+
+    p_fbench = sub.add_parser(
+        "fleet-bench",
+        help="serve one mapped snapshot from N worker processes, verifying "
+        "answer and fingerprint identity, recording BENCH_fleet.json",
+    )
+    p_fbench.add_argument("graph", help="edge-list file, or a registry dataset name")
+    p_fbench.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_fbench.add_argument("--queries", type=int, default=2000)
+    p_fbench.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2],
+        help="worker counts to sweep (default: 1 2)",
+    )
+    p_fbench.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "python"),
+        default=None,
+        help="query kernel of every worker engine (default: index default)",
+    )
+    p_fbench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_fleet.json",
+        help="fleet history file to append to ('-' skips recording)",
+    )
+    p_fbench.set_defaults(handler=_cmd_fleet_bench)
 
     p_obench = sub.add_parser(
         "obs-bench",
@@ -594,6 +624,50 @@ def _cmd_storage_bench(args: argparse.Namespace) -> int:
     )
     if args.output != "-":
         record_storage_entry(result, args.output)
+        print(f"recorded entry -> {args.output}")
+    return 0
+
+
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.datasets import dataset_names, load_dataset
+    from repro.bench.fleet_bench import fleet_bench_result, record_fleet_entry
+    from repro.bench.reporting import format_table
+    from repro.graphs.io import read_edge_list
+
+    if args.graph in dataset_names() and not os.path.exists(args.graph):
+        name = args.graph
+        graph = load_dataset(name)
+    else:
+        name = args.graph
+        graph, _ = read_edge_list(args.graph)
+    result = fleet_bench_result(
+        graph,
+        args.bandwidth,
+        name=name,
+        queries=args.queries,
+        worker_counts=tuple(args.workers),
+        kernel=args.kernel,
+    )
+    print(
+        format_table(
+            result.rows(),
+            ["dataset", "workers", "qps", "speedup_x", "worker_rss_kb", "verified"],
+            title=(
+                f"fleet-bench: CT-{args.bandwidth} on {name} "
+                f"(n={graph.n} m={graph.m}), {args.queries} queries"
+            ),
+        )
+    )
+    print(
+        f"snapshot: {result.snapshot_bytes} bytes; load: "
+        f"{result.load_speedup:.2f}x faster mapped "
+        f"({result.load['copy_s'] * 1e3:.1f} ms copy vs "
+        f"{result.load['mmap_s'] * 1e3:.1f} ms mmap)"
+    )
+    if args.output != "-":
+        record_fleet_entry(result, args.output)
         print(f"recorded entry -> {args.output}")
     return 0
 

@@ -68,6 +68,12 @@ class CTIndex(DistanceIndex):
 
     method_name = "CT"
 
+    #: When the index was loaded with ``mmap=True``, the
+    #: :class:`~repro.storage.mapped.MappedSnapshot` whose pages back
+    #: the label arrays (``None`` for built or copy-loaded indexes).
+    #: Holding the index holds the mapping.
+    snapshot_source = None
+
     def __init__(
         self,
         graph: Graph,

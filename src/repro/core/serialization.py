@@ -106,7 +106,9 @@ def save_ct_index(index: CTIndex, path: PathLike) -> None:
         json.dump(document, handle, allow_nan=False)
 
 
-def load_ct_index(path: PathLike, *, backend: str | None = None) -> CTIndex:
+def load_ct_index(
+    path: PathLike, *, backend: str | None = None, mmap: bool = False
+) -> CTIndex:
     """Reload a CT-Index written by :func:`save_ct_index` or
     :func:`~repro.storage.binary.save_ct_index_binary`.
 
@@ -114,7 +116,10 @@ def load_ct_index(path: PathLike, *, backend: str | None = None) -> CTIndex:
     callers never pass a format flag.  ``backend`` selects the label
     storage of the loaded index (``"dict"`` or ``"flat"``); ``None``
     keeps each format's natural layout — dict for JSON documents, flat
-    for binary snapshots.
+    for binary snapshots.  ``mmap=True`` memory-maps a binary snapshot
+    instead of copying it (flat backend only; see
+    :func:`~repro.storage.binary.load_ct_index_binary`) and is rejected
+    for JSON documents, which have no mappable layout.
     """
     if backend is not None:
         from repro.labeling.base import validate_backend
@@ -122,7 +127,12 @@ def load_ct_index(path: PathLike, *, backend: str | None = None) -> CTIndex:
         validate_backend(backend)
     path = Path(path)
     if is_binary_snapshot(path):
-        return load_ct_index_binary(path, backend=backend or "flat")
+        return load_ct_index_binary(path, backend=backend or "flat", mmap=mmap)
+    if mmap:
+        raise SerializationError(
+            f"mmap=True requires a binary snapshot; {path} is a JSON "
+            f"document (re-save it with format='binary' to map it)"
+        )
     try:
         with path.open("r", encoding="utf-8") as handle:
             document = json.load(handle)

@@ -105,6 +105,33 @@ class Graph:
         """Return a graph with ``n`` nodes and no edges."""
         return cls(n, [[] for _ in range(n)], unweighted=True)
 
+    @classmethod
+    def _from_trusted_rows(
+        cls,
+        n: int,
+        adj_ids: list[tuple[int, ...]],
+        adj_weights: list[tuple[Weight, ...]],
+        m: int,
+        *,
+        unweighted: bool,
+    ) -> "Graph":
+        """Adopt pre-validated sorted adjacency rows without re-checking.
+
+        Internal fast path for loaders that have already enforced the
+        simple-graph invariants in bulk (the binary snapshot reader
+        checks bounds, weights, loops, and duplicates against
+        CRC-verified arrays before calling this).  ``adj_ids[v]`` must
+        be strictly ascending and symmetric with ``adj_weights``
+        aligned; ``m`` is the edge count.
+        """
+        graph = cls.__new__(cls)
+        graph._n = n
+        graph._adj_ids = adj_ids
+        graph._adj_weights = adj_weights
+        graph._m = m
+        graph._unweighted = unweighted
+        return graph
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

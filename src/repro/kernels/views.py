@@ -35,10 +35,20 @@ from repro.storage.flat_tree import INF_SENTINEL, FlatTreeLabelStore
 FLOAT_TYPECODES = ("f", "d")
 
 
-def as_ndarray(values: array) -> np.ndarray:
-    """Read-only zero-copy view of one ``array.array``."""
-    view = np.frombuffer(values, dtype=np.dtype(values.typecode))
-    view.flags.writeable = False
+def as_ndarray(values) -> np.ndarray:
+    """Read-only zero-copy view of one typed buffer.
+
+    Accepts anything the flat stores hold: ``array.array`` (the
+    builders' layout) or a :class:`~repro.storage.mapped.MappedArray`
+    view over an mmap-loaded snapshot — the latter exposes its typed
+    ``memoryview`` as ``.raw``, so the resulting ndarray reads the
+    mapped file's pages directly (still zero copies between disk and
+    kernel).
+    """
+    buffer = getattr(values, "raw", values)
+    view = np.frombuffer(buffer, dtype=np.dtype(values.typecode))
+    if view.flags.writeable:
+        view.flags.writeable = False
     return view
 
 

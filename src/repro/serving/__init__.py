@@ -8,9 +8,15 @@ a :class:`~repro.caching.CachedDistanceIndex`, and keeps latency
 histograms, request counters, and (for CT-Indexes) per-case and
 core-probe statistics that :meth:`QueryEngine.stats_snapshot` exports
 for the bench harness and the ``repro serve-bench`` CLI command.
+
+:class:`ServingFleet` (:mod:`repro.serving.fleet`) scales the engine
+out to N worker processes that all memory-map one binary snapshot —
+shared label pages, tree-affinity request routing, verifiable
+fingerprint identity — measured by ``repro fleet-bench``.
 """
 
 from repro.serving.engine import QueryEngine
+from repro.serving.fleet import FleetError, ServingFleet
 from repro.serving.metrics import LatencyHistogram
 
-__all__ = ["LatencyHistogram", "QueryEngine"]
+__all__ = ["FleetError", "LatencyHistogram", "QueryEngine", "ServingFleet"]

@@ -92,28 +92,31 @@ class QueryEngine:
         kernel: str | None = None,
     ) -> None:
         self.raw_index = index
+        # Unwrap cache layers up front: kernel selection and case
+        # tracking both target the innermost index (a pre-wrapped
+        # CachedDistanceIndex has no set_kernel of its own, so applying
+        # the kernel to the wrapper would reject "numpy" and silently
+        # no-op "auto"/"python").
+        inner = index
+        while isinstance(inner, CachedDistanceIndex):
+            inner = inner.inner
         if kernel is not None:
             from repro.kernels import KERNEL_NUMPY, validate_kernel
 
             validate_kernel(kernel)
-            set_kernel = getattr(index, "set_kernel", None)
+            set_kernel = getattr(inner, "set_kernel", None)
             if set_kernel is not None:
                 set_kernel(kernel)
             elif kernel == KERNEL_NUMPY:
                 from repro.exceptions import ConfigurationError
 
                 raise ConfigurationError(
-                    f"kernel='numpy' requested but {type(index).__name__} "
+                    f"kernel='numpy' requested but {type(inner).__name__} "
                     f"has no query-kernel support"
                 )
         if cache_capacity is not None:
             index = CachedDistanceIndex(index, cache_capacity, symmetric=symmetric)
         self.index = index
-        # Unwrap cache layers to find the index that tracks query cases
-        # (works whether the caller pre-wrapped or used cache_capacity).
-        inner = index
-        while isinstance(inner, CachedDistanceIndex):
-            inner = inner.inner
         self._tracked = inner if hasattr(inner, "case_counts") else None
         self.metrics_registry = registry if registry is not None else default_registry()
         self.engine_id = next(_ENGINE_IDS)

@@ -32,6 +32,17 @@ and 4 alike: the typecode prefix already tells it the layout.
 Loading defaults to the flat backend — the on-disk CSR arrays *are* the
 in-memory representation — but ``backend="dict"`` unpacks into the
 mutable dict layout.
+
+``mmap=True`` goes one step further: the file is memory-mapped
+read-only, every section's CRC is verified once against the mapped
+pages, and the big CSR label sections (``treelabels``, ``core``) are
+adopted as :class:`~repro.storage.mapped.MappedArray` views instead of
+copies — the flat stores then read, and
+:func:`repro.kernels.views.as_ndarray` wraps, the file's own pages.
+N processes mapping one snapshot share a single resident copy through
+the page cache (the ``repro.serving.fleet`` deployment shape).  See
+``docs/formats.md`` for the view-vs-decode split and file-lifetime
+rules.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from repro.obs.tracing import span as obs_span, tracing_enabled
 from repro.graphs.reductions import EquivalenceReduction
 from repro.storage.flat_labels import FlatLabelStore
 from repro.storage.flat_tree import INF_SENTINEL, FlatTreeLabelStore
+from repro.storage.mapped import LazyGraph, MappedArray, MappedSnapshot
 
 PathLike = Union[str, os.PathLike]
 
@@ -146,14 +158,22 @@ def _put_blob(buf: bytearray, payload: bytes) -> None:
 
 
 class _Cursor:
-    """Bounds-checked reader over one section's payload."""
+    """Bounds-checked reader over one section's payload.
 
-    __slots__ = ("name", "data", "pos")
+    ``data`` is ``bytes`` (copying load) or a ``memoryview`` over the
+    mapped file.  With ``zero_copy=True`` (mmap mode, little-endian
+    hosts) :meth:`typed_array` wraps the payload bytes in a
+    :class:`~repro.storage.mapped.MappedArray` view instead of copying
+    them into a private ``array.array``.
+    """
 
-    def __init__(self, name: str, data: bytes) -> None:
+    __slots__ = ("name", "data", "pos", "zero_copy")
+
+    def __init__(self, name: str, data, *, zero_copy: bool = False) -> None:
         self.name = name
         self.data = data
         self.pos = 0
+        self.zero_copy = zero_copy
 
     def _take(self, count: int) -> bytes:
         end = self.pos + count
@@ -169,8 +189,8 @@ class _Cursor:
     def u64(self) -> int:
         return struct.unpack("<Q", self._take(8))[0]
 
-    def typed_array(self, expected_typecode: str | None = None) -> array:
-        typecode = self._take(1).decode("ascii", "replace")
+    def typed_array(self, expected_typecode: str | None = None):
+        typecode = bytes(self._take(1)).decode("ascii", "replace")
         itemsize = self._take(1)[0]
         count = self.u64()
         try:
@@ -190,8 +210,22 @@ class _Cursor:
                 f"section {self.name!r} was written with {itemsize}-byte "
                 f"{typecode!r} items; this platform uses {out.itemsize}-byte items"
             )
-        out.frombytes(self._take(count * itemsize))
+        chunk = self._take(count * itemsize)
+        if self.zero_copy:
+            return MappedArray(chunk, typecode)
+        out.frombytes(chunk)
         return _little_endian(out)
+
+    def skip_typed_array(self) -> None:
+        """Advance past one typed array without decoding (or paging) it."""
+        self._take(1)
+        itemsize = self._take(1)[0]
+        count = self.u64()
+        if itemsize == 0:
+            raise SerializationError(
+                f"section {self.name!r} holds an array of zero-byte items"
+            )
+        self._take(count * itemsize)
 
     def blob(self) -> bytes:
         return self._take(self.u64())
@@ -250,22 +284,28 @@ def _read_graph(cursor: _Cursor) -> Graph:
     n = cursor.u64()
     us = cursor.typed_array(_INT_CODES)
     vs = cursor.typed_array(_INT_CODES)
-    ws = _weights_from_array(cursor.typed_array(_DIST_CODES))
+    packed_ws = cursor.typed_array(_DIST_CODES)
     if n > 1 << 40:
         raise SerializationError(
             f"section {cursor.name!r} claims an implausible node count {n}"
         )
-    if not len(us) == len(vs) == len(ws):
+    if not len(us) == len(vs) == len(packed_ws):
         raise SerializationError(
             f"section {cursor.name!r} holds ragged edge arrays"
         )
+    from repro.kernels import numpy_available
+
+    if numpy_available():
+        return _assemble_graph_numpy(cursor.name, n, us, vs, packed_ws)
+    ws = _weights_from_array(packed_ws)
     # The writer dumps an already-normalized graph (each edge once), so
     # adjacency is assembled directly instead of re-deduplicating through
     # GraphBuilder — that difference is most of the binary loader's win
-    # over JSON.  Bounds and weights are validated in bulk (C-speed
-    # min/max) before the assembly loop; Graph.__init__ still checks
-    # loops, duplicates, and symmetry, so a corrupt section cannot
-    # produce a malformed graph.
+    # over JSON.  Every simple-graph invariant is enforced here against
+    # the CRC-verified arrays — bounds and weights in bulk (C-speed
+    # min/max), self-loops in the assembly loop, duplicates per sorted
+    # row — so the graph is adopted through the trusted constructor
+    # without a second per-element validation pass.
     if len(us) and not (
         0 <= min(us) and max(us) < n and 0 <= min(vs) and max(vs) < n
     ):
@@ -279,9 +319,139 @@ def _read_graph(cursor: _Cursor) -> Graph:
     unweighted = ws.count(1) == len(ws)
     adjacency: list[list[tuple[int, Weight]]] = [[] for _ in range(n)]
     for u, v, w in zip(us, vs, ws):
+        if u == v:
+            raise SerializationError(
+                f"section {cursor.name!r} holds a self-loop on node {u}"
+            )
         adjacency[u].append((v, w))
         adjacency[v].append((u, w))
-    return Graph(n, adjacency, unweighted=unweighted)
+    adj_ids: list[tuple[int, ...]] = []
+    adj_weights: list[tuple[Weight, ...]] = []
+    for v, row in enumerate(adjacency):
+        if not row:
+            adj_ids.append(())
+            adj_weights.append(())
+            continue
+        row.sort()
+        ids, row_weights = zip(*row)
+        if len(set(ids)) != len(ids):
+            raise SerializationError(
+                f"section {cursor.name!r} holds parallel edges at node {v}"
+            )
+        adj_ids.append(ids)
+        adj_weights.append(row_weights)
+    return Graph._from_trusted_rows(
+        n, adj_ids, adj_weights, len(us), unweighted=unweighted
+    )
+
+
+def _assemble_graph_numpy(name: str, n: int, us, vs, packed_ws) -> Graph:
+    """Vectorized :func:`_read_graph` body (same checks, same graph).
+
+    Sorting, bounds/loop/duplicate detection, and the CSR split all run
+    as array reductions, which is most of the snapshot decode on real
+    graphs.  ``us``/``vs``/``packed_ws`` may be ``array.array`` copies
+    or :class:`~repro.storage.mapped.MappedArray` views — both expose a
+    buffer.
+    """
+    import numpy as np
+
+    u = np.frombuffer(getattr(us, "raw", us), dtype=np.dtype(us.typecode))
+    v = np.frombuffer(getattr(vs, "raw", vs), dtype=np.dtype(vs.typecode))
+    w = np.frombuffer(getattr(packed_ws, "raw", packed_ws), dtype=np.dtype(packed_ws.typecode))
+    u = u.astype(np.int64, copy=False)
+    v = v.astype(np.int64, copy=False)
+    m = len(u)
+    if m and not (
+        0 <= int(u.min()) and int(u.max()) < n and 0 <= int(v.min()) and int(v.max()) < n
+    ):
+        raise SerializationError(
+            f"section {name!r} holds an edge endpoint outside 0..{n - 1}"
+        )
+    integral = w.dtype.kind in "iu"
+    has_inf = False
+    if m:
+        if integral:
+            if int(w.min()) < INF_SENTINEL:
+                raise SerializationError(
+                    f"negative distance {int(w.min())} in integer weight array"
+                )
+            has_inf = bool((w == INF_SENTINEL).any())
+            if bool(((w <= 0) & (w != INF_SENTINEL)).any()):
+                raise SerializationError(
+                    f"section {name!r} holds a non-positive edge weight"
+                )
+        elif bool((w <= 0).any()):
+            raise SerializationError(
+                f"section {name!r} holds a non-positive edge weight"
+            )
+        loops = np.nonzero(u == v)[0]
+        if loops.size:
+            raise SerializationError(
+                f"section {name!r} holds a self-loop on node {int(u[loops[0]])}"
+            )
+    unweighted = bool((w == 1).all())
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    if m:
+        dup = (src[1:] == src[:-1]) & (dst[1:] == dst[:-1])
+        hits = np.nonzero(dup)[0]
+        if hits.size:
+            raise SerializationError(
+                f"section {name!r} holds parallel edges at node {int(src[hits[0]])}"
+            )
+    bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=bounds[1:])
+    bounds = bounds.tolist()
+    ids_flat = dst.tolist()
+    adj_ids = [tuple(ids_flat[bounds[i] : bounds[i + 1]]) for i in range(n)]
+    if unweighted:
+        adj_weights: list[tuple[Weight, ...]] = [(1,) * len(ids) for ids in adj_ids]
+    else:
+        wt = np.concatenate([w, w])[order].tolist()
+        if has_inf:
+            wt = [INF if value == INF_SENTINEL else value for value in wt]
+        adj_weights = [tuple(wt[bounds[i] : bounds[i + 1]]) for i in range(n)]
+    return Graph._from_trusted_rows(n, adj_ids, adj_weights, m, unweighted=unweighted)
+
+
+def _skip_graph(cursor: _Cursor) -> tuple[int, object]:
+    """Advance ``cursor`` past one graph blob without decoding it.
+
+    Returns ``(n, span)`` where ``span`` is the undecoded payload slice
+    — header-only bounds checks, no edge array is paged in or
+    tuple-decoded.  Feeds :func:`_lazy_graph`.
+    """
+    start = cursor.pos
+    n = cursor.u64()
+    for _ in range(3):
+        cursor.skip_typed_array()
+    return n, cursor.data[start : cursor.pos]
+
+
+def _lazy_graph(name: str, n: int, span) -> LazyGraph:
+    """A :class:`~repro.storage.mapped.LazyGraph` decoding ``span`` on demand.
+
+    The mapped load path defers every graph section this way: queries
+    only ask the loaded graphs for ``n``, so adjacency decode — the
+    bulk of snapshot decode time — moves off the start-up path
+    entirely and runs (once) only if something walks the topology.
+    """
+    if n > 1 << 40:
+        raise SerializationError(
+            f"section {name!r} claims an implausible node count {n}"
+        )
+
+    def thunk() -> Graph:
+        cursor = _Cursor(name, span)
+        graph = _read_graph(cursor)
+        cursor.done()
+        return graph
+
+    return LazyGraph(n, thunk)
 
 
 # ----------------------------------------------------------------------
@@ -402,11 +572,31 @@ def is_binary_snapshot(path: PathLike) -> bool:
         return False
 
 
-def _read_sections(path: Path) -> tuple[int, dict[str, bytes]]:
-    try:
-        data = path.read_bytes()
-    except OSError as exc:
-        raise SerializationError(f"cannot read index file {path}: {exc}") from exc
+def _read_sections(
+    path: Path, *, use_mmap: bool = False
+) -> tuple[int, dict[str, bytes], MappedSnapshot | None]:
+    """Parse, validate, and CRC-check the section table of ``path``.
+
+    Returns ``(version, sections, source)``.  In the copying mode
+    (``use_mmap=False``) the whole file is read into private memory and
+    section payloads are ``bytes``; with ``use_mmap=True`` the file is
+    memory-mapped read-only, payloads are ``memoryview`` windows into
+    the map, and ``source`` is the :class:`MappedSnapshot` keeping it
+    alive.  Either way every section's CRC-32 is verified here, before
+    a single byte is decoded — and the table itself is rejected when it
+    repeats a section name or when two sections' byte ranges overlap
+    (a crafted table could otherwise alias one payload under two names
+    or smuggle a second copy of a section past the reader).
+    """
+    source: MappedSnapshot | None = None
+    if use_mmap:
+        source = MappedSnapshot(path)
+        data = source.view()
+    else:
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise SerializationError(f"cannot read index file {path}: {exc}") from exc
     if len(data) < _HEADER.size:
         raise SerializationError(f"{path} is too short to be a CT-Index snapshot")
     magic, version, count = _HEADER.unpack_from(data, 0)
@@ -420,7 +610,7 @@ def _read_sections(path: Path) -> tuple[int, dict[str, bytes]]:
     table_end = _HEADER.size + _SECTION.size * count
     if count > 1024 or table_end > len(data):
         raise SerializationError(f"corrupt section table in {path}")
-    sections: dict[str, bytes] = {}
+    entries: list[tuple[str, int, int, int]] = []
     for i in range(count):
         raw_name, offset, length, crc = _SECTION.unpack_from(
             data, _HEADER.size + _SECTION.size * i
@@ -431,7 +621,22 @@ def _read_sections(path: Path) -> tuple[int, dict[str, bytes]]:
             raise SerializationError(
                 f"section {name!r} of {path} is truncated or out of bounds"
             )
-        payload = data[offset:end]
+        entries.append((name, offset, length, crc))
+    names = [name for name, _, _, _ in entries]
+    if len(set(names)) != len(names):
+        duplicate = next(name for name in names if names.count(name) > 1)
+        raise SerializationError(
+            f"section table of {path} repeats section {duplicate!r}"
+        )
+    spans = sorted((offset, offset + length, name) for name, offset, length, _ in entries)
+    for (_, prev_end, prev_name), (next_start, _, next_name) in zip(spans, spans[1:]):
+        if next_start < prev_end:
+            raise SerializationError(
+                f"sections {prev_name!r} and {next_name!r} of {path} overlap"
+            )
+    sections: dict[str, bytes] = {}
+    for name, offset, length, crc in entries:
+        payload = data[offset : offset + length]
         if zlib.crc32(payload) != crc:
             raise SerializationError(
                 f"checksum mismatch in section {name!r} of {path}"
@@ -442,27 +647,40 @@ def _read_sections(path: Path) -> tuple[int, dict[str, bytes]]:
         raise SerializationError(
             f"{path} is missing snapshot sections: {', '.join(missing)}"
         )
-    return version, sections
+    return version, sections, source
 
 
-def load_ct_index_binary(path: PathLike, *, backend: str = "flat"):
+def load_ct_index_binary(path: PathLike, *, backend: str = "flat", mmap: bool = False):
     """Reload a CT-Index written by :func:`save_ct_index_binary`.
 
     ``backend`` selects the label storage of the loaded index:
     ``"flat"`` (default — the arrays are adopted as-is) or ``"dict"``
     (unpacked into the mutable layout).
+
+    ``mmap=True`` maps the file read-only instead of copying it: the
+    CSR label sections become buffer-backed views over the mapped
+    pages (zero resident duplication across processes mapping the same
+    snapshot, no per-entry decode on the start-up path).  Every
+    section's CRC is still verified at open; the returned index keeps
+    the mapping alive through ``index.snapshot_source``.  Requires the
+    flat backend — the dict layout is private memory by construction.
     """
     if backend not in ("dict", "flat"):
         raise SerializationError(
             f"unknown storage backend {backend!r}; expected 'dict' or 'flat'"
         )
+    if mmap and backend != "flat":
+        raise SerializationError(
+            f"mmap=True requires backend='flat' (the {backend!r} layout "
+            f"copies every entry into private memory, defeating the map)"
+        )
     path = Path(path)
-    with obs_span("storage.binary_load", backend=backend) as load_span:
-        version, sections = _read_sections(path)
+    with obs_span("storage.binary_load", backend=backend, mapped=mmap) as load_span:
+        version, sections, source = _read_sections(path, use_mmap=mmap)
         if tracing_enabled():
             load_span.set(bytes=sum(len(body) for body in sections.values()))
         try:
-            return _decode_snapshot(path, sections, backend, version)
+            return _decode_snapshot(path, sections, backend, version, source=source)
         except SerializationError:
             raise
         except (
@@ -483,7 +701,12 @@ def load_ct_index_binary(path: PathLike, *, backend: str = "flat"):
 
 
 def _decode_snapshot(
-    path: Path, sections: dict[str, bytes], backend: str, version: int
+    path: Path,
+    sections: dict[str, bytes],
+    backend: str,
+    version: int,
+    *,
+    source: MappedSnapshot | None = None,
 ):
     from repro.core.construction import TreeIndex
     from repro.core.ct_index import CTIndex
@@ -491,8 +714,13 @@ def _decode_snapshot(
     from repro.treedec.core_tree import core_tree_decomposition
     from repro.treedec.elimination import EliminationResult, EliminationStep
 
+    # Zero-copy adoption needs the on-disk byte order to be the native
+    # one; on big-endian hosts a mapped load still works (the map was
+    # CRC-verified) but label arrays are decoded via the copying path.
+    zero_copy = source is not None and sys.byteorder == "little"
+
     try:
-        meta = json.loads(sections["meta"].decode("utf-8"))
+        meta = json.loads(bytes(sections["meta"]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerializationError(
             f"corrupt meta section in {path}: {exc}"
@@ -509,11 +737,19 @@ def _decode_snapshot(
         raise SerializationError(f"invalid bandwidth {bandwidth!r} in {path}")
 
     cursor = _Cursor("graph", sections["graph"])
-    graph = _read_graph(cursor)
+    if zero_copy:
+        n_graph, graph_span = _skip_graph(cursor)
+        graph = _lazy_graph("graph", n_graph, graph_span)
+    else:
+        graph = _read_graph(cursor)
     cursor.done()
 
     cursor = _Cursor("reduction", sections["reduction"])
-    reduced = _read_graph(cursor)
+    if zero_copy:
+        n_reduced, reduced_span = _skip_graph(cursor)
+        reduced = _lazy_graph("reduction", n_reduced, reduced_span)
+    else:
+        reduced = _read_graph(cursor)
     representative = list(cursor.typed_array(_INT_CODES))
     originals_map = list(cursor.typed_array(_INT_CODES))
     twin_codes = cursor.typed_array("B")
@@ -584,12 +820,17 @@ def _decode_snapshot(
     )
     decomposition = core_tree_decomposition(reduced, bandwidth, elimination=elimination)
 
-    cursor = _Cursor("treelabels", sections["treelabels"])
+    cursor = _Cursor("treelabels", sections["treelabels"], zero_copy=zero_copy)
     tree_offsets = cursor.typed_array(_INT_CODES)
     tree_targets = cursor.typed_array(_INT_CODES)
     tree_dists = cursor.typed_array(_DIST_CODES)
     cursor.done()
-    tree_store = FlatTreeLabelStore(tree_offsets, tree_targets, tree_dists)
+    # The mapped path adopts CRC-verified views as-is; the per-entry
+    # monotonicity scan would touch (and page in) every label at open,
+    # defeating the instant-start-up contract.
+    tree_store = FlatTreeLabelStore(
+        tree_offsets, tree_targets, tree_dists, validate=not zero_copy
+    )
     if len(tree_store) != decomposition.boundary:
         raise SerializationError(
             f"{path} stores {len(tree_store)} tree labels for a boundary "
@@ -598,17 +839,24 @@ def _decode_snapshot(
     tree_labels = tree_store if backend == "flat" else tree_store.to_dicts()
     tree_index = TreeIndex(decomposition, tree_labels)
 
-    cursor = _Cursor("core", sections["core"])
+    cursor = _Cursor("core", sections["core"], zero_copy=zero_copy)
     core_originals = list(cursor.typed_array(_INT_CODES))
-    order = list(cursor.typed_array(_INT_CODES))
+    order = cursor.typed_array(_INT_CODES)
     offsets = cursor.typed_array(_INT_CODES)
     hub_ranks = cursor.typed_array(_RANK_CODES)
     hub_dists = cursor.typed_array(_DIST_CODES)
-    core_graph = _read_graph(cursor)
+    if zero_copy:
+        n_core, core_span = _skip_graph(cursor)
+        core_graph = _lazy_graph("core", n_core, core_span)
+    else:
+        core_graph = _read_graph(cursor)
     cursor.done()
-    if hub_dists.typecode in _SIGNED_INT_CODES and any(d < 0 for d in hub_dists):
-        raise SerializationError(f"negative core label distance in {path}")
-    store = FlatLabelStore.from_arrays(order, offsets, hub_ranks, hub_dists)
+    if zero_copy:
+        store = FlatLabelStore.adopt_arrays(order, offsets, hub_ranks, hub_dists)
+    else:
+        if hub_dists.typecode in _SIGNED_INT_CODES and any(d < 0 for d in hub_dists):
+            raise SerializationError(f"negative core label distance in {path}")
+        store = FlatLabelStore.from_arrays(order, offsets, hub_ranks, hub_dists)
     if store.n != core_graph.n or store.n != len(core_originals):
         raise SerializationError(
             f"core section of {path} is internally inconsistent "
@@ -616,7 +864,7 @@ def _decode_snapshot(
             f"{len(core_originals)} originals)"
         )
     labels = store if backend == "flat" else store.to_hub_labeling()
-    core_index = PrunedLandmarkLabeling(core_graph, labels, order)
+    core_index = PrunedLandmarkLabeling(core_graph, labels, list(order))
     compact = {orig: i for i, orig in enumerate(core_originals)}
 
     index = CTIndex(
@@ -629,4 +877,5 @@ def _decode_snapshot(
         core_compact=compact,
     )
     index.build_seconds = float(meta.get("build_seconds", 0.0))
+    index.snapshot_source = source
     return index

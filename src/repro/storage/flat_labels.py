@@ -124,6 +124,46 @@ class FlatLabelStore:
         return cls.from_arrays(order, offsets, hub_ranks, pack_distances(dists))
 
     @classmethod
+    def adopt_arrays(
+        cls, order, offsets, hub_ranks, hub_dists
+    ) -> "FlatLabelStore":
+        """Adopt pre-verified arrays as-is — the mmap snapshot path.
+
+        Unlike :meth:`from_arrays` the inputs are *not* copied into
+        fresh ``array.array`` objects and the per-entry ascending-rank
+        scan is skipped: the caller (the binary snapshot loader) has
+        already CRC-verified the bytes, and touching every entry here
+        would page the whole mapping in at open.  Cheap structural
+        invariants — array lengths, offset endpoints, and the order
+        permutation (O(n), builds the inverse anyway) — are still
+        checked, so a logically inconsistent table cannot produce a
+        store whose accessors crash.
+        """
+        n = len(order)
+        if len(offsets) != n + 1:
+            raise StorageError(
+                f"offset array has {len(offsets)} slots for {n} nodes "
+                f"(expected {n + 1})"
+            )
+        if len(hub_ranks) != len(hub_dists):
+            raise StorageError(
+                f"{len(hub_ranks)} hub ranks but {len(hub_dists)} distances"
+            )
+        if offsets[0] != 0 or offsets[-1] != len(hub_ranks):
+            raise StorageError(
+                f"offsets span [{offsets[0]}, {offsets[-1]}] "
+                f"but the store holds {len(hub_ranks)} entries"
+            )
+        rank = array(OFFSET_TYPECODE, [0]) * n
+        seen = bytearray(n)
+        for r, v in enumerate(order):
+            if not 0 <= v < n or seen[v]:
+                raise StorageError(f"order is not a permutation of 0..{n - 1}")
+            seen[v] = 1
+            rank[v] = r
+        return cls(order, rank, offsets, hub_ranks, hub_dists)
+
+    @classmethod
     def from_arrays(
         cls, order, offsets, hub_ranks, hub_dists
     ) -> "FlatLabelStore":

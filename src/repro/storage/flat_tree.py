@@ -87,7 +87,17 @@ class FlatTreeLabelStore(Sequence):
 
     __slots__ = ("_offsets", "_targets", "_dists", "_views")
 
-    def __init__(self, offsets: array, targets: array, dists: array) -> None:
+    def __init__(
+        self, offsets: array, targets: array, dists: array, *, validate: bool = True
+    ) -> None:
+        """Wrap CSR arrays; ``validate=False`` skips the per-entry scan.
+
+        The cheap endpoint/length invariants are always checked.
+        ``validate=False`` is reserved for arrays whose bytes were
+        already integrity-verified — the mmap snapshot loader adopts
+        CRC-checked views this way so opening a snapshot does not page
+        in (or iterate) every label entry.
+        """
         if len(offsets) == 0 or offsets[0] != 0 or offsets[-1] != len(targets):
             raise StorageError(
                 f"tree-label offsets span "
@@ -99,22 +109,23 @@ class FlatTreeLabelStore(Sequence):
             raise StorageError(
                 f"{len(targets)} tree-label targets but {len(dists)} distances"
             )
-        previous = 0
-        for pos in range(len(offsets) - 1):
-            start, stop = offsets[pos], offsets[pos + 1]
-            if start != previous or stop < start:
-                raise StorageError(
-                    f"tree-label offsets are not monotone at position {pos}"
-                )
-            previous = stop
-            last = -1
-            for i in range(start, stop):
-                if targets[i] <= last:
+        if validate:
+            previous = 0
+            for pos in range(len(offsets) - 1):
+                start, stop = offsets[pos], offsets[pos + 1]
+                if start != previous or stop < start:
                     raise StorageError(
-                        f"tree-label run of position {pos} is not strictly "
-                        f"ascending in target id"
+                        f"tree-label offsets are not monotone at position {pos}"
                     )
-                last = targets[i]
+                previous = stop
+                last = -1
+                for i in range(start, stop):
+                    if targets[i] <= last:
+                        raise StorageError(
+                            f"tree-label run of position {pos} is not strictly "
+                            f"ascending in target id"
+                        )
+                    last = targets[i]
         self._offsets = offsets
         self._targets = targets
         self._dists = dists

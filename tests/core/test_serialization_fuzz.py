@@ -248,3 +248,65 @@ class TestBinaryHeaderCorruption:
             )
             with pytest.raises(SerializationError):
                 _load_bytes(tmp_path, garbage)
+
+
+class TestCraftedSectionTables:
+    """Adversarial tables: structurally valid entries, dishonest layout.
+
+    Every entry individually passes the bounds check, so these shapes
+    reach the table-consistency validation — a crafted table could
+    otherwise alias one payload under two names or smuggle a second
+    copy of a section past the reader.
+    """
+
+    @staticmethod
+    def _entry(data: bytes, i: int):
+        return _SECTION.unpack_from(data, _HEADER.size + _SECTION.size * i)
+
+    @staticmethod
+    def _patch_entry(data: bytearray, i: int, name, offset, length, crc) -> None:
+        _SECTION.pack_into(
+            data, _HEADER.size + _SECTION.size * i, name, offset, length, crc
+        )
+
+    def test_duplicate_section_name_rejected(self, tmp_path, snapshot_bytes):
+        corrupted = bytearray(snapshot_bytes)
+        name0 = self._entry(corrupted, 0)[0]
+        _, offset, length, crc = self._entry(corrupted, 1)
+        self._patch_entry(corrupted, 1, name0, offset, length, crc)
+        with pytest.raises(SerializationError, match="repeats section"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+    def test_overlapping_sections_rejected(self, tmp_path, snapshot_bytes):
+        # Point section 1 into section 0's byte range (same name, own
+        # length): each entry is in bounds, but the ranges collide.
+        corrupted = bytearray(snapshot_bytes)
+        _, offset0, _, _ = self._entry(corrupted, 0)
+        name1, _, length1, crc1 = self._entry(corrupted, 1)
+        self._patch_entry(corrupted, 1, name1, offset0, length1, crc1)
+        with pytest.raises(SerializationError, match="overlap"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+    def test_identical_aliased_entries_rejected(self, tmp_path, snapshot_bytes):
+        # Entry 1 becomes a byte-for-byte copy of entry 0: duplicate
+        # name AND full range overlap (the CRC would even verify) —
+        # the duplicate-name check must fire before any payload reads.
+        corrupted = bytearray(snapshot_bytes)
+        self._patch_entry(corrupted, 1, *self._entry(corrupted, 0))
+        with pytest.raises(SerializationError, match="repeats section"):
+            _load_bytes(tmp_path, bytes(corrupted))
+
+    @pytest.mark.parametrize("use_mmap", [False, True])
+    def test_rejection_shared_by_mapped_loads(
+        self, tmp_path, snapshot_bytes, use_mmap
+    ):
+        # The table validation runs in _read_sections, shared by the
+        # copying and mmap paths; both must refuse a crafted table.
+        corrupted = bytearray(snapshot_bytes)
+        _, offset0, _, _ = self._entry(corrupted, 0)
+        name1, _, length1, crc1 = self._entry(corrupted, 1)
+        self._patch_entry(corrupted, 1, name1, offset0 + 1, length1, crc1)
+        path = tmp_path / "crafted.ctsnap"
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(SerializationError, match="overlap"):
+            load_ct_index_binary(path, mmap=use_mmap)

@@ -1,0 +1,129 @@
+"""Pair-cached engines on the batch request paths.
+
+The pair cache must be transparent on ``query_batch``/``query_from``:
+a cached engine answers exactly like an uncached one both cold (first
+pass populates) and warm (second pass served from the cache), its
+hit/miss counters follow the hand-computable trace, and none of this
+depends on which query kernel the underlying index runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.caching import CachedDistanceIndex
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.kernels import numpy_available
+from repro.labeling.pll import build_pll
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.serving import QueryEngine
+
+KERNELS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(scope="module")
+def flat_setup():
+    cfg = CorePeripheryConfig(core_size=25, community_count=4, fringe_size=75)
+    graph = core_periphery_graph(cfg, seed=23)
+    return graph, CTIndex.build(graph, 5, backend="flat")
+
+
+@pytest.fixture(params=KERNELS)
+def kernel(request):
+    return request.param
+
+
+class TestBatchPathsMatchUncached:
+    def test_query_batch_cold_and_warm(self, flat_setup, kernel):
+        graph, index = flat_setup
+        cached = QueryEngine(index, cache_capacity=4096, kernel=kernel)
+        plain = QueryEngine(index, kernel=kernel)
+        rng = random.Random(7)
+        pairs = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(250)]
+        expected = plain.query_batch(pairs)
+        assert cached.query_batch(pairs) == expected  # cold: all fetched
+        assert cached.query_batch(pairs) == expected  # warm: all cached
+        assert cached.pair_cache.misses <= len(pairs)
+        assert cached.pair_cache.hits >= len(pairs)
+
+    def test_query_from_cold_and_warm(self, flat_setup, kernel):
+        graph, index = flat_setup
+        cached = QueryEngine(index, cache_capacity=4096, kernel=kernel)
+        plain = QueryEngine(index, kernel=kernel)
+        for s in (0, graph.n // 2, graph.n - 1):
+            expected = plain.query_from(s, range(graph.n))
+            assert cached.query_from(s, range(graph.n)) == expected
+            assert cached.query_from(s, range(graph.n)) == expected
+        # Warm passes hit every target (3n hits); cold passes miss every
+        # target except the symmetric pairs among the three sources
+        # themselves — the 2nd source finds (s1, s2) cached, the 3rd
+        # finds (s1, s3) and (s2, s3).
+        assert cached.pair_cache.misses == 3 * graph.n - 3
+        assert cached.pair_cache.hits == 3 * graph.n + 3
+
+    def test_batch_counter_trace(self, flat_setup, kernel):
+        _, index = flat_setup
+        engine = QueryEngine(index, cache_capacity=64, kernel=kernel)
+        cache = engine.pair_cache
+        # (1,2) miss; (2,1) in-batch hit via the symmetric key;
+        # (1,2) in-batch hit; (3,4) miss.
+        engine.query_batch([(1, 2), (2, 1), (1, 2), (3, 4)])
+        assert (cache.hits, cache.misses) == (2, 2)
+        # Warm replay: four cache hits, no inner work.
+        engine.query_batch([(1, 2), (2, 1), (1, 2), (3, 4)])
+        assert (cache.hits, cache.misses) == (6, 2)
+        # One new pair among known ones.
+        engine.query_batch([(3, 4), (5, 6)])
+        assert (cache.hits, cache.misses) == (7, 3)
+
+    def test_from_counter_trace(self, flat_setup, kernel):
+        _, index = flat_setup
+        engine = QueryEngine(index, cache_capacity=64, kernel=kernel)
+        cache = engine.pair_cache
+        # Targets [1, 2, 1]: miss, miss, in-batch duplicate hit.
+        engine.query_from(0, [1, 2, 1])
+        assert (cache.hits, cache.misses) == (1, 2)
+        # (1, 0) warms via the symmetric key written by query_from(0, [1...]).
+        assert engine.query(1, 0) == engine.query(0, 1)
+        assert (cache.hits, cache.misses) == (3, 2)
+
+    def test_stats_snapshot_reports_cache(self, flat_setup):
+        _, index = flat_setup
+        engine = QueryEngine(index, cache_capacity=32)
+        engine.query_batch([(0, 1), (0, 1)])
+        stats = engine.stats_snapshot()["pair_cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["capacity"] == 32
+
+
+class TestKernelSelectionUnwrapsCaches:
+    """The engine applies ``kernel=`` to the innermost index (bugfix)."""
+
+    def test_pre_wrapped_cache_accepts_kernel(self, flat_setup, kernel):
+        _, index = flat_setup
+        wrapped = CachedDistanceIndex(index, 128)
+        engine = QueryEngine(wrapped, kernel=kernel)
+        # Selection reached through the wrapper to the CT-Index.
+        assert index.kernel == kernel
+        assert engine.query(0, 1) == index.distance(0, 1)
+
+    def test_doubly_wrapped_cache_accepts_kernel(self, flat_setup, kernel):
+        _, index = flat_setup
+        wrapped = CachedDistanceIndex(CachedDistanceIndex(index, 64), 64)
+        QueryEngine(wrapped, kernel=kernel)
+        assert index.kernel == kernel
+
+    def test_kernelless_index_still_rejects_numpy(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        g = gnp_graph(20, 0.2, seed=3)
+        wrapped = CachedDistanceIndex(build_pll(g), 64)
+        with pytest.raises(ConfigurationError, match="kernel"):
+            QueryEngine(wrapped, kernel="numpy")

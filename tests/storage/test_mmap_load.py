@@ -1,0 +1,162 @@
+"""Zero-copy ``mmap=True`` snapshot loading.
+
+A mapped load must be indistinguishable from a copying load at the
+query level (fingerprint and answer identity under both kernels) while
+actually deferring work: label arrays are views over the mapped file
+and all three serialized graphs stay lazy until something outside the
+query path (e.g. fingerprinting) forces a decode.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.core.serialization import (
+    index_fingerprint,
+    load_ct_index,
+    load_ct_index_binary,
+    save_ct_index,
+    save_ct_index_binary,
+)
+from repro.exceptions import SerializationError
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.kernels import numpy_available
+from repro.serving import QueryEngine
+from repro.storage.mapped import LazyGraph, MappedSnapshot
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    cfg = CorePeripheryConfig(core_size=30, community_count=5, fringe_size=90)
+    graph = core_periphery_graph(cfg, seed=17)
+    index = CTIndex.build(graph, 5, backend="flat")
+    path = tmp_path_factory.mktemp("mmap") / "index.ctsnap"
+    save_ct_index_binary(index, path)
+    return graph, index, path
+
+
+def _lazy_graphs(index):
+    return [index.graph, index.reduction.reduced, index.core_index.graph]
+
+
+class TestMappedIdentity:
+    def test_fingerprint_matches_copy_load(self, saved):
+        _, index, path = saved
+        mapped = load_ct_index_binary(path, mmap=True)
+        copied = load_ct_index_binary(path)
+        assert (
+            index_fingerprint(mapped)
+            == index_fingerprint(copied)
+            == index_fingerprint(index)
+        )
+
+    @pytest.mark.parametrize(
+        "kernel",
+        ["python"]
+        + (["numpy"] if numpy_available() else []),
+    )
+    def test_answers_match_copy_load(self, saved, kernel):
+        graph, _, path = saved
+        mapped = QueryEngine(load_ct_index_binary(path, mmap=True), kernel=kernel)
+        copied = QueryEngine(load_ct_index_binary(path), kernel=kernel)
+        rng = random.Random(3)
+        pairs = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(200)]
+        assert mapped.query_batch(pairs) == copied.query_batch(pairs)
+        for s in (0, graph.n // 2, graph.n - 1):
+            assert mapped.query_from(s, range(graph.n)) == copied.query_from(
+                s, range(graph.n)
+            )
+
+    def test_generic_loader_and_api_accept_mmap(self, saved):
+        _, index, path = saved
+        via_generic = load_ct_index(path, mmap=True)
+        assert index_fingerprint(via_generic) == index_fingerprint(index)
+        import repro
+
+        via_api = repro.load(path, mmap=True)
+        assert index_fingerprint(via_api) == index_fingerprint(index)
+
+
+class TestLaziness:
+    def test_snapshot_source_kept_alive(self, saved):
+        _, _, path = saved
+        mapped = load_ct_index_binary(path, mmap=True)
+        assert isinstance(mapped.snapshot_source, MappedSnapshot)
+        assert mapped.snapshot_source.size == path.stat().st_size
+        # The copying load never holds a mapping.
+        assert load_ct_index_binary(path).snapshot_source is None
+
+    def test_graph_sections_start_lazy(self, saved):
+        _, _, path = saved
+        mapped = load_ct_index_binary(path, mmap=True)
+        for lazy in _lazy_graphs(mapped):
+            assert isinstance(lazy, LazyGraph)
+            assert not lazy.materialized
+
+    def test_queries_never_materialize_graphs(self, saved):
+        graph, _, path = saved
+        mapped = load_ct_index_binary(path, mmap=True)
+        engine = QueryEngine(mapped, cache_capacity=64)
+        rng = random.Random(5)
+        engine.query_batch(
+            [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(100)]
+        )
+        engine.query_from(1, range(graph.n))
+        engine.query(0, graph.n - 1)
+        for lazy in _lazy_graphs(mapped):
+            assert not lazy.materialized
+
+    def test_materialized_graph_matches_copy_load(self, saved):
+        _, _, path = saved
+        mapped = load_ct_index_binary(path, mmap=True)
+        copied = load_ct_index_binary(path)
+        lazy = mapped.graph
+        # Touching adjacency forces the decode thunk exactly once.
+        assert lazy.m == copied.graph.m
+        assert lazy.materialized
+        for v in range(lazy.n):
+            assert list(lazy.neighbors(v)) == list(copied.graph.neighbors(v))
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_as_ndarray_views_the_mapped_file(self, saved):
+        import numpy as np
+
+        from repro.kernels.views import as_ndarray
+
+        _, _, path = saved
+        mapped = load_ct_index_binary(path, mmap=True)
+        hub_dists = mapped.core_index.labels.csr_arrays()[3]
+        dists = as_ndarray(hub_dists)
+        assert isinstance(dists, np.ndarray)
+        # A view over the read-only map cannot own (or copy) its buffer.
+        assert not dists.flags["OWNDATA"]
+        assert not dists.flags["WRITEABLE"]
+
+
+class TestRejections:
+    def test_mmap_requires_flat_backend(self, saved):
+        _, _, path = saved
+        with pytest.raises(SerializationError, match="backend='flat'"):
+            load_ct_index_binary(path, backend="dict", mmap=True)
+
+    def test_mmap_rejects_json_documents(self, saved, tmp_path):
+        _, index, _ = saved
+        json_path = tmp_path / "index.json"
+        save_ct_index(index, json_path)
+        with pytest.raises(SerializationError, match="binary snapshot"):
+            load_ct_index(json_path, mmap=True)
+
+    def test_weighted_graph_round_trips_mapped(self, tmp_path):
+        graph = random_weighted(gnp_graph(24, 0.2, seed=9), 1, 6, seed=10)
+        index = CTIndex.build(graph, 4, backend="flat")
+        path = tmp_path / "weighted.ctsnap"
+        save_ct_index_binary(index, path)
+        mapped = load_ct_index_binary(path, mmap=True)
+        assert index_fingerprint(mapped) == index_fingerprint(index)

@@ -140,6 +140,48 @@ class TestBatchDelegation:
         assert values == [index.distance(s, t) for s, t in pairs]
         assert (cached.hits, cached.misses) == (1, 2)
 
+    def test_distances_batch_symmetric_dedup_within_batch(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        # (2, 1) shares (1, 2)'s key: one miss, one in-batch hit.
+        values = cached.distances_batch([(1, 2), (2, 1)])
+        assert values[0] == values[1] == index.distance(1, 2)
+        assert (cached.hits, cached.misses) == (1, 1)
+
+    def test_distances_batch_forwards_misses_as_one_inner_batch(self, inner):
+        # The bugfix contract: residual misses reach the inner index via
+        # a single distances_batch call (its fast path), never per-pair
+        # distance calls.
+        _, index = inner
+
+        class Spy:
+            method_name = "spy"
+
+            def __init__(self, wrapped):
+                self.wrapped = wrapped
+                self.batch_calls: list[list] = []
+
+            def distance(self, s, t):
+                raise AssertionError("cache must not fall back to distance()")
+
+            def distances_batch(self, pairs):
+                self.batch_calls.append(list(pairs))
+                return [self.wrapped.distance(s, t) for s, t in pairs]
+
+        spy = Spy(index)
+        cached = CachedDistanceIndex(spy)
+        cached.distance = None  # ensure nothing routes through singles
+        pairs = [(0, 1), (1, 2), (0, 1), (2, 1), (3, 4)]
+        values = cached.distances_batch(pairs)
+        assert values == [index.distance(s, t) for s, t in pairs]
+        # One inner call, holding only the three unique missed keys.
+        assert len(spy.batch_calls) == 1
+        assert spy.batch_calls[0] == [(0, 1), (1, 2), (3, 4)]
+        assert (cached.hits, cached.misses) == (2, 3)
+        # Warm replay: fully served from the cache, no inner traffic.
+        assert cached.distances_batch(pairs) == values
+        assert len(spy.batch_calls) == 1
+
     def test_eviction_respected_in_batches(self, inner):
         _, index = inner
         cached = CachedDistanceIndex(index, capacity=2)
