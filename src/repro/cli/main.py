@@ -8,7 +8,9 @@ Subcommands::
     repro find-bandwidth GRAPH --memory-mb 2
     repro generate DATASET -o GRAPH       dump a registry dataset
     repro bench EXPERIMENT                run one paper experiment driver
+    repro serve IDX --port 8080           serve distance queries over HTTP (batched)
     repro serve-bench GRAPH -d 20         cached vs uncached serving on a skewed stream
+    repro server-bench GRAPH -d 20        HTTP load generator: RPS + p50/p99/p999
     repro build-bench GRAPH -d 20         serial vs parallel construction speedup
     repro storage-bench GRAPH -d 20       dict vs flat labels, JSON vs binary snapshots
     repro fleet-bench GRAPH -d 20         N-worker serving over one mapped snapshot
@@ -132,6 +134,69 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("experiment", help="exp1..exp7, table1, lemma3, serving, ablation-*")
     p_bench.set_defaults(handler=_cmd_bench)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve distance queries over HTTP from a saved index "
+        "(micro-batched, with backpressure and a per-run audit record)",
+    )
+    p_srv.add_argument("snapshot", help="a saved index (JSON or binary snapshot)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8080, help="0 binds an ephemeral port"
+    )
+    p_srv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch time window from the first queued request (default 2)",
+    )
+    p_srv.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        help="flush a micro-batch early at this many requests (default 64)",
+    )
+    p_srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="pending-query bound; beyond it requests get HTTP 429 (default 1024)",
+    )
+    p_srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to let in-flight requests finish on shutdown (default 10)",
+    )
+    p_srv.add_argument(
+        "--cache", type=int, default=None, help="pair-level LRU capacity (default off)"
+    )
+    p_srv.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "python"),
+        default=None,
+        help="query kernel of the served index (default: index default)",
+    )
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="serve through an N-process ServingFleet instead of in-process "
+        "(requires a binary snapshot)",
+    )
+    p_srv.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the snapshot (binary snapshots only)",
+    )
+    p_srv.add_argument(
+        "--audit-dir",
+        default=".",
+        help="directory for artifact.json / eval_history.jsonl "
+        "('-' disables the audit record; default: working directory)",
+    )
+    p_srv.set_defaults(handler=_cmd_serve)
+
     p_serve = sub.add_parser(
         "serve-bench",
         help="replay a skewed query stream through cached and uncached engines",
@@ -161,6 +226,46 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=12345)
     _add_obs_arguments(p_serve)
     p_serve.set_defaults(handler=_cmd_serve_bench)
+
+    p_svbench = sub.add_parser(
+        "server-bench",
+        help="drive the HTTP front-end with concurrent clients, verifying "
+        "answer identity, recording BENCH_serve.json",
+    )
+    p_svbench.add_argument("graph", help="edge-list file, or a registry dataset name")
+    p_svbench.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_svbench.add_argument("--requests", type=int, default=2000)
+    p_svbench.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="concurrent keep-alive client connections (default 8)",
+    )
+    p_svbench.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=1.0,
+        help="micro-batch window of the benched server (default 1)",
+    )
+    p_svbench.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "python"),
+        default=None,
+        help="query kernel of the served index (default: index default)",
+    )
+    p_svbench.add_argument(
+        "--audit-dir",
+        default=None,
+        help="keep the run's artifact.json / eval_history.jsonl here "
+        "(default: a temporary directory)",
+    )
+    p_svbench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_serve.json",
+        help="serve history file to append to ('-' skips recording)",
+    )
+    p_svbench.set_defaults(handler=_cmd_server_bench)
 
     p_bbench = sub.add_parser(
         "build-bench",
@@ -478,6 +583,137 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(text)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving.audit import fingerprint_sha256
+    from repro.serving.server import DistanceServer, ServerConfig, serve_forever
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        batch_max_size=args.batch_max,
+        max_queue_depth=args.queue_depth,
+        drain_timeout_s=args.drain_timeout,
+        audit_dir=None if args.audit_dir == "-" else args.audit_dir,
+    )
+    fleet = None
+    try:
+        if args.workers is not None and args.workers > 1:
+            from repro.serving.fleet import ServingFleet
+
+            fleet = ServingFleet(
+                args.snapshot,
+                workers=args.workers,
+                kernel=args.kernel,
+                cache_capacity=args.cache,
+            )
+            engine = fleet
+            n = fleet.index.graph.n
+            digest = fleet.verify()
+            backend_note = f"{args.workers}-worker fleet"
+        else:
+            from repro.core.serialization import load_ct_index
+            from repro.serving.engine import QueryEngine
+
+            index = load_ct_index(args.snapshot, mmap=args.mmap)
+            engine = QueryEngine(
+                index, kernel=args.kernel, cache_capacity=args.cache
+            )
+            n = index.graph.n
+            digest = fingerprint_sha256(index)
+            backend_note = "in-process engine"
+        server = DistanceServer(
+            engine,
+            n=n,
+            config=config,
+            snapshot_path=args.snapshot,
+            fingerprint=digest,
+        )
+
+        def announce(started: DistanceServer) -> None:
+            host, port = started.address
+            print(
+                f"serving {args.snapshot} (n={n}, {backend_note}) on "
+                f"http://{host}:{port} — POST /query /query/batch "
+                f"/query/from, GET /healthz /metrics /stats; "
+                f"SIGTERM drains gracefully"
+            )
+
+        try:
+            report = asyncio.run(serve_forever(server, ready=announce))
+        except KeyboardInterrupt:
+            # SIGINT before the loop's handler was armed (startup race).
+            report = {"clean": True, "inflight_at_close": 0}
+        drained = "clean drain" if report.get("clean") else "drain timed out"
+        print(f"server stopped ({drained})")
+        if server.artifact_path is not None:
+            print(f"audit record -> {server.artifact_path}")
+    finally:
+        if fleet is not None:
+            fleet.shutdown()
+    return 0
+
+
+def _cmd_server_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.datasets import dataset_names, load_dataset
+    from repro.bench.reporting import format_table
+    from repro.bench.server_bench import record_server_entry, server_bench_result
+    from repro.graphs.io import read_edge_list
+
+    if args.graph in dataset_names() and not os.path.exists(args.graph):
+        name = args.graph
+        graph = load_dataset(name)
+    else:
+        name = args.graph
+        graph, _ = read_edge_list(args.graph)
+    result = server_bench_result(
+        graph,
+        args.bandwidth,
+        name=name,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        batch_window_ms=args.batch_window_ms,
+        kernel=args.kernel,
+        audit_dir=args.audit_dir,
+    )
+    print(
+        format_table(
+            [result.row()],
+            [
+                "dataset",
+                "requests",
+                "conc",
+                "rps",
+                "p50_us",
+                "p99_us",
+                "p999_us",
+                "mean_batch",
+                "verified",
+            ],
+            title=(
+                f"server-bench: CT-{args.bandwidth} on {name} "
+                f"(n={graph.n} m={graph.m}), {args.requests} requests over "
+                f"{args.concurrency} connections"
+            ),
+        )
+    )
+    print(
+        f"micro-batching: {result.batches} batches, mean size "
+        f"{result.mean_batch_size:.2f} (max {result.max_batch_size}); "
+        f"answers verified against direct QueryEngine: {result.verified}"
+    )
+    if args.audit_dir is not None:
+        print(f"audit record -> {os.path.join(args.audit_dir, 'artifact.json')}")
+    if args.output != "-":
+        record_server_entry(result, args.output)
+        print(f"recorded entry -> {args.output}")
     return 0
 
 

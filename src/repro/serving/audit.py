@@ -1,0 +1,390 @@
+"""Per-run audit records for the serving front-end.
+
+A serving run should be auditable after the fact: *exactly what did
+this process serve, from which index, under which configuration, and
+how did it perform?*  Two artifacts answer that, modeled on the
+run-audit (``artifact.json``) and eval-history
+(``eval_history.jsonl``) patterns from the related-work corpus:
+
+``artifact.json``
+    One JSON document per run, written on shutdown — the source of
+    truth for run-level detail: snapshot fingerprint, resolved
+    configuration, request/rejection counters, batching shape, latency
+    histograms (with p50/p99/p999), and whether the drain was clean.
+
+``eval_history.jsonl``
+    One appended JSON line per run — the cross-run latency trend log.
+    Append-only, so a directory that hosts many runs accumulates a
+    comparable history (the shape ``repro server-bench`` reads back).
+
+Both records validate against the checked-in structural schemas in
+this module (:data:`ARTIFACT_SCHEMA`, :data:`EVAL_ENTRY_SCHEMA`)
+*before* they are written — a malformed audit record is a bug in the
+server, not something to discover in a post-mortem.  The validator is
+a deliberately small subset of JSON Schema (``type`` / ``required`` /
+``properties`` / ``items`` / ``enum``) so the contract stays
+dependency-free and readable in one screen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.serving.errors import AuditError
+
+#: File names inside an audit directory.
+ARTIFACT_FILENAME = "artifact.json"
+EVAL_HISTORY_FILENAME = "eval_history.jsonl"
+
+#: Schema identifiers embedded in every record.
+ARTIFACT_SCHEMA_NAME = "repro.serve.artifact"
+EVAL_SCHEMA_NAME = "repro.serve.eval"
+SCHEMA_VERSION = 1
+
+#: Latency summary every audited endpoint reports.
+_LATENCY_SUMMARY_SCHEMA = {
+    "type": "object",
+    "required": ["count", "mean_us", "p50_us", "p99_us", "p999_us", "max_us"],
+    "properties": {
+        "count": {"type": "integer"},
+        "mean_us": {"type": "number"},
+        "p50_us": {"type": "number"},
+        "p99_us": {"type": "number"},
+        "p999_us": {"type": "number"},
+        "max_us": {"type": "number"},
+    },
+}
+
+#: The checked-in contract for ``artifact.json`` (version 1).
+ARTIFACT_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema",
+        "schema_version",
+        "run_id",
+        "started_at",
+        "finished_at",
+        "duration_s",
+        "snapshot",
+        "config",
+        "counters",
+        "batching",
+        "latency",
+        "drain",
+    ],
+    "properties": {
+        "schema": {"enum": [ARTIFACT_SCHEMA_NAME]},
+        "schema_version": {"enum": [SCHEMA_VERSION]},
+        "run_id": {"type": "string"},
+        "started_at": {"type": "string"},
+        "finished_at": {"type": "string"},
+        "duration_s": {"type": "number"},
+        "snapshot": {
+            "type": "object",
+            "required": ["path", "sha256", "n", "engine"],
+            "properties": {
+                "path": {"type": ["string", "null"]},
+                "sha256": {"type": ["string", "null"]},
+                "n": {"type": "integer"},
+                "engine": {"type": "string"},
+            },
+        },
+        "config": {
+            "type": "object",
+            "required": [
+                "host",
+                "port",
+                "batch_window_ms",
+                "batch_max_size",
+                "max_queue_depth",
+                "drain_timeout_s",
+            ],
+            "properties": {
+                "host": {"type": "string"},
+                "port": {"type": "integer"},
+                "batch_window_ms": {"type": "number"},
+                "batch_max_size": {"type": "integer"},
+                "max_queue_depth": {"type": "integer"},
+                "drain_timeout_s": {"type": "number"},
+            },
+        },
+        "counters": {
+            "type": "object",
+            "required": [
+                "requests",
+                "queries_answered",
+                "rejected",
+                "batches",
+                "batched_queries",
+                "batch_failures",
+            ],
+            "properties": {
+                "requests": {"type": "object"},
+                "queries_answered": {"type": "integer"},
+                "rejected": {"type": "object"},
+                "batches": {"type": "integer"},
+                "batched_queries": {"type": "integer"},
+                "batch_failures": {"type": "integer"},
+            },
+        },
+        "batching": {
+            "type": "object",
+            "required": ["mean_batch_size", "max_batch_size"],
+            "properties": {
+                "mean_batch_size": {"type": "number"},
+                "max_batch_size": {"type": "integer"},
+            },
+        },
+        "latency": {"type": "object", "values": _LATENCY_SUMMARY_SCHEMA},
+        "drain": {
+            "type": "object",
+            "required": ["clean", "inflight_at_close"],
+            "properties": {
+                "clean": {"type": "boolean"},
+                "inflight_at_close": {"type": "integer"},
+            },
+        },
+    },
+}
+
+#: The checked-in contract for one ``eval_history.jsonl`` line (version 1).
+EVAL_ENTRY_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema",
+        "schema_version",
+        "timestamp",
+        "run_id",
+        "duration_s",
+        "requests",
+        "queries_answered",
+        "rps",
+        "p50_us",
+        "p99_us",
+        "p999_us",
+    ],
+    "properties": {
+        "schema": {"enum": [EVAL_SCHEMA_NAME]},
+        "schema_version": {"enum": [SCHEMA_VERSION]},
+        "timestamp": {"type": "string"},
+        "run_id": {"type": "string"},
+        "duration_s": {"type": "number"},
+        "requests": {"type": "integer"},
+        "queries_answered": {"type": "integer"},
+        "rps": {"type": "number"},
+        "p50_us": {"type": "number"},
+        "p99_us": {"type": "number"},
+        "p999_us": {"type": "number"},
+    },
+}
+
+#: JSON-type name -> Python predicate.  ``bool`` is excluded from the
+#: numeric types (it subclasses ``int`` but "true queries" is a bug).
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate_document(value, schema: dict, *, path: str = "$") -> None:
+    """Raise :class:`AuditError` where ``value`` violates ``schema``.
+
+    Supports the subset of JSON Schema the audit contracts use:
+    ``type`` (name or list of names), ``required`` + ``properties`` for
+    objects, ``values`` (one schema applied to every object value),
+    ``items`` for arrays, and ``enum``.
+    """
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            raise AuditError(
+                f"{path}: {value!r} not one of {schema['enum']!r}"
+            )
+        return
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[name](value) for name in names):
+            raise AuditError(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise AuditError(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate_document(value[key], sub, path=f"{path}.{key}")
+        values_schema = schema.get("values")
+        if values_schema is not None:
+            for key, item in value.items():
+                validate_document(item, values_schema, path=f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate_document(item, schema["items"], path=f"{path}[{index}]")
+
+
+def validate_artifact(document: dict) -> dict:
+    """Validate an ``artifact.json`` document; returns it unchanged."""
+    validate_document(document, ARTIFACT_SCHEMA)
+    return document
+
+
+def validate_eval_entry(entry: dict) -> dict:
+    """Validate one ``eval_history.jsonl`` record; returns it unchanged."""
+    validate_document(entry, EVAL_ENTRY_SCHEMA)
+    return entry
+
+
+def fingerprint_sha256(index) -> str:
+    """SHA-256 hex digest of the index's canonical fingerprint.
+
+    The same digest :meth:`~repro.serving.fleet.ServingFleet.verify`
+    compares across workers, so an ``artifact.json`` written by a
+    single-process server and a fleet's verification speak about the
+    same identity.
+    """
+    from repro.core.serialization import index_fingerprint
+
+    return hashlib.sha256(index_fingerprint(index)).hexdigest()
+
+
+def utc_timestamp(seconds: float | None = None) -> str:
+    """ISO-8601 UTC timestamp (second resolution, ``Z`` suffix)."""
+    return time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ",
+        time.gmtime(seconds if seconds is not None else time.time()),
+    )
+
+
+def latency_summary(histogram) -> dict:
+    """The audit-record latency summary of one ``LatencyHistogram``."""
+    snapshot = histogram.snapshot()
+    if not snapshot["count"]:
+        return {
+            "count": 0,
+            "mean_us": 0.0,
+            "p50_us": 0.0,
+            "p99_us": 0.0,
+            "p999_us": 0.0,
+            "max_us": 0.0,
+        }
+    return {
+        "count": snapshot["count"],
+        "mean_us": round(snapshot["mean_us"], 3),
+        "p50_us": round(snapshot["p50_us"], 3),
+        "p99_us": round(snapshot["p99_us"], 3),
+        "p999_us": round(histogram.percentile(0.999) * 1e6, 3),
+        "max_us": round(snapshot["max_us"], 3),
+    }
+
+
+def write_artifact(document: dict, directory) -> Path:
+    """Validate and write ``artifact.json`` under ``directory``.
+
+    The directory is created when missing; the write is
+    atomic-by-rename so a crashed writer never leaves a truncated
+    record behind.  Returns the artifact path.
+    """
+    validate_artifact(document)
+    directory = Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / ARTIFACT_FILENAME
+        staging = path.with_suffix(".json.tmp")
+        staging.write_text(
+            json.dumps(document, indent=2, allow_nan=False) + "\n",
+            encoding="utf-8",
+        )
+        staging.replace(path)
+    except OSError as exc:
+        raise AuditError(f"cannot write {ARTIFACT_FILENAME}: {exc}") from exc
+    return path
+
+
+def append_eval_entry(entry: dict, directory) -> Path:
+    """Validate and append one line to ``eval_history.jsonl``.
+
+    Append-only by contract: prior runs' lines are never rewritten, so
+    the file is a cross-run latency trend log.  Returns the history
+    path.
+    """
+    validate_eval_entry(entry)
+    directory = Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / EVAL_HISTORY_FILENAME
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, allow_nan=False) + "\n")
+    except OSError as exc:
+        raise AuditError(f"cannot append {EVAL_HISTORY_FILENAME}: {exc}") from exc
+    return path
+
+
+def read_eval_history(path) -> list[dict]:
+    """Parse an ``eval_history.jsonl`` file, validating every line."""
+    entries: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise AuditError(
+                        f"{path}:{number}: not valid JSON: {exc}"
+                    ) from exc
+                validate_document(
+                    entry, EVAL_ENTRY_SCHEMA, path=f"{path}:{number}"
+                )
+                entries.append(entry)
+    except OSError as exc:
+        raise AuditError(f"cannot read eval history {path}: {exc}") from exc
+    return entries
+
+
+def encode_weight(value):
+    """JSON-safe distance: ``math.inf`` becomes the ``"inf"`` sentinel.
+
+    The same convention the index serializer uses (RFC 8259 has no
+    infinity), so wire payloads and saved indexes agree.
+    """
+    return "inf" if value == math.inf else value
+
+
+def decode_weight(value):
+    """Inverse of :func:`encode_weight`."""
+    return math.inf if value == "inf" else value
+
+
+__all__ = [
+    "ARTIFACT_FILENAME",
+    "ARTIFACT_SCHEMA",
+    "ARTIFACT_SCHEMA_NAME",
+    "EVAL_ENTRY_SCHEMA",
+    "EVAL_HISTORY_FILENAME",
+    "EVAL_SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "append_eval_entry",
+    "decode_weight",
+    "encode_weight",
+    "fingerprint_sha256",
+    "latency_summary",
+    "read_eval_history",
+    "utc_timestamp",
+    "validate_artifact",
+    "validate_document",
+    "validate_eval_entry",
+    "write_artifact",
+]

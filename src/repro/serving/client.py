@@ -1,0 +1,186 @@
+"""Minimal async HTTP client for the serving front-end.
+
+The protocol-level test harness and the ``repro server-bench`` load
+generator both need to speak the server's wire format exactly — one
+keep-alive HTTP/1.1 connection per client, JSON bodies, the ``"inf"``
+weight sentinel — without pulling in an HTTP dependency.
+:class:`ServeClient` is that thin: connect, send, parse, decode.
+
+Error contract: a non-2xx response raises :class:`ServeResponseError`
+carrying the HTTP status and the server's structured ``error`` code,
+so a test can assert *which* rejection happened (``overloaded`` vs
+``draining`` vs ``bad_request``).  The raw :meth:`ServeClient.request`
+escape hatch returns ``(status, body)`` unjudged — that is what
+malformed-payload tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serving.audit import decode_weight
+from repro.serving.errors import ServingError
+
+
+class ServeResponseError(ServingError):
+    """The server answered with a non-2xx status."""
+
+    def __init__(self, status: int, error: str, detail: str = "") -> None:
+        super().__init__(f"HTTP {status} {error}: {detail}")
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`~repro.serving.server.DistanceServer`.
+
+    Usable as an async context manager::
+
+        async with ServeClient(host, port) as client:
+            await client.query(0, 5)
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Wire protocol
+    # ------------------------------------------------------------------
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        raw_body: bytes | None = None,
+        content_type: str = "application/json",
+    ):
+        """One round trip; returns ``(status, parsed_body)``.
+
+        JSON response bodies are parsed; anything else (``/metrics``)
+        comes back as text.  ``raw_body`` sends arbitrary bytes — the
+        malformed-request tests use it to ship invalid JSON.
+        """
+        if self._writer is None or self._writer.is_closing():
+            await self.connect()
+        body = raw_body
+        if body is None:
+            body = (
+                json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else b""
+            )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        return await asyncio.wait_for(self._read_response(), self.timeout)
+
+    async def _read_response(self):
+        blob = await self._reader.readuntil(b"\r\n\r\n")
+        head = blob.decode("latin-1").split("\r\n")
+        status = int(head[0].split()[1])
+        headers: dict[str, str] = {}
+        for line in head[1:]:
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        if headers.get("content-type", "").startswith("application/json"):
+            return status, json.loads(body) if body else None
+        return status, body.decode("utf-8")
+
+    @staticmethod
+    def _judge(status: int, document) -> dict:
+        if 200 <= status < 300:
+            return document
+        error, detail = "unknown", ""
+        if isinstance(document, dict):
+            error = document.get("error", "unknown")
+            detail = document.get("detail", "")
+        raise ServeResponseError(status, error, detail)
+
+    # ------------------------------------------------------------------
+    # Typed entry points
+    # ------------------------------------------------------------------
+
+    async def query(self, s: int, t: int):
+        """One pair; returns the distance (``math.inf`` decoded)."""
+        status, document = await self.request(
+            "POST", "/query", {"s": s, "t": t}
+        )
+        return decode_weight(self._judge(status, document)["distance"])
+
+    async def query_batch(self, pairs) -> list:
+        """A pairwise batch; distances in input order."""
+        status, document = await self.request(
+            "POST", "/query/batch", {"pairs": [list(pair) for pair in pairs]}
+        )
+        return [
+            decode_weight(v) for v in self._judge(status, document)["distances"]
+        ]
+
+    async def query_from(self, s: int, targets) -> list:
+        """One-to-many; distances in target order."""
+        status, document = await self.request(
+            "POST", "/query/from", {"s": s, "targets": list(targets)}
+        )
+        return [
+            decode_weight(v) for v in self._judge(status, document)["distances"]
+        ]
+
+    async def healthz(self):
+        """``(status_code, payload)`` — 503 while draining, by design."""
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> str:
+        """The Prometheus text exposition."""
+        status, text = await self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeResponseError(status, "metrics_unavailable")
+        return text
+
+    async def stats(self) -> dict:
+        """The server's ``/stats`` document."""
+        status, document = await self.request("GET", "/stats")
+        return self._judge(status, document)
+
+
+__all__ = ["ServeClient", "ServeResponseError"]

@@ -1,0 +1,24 @@
+"""Serving-layer exception hierarchy.
+
+Everything the serving tier raises — a dead fleet worker, a refused
+admission, a malformed audit record — derives from
+:class:`ServingError`, which itself derives from
+:class:`~repro.exceptions.ReproError`, so callers can shield
+themselves from the whole serving stack with one ``except`` clause
+(or from the whole library with ``except ReproError``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+class ServingError(ReproError):
+    """Base class for every error raised by the serving tier."""
+
+
+class AuditError(ServingError):
+    """An audit record failed schema validation or could not be written."""
+
+
+__all__ = ["AuditError", "ServingError"]

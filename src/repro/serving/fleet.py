@@ -13,9 +13,15 @@ Topology:
   thanks to the lazy mapped load — and acts as the request router.
 * Each worker (:func:`_worker_main`, spawn-picklable) maps the
   snapshot, wraps it in a :class:`~repro.serving.engine.QueryEngine`,
-  and serves a request loop over its own ``multiprocessing`` queue;
-  answers come back on one shared response queue tagged with request
-  ids.
+  and serves a request loop over its own ``multiprocessing`` request
+  queue; answers come back on that worker's own response queue tagged
+  with request ids.  Response channels are deliberately *not* shared:
+  a worker SIGKILLed while its queue feeder thread holds a shared
+  write lock would leave the lock acquired forever and silence every
+  surviving writer.  With one queue per worker, a wedged channel can
+  only belong to a dead worker — which the liveness check in
+  :meth:`ServingFleet._collect` turns into a :class:`FleetError`
+  instead of a hang.
 * Routing is **affinity only**: every worker holds the full index and
   can answer any pair, but sources from the same tree of the forest
   are steered to the same worker so its extension-label LRU and pair
@@ -44,9 +50,12 @@ import hashlib
 import itertools
 import multiprocessing
 import os
+import queue as queue_module
+import time
 from pathlib import Path
 
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import ConfigurationError
+from repro.serving.errors import ServingError
 
 #: How long (seconds) the parent waits for a worker to map the
 #: snapshot and report ready before declaring the start failed.
@@ -56,8 +65,16 @@ START_TIMEOUT = 60.0
 #: escalating to ``terminate``.
 SHUTDOWN_TIMEOUT = 10.0
 
+#: How often (seconds) a blocked :meth:`ServingFleet._collect` checks
+#: whether the worker owning the awaited request is still alive.
+LIVENESS_POLL_SECONDS = 0.2
 
-class FleetError(ReproError):
+
+#: Sentinel for "no response yet" (a real payload may be ``None``).
+_NO_RESPONSE = object()
+
+
+class FleetError(ServingError):
     """A worker failed to start, answer, or verify."""
 
 
@@ -191,10 +208,15 @@ class ServingFleet:
         self._route = _TreeRouter(self._index, workers)
         self._req_ids = itertools.count()
         self._pending: dict[int, tuple[int, str, object]] = {}
+        #: req_id -> worker id, for liveness checks while waiting.
+        self._owner: dict[int, int] = {}
         self._closed = False
 
         ctx = multiprocessing.get_context("spawn")
-        self._responses = ctx.Queue()
+        # One response queue per worker (see the module docstring): a
+        # shared queue's write lock outlives a worker killed mid-write
+        # and would wedge every surviving worker's answers.
+        self._responses = [ctx.Queue() for _ in range(workers)]
         self._requests = [ctx.Queue() for _ in range(workers)]
         self._processes = [
             ctx.Process(
@@ -205,7 +227,7 @@ class ServingFleet:
                     kernel,
                     cache_capacity,
                     self._requests[i],
-                    self._responses,
+                    self._responses[i],
                 ),
                 daemon=True,
             )
@@ -213,17 +235,30 @@ class ServingFleet:
         ]
         for process in self._processes:
             process.start()
-        ready = 0
         try:
-            while ready < workers:
-                worker_id, req_id, status, payload = self._responses.get(
-                    timeout=START_TIMEOUT
-                )
+            deadline = time.monotonic() + START_TIMEOUT
+            for i in range(workers):
+                while True:
+                    try:
+                        worker_id, req_id, status, payload = self._responses[i].get(
+                            timeout=LIVENESS_POLL_SECONDS
+                        )
+                        break
+                    except queue_module.Empty:
+                        if not self._processes[i].is_alive():
+                            raise FleetError(
+                                f"fleet worker {i} died during startup "
+                                f"(exit code {self._processes[i].exitcode})"
+                            ) from None
+                        if time.monotonic() >= deadline:
+                            raise FleetError(
+                                f"fleet worker {i} failed to report ready "
+                                f"within {START_TIMEOUT:.0f}s"
+                            ) from None
                 if req_id != "_ready":  # pragma: no cover - protocol guard
                     raise FleetError(f"unexpected pre-ready message {req_id!r}")
                 if status != "ok":
                     raise FleetError(f"fleet worker {worker_id} failed to start: {payload}")
-                ready += 1
         except Exception:
             self._kill()
             raise
@@ -343,7 +378,7 @@ class ServingFleet:
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=SHUTDOWN_TIMEOUT)
-        for queue in (*self._requests, self._responses):
+        for queue in (*self._requests, *self._responses):
             queue.close()
 
     def _kill(self) -> None:
@@ -369,24 +404,87 @@ class ServingFleet:
         if self._closed and kind != "shutdown":
             raise FleetError("fleet is shut down")
         req_id = next(self._req_ids)
+        self._owner[req_id] = worker
         self._requests[worker].put((kind, req_id, *payload))
         return req_id
 
     def _collect(self, req_id: int, *, timeout: float | None = None):
-        """The payload for ``req_id``, parking out-of-order answers."""
+        """The payload for ``req_id``, parking out-of-order answers.
+
+        The wait reads the owning worker's response queue — each
+        worker has its own, so a sibling's death can never block this
+        request's channel.  Never hangs on a dead worker either: the
+        wait polls in ``LIVENESS_POLL_SECONDS`` slices and, when the
+        queue runs dry, checks that the owner is still alive — a
+        worker that died mid-request raises a :class:`FleetError`
+        naming it (and its exit code) instead of blocking forever.
+        """
         if req_id in self._pending:
             _, status, payload = self._pending.pop(req_id)
+            self._owner.pop(req_id, None)
             return self._finish(status, payload)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        owner = self._owner.get(req_id)
+        if owner is None:
+            # Never dispatched (or already delivered): there is no
+            # queue to wait on, so the explicit timeout is the only
+            # legitimate wait.
+            if deadline is None:
+                raise FleetError(f"unknown fleet request {req_id}")
+            while time.monotonic() < deadline:
+                time.sleep(LIVENESS_POLL_SECONDS)
+                if req_id in self._pending:  # pragma: no cover - race guard
+                    _, status, payload = self._pending.pop(req_id)
+                    return self._finish(status, payload)
+            raise FleetError(f"timed out waiting for fleet response {req_id}")
         while True:
             try:
-                worker_id, got_id, status, payload = self._responses.get(timeout=timeout)
-            except Exception as exc:
-                raise FleetError(
-                    f"timed out waiting for fleet response {req_id}"
-                ) from exc
+                worker_id, got_id, status, payload = self._responses[owner].get(
+                    timeout=LIVENESS_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                found = self._check_waiter(req_id)
+                if found is not _NO_RESPONSE:
+                    return found
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._owner.pop(req_id, None)
+                    raise FleetError(
+                        f"timed out waiting for fleet response {req_id}"
+                    )
+                continue
+            self._owner.pop(got_id, None)
             if got_id == req_id:
                 return self._finish(status, payload)
             self._pending[got_id] = (worker_id, status, payload)
+
+    def _check_waiter(self, req_id: int):
+        """Liveness check for a dry response queue.
+
+        Returns the finished payload if the awaited response raced in
+        during a final drain; raises :class:`FleetError` when the
+        owning worker is dead; returns :data:`_NO_RESPONSE` to keep
+        waiting (the payload itself may legitimately be ``None``).
+        """
+        owner = self._owner.get(req_id)
+        if owner is None or self._processes[owner].is_alive():
+            return _NO_RESPONSE
+        # The worker is dead — drain anything it managed to send before
+        # dying (its answer may have raced with the liveness check).
+        while True:
+            try:
+                worker_id, got_id, status, payload = self._responses[owner].get_nowait()
+            except queue_module.Empty:
+                break
+            self._owner.pop(got_id, None)
+            if got_id == req_id:
+                return self._finish(status, payload)
+            self._pending[got_id] = (worker_id, status, payload)
+        self._owner.pop(req_id, None)
+        exitcode = self._processes[owner].exitcode
+        raise FleetError(
+            f"fleet worker {owner} died (exit code {exitcode}) with "
+            f"request {req_id} outstanding"
+        )
 
     @staticmethod
     def _finish(status: str, payload):

@@ -1,0 +1,147 @@
+"""Fleet liveness: a worker dying mid-request must fail fast, not hang.
+
+Regression suite for the fleet hardening that shipped with the serving
+front-end, covering two distinct hangs:
+
+* ``_collect`` used to block forever on the response queue if the
+  owning worker died between dispatch and answer.  It now polls in
+  short slices, checks the owner's liveness whenever the queue runs
+  dry, and raises a :class:`FleetError` naming the dead worker and its
+  exit code — so a server wrapping a fleet surfaces a clear 500
+  instead of wedging its worker thread.
+* All workers used to share one response queue.  A worker SIGKILLed
+  while its queue feeder thread held the shared write lock left the
+  lock acquired forever, silencing every *surviving* worker — the
+  owner stayed alive, so the liveness check never fired and the parent
+  waited forever.  Response queues are now per worker, so a wedged
+  channel can only belong to a dead worker
+  (``test_surviving_worker_keeps_answering`` kills a worker right
+  after startup, the window where its ready-ack write races the kill).
+
+Workers are killed for real (``SIGKILL`` via ``Process.kill``), so
+every fleet here is function-scoped; only the snapshot is shared.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.core.serialization import save_ct_index_binary
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.serving import FleetError, QueryEngine, ServingFleet
+from repro.serving.fleet import LIVENESS_POLL_SECONDS
+from repro.storage.binary import load_ct_index_binary
+
+#: A killed worker must surface within a few liveness slices — far
+#: below anything a human would call a hang.
+FAIL_FAST_SECONDS = max(10 * LIVENESS_POLL_SECONDS, 2.0)
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    cfg = CorePeripheryConfig(core_size=25, community_count=4, fringe_size=75)
+    graph = core_periphery_graph(cfg, seed=41)
+    index = CTIndex.build(graph, 5, backend="flat")
+    path = tmp_path_factory.mktemp("fleet-faults") / "index.ctsnap"
+    save_ct_index_binary(index, path)
+    return graph, path
+
+
+@pytest.fixture()
+def fleet(snapshot):
+    _, path = snapshot
+    with ServingFleet(path, workers=2) as running:
+        yield running
+
+
+def sources_for(fleet, graph, worker: int, count: int) -> list[int]:
+    """Tree-affine vertices whose routing pins them to ``worker``.
+
+    Core sources rotate round-robin across workers, so only vertices
+    with a tree position route deterministically — the kind this suite
+    needs to aim traffic at a specific (doomed or surviving) worker.
+    """
+    route = fleet._route
+    picked = [
+        s
+        for s in range(graph.n)
+        if route._position[route._representative[s]] is not None
+        and route.worker_for(s) == worker
+    ]
+    assert len(picked) >= count, "routing sent everything to one worker"
+    return picked[:count]
+
+
+class TestWorkerDeath:
+    def test_query_raises_instead_of_hanging(self, fleet, snapshot):
+        graph, _ = snapshot
+        (victim_source,) = sources_for(fleet, graph, worker=0, count=1)
+        fleet._processes[0].kill()
+        fleet._processes[0].join(timeout=5)
+
+        started = time.monotonic()
+        with pytest.raises(FleetError) as caught:
+            fleet.query(victim_source, 1)
+        elapsed = time.monotonic() - started
+
+        assert elapsed < FAIL_FAST_SECONDS, "dead-worker wait was unbounded"
+        message = str(caught.value)
+        assert "worker 0" in message
+        assert "died" in message
+
+    def test_gather_raises_for_a_mid_batch_death(self, fleet, snapshot):
+        graph, _ = snapshot
+        doomed = sources_for(fleet, graph, worker=0, count=3)
+        survivors = sources_for(fleet, graph, worker=1, count=3)
+        pairs = [(s, (s + 1) % graph.n) for s in doomed + survivors]
+
+        ticket = fleet.submit_batch(pairs)
+        fleet._processes[0].kill()
+        fleet._processes[0].join(timeout=5)
+
+        started = time.monotonic()
+        with pytest.raises(FleetError, match="died"):
+            fleet.gather(ticket)
+        assert time.monotonic() - started < FAIL_FAST_SECONDS
+
+    def test_surviving_worker_keeps_answering(self, fleet, snapshot):
+        graph, path = snapshot
+        baseline = QueryEngine(load_ct_index_binary(path, mmap=True))
+        fleet._processes[0].kill()
+        fleet._processes[0].join(timeout=5)
+
+        for s in sources_for(fleet, graph, worker=1, count=5):
+            t = (s + 3) % graph.n
+            assert fleet.query(s, t) == baseline.query(s, t)
+
+    def test_collect_timeout_is_bounded(self, fleet):
+        # A request id that was never dispatched has no owner: the
+        # liveness check cannot clear it, so the explicit timeout is
+        # the backstop.
+        started = time.monotonic()
+        with pytest.raises(FleetError, match="timed out"):
+            fleet._collect(10_000_000, timeout=0.5)
+        assert time.monotonic() - started < FAIL_FAST_SECONDS
+
+    def test_shutdown_after_death_does_not_hang(self, snapshot):
+        _, path = snapshot
+        fleet = ServingFleet(path, workers=2)
+        try:
+            fleet._processes[0].kill()
+            fleet._processes[0].join(timeout=5)
+        finally:
+            started = time.monotonic()
+            fleet.shutdown()
+            assert time.monotonic() - started < 30
+        assert all(not p.is_alive() for p in fleet._processes)
+
+    def test_fleet_error_is_a_serving_error(self):
+        from repro.serving import ServingError
+
+        assert issubclass(FleetError, ServingError)

@@ -1,0 +1,392 @@
+"""Protocol-level tests for the HTTP serving front-end.
+
+Every test drives a *live* in-process :class:`DistanceServer` over a
+real socket with :class:`ServeClient` — no handler functions are called
+directly, so the hand-rolled HTTP parsing, micro-batching, and error
+envelopes are all on the hook.  The suite has no pytest-asyncio
+dependency: each test owns its event loop via ``asyncio.run``.
+
+The invariants:
+
+* answers through the wire are *identical* to a direct
+  :class:`QueryEngine` over the same index, for all three request
+  shapes (single pair, pairwise batch, one-to-many);
+* malformed requests come back as structured JSON errors (400/404/405)
+  and never crash the server or poison the connection;
+* ``/healthz`` and ``/metrics`` expose the documented fields;
+* concurrent single-pair requests actually coalesce into shared
+  ``query_batch`` calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.serving import (
+    DistanceServer,
+    QueryEngine,
+    ServeClient,
+    ServeResponseError,
+    ServerConfig,
+)
+from repro.serving.audit import fingerprint_sha256
+from repro.serving.server import (
+    REQUEST_LATENCY_METRIC,
+    STATE_SERVING,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = CorePeripheryConfig(core_size=25, community_count=4, fringe_size=75)
+    graph = core_periphery_graph(cfg, seed=41)
+    index = CTIndex.build(graph, 5, backend="flat")
+    return graph, index
+
+
+def make_server(index, graph, **config_kwargs):
+    """Fresh server on an ephemeral port with an isolated registry."""
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("batch_window_ms", 1.0)
+    return DistanceServer(
+        QueryEngine(index),
+        n=graph.n,
+        config=ServerConfig(**config_kwargs),
+        fingerprint=fingerprint_sha256(index),
+        registry=MetricsRegistry(),
+    )
+
+
+def run_with_server(setup, scenario, **config_kwargs):
+    """asyncio.run a ``scenario(server, client)`` against a live server."""
+    graph, index = setup
+
+    async def main():
+        server = make_server(index, graph, **config_kwargs)
+        async with server:
+            host, port = server.address
+            async with ServeClient(host, port) as client:
+                return await scenario(server, client)
+
+    return asyncio.run(main())
+
+
+class TestAnswerIdentity:
+    def test_single_pair_round_trips_match_engine(self, setup):
+        graph, index = setup
+        engine = QueryEngine(index)
+        rng = random.Random(7)
+        pairs = [
+            (rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(80)
+        ]
+        expected = engine.query_batch(pairs)
+
+        async def scenario(server, client):
+            return [await client.query(s, t) for s, t in pairs]
+
+        assert run_with_server(setup, scenario) == expected
+
+    def test_batch_endpoint_matches_engine(self, setup):
+        graph, index = setup
+        engine = QueryEngine(index)
+        rng = random.Random(11)
+        pairs = [
+            (rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(50)
+        ]
+        expected = engine.query_batch(pairs)
+
+        async def scenario(server, client):
+            return await client.query_batch(pairs)
+
+        assert run_with_server(setup, scenario) == expected
+
+    def test_one_to_many_matches_engine(self, setup):
+        graph, index = setup
+        engine = QueryEngine(index)
+        targets = list(range(0, graph.n, 7))
+        expected = engine.query_from(3, targets)
+
+        async def scenario(server, client):
+            return await client.query_from(3, targets)
+
+        assert run_with_server(setup, scenario) == expected
+
+    def test_self_distance_is_zero(self, setup):
+        async def scenario(server, client):
+            return await client.query(5, 5)
+
+        assert run_with_server(setup, scenario) == 0
+
+    def test_infinity_survives_the_wire(self, setup):
+        # encode_weight maps math.inf to the "inf" JSON sentinel; the
+        # client decodes it back.  Exercised through a stub engine so
+        # the test does not depend on the fixture graph being
+        # disconnected.
+        graph, index = setup
+
+        class InfEngine:
+            def query_batch(self, pairs):
+                return [math.inf for _ in pairs]
+
+            def query_from(self, s, targets):
+                return [math.inf for _ in targets]
+
+        async def main():
+            server = DistanceServer(
+                InfEngine(),
+                n=graph.n,
+                config=ServerConfig(port=0, batch_window_ms=0.5),
+                registry=MetricsRegistry(),
+            )
+            async with server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    single = await client.query(0, 1)
+                    batch = await client.query_batch([(0, 1)])
+            return single, batch
+
+        single, batch = asyncio.run(main())
+        assert single == math.inf
+        assert batch == [math.inf]
+
+
+class TestMalformedRequests:
+    """Bad input is a structured error envelope, never a dead server."""
+
+    def test_invalid_json_is_400_bad_request(self, setup):
+        async def scenario(server, client):
+            status, body = await client.request(
+                "POST", "/query", raw_body=b"{not json"
+            )
+            # The connection (and the server) must still work afterwards.
+            survivor = await client.query(1, 2)
+            return status, body, survivor, server.state
+
+        status, body, survivor, state = run_with_server(setup, scenario)
+        assert status == 400
+        assert body["error"] == "bad_request"
+        assert "JSON" in body["detail"]
+        assert isinstance(survivor, (int, float))
+        assert state == STATE_SERVING
+
+    def test_non_object_body_is_400(self, setup):
+        async def scenario(server, client):
+            return await client.request("POST", "/query", raw_body=b"[1, 2]")
+
+        status, body = run_with_server(setup, scenario)
+        assert status == 400
+        assert body["error"] == "bad_request"
+
+    def test_missing_fields_are_400(self, setup):
+        async def scenario(server, client):
+            return await client.request("POST", "/query", payload={"s": 1})
+
+        status, body = run_with_server(setup, scenario)
+        assert status == 400
+        assert body["error"] == "bad_request"
+
+    def test_out_of_range_vertex_is_400(self, setup):
+        graph, _ = setup
+
+        async def scenario(server, client):
+            with pytest.raises(ServeResponseError) as caught:
+                await client.query(0, graph.n + 50)
+            return caught.value
+
+        error = run_with_server(setup, scenario)
+        assert error.status == 400
+        assert error.error == "bad_request"
+
+    def test_bool_vertex_is_rejected(self, setup):
+        # True would quietly alias vertex 1 if the type check used
+        # isinstance(int) alone.
+        async def scenario(server, client):
+            return await client.request(
+                "POST", "/query", payload={"s": True, "t": 2}
+            )
+
+        status, body = run_with_server(setup, scenario)
+        assert status == 400
+
+    def test_bad_batch_shape_is_400(self, setup):
+        async def scenario(server, client):
+            return await client.request(
+                "POST", "/query/batch", payload={"pairs": [[1, 2, 3]]}
+            )
+
+        status, body = run_with_server(setup, scenario)
+        assert status == 400
+        assert "pairs[0]" in body["detail"]
+
+    def test_unknown_route_is_404(self, setup):
+        async def scenario(server, client):
+            return await client.request("GET", "/nope")
+
+        status, body = run_with_server(setup, scenario)
+        assert status == 404
+        assert body["error"] == "not_found"
+
+    def test_wrong_method_is_405(self, setup):
+        async def scenario(server, client):
+            return await client.request("GET", "/query")
+
+        status, body = run_with_server(setup, scenario)
+        assert status == 405
+        assert body["error"] == "method_not_allowed"
+
+    def test_bad_request_counted_in_rejections(self, setup):
+        async def scenario(server, client):
+            await client.request("POST", "/query", raw_body=b"???")
+            return dict(server.rejected_counts)
+
+        rejected = run_with_server(setup, scenario)
+        assert rejected.get("bad_request", 0) >= 1
+
+
+class TestIntrospection:
+    def test_healthz_reports_serving(self, setup):
+        graph, index = setup
+
+        async def scenario(server, client):
+            status, payload = await client.healthz()
+            return status, payload, server.run_id
+
+        status, payload, run_id = run_with_server(setup, scenario)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["state"] == STATE_SERVING
+        assert payload["run_id"] == run_id
+        assert payload["n"] == graph.n
+        assert payload["snapshot_sha256"] == fingerprint_sha256(index)
+
+    def test_metrics_exposes_request_latency(self, setup):
+        async def scenario(server, client):
+            await client.query(0, 1)
+            return await client.metrics()
+
+        text = run_with_server(setup, scenario)
+        flat = REQUEST_LATENCY_METRIC.replace(".", "_")
+        assert flat in text
+        assert 'endpoint="query"' in text
+
+    def test_stats_merges_engine_snapshot(self, setup):
+        async def scenario(server, client):
+            await client.query_batch([(0, 1), (2, 3)])
+            return await client.stats()
+
+        stats = run_with_server(setup, scenario)
+        assert stats["queries_answered"] >= 2
+        assert stats["state"] == STATE_SERVING
+        assert "engine" in stats
+
+    def test_responses_declare_json_content_type(self, setup):
+        async def scenario(server, client):
+            reader, writer = await asyncio.open_connection(*server.address)
+            body = json.dumps({"s": 0, "t": 1}).encode()
+            writer.write(
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode().partition(":")
+                headers[key.strip().lower()] = value.strip()
+            payload = await reader.readexactly(int(headers["content-length"]))
+            writer.close()
+            await writer.wait_closed()
+            return status_line, headers, json.loads(payload)
+
+        status_line, headers, payload = run_with_server(setup, scenario)
+        assert status_line.startswith(b"HTTP/1.1 200")
+        assert headers["content-type"].startswith("application/json")
+        assert "distance" in payload
+
+
+class TestMicroBatching:
+    def test_concurrent_singles_share_batches(self, setup):
+        graph, index = setup
+        engine = QueryEngine(index)
+        rng = random.Random(23)
+        pairs = [
+            (rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(40)
+        ]
+        expected = engine.query_batch(pairs)
+
+        async def scenario(server, client):
+            host, port = server.address
+            clients = [ServeClient(host, port) for _ in range(8)]
+
+            async def worker(client, offset):
+                async with client:
+                    out = []
+                    for i in range(offset, len(pairs), 8):
+                        out.append((i, await client.query(*pairs[i])))
+                    return out
+
+            chunks = await asyncio.gather(
+                *(worker(c, i) for i, c in enumerate(clients))
+            )
+            answers = [None] * len(pairs)
+            for chunk in chunks:
+                for i, value in chunk:
+                    answers[i] = value
+            return answers, server.batches, server.batched_queries
+
+        # A generous window forces aggregation: 40 queries must ride in
+        # strictly fewer than 40 engine calls, with identical answers.
+        answers, batches, batched = run_with_server(
+            setup, scenario, batch_window_ms=50.0
+        )
+        assert answers == expected
+        assert batched == len(pairs)
+        assert 0 < batches < len(pairs)
+
+    def test_batch_max_size_flushes_early(self, setup):
+        async def scenario(server, client):
+            host, port = server.address
+
+            async def one(t):
+                async with ServeClient(host, port) as extra:
+                    return await extra.query(0, t)
+
+            await asyncio.gather(*(one(t) for t in range(12)))
+            return server.max_batch_size
+
+        max_batch = run_with_server(
+            setup, scenario, batch_window_ms=200.0, batch_max_size=4
+        )
+        assert 0 < max_batch <= 4
+
+
+class TestConfigValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(batch_window_ms=-1.0)
+
+    def test_zero_queue_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(max_queue_depth=0)
+
+    def test_engine_without_batch_protocol_rejected(self, setup):
+        graph, _ = setup
+        with pytest.raises(ConfigurationError):
+            DistanceServer(object(), n=graph.n)

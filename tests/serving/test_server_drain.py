@@ -1,0 +1,378 @@
+"""Graceful drain and the per-run audit record.
+
+The shutdown contract: once a drain starts (``close()`` or SIGTERM),
+every *admitted* request still completes and is answered — zero request
+loss — while *late* requests are refused with HTTP 503 ``draining``.
+After the drain the server leaves behind ``artifact.json`` and an
+``eval_history.jsonl`` line, both validating against the checked-in
+schemas in :mod:`repro.serving.audit`, with the snapshot SHA-256
+matching the served index's own fingerprint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.serving import (
+    AuditError,
+    DistanceServer,
+    QueryEngine,
+    ServeClient,
+    ServerConfig,
+    serve_forever,
+)
+from repro.serving.audit import (
+    fingerprint_sha256,
+    read_eval_history,
+    validate_artifact,
+    validate_document,
+    validate_eval_entry,
+)
+from repro.serving.server import REASON_DRAINING, STATE_STOPPED
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = CorePeripheryConfig(core_size=25, community_count=4, fringe_size=75)
+    graph = core_periphery_graph(cfg, seed=41)
+    index = CTIndex.build(graph, 5, backend="flat")
+    return graph, index
+
+
+class SlowEngine:
+    """Holds every batch on the worker thread for ``delay_s`` seconds."""
+
+    def __init__(self, inner, delay_s: float):
+        self.inner = inner
+        self.delay_s = delay_s
+
+    def query_batch(self, pairs):
+        time.sleep(self.delay_s)
+        return self.inner.query_batch(pairs)
+
+    def query_from(self, s, targets):
+        time.sleep(self.delay_s)
+        return self.inner.query_from(s, targets)
+
+
+def make_server(engine, graph, index, audit_dir=None, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("batch_window_ms", 1.0)
+    config_kwargs.setdefault("audit_dir", audit_dir)
+    return DistanceServer(
+        engine,
+        n=graph.n,
+        config=ServerConfig(**config_kwargs),
+        snapshot_path="memory://test-index",
+        fingerprint=fingerprint_sha256(index),
+        registry=MetricsRegistry(),
+    )
+
+
+class TestGracefulDrain:
+    def test_inflight_completes_and_late_requests_refused(self, setup):
+        graph, index = setup
+        engine = SlowEngine(QueryEngine(index), delay_s=0.3)
+
+        async def main():
+            server = make_server(engine, graph, index)
+            await server.start()
+            host, port = server.address
+
+            async def inflight():
+                async with ServeClient(host, port) as client:
+                    return await client.query(0, 1)
+
+            pending = asyncio.ensure_future(inflight())
+            # Let the request get admitted (parked in the slow engine),
+            # and open the late client's keep-alive connection while the
+            # listener still accepts (close() stops the listener, so a
+            # post-drain late arrival sees a TCP refusal instead of the
+            # structured 503).
+            late = await ServeClient(host, port).connect()
+            await asyncio.sleep(0.1)
+
+            closer = asyncio.ensure_future(server.close())
+            await asyncio.sleep(0.05)
+
+            # Late request during the drain: refused, not queued.
+            try:
+                status, body = await late.request(
+                    "POST", "/query", payload={"s": 0, "t": 1}
+                )
+            finally:
+                await late.close()
+
+            answer = await pending
+            report = await closer
+            return answer, status, body, report, server.state
+
+        answer, status, body, report, state = asyncio.run(main())
+        assert isinstance(answer, (int, float)), "in-flight request was lost"
+        assert status == 503
+        assert body["error"] == REASON_DRAINING
+        assert report["clean"] is True
+        # inflight_at_close is the admitted work counted at drain start
+        # (the parked request), all of which completed.
+        assert report["inflight_at_close"] >= 1
+        assert state == STATE_STOPPED
+
+    def test_zero_request_loss_under_concurrent_drain(self, setup):
+        graph, index = setup
+        engine = SlowEngine(QueryEngine(index), delay_s=0.05)
+        expected = QueryEngine(index).query_batch(
+            [(0, t) for t in range(10)]
+        )
+
+        async def main():
+            server = make_server(
+                engine, graph, index, batch_window_ms=10.0
+            )
+            await server.start()
+            host, port = server.address
+
+            async def one(t):
+                async with ServeClient(host, port) as client:
+                    return await client.query(0, t)
+
+            tasks = [asyncio.ensure_future(one(t)) for t in range(10)]
+            # Wait until every request is admitted, then drain while
+            # they are still being answered.
+            for _ in range(200):
+                if server._batcher.pending + server.queries_answered >= 10:
+                    break
+                await asyncio.sleep(0.005)
+            report = await server.close()
+            answers = await asyncio.gather(*tasks)
+            return answers, report
+
+        answers, report = asyncio.run(main())
+        assert answers == expected, "a drained request lost or corrupted data"
+        assert report["clean"] is True
+
+    def test_close_is_idempotent(self, setup):
+        graph, index = setup
+
+        async def main():
+            server = make_server(QueryEngine(index), graph, index)
+            await server.start()
+            first = await server.close()
+            second = await server.close()
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first["clean"] is True
+        assert second == first
+
+    def test_sigterm_triggers_the_same_drain(self, setup):
+        graph, index = setup
+        engine = SlowEngine(QueryEngine(index), delay_s=0.2)
+
+        async def main():
+            server = make_server(engine, graph, index)
+            runner = asyncio.ensure_future(
+                serve_forever(server, install_signals=True)
+            )
+            for _ in range(100):
+                if server.port is not None:
+                    break
+                await asyncio.sleep(0.01)
+            host, port = server.address
+
+            async def inflight():
+                async with ServeClient(host, port) as client:
+                    return await client.query(0, 1)
+
+            pending = asyncio.ensure_future(inflight())
+            await asyncio.sleep(0.05)
+
+            os.kill(os.getpid(), signal.SIGTERM)
+            # A second SIGTERM mid-drain must not kill the process
+            # (handlers stay installed until the drain finishes).
+            await asyncio.sleep(0.05)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+            report = await asyncio.wait_for(runner, timeout=10)
+            answer = await pending
+            return answer, report, server.state
+
+        answer, report, state = asyncio.run(main())
+        assert isinstance(answer, (int, float))
+        assert report["clean"] is True
+        assert state == STATE_STOPPED
+
+    def test_stop_event_requests_shutdown_without_signals(self, setup):
+        graph, index = setup
+
+        async def main():
+            server = make_server(QueryEngine(index), graph, index)
+            stop = asyncio.Event()
+            seen = []
+            runner = asyncio.ensure_future(
+                serve_forever(
+                    server,
+                    install_signals=False,
+                    stop_event=stop,
+                    ready=seen.append,
+                )
+            )
+            for _ in range(100):
+                if seen:
+                    break
+                await asyncio.sleep(0.01)
+            host, port = server.address
+            async with ServeClient(host, port) as client:
+                answer = await client.query(0, 1)
+            stop.set()
+            report = await asyncio.wait_for(runner, timeout=10)
+            return answer, report, seen
+
+        answer, report, seen = asyncio.run(main())
+        assert isinstance(answer, (int, float))
+        assert report["clean"] is True
+        assert seen and seen[0].port is not None
+
+    def test_drain_timeout_reports_unclean(self, setup):
+        graph, index = setup
+        engine = SlowEngine(QueryEngine(index), delay_s=1.5)
+
+        async def main():
+            server = make_server(
+                engine, graph, index, drain_timeout_s=0.1
+            )
+            await server.start()
+            host, port = server.address
+
+            async def inflight():
+                try:
+                    async with ServeClient(host, port) as client:
+                        return await client.query(0, 1)
+                except Exception as exc:  # noqa: BLE001 - cut off mid-drain
+                    return exc
+
+            pending = asyncio.ensure_future(inflight())
+            await asyncio.sleep(0.1)
+            report = await server.close()
+            outcome = await pending
+            return report, outcome
+
+        report, outcome = asyncio.run(main())
+        assert report["clean"] is False
+        assert report["inflight_at_close"] >= 0
+
+
+class TestAuditRecord:
+    def run_and_audit(self, setup, tmp_path):
+        graph, index = setup
+
+        async def main():
+            server = make_server(
+                QueryEngine(index), graph, index, audit_dir=tmp_path
+            )
+            async with server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    for t in range(5):
+                        await client.query(0, t)
+                    await client.query_batch([(1, 2), (3, 4)])
+                    await client.healthz()
+            return server
+
+        return asyncio.run(main())
+
+    def test_artifact_validates_and_fingerprints_the_snapshot(
+        self, setup, tmp_path
+    ):
+        graph, index = setup
+        server = self.run_and_audit(setup, tmp_path)
+        assert server.artifact_path is not None
+        document = json.loads(server.artifact_path.read_text())
+        validate_artifact(document)  # raises AuditError on drift
+        assert document["snapshot"]["sha256"] == fingerprint_sha256(index)
+        assert document["snapshot"]["n"] == graph.n
+        assert document["run_id"] == server.run_id
+        assert document["counters"]["queries_answered"] == 7
+        assert document["counters"]["requests"]["query"] == 5
+        assert document["drain"]["clean"] is True
+        assert document["config"]["max_queue_depth"] == (
+            server.config.max_queue_depth
+        )
+
+    def test_eval_history_appends_schema_valid_lines(self, setup, tmp_path):
+        server = self.run_and_audit(setup, tmp_path)
+        history = read_eval_history(server.eval_history_path)
+        assert len(history) == 1
+        entry = history[0]
+        validate_eval_entry(entry)
+        assert entry["run_id"] == server.run_id
+        assert entry["queries_answered"] == 7
+
+        # Append-only: a second run adds a line, never truncates.
+        second = self.run_and_audit(setup, tmp_path)
+        history = read_eval_history(second.eval_history_path)
+        assert len(history) == 2
+        assert history[0]["run_id"] == server.run_id
+        assert history[1]["run_id"] == second.run_id
+
+    def test_no_audit_dir_means_no_files(self, setup, tmp_path):
+        graph, index = setup
+
+        async def main():
+            server = make_server(
+                QueryEngine(index), graph, index, audit_dir=None
+            )
+            async with server:
+                pass
+            return server
+
+        server = asyncio.run(main())
+        assert server.artifact_path is None
+        assert server.eval_history_path is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_artifact_write_is_atomic(self, setup, tmp_path):
+        # The temp file is renamed into place: no ``.tmp`` survivors.
+        server = self.run_and_audit(setup, tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert server.artifact_path.name == "artifact.json"
+
+    def test_schema_rejects_drifted_documents(self, setup, tmp_path):
+        server = self.run_and_audit(setup, tmp_path)
+        document = json.loads(server.artifact_path.read_text())
+
+        broken = dict(document)
+        del broken["snapshot"]
+        with pytest.raises(AuditError):
+            validate_artifact(broken)
+
+        wrong_type = json.loads(server.artifact_path.read_text())
+        wrong_type["counters"]["queries_answered"] = "seven"
+        with pytest.raises(AuditError):
+            validate_artifact(wrong_type)
+
+    def test_validate_document_reports_the_failing_path(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {
+                "a": {"type": "array", "items": {"type": "integer"}}
+            },
+        }
+        validate_document({"a": [1, 2]}, schema)
+        with pytest.raises(AuditError) as caught:
+            validate_document({"a": [1, "x"]}, schema)
+        assert "$.a[1]" in str(caught.value)

@@ -1,0 +1,356 @@
+"""Fault injection against the serving front-end.
+
+Two failure families, per the serving hardening plan:
+
+* **engine faults** — a ``FlakyEngine`` doubles as chaos monkey,
+  raising (or stalling) on the Nth ``query_batch`` call.  The server
+  must isolate the failing batch (500s for *its* requests only), stay
+  up for everyone else, and count the failure in both the plain
+  ``batch_failures`` counter and the registry metric;
+* **backpressure** — with a tiny admission bound and a deliberately
+  slow engine, excess requests are refused *promptly* with HTTP 429
+  ``overloaded`` envelopes (not queued behind the stall), and once the
+  stall clears the queue drains and service resumes.
+
+All scenarios run against a live socket via ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.graphs.generators.core_periphery import (
+    CorePeripheryConfig,
+    core_periphery_graph,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.serving import (
+    DistanceServer,
+    QueryEngine,
+    ServeClient,
+    ServeResponseError,
+    ServerConfig,
+)
+from repro.serving.server import (
+    BATCH_FAILURES_METRIC,
+    REASON_OVERLOADED,
+    STATE_SERVING,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = CorePeripheryConfig(core_size=25, community_count=4, fringe_size=75)
+    graph = core_periphery_graph(cfg, seed=41)
+    index = CTIndex.build(graph, 5, backend="flat")
+    return graph, index
+
+
+class FlakyEngine:
+    """QueryEngine wrapper that fails or stalls on chosen batch calls.
+
+    ``fail_on`` holds 1-based ``query_batch`` call numbers that raise;
+    ``delay_on`` maps call numbers to a blocking sleep (seconds) before
+    answering — the engine runs on the server's worker thread, so the
+    sleep models a genuinely slow index, not a blocked event loop.
+    """
+
+    def __init__(self, inner, fail_on=(), delay_on=None):
+        self.inner = inner
+        self.fail_on = set(fail_on)
+        self.delay_on = dict(delay_on or {})
+        self.calls = 0
+
+    def query_batch(self, pairs):
+        self.calls += 1
+        if self.calls in self.delay_on:
+            time.sleep(self.delay_on[self.calls])
+        if self.calls in self.fail_on:
+            raise RuntimeError(f"injected fault on batch #{self.calls}")
+        return self.inner.query_batch(pairs)
+
+    def query_from(self, s, targets):
+        return self.inner.query_from(s, targets)
+
+
+class GateEngine:
+    """Engine that blocks every batch until the test opens the gate."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.gate = threading.Event()
+
+    def query_batch(self, pairs):
+        assert self.gate.wait(timeout=30), "test never opened the gate"
+        return self.inner.query_batch(pairs)
+
+    def query_from(self, s, targets):
+        assert self.gate.wait(timeout=30), "test never opened the gate"
+        return self.inner.query_from(s, targets)
+
+
+def make_server(engine, graph, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("batch_window_ms", 1.0)
+    return DistanceServer(
+        engine,
+        n=graph.n,
+        config=ServerConfig(**config_kwargs),
+        registry=MetricsRegistry(),
+    )
+
+
+class TestEngineFaults:
+    def test_failing_batch_is_isolated(self, setup):
+        graph, index = setup
+        flaky = FlakyEngine(QueryEngine(index), fail_on={1})
+
+        async def main():
+            server = make_server(flaky, graph, batch_window_ms=20.0)
+            async with server:
+                host, port = server.address
+                # First wave rides the poisoned batch #1 together.
+                first = [ServeClient(host, port) for _ in range(4)]
+
+                async def one(client, t):
+                    async with client:
+                        try:
+                            return await client.query(0, t)
+                        except ServeResponseError as exc:
+                            return exc
+
+                outcomes = await asyncio.gather(
+                    *(one(c, t) for t, c in enumerate(first))
+                )
+                # The server survived; later requests succeed normally.
+                async with ServeClient(host, port) as client:
+                    survivor = await client.query(1, 2)
+                    status, _ = await client.healthz()
+                failures = server.batch_failures
+                metric = server.metrics_registry.counter(
+                    BATCH_FAILURES_METRIC, server=server.server_id
+                ).value
+                state = server.state
+            return outcomes, survivor, status, failures, metric, state
+
+        outcomes, survivor, status, failures, metric, state = asyncio.run(
+            main()
+        )
+        errors = [o for o in outcomes if isinstance(o, ServeResponseError)]
+        assert errors, "the poisoned batch produced no client-visible error"
+        assert all(e.status == 500 and e.error == "internal" for e in errors)
+        assert "injected fault" in errors[0].detail
+        assert isinstance(survivor, (int, float))
+        assert status == 200
+        assert state == STATE_SERVING
+        assert failures == 1
+        assert metric == 1
+
+    def test_failure_does_not_leak_into_next_batch(self, setup):
+        graph, index = setup
+        engine = QueryEngine(index)
+        flaky = FlakyEngine(engine, fail_on={1})
+        rng = random.Random(3)
+        pairs = [
+            (rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(20)
+        ]
+        expected = engine.query_batch(pairs)
+
+        async def main():
+            server = make_server(flaky, graph)
+            async with server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    with pytest.raises(ServeResponseError):
+                        await client.query(0, 1)  # batch #1: injected fault
+                    return [await client.query(s, t) for s, t in pairs]
+
+        assert asyncio.run(main()) == expected
+
+    def test_direct_batch_failure_is_isolated_too(self, setup):
+        graph, index = setup
+
+        class AlwaysFails:
+            def query_batch(self, pairs):
+                raise ValueError("broken index")
+
+            def query_from(self, s, targets):
+                raise ValueError("broken index")
+
+        async def main():
+            server = make_server(AlwaysFails(), graph)
+            async with server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    status, body = await client.request(
+                        "POST", "/query/batch", payload={"pairs": [[0, 1]]}
+                    )
+                    health, _ = await client.healthz()
+                failures = server.batch_failures
+            return status, body, health, failures
+
+        status, body, health, failures = asyncio.run(main())
+        assert status == 500
+        assert body["error"] == "internal"
+        assert health == 200
+        assert failures == 1
+
+    def test_slow_batch_delays_but_answers(self, setup):
+        graph, index = setup
+        flaky = FlakyEngine(QueryEngine(index), delay_on={1: 0.3})
+
+        async def main():
+            server = make_server(flaky, graph)
+            async with server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    started = time.perf_counter()
+                    value = await client.query(0, 1)
+                    elapsed = time.perf_counter() - started
+            return value, elapsed
+
+        value, elapsed = asyncio.run(main())
+        assert isinstance(value, (int, float))
+        assert elapsed >= 0.25
+
+
+class TestBackpressure:
+    def test_overload_is_refused_promptly(self, setup):
+        graph, index = setup
+        gated = GateEngine(QueryEngine(index))
+        depth = 4
+
+        async def main():
+            server = make_server(
+                gated,
+                graph,
+                batch_window_ms=0.0,
+                batch_max_size=2,
+                max_queue_depth=depth,
+            )
+            async with server:
+                host, port = server.address
+                clients = [ServeClient(host, port) for _ in range(depth)]
+                stuck = []
+
+                async def pend(client, t):
+                    async with client:
+                        return await client.query(0, t)
+
+                # Fill the admission bound with requests parked behind
+                # the closed gate.
+                for t, client in enumerate(clients):
+                    stuck.append(asyncio.ensure_future(pend(client, t)))
+                for _ in range(200):
+                    if server._batcher.pending >= depth:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server._batcher.pending >= depth
+
+                # The next request must be refused immediately — well
+                # under the time the gate stays shut.
+                async with ServeClient(host, port) as extra:
+                    started = time.perf_counter()
+                    status, body = await extra.request(
+                        "POST", "/query", payload={"s": 0, "t": 1}
+                    )
+                    refusal_latency = time.perf_counter() - started
+                rejected = dict(server.rejected_counts)
+
+                # Open the gate: every admitted request completes and
+                # service returns to normal.
+                gated.gate.set()
+                answers = await asyncio.gather(*stuck)
+                async with ServeClient(host, port) as extra:
+                    recovered = await extra.query(0, 1)
+                pending_after = server._batcher.pending
+            return (
+                status,
+                body,
+                refusal_latency,
+                rejected,
+                answers,
+                recovered,
+                pending_after,
+            )
+
+        (
+            status,
+            body,
+            refusal_latency,
+            rejected,
+            answers,
+            recovered,
+            pending_after,
+        ) = asyncio.run(main())
+        assert status == 429
+        assert body["error"] == REASON_OVERLOADED
+        assert refusal_latency < 1.0, "refusal waited behind the stall"
+        assert rejected.get(REASON_OVERLOADED, 0) >= 1
+        assert len(answers) == 4
+        assert all(isinstance(a, (int, float)) for a in answers)
+        assert isinstance(recovered, (int, float))
+        assert pending_after == 0
+
+    def test_direct_batches_count_against_the_bound(self, setup):
+        graph, index = setup
+        gated = GateEngine(QueryEngine(index))
+
+        async def main():
+            server = make_server(
+                gated, graph, batch_window_ms=0.0, max_queue_depth=8
+            )
+            async with server:
+                host, port = server.address
+
+                async def big_batch():
+                    async with ServeClient(host, port) as client:
+                        pairs = [(0, t) for t in range(8)]
+                        return await client.query_batch(pairs)
+
+                parked = asyncio.ensure_future(big_batch())
+                for _ in range(200):
+                    if server._batcher.pending >= 8:
+                        break
+                    await asyncio.sleep(0.01)
+
+                async with ServeClient(host, port) as extra:
+                    status, body = await extra.request(
+                        "POST", "/query", payload={"s": 0, "t": 1}
+                    )
+                gated.gate.set()
+                batch_answers = await parked
+            return status, body, batch_answers
+
+        status, body, batch_answers = asyncio.run(main())
+        assert status == 429
+        assert body["error"] == REASON_OVERLOADED
+        assert len(batch_answers) == 8
+
+    def test_oversized_direct_batch_is_refused_not_wedged(self, setup):
+        graph, index = setup
+
+        async def main():
+            server = make_server(
+                QueryEngine(index), graph, max_queue_depth=4
+            )
+            async with server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    pairs = [(0, t % graph.n) for t in range(32)]
+                    status, body = await client.request(
+                        "POST", "/query/batch", payload={"pairs": pairs}
+                    )
+                    follow_up = await client.query(0, 1)
+            return status, body, follow_up
+
+        status, body, follow_up = asyncio.run(main())
+        assert status == 429
+        assert body["error"] == REASON_OVERLOADED
+        assert isinstance(follow_up, (int, float))
