@@ -10,6 +10,13 @@ runner, :class:`~repro.serving.QueryEngine`, ...).  Batch calls are
 served entry-by-entry from the cache, and the residual misses are
 forwarded to the inner index as one batch so its fast path (e.g.
 CT-Index extension sharing) still applies.
+
+Mutable inner indexes (:class:`~repro.dynamic.DeltaOverlayIndex`)
+expose a ``mutation_epoch`` counter; the cache watches it on every
+entry point and drops stale answers the moment the epoch moves, so a
+wrapped overlay never serves a pre-mutation distance.  Base hot-swaps
+deliberately do *not* bump the epoch — they are answer-preserving, so
+the cached entries stay correct across a swap.
 """
 
 from __future__ import annotations
@@ -42,10 +49,21 @@ class CachedDistanceIndex(DistanceIndex):
         self.method_name = f"cached({inner.method_name})"
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
         self._cache: OrderedDict[tuple[int, int], Weight] = OrderedDict()
+        self._inner_epoch = getattr(inner, "mutation_epoch", None)
 
     def _key(self, s: int, t: int) -> tuple[int, int]:
         return (t, s) if self.symmetric and t < s else (s, t)
+
+    def _check_epoch(self) -> None:
+        """Drop every cached answer when the inner index has mutated."""
+        epoch = getattr(self.inner, "mutation_epoch", None)
+        if epoch != self._inner_epoch:
+            self._inner_epoch = epoch
+            if self._cache:
+                self._cache.clear()
+                self.invalidations += 1
 
     def _insert(self, key: tuple[int, int], value: Weight) -> None:
         self._cache[key] = value
@@ -53,6 +71,7 @@ class CachedDistanceIndex(DistanceIndex):
             self._cache.popitem(last=False)
 
     def distance(self, s: int, t: int) -> Weight:
+        self._check_epoch()
         key = self._key(s, t)
         cached = self._cache.get(key)
         if cached is not None:
@@ -73,6 +92,7 @@ class CachedDistanceIndex(DistanceIndex):
         key already appeared earlier in the same batch counts as a hit:
         it is served by that entry without extra inner work.
         """
+        self._check_epoch()
         targets = list(targets)
         results: list[Weight | None] = [None] * len(targets)
         miss_keys: dict[tuple[int, int], list[int]] = {}
@@ -113,6 +133,7 @@ class CachedDistanceIndex(DistanceIndex):
         earlier in the same batch counts as a hit — it shares the
         pending answer without extra inner work.
         """
+        self._check_epoch()
         pairs = list(pairs)
         results: list[Weight | None] = [None] * len(pairs)
         miss_keys: dict[tuple[int, int], list[int]] = {}

@@ -9,11 +9,13 @@ Subcommands::
     repro generate DATASET -o GRAPH       dump a registry dataset
     repro bench EXPERIMENT                run one paper experiment driver
     repro serve IDX --port 8080           serve distance queries over HTTP (batched)
+    repro serve IDX --dynamic             …accepting POST /mutate + /reindex (overlay)
     repro serve-bench GRAPH -d 20         cached vs uncached serving on a skewed stream
     repro server-bench GRAPH -d 20        HTTP load generator: RPS + p50/p99/p999
     repro build-bench GRAPH -d 20         serial vs parallel construction speedup
     repro storage-bench GRAPH -d 20       dict vs flat labels, JSON vs binary snapshots
     repro fleet-bench GRAPH -d 20         N-worker serving over one mapped snapshot
+    repro dynamic-bench GRAPH -d 20       update throughput + latency under churn (verified)
     repro obs-bench GRAPH -d 20           observability overhead, recorded in BENCH_obs.json
     repro trace TRACE.jsonl               render a recorded span trace (tree + summary)
     repro datasets                        list the dataset registry
@@ -195,6 +197,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for artifact.json / eval_history.jsonl "
         "('-' disables the audit record; default: working directory)",
     )
+    p_srv.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="wrap the index in a repro.dynamic.DeltaOverlayIndex and "
+        "enable POST /mutate + /reindex (in-process engine only)",
+    )
+    p_srv.add_argument(
+        "--reindex-threshold",
+        type=int,
+        default=None,
+        help="auto-trigger a background rebuild once this many mutations "
+        "are pending since the last swap (default: manual /reindex only)",
+    )
+    p_srv.add_argument(
+        "--reindex-workers",
+        type=int,
+        default=None,
+        help="worker processes for background rebuilds (0 = one per CPU)",
+    )
     p_srv.set_defaults(handler=_cmd_serve)
 
     p_serve = sub.add_parser(
@@ -301,6 +322,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="storage history file to append to ('-' skips recording)",
     )
     p_sbench.set_defaults(handler=_cmd_storage_bench)
+
+    p_dbench = sub.add_parser(
+        "dynamic-bench",
+        help="update throughput + query latency under churn through a "
+        "delta overlay, verified against BFS truth every batch",
+    )
+    p_dbench.add_argument(
+        "graph", help="edge-list file or registry dataset name"
+    )
+    p_dbench.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_dbench.add_argument(
+        "--batches", type=int, default=6, help="mutation batches (default 6)"
+    )
+    p_dbench.add_argument(
+        "--batch-size",
+        type=int,
+        default=24,
+        help="insert/delete ops per batch (default 24)",
+    )
+    p_dbench.add_argument(
+        "--queries",
+        type=int,
+        default=200,
+        help="queries timed after each batch (default 200)",
+    )
+    p_dbench.add_argument("--seed", type=int, default=0)
+    p_dbench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the rebuild phase (0 = one per CPU)",
+    )
+    p_dbench.add_argument(
+        "--output",
+        default="BENCH_dynamic.json",
+        help="bench history file ('-' disables recording)",
+    )
+    p_dbench.set_defaults(handler=_cmd_dynamic_bench)
 
     p_fbench = sub.add_parser(
         "fleet-bench",
@@ -602,8 +661,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         audit_dir=None if args.audit_dir == "-" else args.audit_dir,
     )
     fleet = None
+    reindexer = None
     try:
         if args.workers is not None and args.workers > 1:
+            if args.dynamic:
+                raise ConfigurationError(
+                    "--dynamic serves through the in-process engine; "
+                    "it cannot be combined with a --workers fleet"
+                )
             from repro.serving.fleet import ServingFleet
 
             fleet = ServingFleet(
@@ -621,27 +686,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from repro.serving.engine import QueryEngine
 
             index = load_ct_index(args.snapshot, mmap=args.mmap)
+            digest = fingerprint_sha256(index)
+            if args.dynamic:
+                from repro.dynamic import BackgroundReindexer, DeltaOverlayIndex
+
+                index = DeltaOverlayIndex(index)
+                reindexer = BackgroundReindexer(
+                    index,
+                    workers=args.reindex_workers,
+                    auto_threshold=args.reindex_threshold,
+                ).start()
             engine = QueryEngine(
                 index, kernel=args.kernel, cache_capacity=args.cache
             )
-            n = index.graph.n
-            digest = fingerprint_sha256(index)
-            backend_note = "in-process engine"
+            n = index.graph.n if not args.dynamic else index.n
+            backend_note = (
+                "in-process engine (dynamic)"
+                if args.dynamic
+                else "in-process engine"
+            )
         server = DistanceServer(
             engine,
             n=n,
             config=config,
             snapshot_path=args.snapshot,
             fingerprint=digest,
+            reindexer=reindexer,
         )
 
         def announce(started: DistanceServer) -> None:
             host, port = started.address
+            dynamic_routes = " /mutate /reindex" if args.dynamic else ""
             print(
                 f"serving {args.snapshot} (n={n}, {backend_note}) on "
                 f"http://{host}:{port} — POST /query /query/batch "
-                f"/query/from, GET /healthz /metrics /stats; "
-                f"SIGTERM drains gracefully"
+                f"/query/from{dynamic_routes}, GET /healthz /metrics "
+                f"/stats; SIGTERM drains gracefully"
             )
 
         try:
@@ -654,6 +734,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if server.artifact_path is not None:
             print(f"audit record -> {server.artifact_path}")
     finally:
+        if reindexer is not None:
+            reindexer.stop()
         if fleet is not None:
             fleet.shutdown()
     return 0
@@ -860,6 +942,65 @@ def _cmd_storage_bench(args: argparse.Namespace) -> int:
     )
     if args.output != "-":
         record_storage_entry(result, args.output)
+        print(f"recorded entry -> {args.output}")
+    return 0
+
+
+def _cmd_dynamic_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.datasets import dataset_names, load_dataset
+    from repro.bench.dynamic_bench import (
+        dynamic_bench_result,
+        record_dynamic_entry,
+    )
+    from repro.bench.reporting import format_table
+    from repro.graphs.io import read_edge_list
+
+    if args.graph in dataset_names() and not os.path.exists(args.graph):
+        name = args.graph
+        graph = load_dataset(name)
+    else:
+        name = args.graph
+        graph, _ = read_edge_list(args.graph)
+    result = dynamic_bench_result(
+        graph,
+        args.bandwidth,
+        name=name,
+        batches=args.batches,
+        batch_size=args.batch_size,
+        queries_per_batch=args.queries,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(
+        format_table(
+            [result.row()],
+            [
+                "dataset",
+                "n",
+                "mutations",
+                "upd_per_s",
+                "q_p50_us",
+                "q_p99_us",
+                "rebuild_s",
+                "replayed",
+                "verified",
+            ],
+            title=(
+                f"dynamic-bench: CT-{args.bandwidth} on {name} "
+                f"(n={graph.n} m={graph.m})"
+            ),
+        )
+    )
+    print(
+        f"{result.mutations_applied} mutations at "
+        f"{result.updates_per_second:.0f}/s; query p99 under churn "
+        f"{result.query_latency_us['p99']:.0f}µs; every answer verified "
+        f"against ground truth ({result.verified_answers} checks)"
+    )
+    if args.output != "-":
+        record_dynamic_entry(result, args.output)
         print(f"recorded entry -> {args.output}")
     return 0
 

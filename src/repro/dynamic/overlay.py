@@ -1,0 +1,543 @@
+"""Exact distance answering over a mutating graph: the delta overlay.
+
+The paper's CT-Index is strictly static — any edge change invalidates
+the labels.  :class:`DeltaOverlayIndex` wraps a built
+:class:`~repro.labeling.base.DistanceIndex` and absorbs
+``add_edge`` / ``remove_edge`` into a small *patch* consulted at query
+time, keeping every answer exact on the **current** graph while a
+background rebuild (:mod:`repro.dynamic.rebuild`) catches up.
+
+Correctness model
+-----------------
+Let ``G0`` be the graph the base index answers for and ``G`` the current
+graph (``G0`` plus the patch).  Every mutated endpoint is *touched*.
+For a query ``(s, t)`` the overlay computes
+
+* ``through`` — the best path through any touched vertex ``x``:
+  ``min over x of d_G(x, s) + d_G(x, t)``, using exact single-source
+  distances on ``G`` from each touched vertex (computed lazily, cached
+  per mutation epoch).  By the triangle inequality ``through >=
+  d_G(s, t)``, and any shortest path that crosses a touched vertex
+  realizes it exactly.
+* ``base_d = base.distance(s, t)`` — exact on ``G0``.
+
+A shortest path in ``G`` either crosses a touched vertex (then
+``through`` equals it) or avoids every touched vertex — in which case it
+uses no patch edge and no removed edge, so it is a path of ``G0`` and
+costs at least ``base_d``.  Hence ``d_G(s, t) >= min(base_d, through)``
+and the three-way dispatch is exact:
+
+1. ``base_d >= through`` — answer ``through``.
+2. ``base_d < through`` and the deletion certificate holds (no
+   *lossy* removed edge — truly deleted or weight-increased — lies on
+   any ``G0``-shortest ``s``–``t`` path, checked per removed edge via
+   ``d0(s,a) + w + d0(b,t) > base_d`` on both orientations) — then some
+   ``G0``-shortest path survives unchanged in ``G`` and ``base_d`` is
+   the answer.
+3. Otherwise a bounded Dijkstra on ``G`` from ``s``, pruned at
+   ``through`` (a valid upper bound), settles the query exactly.
+
+Weight changes are modeled as a removal plus an insertion, so a weight
+*increase* is lossy (case 2's certificate catches it) while a weight
+*decrease* keeps every base path a valid upper bound and only ever
+improves answers through its (touched) endpoints.
+
+Concurrency
+-----------
+All state is guarded by one reentrant lock.  Batch queries take the
+lock **per item**, so a fingerprint-verified :meth:`swap_base` — which
+replays the mutation-log tail onto the fresh base — can interleave with
+an in-flight batch; the swap is answer-preserving, so every interleaving
+returns exact answers.  ``mutation_epoch`` increments on every effective
+mutation (and **not** on swaps), giving outer caches such as
+:class:`~repro.caching.CachedDistanceIndex` a cheap invalidation signal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.exceptions import DynamicUpdateError, GraphError, QueryError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import INF, Graph, Weight
+from repro.labeling.base import DistanceIndex
+
+#: Mutation-log entry kinds.
+OP_ADD = "add"
+OP_REMOVE = "remove"
+
+#: A mutation-log entry: ``(op, u, v, weight)`` with ``u < v``;
+#: ``weight`` is ``None`` for removals.
+MutationOp = tuple[str, int, int, "Weight | None"]
+
+
+@dataclass(frozen=True)
+class OverlaySnapshot:
+    """A consistent point-in-time view handed to the re-indexer.
+
+    ``seq`` is the absolute mutation-log position the snapshot was taken
+    at, ``token`` the swap generation (a snapshot taken before an
+    intervening swap is stale), and ``graph`` the fully materialized
+    current graph to rebuild from.
+    """
+
+    seq: int
+    token: int
+    graph: Graph
+
+
+class DeltaOverlayIndex(DistanceIndex):
+    """Exact distance oracle over ``base`` plus a mutable edge patch.
+
+    Parameters
+    ----------
+    base:
+        A built index for the starting graph.  Any backend/kernel works;
+        the overlay only calls the ``DistanceIndex`` query protocol.
+    graph:
+        The graph ``base`` was built on.  Defaults to ``base.graph``
+        (present on :class:`~repro.core.ct_index.CTIndex`); required for
+        bases that do not carry their graph.
+    """
+
+    def __init__(self, base: DistanceIndex, graph: Graph | None = None) -> None:
+        if graph is None:
+            graph = getattr(base, "graph", None)
+        if not isinstance(graph, Graph):
+            raise DynamicUpdateError(
+                f"{type(base).__name__} does not expose .graph; "
+                f"pass the base graph explicitly"
+            )
+        self.base = base
+        self.base_graph = graph
+        self.method_name = f"overlay({base.method_name})"
+        self._lock = threading.RLock()
+        # Patch state.  Invariant: a key in both maps is a weight change
+        # (``_added`` holds the new weight, ``_removed`` the base one);
+        # a key only in ``_added`` is a brand-new edge; only in
+        # ``_removed``, a deleted base edge.
+        self._added: dict[tuple[int, int], Weight] = {}
+        self._removed: dict[tuple[int, int], Weight] = {}
+        self._patch_adj: dict[int, dict[int, Weight]] = {}
+        self._touched: set[int] = set()
+        self._log: list[MutationOp] = []
+        self._log_offset = 0
+        self._sssp: dict[int, list[Weight]] = {}
+        #: Bumped on every effective mutation; outer caches watch this.
+        self.mutation_epoch = 0
+        #: Bumped on every completed base swap (staleness token).
+        self.swap_count = 0
+        # Answer-path counters for overlay_stats().
+        self._base_answers = 0
+        self._through_answers = 0
+        self._certified_answers = 0
+        self._fallback_searches = 0
+
+    # ------------------------------------------------------------------
+    # Mutation API
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: int, v: int, weight: Weight = 1) -> bool:
+        """Insert edge ``{u, v}`` (or change its weight) in the patch.
+
+        Returns ``True`` when the graph changed, ``False`` for a no-op
+        (the edge already has exactly that weight).  Raises
+        :class:`~repro.exceptions.GraphError` on out-of-range nodes,
+        self-loops, or non-positive weights — the same contract as
+        :class:`~repro.graphs.builder.GraphBuilder`, minus its silent
+        normalization.
+        """
+        self._check_mutation_nodes(u, v)
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not a valid edge")
+        if weight <= 0:
+            raise GraphError(f"edge ({u}, {v}) has non-positive weight {weight}")
+        key = (u, v) if u < v else (v, u)
+        with self._lock:
+            if self._current_weight(key) == weight:
+                return False
+            base_w = self._base_weight(key)
+            if base_w == weight:
+                # Reverting to exactly the base edge: drop the patch entry.
+                self._added.pop(key, None)
+                self._removed.pop(key, None)
+                self._patch_adj_remove(key)
+            else:
+                self._added[key] = weight
+                if base_w is not None:
+                    self._removed[key] = base_w
+                self._patch_adj_set(key, weight)
+            self._touched.update(key)
+            self._log.append((OP_ADD, key[0], key[1], weight))
+            self._after_mutation()
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``{u, v}`` from the current graph.
+
+        Raises :class:`~repro.exceptions.GraphError` when the edge does
+        not currently exist (matching :meth:`Graph.edge_weight`).
+        """
+        self._check_mutation_nodes(u, v)
+        key = (u, v) if u < v else (v, u)
+        with self._lock:
+            if self._current_weight(key) is None:
+                raise GraphError(f"edge ({u}, {v}) does not exist")
+            base_w = self._base_weight(key)
+            self._added.pop(key, None)
+            self._patch_adj_remove(key)
+            if base_w is not None:
+                self._removed[key] = base_w
+            self._touched.update(key)
+            self._log.append((OP_REMOVE, key[0], key[1], None))
+            self._after_mutation()
+
+    def apply(self, ops: Iterable[MutationOp]) -> int:
+        """Apply a stream of ``(op, u, v, w)`` tuples; returns the
+        number of *effective* mutations."""
+        effective = 0
+        for op in ops:
+            kind, u, v, w = op
+            if kind == OP_ADD:
+                if self.add_edge(u, v, 1 if w is None else w):
+                    effective += 1
+            elif kind == OP_REMOVE:
+                self.remove_edge(u, v)
+                effective += 1
+            else:
+                raise DynamicUpdateError(f"unknown mutation op {kind!r}")
+        return effective
+
+    def _after_mutation(self) -> None:
+        self.mutation_epoch += 1
+        self._sssp.clear()
+        if not self._added and not self._removed:
+            # Patch drained back to the base graph: every touched-vertex
+            # candidate is moot and the base answers alone are exact.
+            self._touched.clear()
+
+    # ------------------------------------------------------------------
+    # Query API (DistanceIndex protocol)
+    # ------------------------------------------------------------------
+
+    def distance(self, s: int, t: int) -> Weight:
+        """Exact distance on the *current* graph."""
+        n = self.base_graph.n
+        if not 0 <= s < n or not 0 <= t < n:
+            raise QueryError(f"query nodes ({s}, {t}) out of range")
+        if s == t:
+            return 0
+        with self._lock:
+            if not self._added and not self._removed:
+                self._base_answers += 1
+                return self.base.distance(s, t)
+            through = INF
+            for x in self._touched:
+                vec = self._sssp_from(x)
+                candidate = vec[s] + vec[t]
+                if candidate < through:
+                    through = candidate
+            base_d = self.base.distance(s, t)
+            if base_d >= through:
+                self._through_answers += 1
+                return through
+            if self._deletion_certificate(s, t, base_d):
+                self._certified_answers += 1
+                return base_d
+            self._fallback_searches += 1
+            return min(self._bounded_search(s, t, through), through)
+
+    def distances_from(self, s: int, targets: Iterable[int]) -> list[Weight]:
+        targets = list(targets)
+        with self._lock:
+            if not self._added and not self._removed:
+                return self.base.distances_from(s, targets)
+        # Per-item locking: a base swap may interleave mid-batch; swaps
+        # are answer-preserving so every item is still exact.
+        return [self.distance(s, t) for t in targets]
+
+    def distances_batch(self, pairs: Iterable[tuple[int, int]]) -> list[Weight]:
+        pairs = list(pairs)
+        with self._lock:
+            if not self._added and not self._removed:
+                return self.base.distances_batch(pairs)
+        return [self.distance(s, t) for s, t in pairs]
+
+    def size_entries(self) -> int:
+        """Base entries plus one modeled entry per patch record."""
+        return self.base.size_entries() + len(self._added) + len(self._removed)
+
+    # ------------------------------------------------------------------
+    # Kernel passthrough (QueryEngine duck-typing)
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel(self) -> str:
+        """The base index's resolved query kernel."""
+        return getattr(self.base, "kernel", "python")
+
+    def set_kernel(self, kernel: str = "auto"):
+        """Forward kernel selection to the base index; returns ``self``."""
+        set_kernel = getattr(self.base, "set_kernel", None)
+        if set_kernel is not None:
+            set_kernel(kernel)
+        elif kernel == "numpy":
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"kernel='numpy' requested but {type(self.base).__name__} "
+                f"has no query-kernel support"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Snapshot / hot swap
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Node count (fixed: mutations change edges, not vertices)."""
+        return self.base_graph.n
+
+    @property
+    def patch_size(self) -> int:
+        """Number of live patch records (added + removed entries)."""
+        return len(self._added) + len(self._removed)
+
+    @property
+    def log_length(self) -> int:
+        """Absolute mutation-log position (monotone across swaps)."""
+        with self._lock:
+            return self._log_offset + len(self._log)
+
+    def materialize_current(self) -> Graph:
+        """The current graph as a fresh immutable :class:`Graph`."""
+        with self._lock:
+            builder = GraphBuilder(self.base_graph.n)
+            for u, v, w in self.base_graph.edges():
+                if (u, v) not in self._removed:
+                    builder.add_edge(u, v, w)
+            for (u, v), w in self._added.items():
+                builder.add_edge(u, v, w)
+            return builder.build()
+
+    def snapshot(self) -> OverlaySnapshot:
+        """Atomically capture ``(seq, token, current graph)`` for a rebuild."""
+        with self._lock:
+            return OverlaySnapshot(
+                seq=self._log_offset + len(self._log),
+                token=self.swap_count,
+                graph=self.materialize_current(),
+            )
+
+    def swap_base(
+        self,
+        new_index: DistanceIndex,
+        snapshot: OverlaySnapshot,
+        *,
+        expected_graph: Graph | None = None,
+    ) -> int:
+        """Atomically replace the base with ``new_index`` (built from
+        ``snapshot``), replaying mutations that landed since.
+
+        The swap is answer-neutral: the current graph — and therefore
+        every query answer — is identical before and after, only the
+        patch shrinks to the post-snapshot tail.  ``mutation_epoch`` is
+        deliberately **not** bumped (outer caches stay valid);
+        ``swap_count`` is.  Returns the number of replayed tail ops.
+
+        Raises :class:`~repro.exceptions.DynamicUpdateError` when the
+        snapshot is stale (an intervening swap) or the new base's graph
+        does not match the snapshot graph.
+        """
+        verify_graph = expected_graph if expected_graph is not None else snapshot.graph
+        new_graph = getattr(new_index, "graph", None)
+        if isinstance(new_graph, Graph) and new_graph != verify_graph:
+            raise DynamicUpdateError(
+                "swap rejected: new index was not built on the snapshot graph"
+            )
+        with self._lock:
+            if snapshot.token != self.swap_count:
+                raise DynamicUpdateError(
+                    f"swap rejected: snapshot token {snapshot.token} is stale "
+                    f"(current swap generation {self.swap_count})"
+                )
+            tail_start = snapshot.seq - self._log_offset
+            if not 0 <= tail_start <= len(self._log):
+                raise DynamicUpdateError(
+                    f"swap rejected: snapshot seq {snapshot.seq} is outside "
+                    f"the retained log"
+                )
+            tail = self._log[tail_start:]
+            saved_epoch = self.mutation_epoch
+            self.base = new_index
+            self.base_graph = verify_graph
+            self.method_name = f"overlay({new_index.method_name})"
+            self._added.clear()
+            self._removed.clear()
+            self._patch_adj.clear()
+            self._touched.clear()
+            self._sssp.clear()
+            self._log = []
+            self._log_offset = snapshot.seq
+            for kind, u, v, w in tail:
+                # Replays re-enter the public mutators; their log/epoch
+                # effects are rolled back below so the swap stays
+                # invisible to epoch watchers.
+                if kind == OP_ADD:
+                    self.add_edge(u, v, w)
+                else:
+                    self.remove_edge(u, v)
+            self._log = list(tail)
+            self.mutation_epoch = saved_epoch
+            self.swap_count += 1
+            return len(tail)
+
+    def overlay_stats(self) -> dict:
+        """Plain-data counters for stats endpoints and the bench."""
+        with self._lock:
+            return {
+                "patch_added": len(self._added),
+                "patch_removed": len(self._removed),
+                "touched_vertices": len(self._touched),
+                "log_length": self._log_offset + len(self._log),
+                "pending_since_swap": len(self._log),
+                "mutation_epoch": self.mutation_epoch,
+                "swap_count": self.swap_count,
+                "answers": {
+                    "base": self._base_answers,
+                    "through": self._through_answers,
+                    "certified": self._certified_answers,
+                    "fallback": self._fallback_searches,
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_mutation_nodes(self, u: int, v: int) -> None:
+        n = self.base_graph.n
+        if not 0 <= u < n or not 0 <= v < n:
+            raise GraphError(f"edge ({u}, {v}) has a node outside 0..{n - 1}")
+
+    def _base_weight(self, key: tuple[int, int]) -> Weight | None:
+        """Weight of ``key`` in the base graph, or None when absent."""
+        masked = self._removed.get(key)
+        if masked is not None:
+            return masked
+        u, v = key
+        if self.base_graph.has_edge(u, v):
+            return self.base_graph.edge_weight(u, v)
+        return None
+
+    def _current_weight(self, key: tuple[int, int]) -> Weight | None:
+        """Weight of ``key`` in the current graph, or None when absent."""
+        added = self._added.get(key)
+        if added is not None:
+            return added
+        if key in self._removed:
+            return None
+        u, v = key
+        if self.base_graph.has_edge(u, v):
+            return self.base_graph.edge_weight(u, v)
+        return None
+
+    def _patch_adj_set(self, key: tuple[int, int], weight: Weight) -> None:
+        u, v = key
+        self._patch_adj.setdefault(u, {})[v] = weight
+        self._patch_adj.setdefault(v, {})[u] = weight
+
+    def _patch_adj_remove(self, key: tuple[int, int]) -> None:
+        u, v = key
+        for a, b in ((u, v), (v, u)):
+            row = self._patch_adj.get(a)
+            if row is not None:
+                row.pop(b, None)
+                if not row:
+                    del self._patch_adj[a]
+
+    def _current_neighbors(self, v: int):
+        """Yield ``(neighbor, weight)`` on the current graph."""
+        graph = self.base_graph
+        removed = self._removed
+        if removed:
+            for u, w in graph.neighbors(v):
+                if ((u, v) if u < v else (v, u)) not in removed:
+                    yield u, w
+        else:
+            yield from graph.neighbors(v)
+        row = self._patch_adj.get(v)
+        if row:
+            yield from row.items()
+
+    def _sssp_from(self, source: int) -> list[Weight]:
+        """Exact distances from ``source`` on the current graph (cached
+        until the next mutation)."""
+        vec = self._sssp.get(source)
+        if vec is not None:
+            return vec
+        dist: list[Weight] = [INF] * self.base_graph.n
+        dist[source] = 0
+        heap: list[tuple[Weight, int]] = [(0, source)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist[v]:
+                continue
+            for u, w in self._current_neighbors(v):
+                nd = d + w
+                if nd < dist[u]:
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        self._sssp[source] = dist
+        return dist
+
+    def _deletion_certificate(self, s: int, t: int, base_d: Weight) -> bool:
+        """True when no lossy removed edge can lie on a base-shortest
+        ``s``–``t`` path, so ``base_d`` survives into the current graph."""
+        if base_d == INF:
+            # No base path at all; nothing to certify (and ``through``
+            # already covered every patched path).
+            return True
+        base = self.base
+        for (a, b), w in self._removed.items():
+            new_w = self._added.get((a, b))
+            if new_w is not None and new_w <= w:
+                continue  # weight decrease: base paths only improve
+            if (
+                base.distance(s, a) + w + base.distance(b, t) <= base_d
+                or base.distance(s, b) + w + base.distance(a, t) <= base_d
+            ):
+                return False
+        return True
+
+    def _bounded_search(self, s: int, t: int, bound: Weight) -> Weight:
+        """Dijkstra on the current graph from ``s``, pruned at ``bound``."""
+        dist: dict[int, Weight] = {s: 0}
+        heap: list[tuple[Weight, int]] = [(0, s)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v == t:
+                return d
+            if d > dist.get(v, INF):
+                continue
+            for u, w in self._current_neighbors(v):
+                nd = d + w
+                if nd > bound:
+                    continue
+                if nd < dist.get(u, INF):
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return dist.get(t, INF)
+
+
+__all__ = [
+    "DeltaOverlayIndex",
+    "MutationOp",
+    "OP_ADD",
+    "OP_REMOVE",
+    "OverlaySnapshot",
+]

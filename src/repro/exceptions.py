@@ -52,6 +52,15 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class DynamicUpdateError(ReproError):
+    """Raised when a dynamic-overlay operation cannot be honoured.
+
+    Covers stale snapshots handed to a hot swap, verification failures
+    on a freshly rebuilt index, and wrapping a base index that does not
+    expose its graph (see :mod:`repro.dynamic`).
+    """
+
+
 class QueryError(ReproError):
     """Raised when a distance query is issued against an unusable index."""
 
@@ -73,6 +82,7 @@ class StorageError(ReproError):
 __all__ = [
     "ConfigurationError",
     "DecompositionError",
+    "DynamicUpdateError",
     "GraphError",
     "GraphFormatError",
     "IndexConstructionError",

@@ -191,6 +191,40 @@ class QueryEngine:
         """The pair-level cache wrapper, when one is configured."""
         return self.index if isinstance(self.index, CachedDistanceIndex) else None
 
+    @property
+    def mutable_index(self):
+        """The mutable index under any cache layers, or ``None``.
+
+        A :class:`~repro.dynamic.DeltaOverlayIndex` (or anything else
+        exposing ``add_edge`` / ``remove_edge`` / ``apply``) qualifies;
+        a static index does not.
+        """
+        inner = self.index
+        while isinstance(inner, CachedDistanceIndex):
+            inner = inner.inner
+        if hasattr(inner, "add_edge") and hasattr(inner, "remove_edge"):
+            return inner
+        return None
+
+    def apply_mutations(self, ops: Iterable[tuple]) -> int:
+        """Apply ``(op, u, v, w)`` mutation tuples to the mutable index.
+
+        Returns the number of effective mutations.  Raises
+        :class:`~repro.exceptions.ConfigurationError` when the engine
+        serves a static index; any cache layer above the overlay
+        invalidates itself via the overlay's ``mutation_epoch``.
+        """
+        mutable = self.mutable_index
+        if mutable is None:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"{type(self.raw_index).__name__} is static; wrap it in a "
+                f"repro.dynamic.DeltaOverlayIndex to accept mutations"
+            )
+        with obs_span("serving.mutate"):
+            return mutable.apply(ops)
+
     def stats_snapshot(self) -> dict:
         """Everything the engine measured, as one plain-data document.
 
@@ -223,7 +257,11 @@ class QueryEngine:
                 "misses": cache.misses,
                 "hit_rate": cache.hit_rate,
                 "capacity": cache.capacity,
+                "invalidations": cache.invalidations,
             }
+        mutable = self.mutable_index
+        if mutable is not None and hasattr(mutable, "overlay_stats"):
+            snapshot["overlay"] = mutable.overlay_stats()
         index_stats: dict = {
             "method": self.raw_index.method_name,
             "kernel": getattr(self.raw_index, "kernel", "python"),

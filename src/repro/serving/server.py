@@ -12,9 +12,23 @@ Request flow::
         POST /query        -> admission check -> micro-batch queue
         POST /query/batch  -> admission check -> direct query_batch
         POST /query/from   -> admission check -> direct query_from
+        POST /mutate       -> admission check -> engine.apply_mutations
+        POST /reindex      -> rebuild-verify-swap (needs a reindexer)
+        GET  /reindex      -> reindexer status
         GET  /healthz      -> state + depth (503 while draining)
         GET  /metrics      -> Prometheus text of the obs registry
         GET  /stats        -> engine + server counters as JSON
+
+**Dynamic serving.**  When the engine fronts a
+:class:`~repro.dynamic.DeltaOverlayIndex`, ``POST /mutate`` streams
+edge insertions/deletions into it — mutations run on the same single
+engine worker thread as query batches, so they serialize with in-flight
+work and every admitted query is answered exactly for the graph state
+it executes against.  A :class:`~repro.dynamic.BackgroundReindexer`
+(the ``reindexer=`` parameter) adds ``/reindex``: the rebuild runs off
+the engine thread, is fingerprint- and ground-truth-verified, and the
+hot swap is answer-preserving — the serve-under-churn suite pins down
+that zero wrong or dropped answers are observable across a swap.
 
 The pieces, and the contracts the tests pin down:
 
@@ -63,7 +77,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, GraphError
 from repro.obs.metrics import LatencyHistogram
 from repro.obs.registry import MetricsRegistry, registry as default_registry
 import repro.serving.audit as audit
@@ -307,6 +321,10 @@ class DistanceServer:
     registry:
         Metrics registry for counters/histograms (process-wide default
         — which is also what ``GET /metrics`` renders).
+    reindexer:
+        Optional :class:`~repro.dynamic.BackgroundReindexer` over the
+        engine's overlay; enables the ``/reindex`` routes and, after
+        every ``/mutate``, an auto-threshold check.
     """
 
     def __init__(
@@ -318,6 +336,7 @@ class DistanceServer:
         snapshot_path=None,
         fingerprint: str | None = None,
         registry: MetricsRegistry | None = None,
+        reindexer=None,
     ) -> None:
         for required in ("query_batch", "query_from"):
             if not callable(getattr(engine, required, None)):
@@ -330,6 +349,8 @@ class DistanceServer:
         self.config = config if config is not None else ServerConfig()
         self.snapshot_path = str(snapshot_path) if snapshot_path else None
         self.fingerprint = fingerprint
+        self.reindexer = reindexer
+        self.mutations_applied = 0
         self.metrics_registry = (
             registry if registry is not None else default_registry()
         )
@@ -436,6 +457,12 @@ class DistanceServer:
             )
         for writer in list(self._connections):
             writer.close()
+        if self.reindexer is not None:
+            # Stop the rebuild thread off the event loop; a mid-build
+            # cycle finishes (its swap is answer-neutral) before join.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.reindexer.stop
+            )
         if self._asyncio_server is not None:
             await self._asyncio_server.wait_closed()
         if self._executor is not None:
@@ -627,12 +654,16 @@ class DistanceServer:
             ("POST", "/query"): "query",
             ("POST", "/query/batch"): "query_batch",
             ("POST", "/query/from"): "query_from",
+            ("POST", "/mutate"): "mutate",
+            ("POST", "/reindex"): "reindex",
+            ("GET", "/reindex"): "reindex_status",
             ("GET", "/healthz"): "healthz",
             ("GET", "/metrics"): "metrics",
             ("GET", "/stats"): "stats",
         }.get(route)
         if endpoint is None:
             known_paths = {"/query", "/query/batch", "/query/from",
+                           "/mutate", "/reindex",
                            "/healthz", "/metrics", "/stats"}
             if request.path in known_paths:
                 return (
@@ -659,6 +690,12 @@ class DistanceServer:
                           "text/plain; version=0.0.4")
             elif endpoint == "stats":
                 result = (200, self.stats_snapshot(), "application/json")
+            elif endpoint == "mutate":
+                result = await self._handle_mutate(request.body)
+            elif endpoint == "reindex":
+                result = await self._handle_reindex(request.body)
+            elif endpoint == "reindex_status":
+                result = self._handle_reindex_status()
             else:
                 result = await self._handle_query(endpoint, request.body)
         except _BadRequest as exc:
@@ -707,6 +744,13 @@ class DistanceServer:
             "n": self.n,
             "snapshot_sha256": self.fingerprint,
         }
+        mutable = getattr(self.engine, "mutable_index", None)
+        if mutable is not None:
+            payload["dynamic"] = {
+                "mutation_epoch": mutable.mutation_epoch,
+                "patch_size": mutable.patch_size,
+                "swap_count": mutable.swap_count,
+            }
         return (200 if healthy else 503, payload, "application/json")
 
     async def _handle_query(self, endpoint: str, body: bytes):
@@ -785,6 +829,110 @@ class DistanceServer:
             "application/json",
         )
 
+    # ------------------------------------------------------------------
+    # Dynamic-graph endpoints
+    # ------------------------------------------------------------------
+
+    async def _handle_mutate(self, body: bytes):
+        """``POST /mutate``: stream edge mutations into the overlay.
+
+        Body shape: ``{"ops": [{"op": "add", "u": 1, "v": 2, "w": 1},
+        {"op": "remove", "u": 3, "v": 4}, ...]}``.  Mutations execute on
+        the engine worker thread, serialized with query batches.  A
+        data-dependent failure mid-stream (removing an absent edge)
+        returns 400 with the prefix ops already applied — the response
+        says so, and every applied op is still answered exactly.
+        """
+        document = self._parse_json_object(body)
+        ops_field = document.get("ops")
+        if not isinstance(ops_field, list):
+            raise _BadRequest("'ops' must be a list of mutation objects")
+        ops = []
+        for index, item in enumerate(ops_field):
+            if not isinstance(item, dict):
+                raise _BadRequest(f"ops[{index}] is not a mutation object")
+            kind = item.get("op")
+            if kind not in ("add", "remove"):
+                raise _BadRequest(
+                    f"ops[{index}].op must be 'add' or 'remove', "
+                    f"got {item.get('op')!r}"
+                )
+            u = self._check_vertex(item.get("u"), f"ops[{index}].u")
+            v = self._check_vertex(item.get("v"), f"ops[{index}].v")
+            weight = None
+            if kind == "add":
+                weight = item.get("w", 1)
+                if isinstance(weight, bool) or not isinstance(
+                    weight, (int, float)
+                ):
+                    raise _BadRequest(f"ops[{index}].w must be a number")
+            ops.append((kind, u, v, weight))
+        apply_mutations = getattr(self.engine, "apply_mutations", None)
+        if apply_mutations is None:
+            raise _BadRequest(
+                f"engine {type(self.engine).__name__} does not accept "
+                f"mutations"
+            )
+        self._batcher.reserve(len(ops))
+        try:
+            applied = await self._run_in_engine(apply_mutations, ops)
+        except (GraphError, ConfigurationError) as exc:
+            raise _BadRequest(
+                f"mutation stream rejected (a prefix may already be "
+                f"applied): {exc}"
+            ) from exc
+        finally:
+            self._batcher.release(len(ops))
+        self.mutations_applied += applied
+        payload = {"applied": applied, "requested": len(ops)}
+        mutable = getattr(self.engine, "mutable_index", None)
+        if mutable is not None:
+            payload["mutation_epoch"] = mutable.mutation_epoch
+            payload["patch_size"] = mutable.patch_size
+        if self.reindexer is not None:
+            payload["reindex_triggered"] = self.reindexer.maybe_trigger()
+        return (200, payload, "application/json")
+
+    async def _handle_reindex(self, body: bytes):
+        """``POST /reindex``: rebuild-verify-swap, sync or async.
+
+        With ``{"wait": true}`` the cycle runs to completion on the
+        default executor (off the engine thread — queries keep flowing)
+        and returns its result; otherwise the background reindexer
+        thread is nudged and the call returns immediately.
+        """
+        reindexer = self._require_reindexer()
+        document = self._parse_json_object(body) if body else {}
+        wait = document.get("wait", False)
+        if not isinstance(wait, bool):
+            raise _BadRequest("'wait' must be a boolean")
+        force = document.get("force", False)
+        if not isinstance(force, bool):
+            raise _BadRequest("'force' must be a boolean")
+        if wait:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                None, lambda: reindexer.rebuild_once(force=force)
+            )
+            return (200, {"result": result.summary()}, "application/json")
+        reindexer.request_rebuild()
+        return (
+            200,
+            {"requested": True, "status": reindexer.status()},
+            "application/json",
+        )
+
+    def _handle_reindex_status(self):
+        """``GET /reindex``: the reindexer's status document."""
+        return (200, self._require_reindexer().status(), "application/json")
+
+    def _require_reindexer(self):
+        if self.reindexer is None:
+            raise _BadRequest(
+                "server has no background reindexer (start with --dynamic)"
+            )
+        return self.reindexer
+
     @staticmethod
     def _parse_json_object(body: bytes) -> dict:
         if not body:
@@ -819,6 +967,10 @@ class DistanceServer:
                 if histogram.count
             },
         }
+        if self.mutations_applied:
+            snapshot["mutations_applied"] = self.mutations_applied
+        if self.reindexer is not None:
+            snapshot["reindex"] = self.reindexer.status()
         engine_stats = getattr(self.engine, "stats_snapshot", None)
         if callable(engine_stats):
             snapshot["engine"] = engine_stats()

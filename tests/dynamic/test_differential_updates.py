@@ -1,0 +1,170 @@
+"""Differential suite for dynamic updates (satellite of the overlay work).
+
+Replays seeded random insert/delete streams over the PR-2 graph
+families (:mod:`tests.differential.cases`) on top of a
+:class:`~repro.dynamic.DeltaOverlayIndex`, and after **every** mutation
+batch cross-checks every issued query against BFS/Dijkstra ground truth
+recomputed on the materialized current graph.  A mismatch prints a
+one-line reproducer that regenerates the graph *and* the exact mutation
+prefix, mirroring the static differential suite's debugging workflow::
+
+    from tests.differential.cases import make_graph; graph = make_graph(...)
+    from repro.core.ct_index import CTIndex
+    from repro.dynamic import DeltaOverlayIndex
+    overlay = DeltaOverlayIndex(CTIndex.build(graph, B)); overlay.apply([...])
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.dynamic import BackgroundReindexer, DeltaOverlayIndex
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import single_source_distances
+from tests.differential.cases import FAST_CASES, SLOW_CASES, DifferentialCase
+
+#: Mutation stream shape for the tier-1 sweep; the slow sweep scales up.
+FAST_BATCHES = 4
+FAST_BATCH_SIZE = 10
+SLOW_BATCHES = 6
+SLOW_BATCH_SIZE = 25
+
+#: Sources sampled per verification pass (every target is checked for
+#: each sampled source, so each pass verifies ``sources * n`` queries).
+SOURCE_SAMPLE = 12
+
+
+class MutationStream:
+    """Seeded random insert/delete stream over a live edge set.
+
+    Removals and insertions stay near 50/50, removals are only drawn
+    from edges that currently exist, and insertions never duplicate a
+    live edge — every emitted op is effective by construction, so the
+    reproducer prefix replays without errors.
+    """
+
+    def __init__(self, graph: Graph, seed: int, weights: tuple[int, int] | None):
+        self.rng = random.Random(seed)
+        self.n = graph.n
+        self.weights = weights
+        self.edges = {(u, v) for u, v, _ in graph.edges()}
+
+    def next_op(self):
+        rng = self.rng
+        if self.edges and rng.random() < 0.5:
+            u, v = rng.choice(sorted(self.edges))
+            self.edges.discard((u, v))
+            return ("remove", u, v, None)
+        while True:
+            u, v = rng.randrange(self.n), rng.randrange(self.n)
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key not in self.edges:
+                self.edges.add(key)
+                weight = 1 if self.weights is None else rng.randint(*self.weights)
+                return ("add", key[0], key[1], weight)
+
+    def batch(self, size: int):
+        return [self.next_op() for _ in range(size)]
+
+
+def _case_weights(case: DifferentialCase) -> tuple[int, int] | None:
+    if "low" in case.params and "high" in case.params:
+        return (case.params["low"], case.params["high"])
+    return None
+
+
+def _reproducer(case: DifferentialCase, bandwidth: int, applied) -> str:
+    return (
+        case.reproducer()
+        + "; from repro.core.ct_index import CTIndex"
+        + "; from repro.dynamic import DeltaOverlayIndex"
+        + f"; overlay = DeltaOverlayIndex(CTIndex.build(graph, {bandwidth}))"
+        + f"; overlay.apply({list(applied)!r})"
+    )
+
+
+def _verify_all_sampled(
+    overlay: DeltaOverlayIndex,
+    case: DifferentialCase,
+    bandwidth: int,
+    applied,
+    rng: random.Random,
+) -> int:
+    """Check every query from SOURCE_SAMPLE sources against fresh truth."""
+    current = overlay.materialize_current()
+    n = current.n
+    sources = rng.sample(range(n), min(SOURCE_SAMPLE, n))
+    verified = 0
+    for source in sources:
+        truth = single_source_distances(current, source)
+        got = overlay.distances_from(source, range(n))
+        for target in range(n):
+            assert got[target] == truth[target], (
+                f"{case.name} @ CT-{bandwidth}: distance({source}, {target}) "
+                f"= {got[target]!r} after {len(applied)} mutations, ground "
+                f"truth says {truth[target]!r}.  Reproducer: "
+                f"{_reproducer(case, bandwidth, applied)}"
+            )
+            verified += 1
+    return verified
+
+
+def _run_stream(
+    case: DifferentialCase,
+    *,
+    batches: int,
+    batch_size: int,
+    rebuild_midway: bool = False,
+) -> None:
+    graph = case.build_graph()
+    bandwidth = max(case.bandwidths)
+    overlay = DeltaOverlayIndex(CTIndex.build(graph, bandwidth))
+    stream = MutationStream(graph, seed=case.params.get("seed", 0), weights=_case_weights(case))
+    query_rng = random.Random(0xD1F + case.params.get("seed", 0))
+
+    applied: list = []
+    verified = 0
+    for batch_no in range(batches):
+        ops = stream.batch(batch_size)
+        assert overlay.apply(ops) == len(ops)
+        applied.extend(ops)
+        verified += _verify_all_sampled(overlay, case, bandwidth, applied, query_rng)
+        if rebuild_midway and batch_no == batches // 2:
+            result = BackgroundReindexer(overlay).rebuild_once()
+            assert result.swapped, result
+            # The swap must be invisible to answers.
+            verified += _verify_all_sampled(
+                overlay, case, bandwidth, applied, query_rng
+            )
+    assert verified > 0
+
+
+@pytest.mark.parametrize("case", FAST_CASES, ids=lambda c: c.name)
+def test_mutation_stream_matches_truth(case: DifferentialCase) -> None:
+    _run_stream(case, batches=FAST_BATCHES, batch_size=FAST_BATCH_SIZE)
+
+
+@pytest.mark.parametrize(
+    "case", [FAST_CASES[0], FAST_CASES[3]], ids=lambda c: c.name
+)
+def test_mutation_stream_with_midway_rebuild(case: DifferentialCase) -> None:
+    """Same stream, but a verified rebuild+swap lands mid-churn."""
+    _run_stream(
+        case, batches=FAST_BATCHES, batch_size=FAST_BATCH_SIZE, rebuild_midway=True
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("case", SLOW_CASES, ids=lambda c: c.name)
+def test_mutation_stream_matches_truth_slow(case: DifferentialCase) -> None:
+    _run_stream(
+        case,
+        batches=SLOW_BATCHES,
+        batch_size=SLOW_BATCH_SIZE,
+        rebuild_midway=True,
+    )

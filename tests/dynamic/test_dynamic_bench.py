@@ -1,0 +1,166 @@
+"""The ``repro dynamic-bench`` driver and its recording contract.
+
+The driver's promise is that **no number reaches BENCH_dynamic.json
+unless every answer behind it matched BFS ground truth** — so the tests
+cover both directions: a clean run records a schema-1 entry with
+``answers_verified: true``, and an injected divergence raises before
+anything is written.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.dynamic_bench import (
+    BENCH_DYNAMIC_SCHEMA,
+    DynamicBenchResult,
+    dynamic_bench_result,
+    record_dynamic_entry,
+)
+from repro.cli.main import main
+from repro.exceptions import ReproError
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def small_graph():
+    return gnp_graph(30, 0.15, seed=23)
+
+
+@pytest.fixture
+def edge_file(tmp_path, small_graph):
+    path = tmp_path / "graph.edges"
+    write_edge_list(small_graph, path)
+    return path
+
+
+class TestBenchDriver:
+    def test_clean_run_is_fully_verified(self, small_graph):
+        result = dynamic_bench_result(
+            small_graph,
+            2,
+            name="unit",
+            batches=2,
+            batch_size=6,
+            queries_per_batch=40,
+            seed=1,
+        )
+        assert result.mutations_applied == 12
+        assert result.updates_per_second > 0
+        # 2 batches x 40 queries + 64 post-swap checks, all verified.
+        assert result.verified_answers == 2 * 40 + 64
+        assert result.rebuild["swapped"] is True
+        assert len(result.rebuild["fingerprint_sha256"]) == 64
+        entry = result.entry()
+        assert entry["schema"] == BENCH_DYNAMIC_SCHEMA
+        assert entry["answers_verified"] is True
+        assert set(entry["query_latency_us"]) == {"p50", "p95", "p99", "max"}
+
+    def test_divergence_raises_before_recording(self, small_graph, monkeypatch):
+        from repro.bench import dynamic_bench as module
+
+        real = module.single_source_distances
+
+        def lying(graph, source):
+            truth = real(graph, source)
+            return [d + 1 if i != source else d for i, d in enumerate(truth)]
+
+        monkeypatch.setattr(module, "single_source_distances", lying)
+        with pytest.raises(ReproError, match="refusing to record"):
+            dynamic_bench_result(
+                small_graph, 2, batches=1, batch_size=4, queries_per_batch=10
+            )
+
+    def test_record_appends_and_survives_corrupt_history(self, tmp_path):
+        result = DynamicBenchResult(
+            name="x",
+            n=5,
+            m=4,
+            bandwidth=2,
+            batches=1,
+            batch_size=1,
+            queries_per_batch=1,
+            seed=0,
+            mutations_applied=1,
+            update_seconds=0.5,
+            query_latency_us={"p50": 1.0, "p95": 1.0, "p99": 1.0, "max": 1.0},
+            rebuild={"swapped": True},
+            verified_answers=1,
+        )
+        path = tmp_path / "BENCH_dynamic.json"
+        record_dynamic_entry(result, path)
+        record_dynamic_entry(result, path)
+        document = json.loads(path.read_text())
+        assert document["schema"] == BENCH_DYNAMIC_SCHEMA
+        assert len(document["entries"]) == 2
+        assert result.updates_per_second == 2.0
+
+        path.write_text("{ not json")
+        record_dynamic_entry(result, path)
+        assert len(json.loads(path.read_text())["entries"]) == 1
+
+
+class TestCli:
+    def test_dynamic_bench_records_verified_entry(
+        self, edge_file, tmp_path, capsys
+    ):
+        out_path = tmp_path / "BENCH_dynamic.json"
+        code = main(
+            [
+                "dynamic-bench",
+                str(edge_file),
+                "-d",
+                "2",
+                "--batches",
+                "2",
+                "--batch-size",
+                "5",
+                "--queries",
+                "30",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamic-bench" in out
+        assert "verified" in out
+        document = json.loads(out_path.read_text())
+        assert document["entries"][0]["answers_verified"] is True
+        assert document["entries"][0]["mutations_applied"] == 10
+
+    def test_dynamic_bench_skip_output(self, edge_file, capsys):
+        code = main(
+            [
+                "dynamic-bench",
+                str(edge_file),
+                "-d",
+                "2",
+                "--batches",
+                "1",
+                "--batch-size",
+                "4",
+                "--queries",
+                "20",
+                "--output",
+                "-",
+            ]
+        )
+        assert code == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_serve_dynamic_rejects_worker_fleets(self, tmp_path, capsys):
+        graph = gnp_graph(15, 0.2, seed=3)
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        index_path = tmp_path / "idx.json"
+        assert main(["build", str(path), "-d", "2", "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", str(index_path), "--dynamic", "--workers", "2"]
+        )
+        assert code == 1
+        assert "--dynamic" in capsys.readouterr().err

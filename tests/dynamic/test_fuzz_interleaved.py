@@ -1,0 +1,227 @@
+"""Hypothesis fuzz of interleaved update/query/swap sequences.
+
+The overlay is checked against an independent *model* oracle — a plain
+``{(u, v): weight}`` edge dict with its own textbook Dijkstra — so a
+bug shared between the overlay and :mod:`repro.graphs.traversal` cannot
+mask itself.  Sequences interleave edge insertions, deletions, weight
+changes, point/batch queries, and full rebuild-swap cycles; hypothesis
+shrinks any divergence to a minimal action script.
+
+The deterministic swap-race tests pin the sharpest interleaving: a
+base hot-swap landing *in the middle of an in-flight batch* must be
+invisible in the answers, both when injected at an exact query index
+and when real threads race swaps against a hammering
+:class:`~repro.serving.engine.QueryEngine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ct_index import CTIndex
+from repro.dynamic import BackgroundReindexer, DeltaOverlayIndex
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import INF
+from repro.obs.registry import MetricsRegistry
+from repro.serving.engine import QueryEngine
+
+
+def oracle_sssp(n: int, edges: dict, source: int) -> list:
+    """Independent Dijkstra over a plain ``{(u, v): w}`` edge dict."""
+    adjacency = defaultdict(list)
+    for (u, v), w in edges.items():
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+    dist = [INF] * n
+    dist[source] = 0
+    heap = [(0, source)]
+    while heap:
+        d, vertex = heapq.heappop(heap)
+        if d > dist[vertex]:
+            continue
+        for neighbor, weight in adjacency[vertex]:
+            candidate = d + weight
+            if candidate < dist[neighbor]:
+                dist[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist
+
+
+def build_overlay(n: int, edges: dict, bandwidth: int) -> DeltaOverlayIndex:
+    builder = GraphBuilder(n)
+    for (u, v), w in edges.items():
+        builder.add_edge(u, v, w)
+    return DeltaOverlayIndex(CTIndex.build(builder.build(), bandwidth))
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_interleaved_sequences_match_model_oracle(data) -> None:
+    n = data.draw(st.integers(2, 12), label="n")
+    bandwidth = data.draw(st.integers(0, 4), label="bandwidth")
+
+    # Initial graph: random spanning structure is not required — sparse
+    # and even empty starts are valid (and shrink targets).
+    model: dict = {}
+    initial = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1), st.integers(1, 5)),
+            max_size=2 * n,
+        ),
+        label="initial_edges",
+    )
+    for u, v, w in initial:
+        if u != v:
+            model[(min(u, v), max(u, v))] = w
+    overlay = build_overlay(n, model, bandwidth)
+
+    steps = data.draw(st.integers(1, 30), label="steps")
+    swaps_left = 2
+    for _ in range(steps):
+        action = data.draw(
+            st.sampled_from(["add", "remove", "query", "batch", "swap"]),
+            label="action",
+        )
+        if action == "add":
+            u = data.draw(st.integers(0, n - 1), label="u")
+            v = data.draw(st.integers(0, n - 1), label="v")
+            w = data.draw(st.integers(1, 5), label="w")
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            effective = overlay.add_edge(u, v, w)
+            assert effective == (model.get(key) != w)
+            model[key] = w
+        elif action == "remove":
+            if not model:
+                continue
+            key = data.draw(
+                st.sampled_from(sorted(model)), label="removed_edge"
+            )
+            del model[key]
+            overlay.remove_edge(*key)
+        elif action == "query":
+            s = data.draw(st.integers(0, n - 1), label="s")
+            t = data.draw(st.integers(0, n - 1), label="t")
+            assert overlay.distance(s, t) == oracle_sssp(n, model, s)[t]
+        elif action == "batch":
+            pairs = [(s, t) for s in range(n) for t in range(n)]
+            got = overlay.distances_batch(pairs)
+            truth = [oracle_sssp(n, model, s) for s in range(n)]
+            assert got == [truth[s][t] for s, t in pairs]
+        elif action == "swap" and swaps_left > 0:
+            swaps_left -= 1
+            result = BackgroundReindexer(
+                overlay, verify_samples=8
+            ).rebuild_once(force=True)
+            assert result.swapped
+            assert overlay.patch_size == 0
+
+    # Final sweep: every pair, every request shape, against the model.
+    truth = [oracle_sssp(n, model, s) for s in range(n)]
+    for s in range(n):
+        assert overlay.distances_from(s, range(n)) == truth[s]
+
+
+class _SwapInjectingOverlay(DeltaOverlayIndex):
+    """Overlay that performs an armed hot-swap after N distance calls.
+
+    Deterministically reproduces the worst interleaving a threaded race
+    can produce: half a batch answered against the old base, half
+    against the swapped-in one.
+    """
+
+    def __init__(self, base):
+        super().__init__(base)
+        self._armed = None
+        self._swap_after = 0
+        self._distance_calls = 0
+
+    def arm_swap(self, new_index, snapshot, after_calls: int) -> None:
+        self._armed = (new_index, snapshot)
+        self._swap_after = after_calls
+        self._distance_calls = 0
+
+    def distance(self, s, t):
+        self._distance_calls += 1
+        if self._armed is not None and self._distance_calls == self._swap_after:
+            new_index, snapshot = self._armed
+            self._armed = None
+            self.swap_base(new_index, snapshot)
+        return super().distance(s, t)
+
+
+def _churned_overlay(cls=DeltaOverlayIndex, n: int = 24, bandwidth: int = 3):
+    builder = GraphBuilder(n)
+    for v in range(1, n):
+        builder.add_edge(v, (v * 5 + 1) % v if v > 1 else 0)
+    graph = builder.build()
+    overlay = cls(CTIndex.build(graph, bandwidth))
+    overlay.apply(
+        [("add", u, (u + n // 2) % n, 1) for u in range(0, n // 2, 2)]
+    )
+    return overlay
+
+
+def test_swap_midway_through_a_batch_is_invisible() -> None:
+    probe = _churned_overlay()
+    n = probe.n
+    pairs = [(s, t) for s in range(n) for t in range(n)]
+    expected = [probe.distance(s, t) for s, t in pairs]
+
+    for split in (1, len(pairs) // 2, len(pairs) - 1):
+        overlay = _churned_overlay(_SwapInjectingOverlay)
+        snap = overlay.snapshot()
+        fresh = CTIndex.build(snap.graph, overlay.base.bandwidth)
+        overlay.arm_swap(fresh, snap, after_calls=split)
+        engine = QueryEngine(overlay, registry=MetricsRegistry())
+        got = engine.query_batch(pairs)
+        assert overlay.swap_count == 1  # it really fired mid-batch
+        assert got == expected
+        # After the batch, the drained overlay still agrees.
+        assert engine.query_batch(pairs) == expected
+
+
+def test_threaded_swaps_never_corrupt_engine_answers() -> None:
+    """Real-thread race: rebuild-swap cycles vs a hammering engine.
+
+    Swaps are answer-neutral, so *every* answer must equal the static
+    truth no matter how the two threads interleave.
+    """
+    overlay = _churned_overlay()
+    n = overlay.n
+    engine = QueryEngine(overlay, cache_capacity=64, registry=MetricsRegistry())
+    pairs = [(s, t) for s in range(n) for t in range(n)]
+    expected = {pair: overlay.distance(*pair) for pair in pairs}
+    expected_rows = {s: overlay.distances_from(s, range(n)) for s in range(n)}
+
+    stop = threading.Event()
+    errors: list = []
+
+    def swapper() -> None:
+        reindexer = BackgroundReindexer(overlay, verify_samples=0)
+        try:
+            while not stop.is_set():
+                reindexer.rebuild_once(force=True)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    thread = threading.Thread(target=swapper)
+    thread.start()
+    try:
+        for _ in range(40):
+            for pair in pairs[:: n // 2]:
+                assert engine.query(*pair) == expected[pair]
+            assert engine.query_batch(pairs) == [expected[p] for p in pairs]
+            source = len(expected) % n
+            assert engine.query_from(source, range(n)) == expected_rows[source]
+    finally:
+        stop.set()
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert overlay.swap_count >= 1  # the race actually exercised swaps

@@ -1,0 +1,231 @@
+"""Unit semantics of :class:`~repro.dynamic.DeltaOverlayIndex`.
+
+The differential/fuzz suites establish that the overlay answers ground
+truth under arbitrary mutation streams; this file pins the *contract*
+around those answers — validation errors, no-op detection, patch
+bookkeeping, epoch/swap accounting, kernel passthrough, and the
+snapshot/swap protocol's failure modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import CachedDistanceIndex
+from repro.core.ct_index import CTIndex
+from repro.dynamic import DeltaOverlayIndex, OverlaySnapshot
+from repro.exceptions import DynamicUpdateError, GraphError, QueryError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import INF, Graph
+
+
+def path_graph(n: int) -> Graph:
+    builder = GraphBuilder(n)
+    for i in range(n - 1):
+        builder.add_edge(i, i + 1)
+    return builder.build()
+
+
+@pytest.fixture()
+def overlay() -> DeltaOverlayIndex:
+    graph = path_graph(6)
+    return DeltaOverlayIndex(CTIndex.build(graph, 2))
+
+
+class TestMutationContract:
+    def test_add_edge_shortens_distance(self, overlay):
+        assert overlay.distance(0, 5) == 5
+        assert overlay.add_edge(0, 5) is True
+        assert overlay.distance(0, 5) == 1
+        assert overlay.distance(1, 4) == 3  # shortcut 1-0-5-4
+
+    def test_remove_edge_disconnects(self, overlay):
+        overlay.remove_edge(2, 3)
+        assert overlay.distance(0, 5) == INF
+        assert overlay.distance(3, 5) == 2
+
+    def test_duplicate_add_is_a_noop(self, overlay):
+        assert overlay.add_edge(0, 3) is True
+        epoch = overlay.mutation_epoch
+        assert overlay.add_edge(0, 3) is False
+        assert overlay.add_edge(3, 0) is False  # orientation-insensitive
+        assert overlay.mutation_epoch == epoch
+        assert overlay.log_length == 1
+
+    def test_adding_an_existing_base_edge_is_a_noop(self, overlay):
+        assert overlay.add_edge(1, 2) is False
+        assert overlay.patch_size == 0
+
+    def test_weight_change_is_effective(self, overlay):
+        # On a path graph the direct edge is the only 1-2 route, so the
+        # new weight is the new distance.
+        assert overlay.add_edge(1, 2, 7) is True
+        assert overlay.distance(1, 2) == 7
+        assert overlay.distance(0, 5) == 11
+        # Re-weighting back to the base weight must also take effect.
+        assert overlay.add_edge(1, 2, 1) is True
+        assert overlay.distance(0, 5) == 5
+
+    def test_remove_missing_edge_raises(self, overlay):
+        with pytest.raises(GraphError):
+            overlay.remove_edge(0, 5)
+        overlay.remove_edge(2, 3)
+        with pytest.raises(GraphError):
+            overlay.remove_edge(2, 3)
+
+    def test_validation_errors(self, overlay):
+        with pytest.raises(GraphError):
+            overlay.add_edge(0, 6)
+        with pytest.raises(GraphError):
+            overlay.add_edge(-1, 0)
+        with pytest.raises(GraphError):
+            overlay.add_edge(2, 2)
+        with pytest.raises(GraphError):
+            overlay.add_edge(0, 3, 0)
+        with pytest.raises(GraphError):
+            overlay.remove_edge(0, 99)
+        assert overlay.patch_size == 0
+        assert overlay.log_length == 0
+
+    def test_revert_to_base_weight_drains_patch(self, overlay):
+        base_epoch = overlay.mutation_epoch
+        overlay.add_edge(1, 2, 5)
+        assert overlay.patch_size == 2  # weight change = added + removed
+        overlay.add_edge(1, 2, 1)  # back to the base weight
+        assert overlay.patch_size == 0
+        assert overlay.overlay_stats()["touched_vertices"] == 0
+        assert overlay.mutation_epoch == base_epoch + 2
+
+    def test_insert_then_delete_round_trip_drains_patch(self, overlay):
+        overlay.add_edge(0, 4)
+        overlay.remove_edge(0, 4)
+        assert overlay.patch_size == 0
+        assert overlay.distance(0, 4) == 4
+
+    def test_query_validation(self, overlay):
+        with pytest.raises(QueryError):
+            overlay.distance(0, 6)
+        with pytest.raises(QueryError):
+            overlay.distance(-1, 0)
+
+    def test_self_distance_is_zero_even_when_patched(self, overlay):
+        overlay.add_edge(0, 5)
+        assert overlay.distance(3, 3) == 0
+
+
+class TestIndexProtocol:
+    def test_method_name_and_size(self, overlay):
+        assert overlay.method_name.startswith("overlay(CT-")
+        base_entries = overlay.base.size_entries()
+        overlay.add_edge(0, 5)
+        assert overlay.size_entries() == base_entries + 1
+        overlay.remove_edge(1, 2)
+        assert overlay.size_entries() == base_entries + 2
+
+    def test_batch_paths_match_distance(self, overlay):
+        overlay.add_edge(0, 5)
+        overlay.remove_edge(2, 3)
+        pairs = [(s, t) for s in range(6) for t in range(6)]
+        expected = [overlay.distance(s, t) for s, t in pairs]
+        assert overlay.distances_batch(pairs) == expected
+        for s in range(6):
+            assert overlay.distances_from(s, range(6)) == [
+                overlay.distance(s, t) for t in range(6)
+            ]
+
+    def test_empty_patch_delegates_to_base(self, overlay):
+        pairs = [(0, 5), (1, 3)]
+        assert overlay.distances_batch(pairs) == overlay.base.distances_batch(pairs)
+        stats = overlay.overlay_stats()
+        assert stats["answers"]["through"] == 0
+        assert stats["answers"]["fallback"] == 0
+
+    def test_set_kernel_passthrough(self):
+        graph = path_graph(6)
+        overlay = DeltaOverlayIndex(CTIndex.build(graph, 2, backend="flat"))
+        assert overlay.set_kernel("python") is overlay
+        assert overlay.kernel == "python"
+
+    def test_base_without_graph_is_rejected(self):
+        class Bare:
+            method_name = "bare"
+
+        with pytest.raises(DynamicUpdateError):
+            DeltaOverlayIndex(Bare())
+
+
+class TestSnapshotAndSwap:
+    def test_swap_preserves_answers_and_epoch(self, overlay):
+        overlay.add_edge(0, 5)
+        overlay.remove_edge(2, 3)
+        snap = overlay.snapshot()
+        before = [overlay.distance(s, t) for s in range(6) for t in range(6)]
+        epoch = overlay.mutation_epoch
+        fresh = CTIndex.build(snap.graph, 2)
+        replayed = overlay.swap_base(fresh, snap)
+        assert replayed == 0
+        assert overlay.patch_size == 0
+        assert overlay.swap_count == 1
+        assert overlay.mutation_epoch == epoch  # swaps do not bump the epoch
+        after = [overlay.distance(s, t) for s in range(6) for t in range(6)]
+        assert after == before
+
+    def test_swap_replays_mutations_landed_mid_build(self, overlay):
+        overlay.add_edge(0, 5)
+        snap = overlay.snapshot()
+        fresh = CTIndex.build(snap.graph, 2)
+        # These land "during the rebuild":
+        overlay.remove_edge(0, 1)
+        overlay.add_edge(1, 4)
+        expected = [overlay.distance(s, t) for s in range(6) for t in range(6)]
+        assert overlay.swap_base(fresh, snap) == 2
+        assert overlay.patch_size > 0  # the tail is still an overlay patch
+        got = [overlay.distance(s, t) for s in range(6) for t in range(6)]
+        assert got == expected
+
+    def test_stale_snapshot_is_rejected(self, overlay):
+        overlay.add_edge(0, 5)
+        snap = overlay.snapshot()
+        fresh = CTIndex.build(snap.graph, 2)
+        overlay.swap_base(fresh, snap)
+        with pytest.raises(DynamicUpdateError):
+            overlay.swap_base(CTIndex.build(snap.graph, 2), snap)
+
+    def test_wrong_graph_is_rejected(self, overlay):
+        overlay.add_edge(0, 5)
+        snap = overlay.snapshot()
+        wrong = CTIndex.build(path_graph(6), 2)  # base graph, not snapshot
+        with pytest.raises(DynamicUpdateError):
+            overlay.swap_base(wrong, snap)
+
+    def test_snapshot_materializes_the_patched_graph(self, overlay):
+        overlay.add_edge(0, 5, 3)
+        overlay.remove_edge(1, 2)
+        snap = overlay.snapshot()
+        assert isinstance(snap, OverlaySnapshot)
+        assert snap.graph.has_edge(0, 5)
+        assert snap.graph.edge_weight(0, 5) == 3
+        assert not snap.graph.has_edge(1, 2)
+        assert snap.graph == overlay.materialize_current()
+
+
+class TestCacheIntegration:
+    def test_mutation_invalidates_wrapping_cache(self, overlay):
+        cached = CachedDistanceIndex(overlay, capacity=64)
+        assert cached.distance(0, 5) == 5
+        assert cached.distance(0, 5) == 5
+        assert cached.hits == 1
+        overlay.add_edge(0, 5)
+        assert cached.distance(0, 5) == 1  # not the stale cached 5
+        assert cached.invalidations == 1
+
+    def test_swap_does_not_invalidate_wrapping_cache(self, overlay):
+        cached = CachedDistanceIndex(overlay, capacity=64)
+        overlay.add_edge(0, 5)
+        assert cached.distance(0, 5) == 1
+        snap = overlay.snapshot()
+        overlay.swap_base(CTIndex.build(snap.graph, 2), snap)
+        invalidations = cached.invalidations
+        assert cached.distance(0, 5) == 1
+        assert cached.invalidations == invalidations
+        assert cached.hits >= 1

@@ -1,0 +1,326 @@
+"""Serving under churn: the dynamic endpoints of a live DistanceServer.
+
+Protocol-level, like :mod:`tests.serving.test_server` — every test
+drives a real socket against an in-process server whose engine fronts a
+:class:`~repro.dynamic.DeltaOverlayIndex`.  The headline invariants:
+
+* every answer streamed over the wire during churn equals BFS/Dijkstra
+  ground truth on the materialized current graph — zero wrong answers;
+* a ``/reindex`` hot-swap racing in-flight query traffic changes *no*
+  answer and drops *no* request;
+* mutation/reindex misuse comes back as structured 400s, never a crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.ct_index import CTIndex
+from repro.dynamic import BackgroundReindexer, DeltaOverlayIndex
+from repro.graphs.generators.random_graphs import gnp_graph
+from repro.graphs.traversal import single_source_distances
+from repro.obs.registry import MetricsRegistry
+from repro.serving import DistanceServer, QueryEngine, ServeClient, ServerConfig
+from repro.serving.audit import fingerprint_sha256
+from tests.dynamic.test_differential_updates import MutationStream
+
+BANDWIDTH = 3
+
+
+def make_setup(seed: int = 23, n: int = 40):
+    graph = gnp_graph(n, 0.12, seed=seed)
+    base = CTIndex.build(graph, BANDWIDTH)
+    overlay = DeltaOverlayIndex(base)
+    return graph, base, overlay
+
+
+def make_dynamic_server(overlay, *, reindexer=None, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("batch_window_ms", 1.0)
+    return DistanceServer(
+        QueryEngine(overlay),
+        n=overlay.n,
+        config=ServerConfig(**config_kwargs),
+        fingerprint=fingerprint_sha256(overlay.base),
+        registry=MetricsRegistry(),
+        reindexer=reindexer,
+    )
+
+
+def run_dynamic(overlay, scenario, *, reindexer=None, **config_kwargs):
+    async def main():
+        server = make_dynamic_server(
+            overlay, reindexer=reindexer, **config_kwargs
+        )
+        async with server:
+            host, port = server.address
+            async with ServeClient(host, port) as client:
+                return await scenario(server, client)
+
+    return asyncio.run(main())
+
+
+def wire_ops(ops):
+    """Mutation tuples -> the JSON objects ``POST /mutate`` expects."""
+    payload = []
+    for kind, u, v, w in ops:
+        item = {"op": kind, "u": u, "v": v}
+        if kind == "add":
+            item["w"] = w
+        payload.append(item)
+    return payload
+
+
+def all_pairs_truth(graph):
+    return {s: single_source_distances(graph, s) for s in range(graph.n)}
+
+
+class TestMutateEndpoint:
+    def test_churn_stream_answers_stay_exact(self):
+        graph, _, overlay = make_setup()
+        stream = MutationStream(graph, seed=1, weights=None)
+        rng = random.Random(2)
+
+        async def scenario(server, client):
+            wrong = 0
+            for _ in range(4):
+                ops = stream.batch(8)
+                status, body = await client.request(
+                    "POST", "/mutate", {"ops": wire_ops(ops)}
+                )
+                assert status == 200
+                assert body["applied"] == len(ops)
+                assert body["requested"] == len(ops)
+                assert body["mutation_epoch"] == overlay.mutation_epoch
+                assert body["patch_size"] == overlay.patch_size
+
+                current = overlay.materialize_current()
+                pairs = [
+                    (rng.randrange(graph.n), rng.randrange(graph.n))
+                    for _ in range(60)
+                ]
+                answers = await client.query_batch(pairs)
+                truth = {}
+                for (s, t), got in zip(pairs, answers):
+                    if s not in truth:
+                        truth[s] = single_source_distances(current, s)
+                    if got != truth[s][t]:
+                        wrong += 1
+            return wrong
+
+        assert run_dynamic(overlay, scenario) == 0
+        assert overlay.patch_size > 0  # the churn really landed
+
+    def test_invalid_op_shapes_are_structured_400s(self):
+        _, _, overlay = make_setup()
+
+        async def scenario(server, client):
+            bad_bodies = [
+                {"ops": "not-a-list"},
+                {"ops": [{"op": "frobnicate", "u": 0, "v": 1}]},
+                {"ops": [{"op": "add", "u": 0, "v": 999}]},
+                {"ops": [{"op": "add", "u": 0, "v": 1, "w": "heavy"}]},
+                {"ops": [{"op": "add", "u": 0, "v": 1, "w": True}]},
+            ]
+            statuses = []
+            for body in bad_bodies:
+                status, payload = await client.request("POST", "/mutate", body)
+                statuses.append((status, payload["error"]))
+            return statuses
+
+        epoch = overlay.mutation_epoch
+        results = run_dynamic(overlay, scenario)
+        assert all(status == 400 for status, _ in results)
+        assert all(error == "bad_request" for _, error in results)
+        assert overlay.mutation_epoch == epoch  # nothing was applied
+
+    def test_midstream_failure_reports_applied_prefix(self):
+        graph, _, overlay = make_setup()
+        u, v, _ = next(iter(graph.edges()))
+
+        async def scenario(server, client):
+            # Second op removes an edge that does not exist -> GraphError
+            # after the first op already landed.
+            ops = [
+                {"op": "remove", "u": u, "v": v},
+                {"op": "remove", "u": u, "v": v},
+            ]
+            return await client.request("POST", "/mutate", {"ops": ops})
+
+        status, body = run_dynamic(overlay, scenario)
+        assert status == 400
+        assert "prefix may already be applied" in body["detail"]
+        assert not overlay.materialize_current().has_edge(u, v)
+
+    def test_static_engine_rejects_mutations(self):
+        graph = gnp_graph(20, 0.2, seed=9)
+        index = CTIndex.build(graph, 2)
+
+        async def main():
+            server = DistanceServer(
+                QueryEngine(index),
+                n=graph.n,
+                config=ServerConfig(port=0, batch_window_ms=1.0),
+                fingerprint=fingerprint_sha256(index),
+                registry=MetricsRegistry(),
+            )
+            async with server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    return await client.request(
+                        "POST",
+                        "/mutate",
+                        {"ops": [{"op": "add", "u": 0, "v": 1}]},
+                    )
+
+        status, body = asyncio.run(main())
+        assert status == 400
+        assert "static" in body["detail"]
+
+
+class TestReindexEndpoint:
+    def test_wait_true_swaps_and_keeps_answers(self):
+        graph, _, overlay = make_setup()
+        reindexer = BackgroundReindexer(overlay)
+        stream = MutationStream(graph, seed=3, weights=None)
+
+        async def scenario(server, client):
+            ops = stream.batch(10)
+            await client.request("POST", "/mutate", {"ops": wire_ops(ops)})
+            current = overlay.materialize_current()
+            truth = all_pairs_truth(current)
+            pairs = [(s, t) for s in range(graph.n) for t in range(graph.n)]
+            before = await client.query_batch(pairs)
+
+            status, body = await client.request(
+                "POST", "/reindex", {"wait": True}
+            )
+            assert status == 200
+            result = body["result"]
+            assert result["swapped"] is True
+            assert result["verified_pairs"] > 0
+            assert len(result["fingerprint_sha256"]) == 64
+
+            after = await client.query_batch(pairs)
+            wrong = sum(
+                1
+                for (s, t), a, b in zip(pairs, before, after)
+                if not (a == b == truth[s][t])
+            )
+            hstatus, health = await client.healthz()
+            return wrong, hstatus, health
+
+        wrong, hstatus, health = run_dynamic(
+            overlay, scenario, reindexer=reindexer, max_queue_depth=4096
+        )
+        assert wrong == 0
+        assert overlay.patch_size == 0
+        assert hstatus == 200
+        assert health["dynamic"]["swap_count"] == 1
+        assert health["dynamic"]["patch_size"] == 0
+
+    def test_inflight_queries_race_the_swap_without_wrong_answers(self):
+        graph, _, overlay = make_setup()
+        reindexer = BackgroundReindexer(overlay, verify_samples=8)
+        stream = MutationStream(graph, seed=5, weights=None)
+
+        async def scenario(server, client):
+            ops = stream.batch(12)
+            await client.request("POST", "/mutate", {"ops": wire_ops(ops)})
+            truth = all_pairs_truth(overlay.materialize_current())
+            pairs = [(s, t) for s in range(graph.n) for t in range(graph.n)]
+
+            async def hammer():
+                answers = []
+                async with ServeClient(*server.address) as side:
+                    for _ in range(6):
+                        answers.append(await side.query_batch(pairs))
+                return answers
+
+            swap_task = asyncio.create_task(
+                client.request("POST", "/reindex", {"wait": True})
+            )
+            rounds, (status, body) = await asyncio.gather(
+                hammer(), swap_task
+            )
+            assert status == 200 and body["result"]["swapped"] is True
+            wrong = sum(
+                1
+                for answers in rounds
+                for (s, t), got in zip(pairs, answers)
+                if got != truth[s][t]
+            )
+            return wrong, len(rounds)
+
+        wrong, rounds = run_dynamic(
+            overlay, scenario, reindexer=reindexer, max_queue_depth=4096
+        )
+        assert rounds == 6
+        assert wrong == 0  # zero wrong answers during the in-flight swap
+        assert overlay.swap_count == 1
+
+    def test_async_request_nudges_background_thread(self):
+        graph, _, overlay = make_setup()
+        reindexer = BackgroundReindexer(overlay, poll_interval=0.01).start()
+        stream = MutationStream(graph, seed=7, weights=None)
+        try:
+
+            async def scenario(server, client):
+                ops = stream.batch(6)
+                await client.request("POST", "/mutate", {"ops": wire_ops(ops)})
+                baseline = reindexer.cycles()
+                status, body = await client.request(
+                    "POST", "/reindex", {}
+                )
+                assert status == 200 and body["requested"] is True
+                loop = asyncio.get_running_loop()
+                drained = await loop.run_in_executor(
+                    None, lambda: reindexer.wait_for_cycle(baseline, 30)
+                )
+                assert drained
+                gstatus, gbody = await client.request("GET", "/reindex")
+                return gstatus, gbody
+
+            gstatus, gbody = run_dynamic(overlay, scenario, reindexer=reindexer)
+            assert gstatus == 200
+            assert gbody["rebuilds_completed"] >= 1
+            assert overlay.patch_size == 0
+        finally:
+            reindexer.stop()
+
+    def test_reindex_without_reindexer_is_a_400(self):
+        _, _, overlay = make_setup()
+
+        async def scenario(server, client):
+            results = [
+                await client.request("POST", "/reindex", {"wait": True}),
+                await client.request("GET", "/reindex"),
+                await client.request("POST", "/reindex", {"wait": "yes"}),
+            ]
+            return results
+
+        results = run_dynamic(overlay, scenario)
+        for status, body in results:
+            assert status == 400
+            assert body["error"] == "bad_request"
+        assert "no background reindexer" in results[0][1]["detail"]
+
+    def test_stats_expose_mutations_and_reindexer(self):
+        graph, _, overlay = make_setup()
+        reindexer = BackgroundReindexer(overlay)
+        stream = MutationStream(graph, seed=11, weights=None)
+
+        async def scenario(server, client):
+            ops = stream.batch(5)
+            await client.request("POST", "/mutate", {"ops": wire_ops(ops)})
+            await client.request("POST", "/reindex", {"wait": True})
+            return server.stats_snapshot()
+
+        snapshot = run_dynamic(overlay, scenario, reindexer=reindexer)
+        assert snapshot["mutations_applied"] == 5
+        assert snapshot["reindex"]["rebuilds_completed"] == 1
+        engine_stats = snapshot["engine"]
+        assert engine_stats["overlay"]["swap_count"] == 1

@@ -82,6 +82,10 @@ def test_ct_builds_faster_than_psl_plus_on_core_periphery():
         ),
         seed=108,
     )
-    psl_plus = build_psl_plus(graph)
-    ct = CTIndex.build(graph, 20)
-    assert ct.build_seconds < psl_plus.build_seconds * 1.5
+    # Wall-clock comparison: take the min of three builds per method so a
+    # transient load spike on a busy CI machine cannot flip the outcome.
+    psl_plus_seconds = min(
+        build_psl_plus(graph).build_seconds for _ in range(3)
+    )
+    ct_seconds = min(CTIndex.build(graph, 20).build_seconds for _ in range(3))
+    assert ct_seconds < psl_plus_seconds * 1.5

@@ -1,0 +1,167 @@
+"""Metamorphic properties of dynamic updates.
+
+Mirrors :class:`tests.differential.test_metamorphic.
+TestEdgeDeletionMonotonicity` on the insertion side, and adds the two
+identities that pin the overlay's semantics without any ground truth:
+
+* *edge-insertion monotonicity* — adding an edge can only shorten (or
+  connect) shortest paths, never lengthen them;
+* *insert-then-delete round trip* — undoing a mutation restores every
+  distance (and drains the overlay patch);
+* *overlay-vs-fresh-rebuild equality* — an overlay over a stale base
+  answers exactly like an index rebuilt from scratch on the mutated
+  graph, for every hypothesis-generated graph and mutation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ct_index import CTIndex
+from repro.dynamic import DeltaOverlayIndex
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import INF, Graph
+from tests.differential.cases import FAST_CASES, DifferentialCase
+from tests.properties.strategies import connected_graphs, graphs
+
+
+def _missing_pairs(graph: Graph, count: int, seed: int) -> list[tuple[int, int]]:
+    """Up to ``count`` vertex pairs with no edge between them."""
+    rng = random.Random(seed)
+    found: list[tuple[int, int]] = []
+    attempts = 0
+    while len(found) < count and attempts < 50 * count:
+        attempts += 1
+        u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+        if u != v and not graph.has_edge(u, v):
+            found.append((u, v))
+    return found
+
+
+def _sample_nodes(graph: Graph, count: int, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(graph.n) for _ in range(count)]
+
+
+class TestEdgeInsertionMonotonicity:
+    @pytest.mark.parametrize("case", FAST_CASES[:3], ids=lambda c: c.name)
+    def test_distances_never_increase(self, case: DifferentialCase):
+        graph = case.build_graph()
+        bandwidth = case.bandwidths[-1]
+        before = CTIndex.build(graph, bandwidth)
+        overlay = DeltaOverlayIndex(CTIndex.build(graph, bandwidth))
+        pairs = _missing_pairs(graph, 1, seed=case.params.get("seed", 0))
+        if not pairs:
+            pytest.skip("graph is complete")
+        u, v = pairs[0]
+        assert overlay.add_edge(u, v) is True
+        nodes = _sample_nodes(graph, 30, seed=17)
+        for s in nodes:
+            for t in nodes:
+                d_before = before.distance(s, t)
+                d_after = overlay.distance(s, t)
+                assert d_after <= d_before, (
+                    f"inserting edge ({u}, {v}) lengthened dist({s}, {t}) "
+                    f"from {d_before} to {d_after}; {case.reproducer()}"
+                )
+
+    def test_inserting_a_bridge_connects(self):
+        # Two disjoint paths: the inserted edge is the only crossing, so
+        # cross distances drop from INF to the exact bridged length.
+        builder = GraphBuilder(6)
+        for i in (0, 1, 3, 4):
+            builder.add_edge(i, i + 1)
+        overlay = DeltaOverlayIndex(CTIndex.build(builder.build(), 2))
+        assert overlay.distance(0, 5) == INF
+        overlay.add_edge(2, 3)
+        assert overlay.distance(0, 5) == 5
+        assert overlay.distance(2, 3) == 1
+
+
+class TestInsertDeleteRoundTrip:
+    @pytest.mark.parametrize("case", FAST_CASES[:3], ids=lambda c: c.name)
+    def test_round_trip_restores_every_distance(self, case: DifferentialCase):
+        graph = case.build_graph()
+        bandwidth = case.bandwidths[-1]
+        overlay = DeltaOverlayIndex(CTIndex.build(graph, bandwidth))
+        nodes = _sample_nodes(graph, 25, seed=19)
+        baseline = {
+            (s, t): overlay.distance(s, t) for s in nodes for t in nodes
+        }
+        pairs = _missing_pairs(graph, 3, seed=case.params.get("seed", 0) + 1)
+        for u, v in pairs:
+            overlay.add_edge(u, v)
+        for u, v in reversed(pairs):
+            overlay.remove_edge(u, v)
+        assert overlay.patch_size == 0, case.reproducer()
+        for (s, t), expected in baseline.items():
+            assert overlay.distance(s, t) == expected, (
+                f"round trip changed dist({s}, {t}); {case.reproducer()}"
+            )
+
+    def test_delete_then_reinsert_restores_too(self):
+        case = FAST_CASES[3]
+        graph = case.build_graph()
+        overlay = DeltaOverlayIndex(CTIndex.build(graph, case.bandwidths[-1]))
+        rng = random.Random(case.params["seed"])
+        edges = sorted((u, v) for u, v, _ in graph.edges())
+        victims = [edges[rng.randrange(len(edges))] for _ in range(3)]
+        baseline = [overlay.distance(s, t) for s in range(graph.n) for t in range(graph.n)]
+        applied = []
+        for u, v in victims:
+            if (u, v) not in applied:
+                overlay.remove_edge(u, v)
+                applied.append((u, v))
+        for u, v in applied:
+            overlay.add_edge(u, v)
+        assert overlay.patch_size == 0
+        got = [overlay.distance(s, t) for s in range(graph.n) for t in range(graph.n)]
+        assert got == baseline
+
+
+class TestOverlayMatchesFreshRebuild:
+    @given(graph=graphs(max_nodes=14, weighted=True), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_overlay_equals_rebuild_after_mutations(self, graph: Graph, data):
+        bandwidth = data.draw(st.integers(0, 4), label="bandwidth")
+        overlay = DeltaOverlayIndex(CTIndex.build(graph, bandwidth))
+        n = graph.n
+
+        count = data.draw(st.integers(1, 6), label="mutations")
+        for _ in range(count):
+            live = sorted((u, v) for u, v, _ in overlay.materialize_current().edges())
+            if live and data.draw(st.booleans(), label="remove?"):
+                overlay.remove_edge(*data.draw(st.sampled_from(live)))
+            elif n >= 2:
+                u = data.draw(st.integers(0, n - 1), label="u")
+                v = data.draw(st.integers(0, n - 1), label="v")
+                if u != v:
+                    overlay.add_edge(u, v, data.draw(st.integers(1, 5), label="w"))
+
+        fresh = CTIndex.build(overlay.materialize_current(), bandwidth)
+        for s in range(n):
+            assert overlay.distances_from(s, range(n)) == fresh.distances_from(
+                s, range(n)
+            )
+
+    @given(graph=connected_graphs(max_nodes=12), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_equality_survives_a_swap(self, graph: Graph, data):
+        bandwidth = data.draw(st.integers(0, 3), label="bandwidth")
+        overlay = DeltaOverlayIndex(CTIndex.build(graph, bandwidth))
+        n = graph.n
+        u = data.draw(st.integers(0, n - 1), label="u")
+        v = data.draw(st.integers(0, n - 1), label="v")
+        if u != v and not graph.has_edge(u, v):
+            overlay.add_edge(u, v)
+        snap = overlay.snapshot()
+        overlay.swap_base(CTIndex.build(snap.graph, bandwidth), snap)
+        fresh = CTIndex.build(overlay.materialize_current(), bandwidth)
+        for s in range(n):
+            assert overlay.distances_from(s, range(n)) == fresh.distances_from(
+                s, range(n)
+            )

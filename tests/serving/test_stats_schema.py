@@ -46,7 +46,7 @@ class TestSnapshotSchema:
             assert {"count", "mean_us", "min_us", "max_us", "p50_us", "p95_us", "p99_us", "buckets"} <= set(histogram)
         for case_snapshot in snap["cases"].values():
             assert case_snapshot["count"] >= 1
-        assert set(snap["pair_cache"]) == {"hits", "misses", "hit_rate", "capacity"}
+        assert set(snap["pair_cache"]) == {"hits", "misses", "hit_rate", "capacity", "invalidations"}
         assert snap["index"]["method"].startswith("CT")
         assert {"case_counts", "core_probes", "extension_cache"} <= set(snap["index"])
 

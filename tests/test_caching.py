@@ -189,3 +189,71 @@ class TestBatchDelegation:
         assert len(cached._cache) == 2
         cached.distance(0, 3)
         assert cached.hits == 1  # most recent entries survived
+
+
+class TestEpochInvalidation:
+    """The cache watches the inner index's ``mutation_epoch``."""
+
+    def _mutable(self):
+        from repro.dynamic import DeltaOverlayIndex
+
+        g = gnp_graph(25, 0.15, seed=4)
+        return g, DeltaOverlayIndex(CTIndex.build(g, 3))
+
+    def test_stale_entries_are_dropped_after_mutation(self):
+        g, overlay = self._mutable()
+        cached = CachedDistanceIndex(overlay)
+        before = cached.distance(0, 1)
+        # Toggle edge {0, 1}: in a unit-weight graph d(0, 1) == 1 exactly
+        # when the edge exists, so the toggle must change the answer.
+        if g.has_edge(0, 1):
+            overlay.remove_edge(0, 1)
+        else:
+            overlay.add_edge(0, 1)
+        after = cached.distance(0, 1)
+        assert after == overlay.distance(0, 1)
+        assert after != before
+        assert cached.invalidations == 1
+
+    def test_every_entry_point_checks_the_epoch(self):
+        g, overlay = self._mutable()
+        for call in (
+            lambda c: c.distance(0, 1),
+            lambda c: c.distances_from(0, [1, 2]),
+            lambda c: c.distances_batch([(0, 1), (1, 2)]),
+        ):
+            cached = CachedDistanceIndex(overlay)
+            call(cached)
+            u, v, _ = next(iter(overlay.materialize_current().edges()))
+            overlay.remove_edge(u, v)
+            call(cached)
+            assert cached.invalidations == 1
+            overlay.add_edge(u, v)  # restore for the next loop iteration
+
+    def test_counters_survive_invalidation(self):
+        _, overlay = self._mutable()
+        cached = CachedDistanceIndex(overlay)
+        cached.distance(0, 1)
+        cached.distance(0, 1)
+        assert (cached.hits, cached.misses) == (1, 1)
+        u, v, _ = next(iter(overlay.materialize_current().edges()))
+        overlay.remove_edge(u, v)
+        cached.distance(0, 1)
+        # hits/misses keep accumulating; only the entries were dropped.
+        assert (cached.hits, cached.misses) == (1, 2)
+        assert len(cached._cache) == 1
+
+    def test_static_inner_never_invalidates(self, inner):
+        _, index = inner
+        cached = CachedDistanceIndex(index)
+        cached.distance(0, 1)
+        cached.distance(0, 1)
+        assert cached.invalidations == 0
+
+    def test_empty_cache_invalidation_is_silent(self):
+        _, overlay = self._mutable()
+        cached = CachedDistanceIndex(overlay)
+        u, v, _ = next(iter(overlay.materialize_current().edges()))
+        overlay.remove_edge(u, v)
+        cached.distance(0, 1)  # first touch after the mutation
+        assert cached.invalidations == 0  # nothing was dropped
