@@ -36,6 +36,7 @@ Observability (off by default, no-op when disabled)::
 
 from repro.api import (
     SAVE_FORMATS,
+    BuildConfig,
     build,
     load,
     query,
@@ -61,6 +62,7 @@ from repro.serving import QueryEngine
 __version__ = "1.1.0"
 
 __all__ = [
+    "BuildConfig",
     "CTIndex",
     "ConfigurationError",
     "DecompositionError",

@@ -17,6 +17,7 @@ Subcommands::
     repro fleet-bench GRAPH -d 20         N-worker serving over one mapped snapshot
     repro dynamic-bench GRAPH -d 20       update throughput + latency under churn (verified)
     repro obs-bench GRAPH -d 20           observability overhead, recorded in BENCH_obs.json
+    repro scale-bench --tiers cp-100k     construction trajectory per scale tier (gated)
     repro trace TRACE.jsonl               render a recorded span trace (tree + summary)
     repro datasets                        list the dataset registry
 
@@ -39,6 +40,7 @@ arguments (argparse convention).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Sequence
@@ -77,23 +79,56 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_build = sub.add_parser("build", help="build a CT-Index over an edge-list graph")
     p_build.add_argument("graph")
-    p_build.add_argument("-d", "--bandwidth", type=int, default=20)
+    p_build.add_argument(
+        "-d",
+        "--bandwidth",
+        type=int,
+        default=None,
+        help="the paper's d (default 20; required here or in --config)",
+    )
     p_build.add_argument("-o", "--output", required=True, help="where to save the index")
+    p_build.add_argument(
+        "--config",
+        default=None,
+        metavar="CONFIG.JSON",
+        help="BuildConfig document (BuildConfig.to_dict() as JSON); flags "
+        "passed alongside must agree with it",
+    )
     p_build.add_argument(
         "--no-reduction", action="store_true", help="skip the equivalence (twin) reduction"
     )
     p_build.add_argument(
         "--backend",
         choices=("dict", "flat"),
-        default="dict",
+        default=None,
         help="label storage of the built index: mutable dicts or CSR arrays "
-        "(identical answers; flat is smaller in memory)",
+        "(identical answers; flat is smaller in memory; default dict)",
+    )
+    p_build.add_argument(
+        "--order",
+        choices=("degree", "elimination", "is"),
+        default=None,
+        help="ordering strategy: degree (default), elimination (theory "
+        "order), or is (independent-set periphery elimination)",
+    )
+    p_build.add_argument(
+        "--core-backend",
+        choices=("pll", "psl", "hopdb"),
+        default=None,
+        help="core labeling algorithm (identical labels; default pll)",
+    )
+    p_build.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "python"),
+        default=None,
+        help="NumPy vs pure-Python kernels for queries and vectorized "
+        "construction (identical answers; default auto)",
     )
     p_build.add_argument(
         "--format",
         choices=("json", "binary"),
         default="json",
-        help="on-disk format: inspectable JSON document or v3 binary "
+        help="on-disk format: inspectable JSON document or v4 binary "
         "snapshot (identical content; binary loads faster)",
     )
     p_build.add_argument(
@@ -105,6 +140,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the parallel build (0 = one per CPU; "
         "any count builds the identical index)",
+    )
+    p_build.add_argument(
+        "--chunked",
+        action="store_true",
+        help="load the edge list through the chunked out-of-core reader "
+        "(identical graph; bounds parse-time memory on 10^5+ edge files)",
     )
     _add_obs_arguments(p_build, profile=True)
     p_build.set_defaults(handler=_cmd_build)
@@ -361,6 +402,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_dbench.set_defaults(handler=_cmd_dynamic_bench)
 
+    p_scale = sub.add_parser(
+        "scale-bench",
+        help="build the 10^3..10^6-node scale trajectory (core-periphery "
+        "and R-MAT tiers), gated on fingerprint/BFS identity, recording "
+        "BENCH_scale.json",
+    )
+    p_scale.add_argument(
+        "--tiers",
+        nargs="+",
+        default=None,
+        metavar="TIER",
+        help="tier names to run (default: all); see repro.bench.scale_bench",
+    )
+    p_scale.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        help="skip tiers whose target node count exceeds this",
+    )
+    p_scale.add_argument(
+        "--config",
+        default=None,
+        metavar="CONFIG.JSON",
+        help="BuildConfig document to measure (default: flat backend, "
+        "psl core, auto kernel)",
+    )
+    p_scale.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_scale.json",
+        help="scale history file to append to ('-' skips recording)",
+    )
+    p_scale.set_defaults(handler=_cmd_scale_bench)
+
     p_fbench = sub.add_parser(
         "fleet-bench",
         help="serve one mapped snapshot from N worker processes, verifying "
@@ -535,26 +610,56 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_build_config(args: argparse.Namespace):
+    """Merge ``--config`` with explicit build flags into one BuildConfig.
+
+    Flags default to ``None`` (= not passed) so only knobs the user
+    actually spelled out participate; a flag that disagrees with the
+    config document raises ConfigurationError via the shared shim.
+    """
+    from repro.api import BuildConfig
+    from repro.deprecation import resolve_config_kwargs
+
+    config = None
+    if args.config is not None:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = BuildConfig.from_dict(json.load(handle))
+    explicit = {
+        name: value
+        for name, value in (
+            ("bandwidth", args.bandwidth),
+            ("workers", args.workers),
+            ("backend", args.backend),
+            ("order", args.order),
+            ("core_backend", args.core_backend),
+            ("kernel", args.kernel),
+        )
+        if value is not None
+    }
+    # store_true flags can't distinguish default from explicit False, so
+    # --no-reduction only participates when actually raised.
+    if args.no_reduction:
+        explicit["use_equivalence_reduction"] = False
+    return resolve_config_kwargs(config, explicit)
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     from repro.core.ct_index import CTIndex
     from repro.core.serialization import save_ct_index, save_ct_index_binary
-    from repro.graphs.io import read_edge_list
+    from repro.graphs.io import read_edge_list, read_edge_list_chunked
     from repro.labeling.base import MemoryBudget
 
-    graph, _ = read_edge_list(args.graph)
+    config = _resolve_build_config(args)
+    if args.chunked:
+        graph, _ = read_edge_list_chunked(args.graph)
+    else:
+        graph, _ = read_edge_list(args.graph)
     budget = (
         MemoryBudget.from_megabytes(args.memory_mb) if args.memory_mb is not None else None
     )
     session = _ObsSession(args)
     try:
-        index = CTIndex.build(
-            graph,
-            args.bandwidth,
-            use_equivalence_reduction=not args.no_reduction,
-            budget=budget,
-            workers=args.workers,
-            backend=args.backend,
-        )
+        index = CTIndex.build(graph, config=config, budget=budget)
     finally:
         session.finish()
     if args.format == "binary":
@@ -562,9 +667,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
     else:
         save_ct_index(index, args.output)
     stats = index.stats()
-    schedule = "" if args.workers in (None, 1) else f" ({args.workers or 'auto'} workers)"
+    workers = config.workers
+    schedule = "" if workers in (None, 1) else f" ({workers or 'auto'} workers)"
     print(
-        f"built CT-{args.bandwidth} on n={graph.n} m={graph.m}: "
+        f"built CT-{config.bandwidth} on n={graph.n} m={graph.m}: "
         f"{stats.entries} entries ({stats.megabytes:.3f} MB modeled) "
         f"in {stats.build_seconds:.2f}s{schedule} -> {args.output} [{args.format}]"
     )
@@ -943,6 +1049,24 @@ def _cmd_storage_bench(args: argparse.Namespace) -> int:
     if args.output != "-":
         record_storage_entry(result, args.output)
         print(f"recorded entry -> {args.output}")
+    return 0
+
+
+def _cmd_scale_bench(args: argparse.Namespace) -> int:
+    from repro.api import BuildConfig
+    from repro.bench.scale_bench import DEFAULT_CONFIG, run_scale_bench
+
+    config = DEFAULT_CONFIG
+    if args.config is not None:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = BuildConfig.from_dict(json.load(handle))
+    output = None if args.output == "-" else args.output
+    entries, text = run_scale_bench(
+        args.tiers, config=config, max_n=args.max_n, output=output
+    )
+    print(text)
+    if output is not None:
+        print(f"recorded {len(entries)} entries -> {output}")
     return 0
 
 

@@ -26,6 +26,7 @@ import time
 import repro.obs as obs
 from repro.exceptions import IndexConstructionError
 from repro.graphs.graph import INF, Graph, Weight
+from repro.kernels import KERNEL_AUTO
 from repro.labeling.base import MemoryBudget
 from repro.labeling.ordering import degree_order
 from repro.labeling.pll import PrunedLandmarkLabeling, build_pll
@@ -231,6 +232,7 @@ def build_core_index(
     order: str | None = None,
     core_backend: str = "pll",
     workers: int | None = None,
+    kernel: str = KERNEL_AUTO,
     core_order: str | None = None,
 ) -> tuple[PrunedLandmarkLabeling, list[int], dict[int, int]]:
     """2-hop labeling on the weighted reduced core graph ``G_{λ+1}`` (line 33).
@@ -238,21 +240,29 @@ def build_core_index(
     ``order`` selects the hub order: ``"degree"`` (the practical
     default, as in PSL) or ``"elimination"`` — the reverse of a continued
     MDE run over the core, the order behind the paper's Theorem 4.4
-    bound and the one its Figure 5 example uses.  ``core_order=`` is the
+    bound and the one its Figure 5 example uses.  ``"is"`` is accepted
+    for symmetry with :func:`construct`, where it selects independent-set
+    periphery elimination; the core hubs then use degree order (IS-LABEL
+    has no distinguished hub order of its own).  ``core_order=`` is the
     deprecated pre-PR-4 spelling and maps onto ``order=`` with a
     :class:`DeprecationWarning`.
 
     ``core_backend`` selects the construction schedule — the paper's
     line 33 says "PLL (or PSL equivalently)".  ``"psl"`` uses the
     round-synchronous propagation when the core graph is unweighted
-    (d = 0, no fill-in shortcuts) and falls back to pruned-Dijkstra PLL
-    otherwise, since PSL's levels are hop counts.  Both backends build
-    the same canonical label sets.
+    (d = 0, no fill-in shortcuts); ``"hopdb"`` the hop-doubling label
+    composition of :mod:`repro.labeling.hopdb` (also unweighted-only,
+    suited to scale-free cores).  Both fall back to pruned-Dijkstra PLL
+    on weighted cores, since their rounds count hops.  Every backend
+    builds the same canonical label sets, so the choice never changes a
+    fingerprint.
 
     ``workers`` fans the PSL backend's rounds out over worker processes
-    (see :mod:`repro.parallel.psl`).  The PLL backend ignores it: a
-    pruned search depends on every earlier root's finished label, so PLL
-    is inherently sequential.
+    (see :mod:`repro.parallel.psl`) and ``kernel`` selects PSL's
+    in-process construction path (vectorized vs pure Python).  The PLL
+    and hopdb backends ignore both: a pruned search depends on every
+    earlier root's finished label, so PLL is inherently sequential, and
+    hopdb runs its own composition loop.
 
     Returns ``(core_labeling, originals, compact)``: the 2-hop index
     over the compacted core graph, the original node id per compact id,
@@ -265,7 +275,7 @@ def build_core_index(
         "ct.core_labeling", order=order, core_backend=core_backend
     ) as core_span:
         core_graph, originals = decomposition.core_graph()
-        if order == "degree":
+        if order in ("degree", "is"):
             hub_order = degree_order(core_graph)
         elif order == "elimination":
             from repro.treedec.elimination import minimum_degree_elimination
@@ -274,18 +284,28 @@ def build_core_index(
             hub_order = list(reversed(continued.eliminated_order()))
         else:
             raise IndexConstructionError(
-                f"unknown core order {order!r}; expected 'degree' or 'elimination'"
+                f"unknown core order {order!r}; expected 'degree', "
+                f"'elimination', or 'is'"
             )
-        if core_backend not in ("pll", "psl"):
+        if core_backend not in ("pll", "psl", "hopdb"):
             raise IndexConstructionError(
-                f"unknown core backend {core_backend!r}; expected 'pll' or 'psl'"
+                f"unknown core backend {core_backend!r}; expected 'pll', "
+                f"'psl', or 'hopdb'"
             )
         if core_backend == "psl" and core_graph.unweighted:
             from repro.labeling.psl import build_psl
 
-            psl = build_psl(core_graph, hub_order, budget=budget, workers=workers)
+            psl = build_psl(
+                core_graph, hub_order, budget=budget, workers=workers, kernel=kernel
+            )
             labeling = PrunedLandmarkLabeling(core_graph, psl.labels, psl.order)
             labeling.build_seconds = psl.build_seconds
+        elif core_backend == "hopdb" and core_graph.unweighted:
+            from repro.labeling.hopdb import build_hopdb
+
+            hop = build_hopdb(core_graph, hub_order, budget=budget)
+            labeling = PrunedLandmarkLabeling(core_graph, hop.labels, hop.order)
+            labeling.build_seconds = hop.build_seconds
         else:
             labeling = build_pll(core_graph, hub_order, budget=budget)
         if obs.tracing_enabled():
@@ -304,15 +324,25 @@ def construct(
     order: str | None = None,
     core_backend: str = "pll",
     workers: int | None = None,
+    kernel: str = KERNEL_AUTO,
     core_order: str | None = None,
 ) -> tuple[CoreTreeDecomposition, TreeIndex, PrunedLandmarkLabeling, list[int], dict[int, int], float]:
     """Run the full Algorithm 1 and return all the pieces plus build time.
 
+    ``order="is"`` swaps the periphery elimination from bounded MDE to
+    the IS-LABEL-style independent-set rounds of
+    :func:`repro.treedec.elimination.independent_set_elimination` (each
+    round eliminates a maximal independent set of low-degree nodes at
+    once); the core hubs then use degree order.  Any other ``order``
+    value keeps MDE and selects the core hub order as in
+    :func:`build_core_index`.
+
     ``workers`` parallelizes the tree-index fan-out (and the core
-    labeling when ``core_backend="psl"`` applies) without changing any
-    label — the decomposition itself (bounded MDE) stays sequential, as
-    each elimination step depends on the fill-in of the previous one.
-    ``core_order=`` is the deprecated spelling of ``order=``.
+    labeling when ``core_backend="psl"`` applies) and ``kernel`` selects
+    PSL's in-process construction path, without changing any label — the
+    decomposition itself stays sequential, as each elimination step
+    depends on the fill-in of the previous one.  ``core_order=`` is the
+    deprecated spelling of ``order=``.
     """
     from repro.deprecation import resolve_renamed_kwarg
 
@@ -320,8 +350,16 @@ def construct(
     started = time.perf_counter()
     if budget is None:
         budget = MemoryBudget.unlimited()
-    with obs_span("ct.decompose", n=graph.n, bandwidth=bandwidth):
-        decomposition = core_tree_decomposition(graph, bandwidth)
+    with obs_span("ct.decompose", n=graph.n, bandwidth=bandwidth, order=order):
+        if order == "is":
+            from repro.treedec.elimination import independent_set_elimination
+
+            elimination = independent_set_elimination(graph, bandwidth)
+            decomposition = core_tree_decomposition(
+                graph, bandwidth, elimination=elimination
+            )
+        else:
+            decomposition = core_tree_decomposition(graph, bandwidth)
     tree_index = build_tree_index(decomposition, budget=budget, workers=workers)
     core_index, originals, compact = build_core_index(
         decomposition,
@@ -329,6 +367,7 @@ def construct(
         order=order,
         core_backend=core_backend,
         workers=workers,
+        kernel=kernel,
     )
     elapsed = time.perf_counter() - started
     logger.debug(

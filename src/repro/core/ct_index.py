@@ -30,7 +30,7 @@ import time
 from collections import Counter, OrderedDict
 
 import repro.obs as obs
-from repro.exceptions import QueryError
+from repro.exceptions import ConfigurationError, QueryError
 from repro.graphs.graph import INF, Graph, Weight
 from repro.kernels import (
     KERNEL_AUTO,
@@ -118,8 +118,9 @@ class CTIndex(DistanceIndex):
     def build(
         cls,
         graph: Graph,
-        bandwidth: int,
+        bandwidth: int | None = None,
         *,
+        config: object | None = None,
         use_equivalence_reduction: bool = True,
         budget: MemoryBudget | None = None,
         order: str | None = None,
@@ -138,6 +139,16 @@ class CTIndex(DistanceIndex):
             The graph to index.
         bandwidth:
             The paper's ``d``; trades index size against query time.
+            Required unless ``config=`` supplies it.
+        config:
+            Optional :class:`~repro.api.BuildConfig` bundling every
+            build-shaping knob (all parameters here except ``budget``,
+            which is a runtime object, not configuration).  Knobs may
+            still be passed loose; a loose kwarg that differs from both
+            its default and the config raises
+            :class:`~repro.exceptions.ConfigurationError` (conflicting
+            spellings), while kwargs left at their defaults defer to the
+            config.
         use_equivalence_reduction:
             Fold twin nodes before indexing (the paper integrates the
             PSL+ reduction into CT-Index); automatic no-op on weighted
@@ -147,13 +158,17 @@ class CTIndex(DistanceIndex):
             :class:`~repro.exceptions.OverMemoryError` mid-build (the
             paper's "OM" outcome).
         order:
-            Hub order for the core 2-hop labeling: ``"degree"`` (PSL's
-            practical choice, the default when ``None``) or
-            ``"elimination"`` (the theory order of Theorem 4.4 [2]).
+            Ordering strategy: ``"degree"`` (PSL's practical hub order,
+            the default when ``None``), ``"elimination"`` (the theory
+            order of Theorem 4.4 [2]), or ``"is"`` (IS-LABEL-style
+            independent-set periphery elimination; core hubs fall back
+            to degree order).
         core_backend:
-            ``"pll"`` (pruned searches) or ``"psl"`` (round-synchronous
-            propagation where applicable) — the paper's line 33 treats
-            them as interchangeable.
+            ``"pll"`` (pruned searches), ``"psl"`` (round-synchronous
+            propagation where applicable), or ``"hopdb"`` (hop-doubling
+            label composition for scale-free cores) — all build the
+            same canonical labels; the paper's line 33 treats the
+            backends as interchangeable.
         extension_cache_size:
             Bound on the per-position extension-label LRU used by
             Case-3/4 queries; ``0`` disables the cache (every query
@@ -169,19 +184,58 @@ class CTIndex(DistanceIndex):
             :mod:`repro.storage`, packed after construction).  Never
             changes an answer.
         kernel:
-            Query kernel selection (see :mod:`repro.kernels`):
+            Kernel selection for both the query path and the vectorized
+            PSL construction rounds (see :mod:`repro.kernels`):
             ``"auto"`` (default — NumPy when installed and the backend
             is flat), ``"numpy"`` (required; raises
             :class:`~repro.exceptions.ConfigurationError` when NumPy is
             missing or ``backend`` is not ``"flat"``), or ``"python"``
-            (always the interpreter kernels).  Never changes an answer.
+            (always the interpreter paths).  Never changes an answer.
         core_order:
             Deprecated spelling of ``order=`` (kept one release; warns
             with :class:`DeprecationWarning`).
         """
-        from repro.deprecation import resolve_renamed_kwarg
+        from repro.deprecation import resolve_config_kwargs, resolve_renamed_kwarg
 
         order = resolve_renamed_kwarg("core_order", "order", core_order, order)
+        if bandwidth is None and config is None:
+            raise ConfigurationError(
+                "bandwidth is required (pass it directly or via config=)"
+            )
+        if config is not None:
+            # Defaults-deferral merge: a kwarg still at its default is
+            # "not passed" and defers to the config; one moved off its
+            # default is explicit and must agree with the config.
+            defaults = {
+                "workers": None,
+                "backend": "dict",
+                "order": None,
+                "core_backend": "pll",
+                "use_equivalence_reduction": True,
+                "extension_cache_size": 256,
+                "kernel": KERNEL_AUTO,
+            }
+            passed = {
+                "workers": workers,
+                "backend": backend,
+                "order": order,
+                "core_backend": core_backend,
+                "use_equivalence_reduction": use_equivalence_reduction,
+                "extension_cache_size": extension_cache_size,
+                "kernel": kernel,
+            }
+            explicit = {k: v for k, v in passed.items() if v != defaults[k]}
+            if bandwidth is not None:
+                explicit["bandwidth"] = bandwidth
+            resolved = resolve_config_kwargs(config, explicit)
+            bandwidth = resolved.bandwidth
+            workers = resolved.workers
+            backend = resolved.backend
+            order = resolved.order
+            core_backend = resolved.core_backend
+            use_equivalence_reduction = resolved.use_equivalence_reduction
+            extension_cache_size = resolved.extension_cache_size
+            kernel = resolved.kernel
         validate_backend(backend)
         # Fail fast on an unsatisfiable kernel request (numpy missing,
         # or kernel='numpy' on the dict backend).
@@ -207,6 +261,7 @@ class CTIndex(DistanceIndex):
                 order=order,
                 core_backend=core_backend,
                 workers=workers,
+                kernel=kernel,
             )
             del decomposition  # reachable through tree_index
             index = cls(
@@ -670,8 +725,9 @@ def _dict_intersection(map_a: dict[int, Weight], map_b: dict[int, Weight]) -> We
 
 def build_ct_index(
     graph: Graph,
-    bandwidth: int,
+    bandwidth: int | None = None,
     *,
+    config: object | None = None,
     use_equivalence_reduction: bool = True,
     budget: MemoryBudget | None = None,
     order: str | None = None,
@@ -686,6 +742,7 @@ def build_ct_index(
     return CTIndex.build(
         graph,
         bandwidth,
+        config=config,
         use_equivalence_reduction=use_equivalence_reduction,
         budget=budget,
         order=order,

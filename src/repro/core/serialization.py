@@ -20,7 +20,7 @@ and the canonical form keeps :func:`index_fingerprint` — and the saved
 bytes — a pure function of the index *content*, independent of which
 backend stores it.
 
-A second, binary on-disk format (version 3, magic ``RCTINDEX``) lives
+A second, binary on-disk format (version 4, magic ``RCTINDEX``) lives
 in :mod:`repro.storage.binary`; :func:`load_ct_index` auto-detects it
 by magic, so one loader reads both formats.  See ``docs/formats.md``.
 """

@@ -4,7 +4,7 @@ from repro.graphs.builder import GraphBuilder
 from repro.graphs.digraph import DiGraph, backward_distances, forward_distances
 from repro.graphs.graph import INF, Graph, Weight
 from repro.graphs.interop import digraph_from_networkx, from_networkx, to_networkx
-from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.io import read_edge_list, read_edge_list_chunked, write_edge_list
 from repro.graphs.reductions import (
     EquivalenceReduction,
     eliminate_equivalent_nodes,
@@ -42,6 +42,7 @@ __all__ = [
     "is_connected",
     "pairwise_distance",
     "read_edge_list",
+    "read_edge_list_chunked",
     "reduction_identity",
     "single_source_distances",
     "summarize",

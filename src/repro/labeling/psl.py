@@ -26,6 +26,7 @@ from collections.abc import Iterable
 import repro.obs as obs
 from repro.exceptions import IndexConstructionError
 from repro.graphs.graph import INF, Graph, Weight
+from repro.kernels import KERNEL_AUTO, KERNEL_NUMPY, resolve_kernel
 from repro.labeling.base import (
     DistanceIndex,
     HubLabelBackendMixin,
@@ -35,6 +36,12 @@ from repro.labeling.base import (
 from repro.labeling.hub_labels import HubLabeling
 from repro.labeling.ordering import degree_order, validate_order
 from repro.obs.tracing import span as obs_span, tracing_enabled
+
+#: Below this node count ``kernel="auto"`` keeps the pure-Python rounds:
+#: the arrays' fixed setup cost dominates on tiny graphs (most test
+#: fixtures and small cores), and both paths commit identical labels,
+#: so the cutoff is purely a performance heuristic.
+VECTORIZE_MIN_NODES = 64
 
 
 class ParallelShortestPathLabeling(HubLabelBackendMixin, DistanceIndex):
@@ -142,6 +149,7 @@ def build_psl(
     budget_exempt: frozenset[int] | None = None,
     workers: int | None = None,
     backend: str = "dict",
+    kernel: str = KERNEL_AUTO,
 ) -> ParallelShortestPathLabeling:
     """Build a PSL index on an unweighted ``graph``.
 
@@ -156,6 +164,17 @@ def build_psl(
     ``backend`` selects the label storage of the returned index
     (``"dict"`` or ``"flat"``); like ``workers``, it never changes an
     answer.
+
+    ``kernel`` selects the *construction* path of the in-process
+    schedule (see :mod:`repro.kernels`): ``"numpy"`` runs every round
+    vectorized over CSR frontier arrays
+    (:mod:`repro.kernels.psl_rounds`), ``"python"`` the per-vertex dict
+    rounds, and ``"auto"`` (default) vectorizes when NumPy is installed
+    and the graph is large enough for the arrays to pay off.  With
+    ``workers > 1`` the multiprocess python rounds run regardless —
+    ``kernel`` governs only the in-process path.  Like every other
+    kernel switch it never changes a label: all paths build
+    fingerprint-identical indexes.
     """
     validate_backend(backend)
     if not graph.unweighted:
@@ -176,66 +195,101 @@ def build_psl(
     from repro.parallel.pool import resolve_workers
 
     worker_count = resolve_workers(workers)
+    # With workers > 1 the multiprocess python rounds run; kernel only
+    # governs the in-process schedule.  An explicit "numpy" request
+    # always vectorizes (resolve_kernel raised already if NumPy is
+    # missing); "auto" additionally requires the graph to be big enough
+    # for the array setup to pay off.
+    resolved = resolve_kernel(kernel, flat=True)
+    vectorize = (
+        resolved == KERNEL_NUMPY
+        and worker_count == 1
+        and (kernel == KERNEL_NUMPY or graph.n >= VECTORIZE_MIN_NODES)
+    )
 
     rank = [0] * graph.n
     for r, v in enumerate(order):
         rank[v] = r
 
-    # label_maps[v]: rank -> dist, the committed labels of v.
-    label_maps: list[dict[int, int]] = [{rank[v]: 0} for v in graph.nodes()]
+    # Level 0: every node is its own hub at distance 0.
     for v in graph.nodes():
         if v not in budget_exempt:
             budget.charge()
-    # Hubs committed in the previous round, per node.
-    last_added: list[list[int]] = [[rank[v]] for v in graph.nodes()]
 
     with obs_span(
-        "labeling.psl", n=graph.n, m=graph.m, workers=worker_count
+        "labeling.psl",
+        n=graph.n,
+        m=graph.m,
+        workers=worker_count,
+        kernel=KERNEL_NUMPY if vectorize else "python",
     ) as psl_span:
-        if worker_count > 1:
-            from repro.parallel.psl import run_parallel_rounds
+        if vectorize:
+            from repro.kernels.psl_rounds import run_numpy_rounds
 
-            level = run_parallel_rounds(
-                graph,
-                rank,
-                order,
-                label_maps,
-                last_added,
-                workers=worker_count,
-                budget=budget,
-                budget_exempt=budget_exempt,
+            hub_ranks, hub_dists, level = run_numpy_rounds(
+                graph, rank, order, budget=budget, budget_exempt=budget_exempt
             )
+            labels = HubLabeling(order)
+            for v in graph.nodes():
+                for hub_rank, dist in zip(hub_ranks[v], hub_dists[v]):
+                    labels.append_entry(v, hub_rank, dist)
         else:
-            level = 0
-            while True:
-                level += 1
-                # Phase 1 (parallel-for over nodes): gather candidate hubs
-                # from neighbors' previous-round labels and prune against
-                # the labels committed so far (levels < current).
-                with obs_span("labeling.psl.level", level=level) as level_span:
-                    additions = psl_level_additions(
-                        graph, rank, order, label_maps, last_added, level, graph.nodes()
-                    )
-                    if tracing_enabled():
-                        level_span.set(
-                            additions=sum(len(hubs) for _, hubs in additions)
-                        )
-                if not additions:
-                    break
-                # Phase 2 (synchronous commit): apply every node's additions.
-                psl_commit_level(
-                    additions,
+            # label_maps[v]: rank -> dist, the committed labels of v.
+            label_maps: list[dict[int, int]] = [{rank[v]: 0} for v in graph.nodes()]
+            # Hubs committed in the previous round, per node.
+            last_added: list[list[int]] = [[rank[v]] for v in graph.nodes()]
+
+            if worker_count > 1:
+                from repro.parallel.psl import run_parallel_rounds
+
+                level = run_parallel_rounds(
+                    graph,
+                    rank,
+                    order,
                     label_maps,
                     last_added,
-                    level,
+                    workers=worker_count,
                     budget=budget,
                     budget_exempt=budget_exempt,
                 )
+            else:
+                level = 0
+                while True:
+                    level += 1
+                    # Phase 1 (parallel-for over nodes): gather candidate
+                    # hubs from neighbors' previous-round labels and prune
+                    # against the labels committed so far (levels < current).
+                    with obs_span("labeling.psl.level", level=level) as level_span:
+                        additions = psl_level_additions(
+                            graph,
+                            rank,
+                            order,
+                            label_maps,
+                            last_added,
+                            level,
+                            graph.nodes(),
+                        )
+                        if tracing_enabled():
+                            level_span.set(
+                                additions=sum(len(hubs) for _, hubs in additions)
+                            )
+                    if not additions:
+                        break
+                    # Phase 2 (synchronous commit): apply every node's
+                    # additions.
+                    psl_commit_level(
+                        additions,
+                        label_maps,
+                        last_added,
+                        level,
+                        budget=budget,
+                        budget_exempt=budget_exempt,
+                    )
 
-        labels = HubLabeling(order)
-        for v in graph.nodes():
-            for hub_rank in sorted(label_maps[v]):
-                labels.append_entry(v, hub_rank, label_maps[v][hub_rank])
+            labels = HubLabeling(order)
+            for v in graph.nodes():
+                for hub_rank in sorted(label_maps[v]):
+                    labels.append_entry(v, hub_rank, label_maps[v][hub_rank])
         index = ParallelShortestPathLabeling(graph, labels, order, rounds=level)
         if backend == "flat":
             index.compact()

@@ -1,0 +1,161 @@
+"""Unit tests for the chunked (out-of-core) edge-list loader.
+
+The contract under test: :func:`read_edge_list_chunked` returns exactly
+what :func:`read_edge_list` returns for any valid file, at any chunk
+size, with or without NumPy — and for malformed input it raises
+:class:`GraphFormatError` naming the offending ``path:line`` and chunk,
+never silently dropping a line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kernels as kernels
+from repro.exceptions import GraphError, GraphFormatError
+from repro.graphs.generators.random_graphs import gnp_graph, random_weighted
+from repro.graphs.io import read_edge_list, read_edge_list_chunked, write_edge_list
+
+
+def _assert_same_graph(a, b):
+    graph_a, ids_a = a
+    graph_b, ids_b = b
+    assert ids_a == ids_b
+    assert graph_a.n == graph_b.n
+    assert graph_a.m == graph_b.m
+    assert graph_a.unweighted == graph_b.unweighted
+    for v in range(graph_a.n):
+        assert list(graph_a.neighbors(v)) == list(graph_b.neighbors(v))
+
+
+@pytest.fixture(params=["numpy", "python"])
+def loader(request, monkeypatch):
+    """The chunked loader, once per backend (NumPy and pure-Python)."""
+    if request.param == "python":
+        monkeypatch.setattr(kernels, "_NUMPY_STATE", False)
+    elif not kernels.numpy_available():
+        pytest.skip("NumPy not installed")
+    return read_edge_list_chunked
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("chunk_edges", [1, 3, 64, 1 << 18])
+    def test_matches_buffered_loader(self, tmp_path, loader, chunk_edges):
+        path = tmp_path / "g.edges"
+        path.write_text(
+            "# header\n"
+            "10 40\n"
+            "40 7 2.5\n"
+            "7 10 3\n"
+            "10 40 9\n"   # duplicate: min weight wins
+            "40 10 1.5\n"  # duplicate, reversed orientation
+            "5 5\n"        # self-loop: dropped
+            "% other comment\n"
+            "1000000 7\n"
+        )
+        _assert_same_graph(
+            loader(path, chunk_edges=chunk_edges), read_edge_list(path)
+        )
+
+    def test_roundtrip_generated_graphs(self, tmp_path, loader):
+        base = gnp_graph(40, 0.2, seed=3)
+        for graph in (base, random_weighted(base, 2, 9, seed=4)):
+            path = tmp_path / "g.edges"
+            write_edge_list(graph, path)
+            _assert_same_graph(loader(path, chunk_edges=7), read_edge_list(path))
+
+    def test_empty_file(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("# nothing but comments\n\n")
+        graph, ids = loader(path)
+        assert graph.n == 0 and graph.m == 0 and ids == []
+
+    def test_all_self_loops(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("3 3\n9 9\n")
+        graph, ids = loader(path)
+        assert ids == [3, 9]
+        assert graph.n == 2 and graph.m == 0
+
+    def test_duplicate_weights_keep_minimum(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 5\n1 0 2\n0 1 7\n")
+        graph, _ = loader(path, chunk_edges=2)
+        assert graph.edge_weight(0, 1) == 2
+
+    def test_unweighted_flag_after_dedup(self, tmp_path, loader):
+        # The only non-1 weight belongs to a duplicate that loses the
+        # min-merge; the surviving graph is unweighted, exactly as the
+        # buffered loader (via GraphBuilder) decides it.
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 3\n0 1 1\n1 2\n")
+        graph, _ = loader(path, chunk_edges=2)
+        assert read_edge_list(path)[0].unweighted == graph.unweighted
+
+
+class TestMalformed:
+    """Every bad line fails loudly, naming file:line and the chunk."""
+
+    def test_trailing_garbage_columns(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 2\n2 3 1.5 extra\n")
+        with pytest.raises(GraphFormatError, match=r"g\.edges:3: .*chunk 1"):
+            loader(path, chunk_edges=2)
+
+    def test_truncated_line(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n7\n")
+        with pytest.raises(GraphFormatError, match=r"g\.edges:2:"):
+            loader(path)
+
+    def test_non_integer_endpoint(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 x\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            loader(path)
+
+    def test_negative_endpoint(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n-4 2\n")
+        with pytest.raises(GraphFormatError, match="negative node id"):
+            loader(path)
+
+    def test_bad_weight(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 abc\n")
+        with pytest.raises(GraphFormatError, match="bad weight"):
+            loader(path)
+
+    def test_non_positive_weight(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 0\n")
+        with pytest.raises(GraphFormatError, match="non-positive weight"):
+            loader(path)
+
+    def test_error_in_later_chunk_names_that_chunk(self, tmp_path, loader):
+        lines = [f"{i} {i + 1}\n" for i in range(10)]
+        lines.append("bad line here\n")
+        path = tmp_path / "g.edges"
+        path.write_text("".join(lines))
+        with pytest.raises(GraphFormatError, match=r"g\.edges:11: .*chunk 3"):
+            loader(path, chunk_edges=3)
+
+    def test_error_is_a_graph_error(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("nope\n")
+        with pytest.raises(GraphError):
+            loader(path)
+
+    def test_invalid_chunk_size(self, tmp_path, loader):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="chunk_edges"):
+            loader(path, chunk_edges=0)
+
+    def test_no_silent_drops(self, tmp_path, loader):
+        # A valid prefix must not be returned when a later line is bad:
+        # the loader either returns the whole file or raises.
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 2\nbroken\n")
+        with pytest.raises(GraphFormatError):
+            loader(path, chunk_edges=1)
