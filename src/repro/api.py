@@ -54,6 +54,7 @@ _ORDERS = (None, "degree", "elimination", "is")
 _CORE_BACKENDS = ("pll", "psl", "hopdb")
 _BACKENDS = ("dict", "flat")
 _KERNELS = ("auto", "numpy", "python")
+_HOPDB_ORDERS = ("degree", "psl-rank")
 
 
 @dataclass(frozen=True)
@@ -74,7 +75,11 @@ class BuildConfig:
     None of the fields except ``bandwidth``, ``order``, and
     ``use_equivalence_reduction`` can change a query answer; ``workers``,
     ``backend``, ``core_backend``, and ``kernel`` are schedule/storage
-    choices that build fingerprint-identical indexes.
+    choices that build fingerprint-identical indexes.  ``hopdb_order``
+    is exactness-preserving but *not* fingerprint-preserving: a
+    non-degree hub order builds a different (still canonical for that
+    order) label set, which is why it is restricted to
+    ``core_backend="hopdb"``.
     """
 
     bandwidth: int = 20
@@ -85,6 +90,7 @@ class BuildConfig:
     use_equivalence_reduction: bool = True
     extension_cache_size: int = 256
     kernel: str = "auto"
+    hopdb_order: str = "degree"
 
     def __post_init__(self) -> None:
         if not isinstance(self.bandwidth, int) or isinstance(self.bandwidth, bool):
@@ -135,6 +141,16 @@ class BuildConfig:
             raise ConfigurationError(
                 f"unknown kernel {self.kernel!r}; expected one of {_KERNELS}"
             )
+        if self.hopdb_order not in _HOPDB_ORDERS:
+            raise ConfigurationError(
+                f"unknown hopdb_order {self.hopdb_order!r}; "
+                f"expected one of {_HOPDB_ORDERS}"
+            )
+        if self.hopdb_order != "degree" and self.core_backend != "hopdb":
+            raise ConfigurationError(
+                f"hopdb_order={self.hopdb_order!r} tunes the hopdb backend; "
+                f"it cannot be combined with core_backend={self.core_backend!r}"
+            )
 
     def replace(self, **overrides) -> "BuildConfig":
         """A copy with ``overrides`` applied (re-validated eagerly)."""
@@ -182,6 +198,7 @@ def build(
     use_equivalence_reduction=_UNSET,
     extension_cache_size=_UNSET,
     kernel=_UNSET,
+    hopdb_order=_UNSET,
 ) -> CTIndex:
     """Build a CT-Index on ``graph``.
 
@@ -210,6 +227,7 @@ def build(
         "use_equivalence_reduction": use_equivalence_reduction,
         "extension_cache_size": extension_cache_size,
         "kernel": kernel,
+        "hopdb_order": hopdb_order,
     }
     explicit = {k: v for k, v in overrides.items() if v is not _UNSET}
     if bandwidth is not None:
@@ -229,6 +247,7 @@ def build(
         use_equivalence_reduction=resolved.use_equivalence_reduction,
         extension_cache_size=resolved.extension_cache_size,
         kernel=resolved.kernel,
+        hopdb_order=resolved.hopdb_order,
     )
 
 

@@ -6,12 +6,56 @@ an index by deep ``sys.getsizeof`` traversal, so EXPERIMENTS.md can
 state how far apart the two accountings sit (Python's boxed ints and
 dicts cost roughly an order of magnitude more than the model — which is
 precisely why the size *model* is used for the paper comparisons).
+
+It also owns the peak-RSS accounting the benches report.  A parallel
+build does part of its work in worker processes, whose pages never show
+up in the parent's ``ru_maxrss`` — a ``workers=4`` build that "peaked at
+400 MB" may really have touched 4× that across the pool.  Worker pools
+report each child's ``ru_maxrss`` on exit
+(:meth:`repro.parallel.shm.ShmBuildPool.shutdown` calls
+:func:`record_child_peak_rss`), and :func:`combined_peak_rss_mb` folds
+those into the parent's high-water mark so ``BENCH_scale.json`` does not
+under-report parallel builds.  The sum over children is an upper bound
+under ``fork`` (inherited pages are counted once per process), which is
+the conservative direction for a memory claim.
 """
 
 from __future__ import annotations
 
+import resource
 import sys
 from collections.abc import Mapping
+
+#: Accumulated ``ru_maxrss`` (in KB, the Linux unit) of every exited
+#: worker process since the last :func:`reset_child_peak_rss`.
+_CHILD_PEAK_KB: int = 0
+
+
+def reset_child_peak_rss() -> None:
+    """Zero the child-process peak-RSS accumulator (start of a bench run)."""
+    global _CHILD_PEAK_KB
+    _CHILD_PEAK_KB = 0
+
+
+def record_child_peak_rss(kb: int) -> None:
+    """Add one exited worker's ``ru_maxrss`` (KB) to the accumulator."""
+    global _CHILD_PEAK_KB
+    _CHILD_PEAK_KB += max(0, int(kb))
+
+
+def child_peak_rss_mb() -> float:
+    """Sum of recorded children's peak RSS, in MB."""
+    return _CHILD_PEAK_KB / 1024.0
+
+
+def peak_rss_mb() -> float:
+    """This process's peak RSS in MB (``ru_maxrss`` is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def combined_peak_rss_mb() -> float:
+    """Parent peak RSS plus every recorded worker's peak RSS, in MB."""
+    return peak_rss_mb() + child_peak_rss_mb()
 
 
 def deep_size_of(obj: object) -> int:

@@ -3,8 +3,18 @@
 ``repro scale-bench`` builds a CT-Index per scale tier — synthetic
 core-periphery graphs from 10³ to 10⁶ nodes plus an R-MAT family for the
 scale-free regime — and records the construction-cost trajectory
-(build seconds, process peak RSS, label entries, modeled megabytes) into
-``BENCH_scale.json``.
+(build seconds, combined parent+children peak RSS, label entries,
+modeled megabytes) into ``BENCH_scale.json``.
+
+Schema 2 additions: each entry names its ``workers`` count, carries the
+per-build ``round_split`` (the PSL rounds' kernel vs merge seconds, when
+the vectorized core path ran), and — when ``--workers`` sweeps several
+counts over one tier — ``speedup_vs_serial`` relative to that tier's
+``workers=1`` build in the same run.  ``--hopdb-ablation`` appends, per
+tier, a ``core_backend="hopdb"`` pair comparing ``hopdb_order="degree"``
+(fingerprint-gated: same canonical labels) against
+``hopdb_order="psl-rank"`` (BFS-gated: a different hub order builds a
+different, still exact, label set).
 
 Every tier is **gated on correctness before anything is written**:
 
@@ -34,7 +44,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import resource
 import time
 from pathlib import Path
 
@@ -132,8 +141,10 @@ _REFERENCE_OVERRIDES = {
 
 
 def _peak_rss_mb() -> float:
-    """Process peak RSS in MB (ru_maxrss is KB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    """Parent + worker-children peak RSS in MB (see repro.bench.memory)."""
+    from repro.bench.memory import combined_peak_rss_mb
+
+    return combined_peak_rss_mb()
 
 
 def _verify_fingerprint(graph: Graph, index: CTIndex, config: BuildConfig) -> dict:
@@ -182,25 +193,51 @@ def _verify_bfs(graph: Graph, index: CTIndex, *, sources=SPOT_SOURCES, targets=S
     }
 
 
-def scale_bench_entry(tier: ScaleTier, *, config: BuildConfig = DEFAULT_CONFIG) -> dict:
+def _round_split(index: CTIndex) -> dict | None:
+    """Kernel/merge seconds of the vectorized PSL rounds, when they ran."""
+    stats = getattr(index.core_index, "round_stats", None)
+    if not stats:
+        return None
+    return {
+        "rounds": stats["rounds"],
+        "kernel_s": round(stats["kernel_s"], 3),
+        "merge_s": round(stats["merge_s"], 3),
+    }
+
+
+def scale_bench_entry(
+    tier: ScaleTier,
+    *,
+    config: BuildConfig = DEFAULT_CONFIG,
+    graph: Graph | None = None,
+    force_bfs_gate: bool = False,
+) -> dict:
     """Generate, build, verify, and measure one tier.
 
     Raises :class:`ReproError` (and returns nothing) when the
     correctness gate fails; callers must not record anything for a tier
-    that did not pass.
+    that did not pass.  ``graph`` reuses an already-generated graph
+    (worker sweeps rebuild the same tier several times);
+    ``force_bfs_gate`` swaps the fingerprint gate for the BFS gate even
+    on small tiers — required for configurations (a non-degree
+    ``hopdb_order``) whose labels are exact but legitimately differ
+    from the serial reference's bytes.
     """
     gen_started = time.perf_counter()
-    graph = tier.generate()
+    if graph is None:
+        graph = tier.generate()
     gen_seconds = time.perf_counter() - gen_started
 
     build_started = time.perf_counter()
     index = CTIndex.build(graph, config=config)
     build_seconds = time.perf_counter() - build_started
 
-    if graph.n <= FINGERPRINT_MAX_N:
+    if graph.n <= FINGERPRINT_MAX_N and not force_bfs_gate:
         verify = _verify_fingerprint(graph, index, config)
     else:
         verify = _verify_bfs(graph, index)
+
+    from repro.parallel.pool import resolve_workers
 
     stats = index.stats()
     return {
@@ -208,35 +245,70 @@ def scale_bench_entry(tier: ScaleTier, *, config: BuildConfig = DEFAULT_CONFIG) 
         "family": tier.family,
         "n": graph.n,
         "m": graph.m,
+        "workers": resolve_workers(config.workers),
         "gen_s": round(gen_seconds, 3),
         "build_s": round(build_seconds, 3),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
         "entries": stats.entries,
         "modeled_mb": round(stats.megabytes, 3),
+        "round_split": _round_split(index),
+        "speedup_vs_serial": None,
         "verify": verify,
         "config": config.to_dict(),
     }
+
+
+def _upgrade_document(document: dict) -> dict:
+    """Bring a loaded artifact up to schema 2 in place.
+
+    Schema-1 entries predate the workers sweep: they were all serial
+    builds, so ``workers`` is read out of their embedded config and the
+    sweep-only fields are explicit nulls.
+    """
+    if document.get("schema") == 2:
+        return document
+    for entry in document.get("entries", ()):
+        entry.setdefault(
+            "workers", (entry.get("config") or {}).get("workers") or 1
+        )
+        entry.setdefault("round_split", None)
+        entry.setdefault("speedup_vs_serial", None)
+    document["schema"] = 2
+    return document
 
 
 def run_scale_bench(
     tiers=None,
     *,
     config: BuildConfig = DEFAULT_CONFIG,
+    workers=None,
+    hopdb_ablation: bool = False,
     max_n: int | None = None,
     output=BENCH_SCALE_PATH,
 ) -> tuple[list[dict], str]:
     """Run the trajectory and append one artifact entry per tier.
 
     ``tiers`` selects by name (default: every tier); ``max_n`` drops
-    tiers whose target size exceeds it.  Every tier's correctness gate
-    runs **before** anything is written: a failing gate raises and
-    leaves ``output`` untouched, even for tiers that had already passed.
-    ``peak_rss_mb`` is the process-wide high-water mark, so tiers are
-    run smallest-first and the column is monotone by construction —
-    read it as "the trajectory up to here fit in this much memory".
+    tiers whose target size exceeds it.  ``workers`` sweeps a list of
+    worker counts over every tier (each count is one entry; counts
+    beyond the first reuse the generated graph, and entries record
+    ``speedup_vs_serial`` against the sweep's ``workers=1`` build when
+    one is present).  ``hopdb_ablation`` appends, per tier, a
+    ``core_backend="hopdb"`` pair with ``hopdb_order`` ``"degree"``
+    vs ``"psl-rank"`` (the latter BFS-gated — its labels are exact but
+    not byte-identical to the serial reference).
+
+    Every tier's correctness gate runs **before** anything is written:
+    a failing gate raises and leaves ``output`` untouched, even for
+    tiers that had already passed.  ``peak_rss_mb`` is the combined
+    parent+children high-water mark, so tiers are run smallest-first
+    and the column is monotone by construction — read it as "the
+    trajectory up to here fit in this much memory".
 
     Returns ``(entries, text)`` like the other experiment drivers.
     """
+    from repro.bench.memory import reset_child_peak_rss
+
     selected = list(DEFAULT_TIERS)
     if tiers is not None:
         by_name = {tier.name: tier for tier in DEFAULT_TIERS}
@@ -252,16 +324,46 @@ def run_scale_bench(
         raise ReproError("scale-bench: no tiers selected")
     selected.sort(key=lambda tier: tier.target_n)
 
-    entries = [scale_bench_entry(tier, config=config) for tier in selected]
+    worker_counts = list(workers) if workers else [config.workers]
+    reset_child_peak_rss()
+
+    entries = []
+    for tier in selected:
+        graph = tier.generate()
+        serial_build_s = None
+        for count in worker_counts:
+            entry = scale_bench_entry(
+                tier, config=config.replace(workers=count), graph=graph
+            )
+            if entry["workers"] == 1:
+                serial_build_s = entry["build_s"]
+            elif serial_build_s:
+                entry["speedup_vs_serial"] = round(
+                    serial_build_s / max(entry["build_s"], 1e-9), 2
+                )
+            entries.append(entry)
+        if hopdb_ablation:
+            for hopdb_order in ("degree", "psl-rank"):
+                ablation_config = config.replace(
+                    core_backend="hopdb", hopdb_order=hopdb_order, workers=None
+                )
+                entry = scale_bench_entry(
+                    tier,
+                    config=ablation_config,
+                    graph=graph,
+                    force_bfs_gate=hopdb_order != "degree",
+                )
+                entry["ablation"] = "hopdb_order"
+                entries.append(entry)
 
     if output is not None:
         path = Path(output)
-        document = {"schema": 1, "entries": []}
+        document = {"schema": 2, "entries": []}
         if path.exists():
             try:
                 loaded = json.loads(path.read_text(encoding="utf-8"))
                 if isinstance(loaded, dict) and isinstance(loaded.get("entries"), list):
-                    document = loaded
+                    document = _upgrade_document(loaded)
             except (OSError, json.JSONDecodeError):
                 pass
         recorded_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
@@ -274,7 +376,9 @@ def run_scale_bench(
             "tier": entry["tier"],
             "n": entry["n"],
             "m": entry["m"],
+            "workers": entry["workers"],
             "build_s": entry["build_s"],
+            "speedup": entry["speedup_vs_serial"] or "",
             "peak_rss_mb": entry["peak_rss_mb"],
             "entries": entry["entries"],
             "modeled_mb": entry["modeled_mb"],
@@ -284,7 +388,18 @@ def run_scale_bench(
     ]
     text = format_table(
         rows,
-        ["tier", "n", "m", "build_s", "peak_rss_mb", "entries", "modeled_mb", "verify"],
+        [
+            "tier",
+            "n",
+            "m",
+            "workers",
+            "build_s",
+            "speedup",
+            "peak_rss_mb",
+            "entries",
+            "modeled_mb",
+            "verify",
+        ],
         title=f"scale-bench — CT-{config.bandwidth} construction trajectory",
     )
     return entries, text

@@ -118,6 +118,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="core labeling algorithm (identical labels; default pll)",
     )
     p_build.add_argument(
+        "--hopdb-order",
+        choices=("degree", "psl-rank"),
+        default=None,
+        help="hub order of the hopdb core backend (exact either way; "
+        "psl-rank breaks degree ties by neighbor degree mass and is "
+        "only valid with --core-backend hopdb)",
+    )
+    p_build.add_argument(
         "--kernel",
         choices=("auto", "numpy", "python"),
         default=None,
@@ -429,6 +437,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "psl core, auto kernel)",
     )
     p_scale.add_argument(
+        "--workers",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep these worker counts over every tier (one entry per "
+        "count; entries after a workers=1 build record speedup_vs_serial)",
+    )
+    p_scale.add_argument(
+        "--hopdb-ablation",
+        action="store_true",
+        help="per tier, also build core_backend=hopdb with "
+        "hopdb_order=degree (fingerprint-gated) and psl-rank (BFS-gated)",
+    )
+    p_scale.add_argument(
         "-o",
         "--output",
         default="BENCH_scale.json",
@@ -632,6 +655,7 @@ def _resolve_build_config(args: argparse.Namespace):
             ("backend", args.backend),
             ("order", args.order),
             ("core_backend", args.core_backend),
+            ("hopdb_order", args.hopdb_order),
             ("kernel", args.kernel),
         )
         if value is not None
@@ -1062,7 +1086,12 @@ def _cmd_scale_bench(args: argparse.Namespace) -> int:
             config = BuildConfig.from_dict(json.load(handle))
     output = None if args.output == "-" else args.output
     entries, text = run_scale_bench(
-        args.tiers, config=config, max_n=args.max_n, output=output
+        args.tiers,
+        config=config,
+        workers=args.workers,
+        hopdb_ablation=args.hopdb_ablation,
+        max_n=args.max_n,
+        output=output,
     )
     print(text)
     if output is not None:

@@ -174,14 +174,19 @@ def build_tree_index(
     *,
     budget: MemoryBudget | None = None,
     workers: int | None = None,
+    pool=None,
 ) -> TreeIndex:
     """Compute the λ-local distance labels (Algorithm 1, lines 19-32).
 
     With ``workers > 1`` the per-tree labels are computed one task per
     tree group across worker processes (Theorem 4's labels are
     independent between trees); the result is identical to the serial
-    sweep.  Budget accounting then happens on the merged labels in the
-    serial charge order, so an over-budget build still raises
+    sweep.  A live :class:`~repro.parallel.shm.ShmBuildPool` passed as
+    ``pool`` (internal; :func:`construct` owns its lifecycle) routes the
+    fan-out through shared-memory decomposition arrays instead of the
+    pickled-snapshot pool of :mod:`repro.parallel.forest`.  Budget
+    accounting then happens on the merged labels in the serial charge
+    order, so an over-budget build still raises
     :class:`~repro.exceptions.OverMemoryError` (after the parallel work
     rather than mid-sweep).
     """
@@ -194,7 +199,13 @@ def build_tree_index(
     with obs_span(
         "ct.forest_labeling", boundary=boundary, workers=worker_count
     ) as forest_span:
-        if worker_count > 1 and boundary:
+        if pool is not None and boundary:
+            from repro.parallel.shm import parallel_tree_labels_shm
+
+            labels = parallel_tree_labels_shm(decomposition, pool=pool)
+            for pos in range(boundary - 1, -1, -1):
+                budget.charge(len(labels[pos]))
+        elif worker_count > 1 and boundary:
             from repro.parallel.forest import parallel_tree_labels
 
             labels = parallel_tree_labels(decomposition, workers=worker_count)
@@ -234,6 +245,8 @@ def build_core_index(
     workers: int | None = None,
     kernel: str = KERNEL_AUTO,
     core_order: str | None = None,
+    hopdb_order: str = "degree",
+    pool=None,
 ) -> tuple[PrunedLandmarkLabeling, list[int], dict[int, int]]:
     """2-hop labeling on the weighted reduced core graph ``G_{λ+1}`` (line 33).
 
@@ -258,11 +271,22 @@ def build_core_index(
     fingerprint.
 
     ``workers`` fans the PSL backend's rounds out over worker processes
-    (see :mod:`repro.parallel.psl`) and ``kernel`` selects PSL's
-    in-process construction path (vectorized vs pure Python).  The PLL
-    and hopdb backends ignore both: a pruned search depends on every
-    earlier root's finished label, so PLL is inherently sequential, and
-    hopdb runs its own composition loop.
+    (see :mod:`repro.parallel`) and ``kernel`` selects PSL's
+    construction path (vectorized vs pure Python); a live
+    :class:`~repro.parallel.shm.ShmBuildPool` passed as ``pool``
+    (internal) is reused for vectorized multi-worker rounds.  The PLL
+    and hopdb backends ignore all three: a pruned search depends on
+    every earlier root's finished label, so PLL is inherently
+    sequential, and hopdb runs its own composition loop.
+
+    ``hopdb_order`` tunes the hub order of the ``"hopdb"`` backend:
+    ``"degree"`` (the default; fingerprint-identical to the other
+    backends) or ``"psl-rank"`` (degree refined by neighbor degree
+    mass, :func:`repro.labeling.ordering.psl_rank_order`).  A non-degree
+    order changes which canonical label set is built — still an exact
+    2-hop cover, but no longer byte-identical to the degree-ordered
+    one, which is why the knob is hopdb-specific and exactness-gated
+    (BFS) rather than fingerprint-gated in the benches.
 
     Returns ``(core_labeling, originals, compact)``: the 2-hop index
     over the compacted core graph, the original node id per compact id,
@@ -271,6 +295,15 @@ def build_core_index(
     from repro.deprecation import resolve_renamed_kwarg
 
     order = resolve_renamed_kwarg("core_order", "order", core_order, order) or "degree"
+    if hopdb_order not in ("degree", "psl-rank"):
+        raise IndexConstructionError(
+            f"unknown hopdb_order {hopdb_order!r}; expected 'degree' or 'psl-rank'"
+        )
+    if hopdb_order != "degree" and core_backend != "hopdb":
+        raise IndexConstructionError(
+            f"hopdb_order={hopdb_order!r} tunes the hopdb backend; it cannot "
+            f"be combined with core_backend={core_backend!r}"
+        )
     with obs_span(
         "ct.core_labeling", order=order, core_backend=core_backend
     ) as core_span:
@@ -296,13 +329,23 @@ def build_core_index(
             from repro.labeling.psl import build_psl
 
             psl = build_psl(
-                core_graph, hub_order, budget=budget, workers=workers, kernel=kernel
+                core_graph,
+                hub_order,
+                budget=budget,
+                workers=workers,
+                kernel=kernel,
+                pool=pool,
             )
             labeling = PrunedLandmarkLabeling(core_graph, psl.labels, psl.order)
             labeling.build_seconds = psl.build_seconds
+            labeling.round_stats = psl.round_stats
         elif core_backend == "hopdb" and core_graph.unweighted:
             from repro.labeling.hopdb import build_hopdb
 
+            if hopdb_order == "psl-rank":
+                from repro.labeling.ordering import psl_rank_order
+
+                hub_order = psl_rank_order(core_graph)
             hop = build_hopdb(core_graph, hub_order, budget=budget)
             labeling = PrunedLandmarkLabeling(core_graph, hop.labels, hop.order)
             labeling.build_seconds = hop.build_seconds
@@ -326,6 +369,7 @@ def construct(
     workers: int | None = None,
     kernel: str = KERNEL_AUTO,
     core_order: str | None = None,
+    hopdb_order: str = "degree",
 ) -> tuple[CoreTreeDecomposition, TreeIndex, PrunedLandmarkLabeling, list[int], dict[int, int], float]:
     """Run the full Algorithm 1 and return all the pieces plus build time.
 
@@ -341,8 +385,14 @@ def construct(
     labeling when ``core_backend="psl"`` applies) and ``kernel`` selects
     PSL's in-process construction path, without changing any label — the
     decomposition itself stays sequential, as each elimination step
-    depends on the fill-in of the previous one.  ``core_order=`` is the
-    deprecated spelling of ``order=``.
+    depends on the fill-in of the previous one.  When ``workers > 1``
+    and NumPy is importable, one shared-memory worker pool
+    (:class:`repro.parallel.shm.ShmBuildPool`) is created here and
+    reused by both the forest fan-out and the vectorized PSL rounds, so
+    process spawn cost is paid once per build rather than once per
+    phase.  ``hopdb_order`` tunes the hopdb backend's hub order (see
+    :func:`build_core_index`).  ``core_order=`` is the deprecated
+    spelling of ``order=``.
     """
     from repro.deprecation import resolve_renamed_kwarg
 
@@ -360,15 +410,32 @@ def construct(
             )
         else:
             decomposition = core_tree_decomposition(graph, bandwidth)
-    tree_index = build_tree_index(decomposition, budget=budget, workers=workers)
-    core_index, originals, compact = build_core_index(
-        decomposition,
-        budget=budget,
-        order=order,
-        core_backend=core_backend,
-        workers=workers,
-        kernel=kernel,
-    )
+    from repro.kernels import numpy_available
+    from repro.parallel.pool import resolve_workers
+
+    worker_count = resolve_workers(workers)
+    pool = None
+    if worker_count > 1 and numpy_available():
+        from repro.parallel.shm import ShmBuildPool
+
+        pool = ShmBuildPool(worker_count)
+    try:
+        tree_index = build_tree_index(
+            decomposition, budget=budget, workers=workers, pool=pool
+        )
+        core_index, originals, compact = build_core_index(
+            decomposition,
+            budget=budget,
+            order=order,
+            core_backend=core_backend,
+            workers=workers,
+            kernel=kernel,
+            hopdb_order=hopdb_order,
+            pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.shutdown()
     elapsed = time.perf_counter() - started
     logger.debug(
         "CT constructed: d=%d lambda=%d core=%d h_F=%d tree_entries=%d "

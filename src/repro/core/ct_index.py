@@ -130,6 +130,7 @@ class CTIndex(DistanceIndex):
         backend: str = "dict",
         kernel: str = KERNEL_AUTO,
         core_order: str | None = None,
+        hopdb_order: str = "degree",
     ) -> "CTIndex":
         """Construct a CT-Index (Algorithm 1).
 
@@ -177,7 +178,17 @@ class CTIndex(DistanceIndex):
             Number of worker processes for the parallel build path
             (``None``/``1`` serial, ``0`` one per CPU).  Any worker
             count builds the same index byte for byte — see
-            :mod:`repro.parallel`.
+            :mod:`repro.parallel`.  With NumPy installed the workers
+            share one shared-memory pool (:mod:`repro.parallel.shm`)
+            that drives both the forest fan-out and the vectorized PSL
+            rounds; without NumPy the pickled-snapshot forest pool is
+            used and PSL rounds fan out per round.
+        hopdb_order:
+            Hub order of the ``"hopdb"`` core backend: ``"degree"``
+            (default) or ``"psl-rank"`` (degree refined by neighbor
+            degree mass).  Exact either way, but ``"psl-rank"`` changes
+            which canonical label set is built, so it is rejected for
+            other backends to keep their fingerprints stable.
         backend:
             Label storage of the returned index: ``"dict"`` (mutable
             per-node containers) or ``"flat"`` (the CSR arrays of
@@ -214,6 +225,7 @@ class CTIndex(DistanceIndex):
                 "use_equivalence_reduction": True,
                 "extension_cache_size": 256,
                 "kernel": KERNEL_AUTO,
+                "hopdb_order": "degree",
             }
             passed = {
                 "workers": workers,
@@ -223,6 +235,7 @@ class CTIndex(DistanceIndex):
                 "use_equivalence_reduction": use_equivalence_reduction,
                 "extension_cache_size": extension_cache_size,
                 "kernel": kernel,
+                "hopdb_order": hopdb_order,
             }
             explicit = {k: v for k, v in passed.items() if v != defaults[k]}
             if bandwidth is not None:
@@ -236,6 +249,7 @@ class CTIndex(DistanceIndex):
             use_equivalence_reduction = resolved.use_equivalence_reduction
             extension_cache_size = resolved.extension_cache_size
             kernel = resolved.kernel
+            hopdb_order = resolved.hopdb_order
         validate_backend(backend)
         # Fail fast on an unsatisfiable kernel request (numpy missing,
         # or kernel='numpy' on the dict backend).
@@ -262,6 +276,7 @@ class CTIndex(DistanceIndex):
                 core_backend=core_backend,
                 workers=workers,
                 kernel=kernel,
+                hopdb_order=hopdb_order,
             )
             del decomposition  # reachable through tree_index
             index = cls(

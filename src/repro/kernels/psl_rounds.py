@@ -50,6 +50,8 @@ pinned by the differential suite).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.graphs.graph import Graph
@@ -92,6 +94,137 @@ class _Scratch:
         return self.cap
 
 
+def build_csr_adjacency(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency of ``graph`` — ``(adj_indptr, adj)``, both int64.
+
+    One row per node, every edge stored in both directions.  The row of
+    destination vertex ``v`` spans ``adj[adj_indptr[v]:adj_indptr[v+1]]``,
+    so any contiguous destination-vertex range maps to one contiguous
+    edge slice — the property the shared-memory fan-out partitions on.
+    """
+    n = graph.n
+    degrees = np.fromiter(
+        (len(graph.neighbor_ids(v)) for v in range(n)), dtype=np.int64, count=n
+    )
+    adj_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=adj_indptr[1:])
+    adj = np.fromiter(
+        (u for v in range(n) for u in graph.neighbor_ids(v)),
+        dtype=np.int64,
+        count=int(adj_indptr[-1]),
+    )
+    return adj_indptr, adj
+
+
+def edge_owners(adj_indptr: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Destination vertex per edge of rows ``lo .. hi-1`` (absolute ids)."""
+    counts = np.diff(adj_indptr[lo : hi + 1])
+    return np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+
+
+def init_label_state(
+    rank_arr: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Level-0 state: every node's self-entry, committed and on the frontier.
+
+    Returns ``(lab_keys, lab_dists, lab_indptr, fr_indptr, fr_hubs)``.
+    """
+    n = rank_arr.size
+    n64 = np.int64(n)
+    lab_keys = np.arange(n, dtype=np.int64) * n64 + rank_arr
+    lab_dists = np.zeros(n, dtype=np.int64)
+    lab_indptr = np.arange(n + 1, dtype=np.int64)
+    fr_indptr = np.arange(n + 1, dtype=np.int64)
+    fr_hubs = rank_arr.copy()
+    return lab_keys, lab_dists, lab_indptr, fr_indptr, fr_hubs
+
+
+def commit_level(
+    n: int,
+    lab_keys: np.ndarray,
+    lab_dists: np.ndarray,
+    accepted_keys: np.ndarray,
+    level: int,
+    *,
+    budget: MemoryBudget,
+    budget_exempt: frozenset[int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Synchronous commit: merge one round's accepted keys into the labels.
+
+    ``accepted_keys`` must be the sorted accepted set of the whole
+    vertex range — either one in-process round's output or the
+    rank-order concatenation of per-range worker outputs (ascending
+    contiguous ranges concatenate to the identical sorted array, which
+    is the determinism argument of :mod:`repro.parallel.shm`).  Charges
+    ``budget`` in the serial commit's ascending-node order and returns
+    the new ``(lab_keys, lab_dists, lab_indptr, fr_indptr, fr_hubs)``.
+    """
+    n64 = np.int64(n)
+    merged_keys = np.concatenate([lab_keys, accepted_keys])
+    merged_dists = np.concatenate(
+        [lab_dists, np.full(accepted_keys.size, level, dtype=np.int64)]
+    )
+    sort_idx = np.argsort(merged_keys, kind="stable")
+    lab_keys = merged_keys[sort_idx]
+    lab_dists = merged_dists[sort_idx]
+    owner_counts = np.bincount(lab_keys // n64, minlength=n)
+    lab_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(owner_counts, out=lab_indptr[1:])
+
+    # Next round's frontier is exactly what was committed now.
+    accepted_owners = accepted_keys // n64
+    fr_hubs = accepted_keys % n64
+    fr_counts = np.bincount(accepted_owners, minlength=n)
+    fr_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(fr_counts, out=fr_indptr[1:])
+
+    # Budget accounting, in the serial commit's ascending-node order.
+    charge_owners, charge_counts = np.unique(accepted_owners, return_counts=True)
+    for v, count in zip(charge_owners.tolist(), charge_counts.tolist()):
+        if v not in budget_exempt:
+            budget.charge(count)
+    return lab_keys, lab_dists, lab_indptr, fr_indptr, fr_hubs
+
+
+def labels_to_lists(
+    n: int,
+    lab_keys: np.ndarray,
+    lab_dists: np.ndarray,
+    lab_indptr: np.ndarray,
+) -> tuple[list[list[int]], list[list[int]]]:
+    """Unpack the committed CSR state into per-node Python lists."""
+    hubs = (lab_keys % np.int64(n)).tolist()
+    dists = lab_dists.tolist()
+    indptr = lab_indptr.tolist()
+    hub_ranks = [hubs[indptr[v] : indptr[v + 1]] for v in range(n)]
+    hub_dists = [dists[indptr[v] : indptr[v + 1]] for v in range(n)]
+    return hub_ranks, hub_dists
+
+
+def record_round_stats(
+    stats_out: dict | None, level: int, kernel_s: float, merge_s: float, additions: int
+) -> None:
+    """Accumulate one round's kernel/merge time split into ``stats_out``.
+
+    Shared by the in-process loop and the shared-memory fan-out so
+    ``BENCH_scale.json`` reports the same shape either way; ``None``
+    disables collection (the production default).
+    """
+    if stats_out is None:
+        return
+    stats_out["rounds"] = level
+    stats_out["kernel_s"] = stats_out.get("kernel_s", 0.0) + kernel_s
+    stats_out["merge_s"] = stats_out.get("merge_s", 0.0) + merge_s
+    stats_out.setdefault("levels", []).append(
+        {
+            "level": level,
+            "kernel_s": round(kernel_s, 4),
+            "merge_s": round(merge_s, 4),
+            "additions": additions,
+        }
+    )
+
+
 def run_numpy_rounds(
     graph: Graph,
     rank: list[int],
@@ -99,6 +232,7 @@ def run_numpy_rounds(
     *,
     budget: MemoryBudget,
     budget_exempt: frozenset[int],
+    stats_out: dict | None = None,
 ) -> tuple[list[list[int]], list[list[int]], int]:
     """Run every PSL round vectorized; returns the finished labels.
 
@@ -110,35 +244,48 @@ def run_numpy_rounds(
     loop's count (the final, empty level included).
 
     The initial self-labels must already be charged to ``budget`` by the
-    caller (both construction paths share that init).
+    caller (both construction paths share that init).  ``stats_out``
+    (optional dict) collects the per-round kernel/merge time split — see
+    :func:`record_round_stats`.
+    """
+    lab_keys, lab_dists, lab_indptr, level = run_numpy_rounds_csr(
+        graph,
+        rank,
+        order,
+        budget=budget,
+        budget_exempt=budget_exempt,
+        stats_out=stats_out,
+    )
+    hub_ranks, hub_dists = labels_to_lists(graph.n, lab_keys, lab_dists, lab_indptr)
+    return hub_ranks, hub_dists, level
+
+
+def run_numpy_rounds_csr(
+    graph: Graph,
+    rank: list[int],
+    order: list[int],
+    *,
+    budget: MemoryBudget,
+    budget_exempt: frozenset[int],
+    stats_out: dict | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Like :func:`run_numpy_rounds` but returns the raw CSR state.
+
+    ``(lab_keys, lab_dists, lab_indptr, rounds)`` — composite keys
+    sorted owner-major, so ``lab_keys % n`` is each node's ascending
+    hub-rank run.  The flat backend adopts these arrays directly
+    (:meth:`~repro.storage.flat_labels.FlatLabelStore.adopt_numpy_csr`)
+    without a per-entry Python loop.
     """
     n = graph.n
     n64 = np.int64(n)
 
-    # CSR adjacency (directed both ways: one row per node).
-    degrees = np.fromiter(
-        (len(graph.neighbor_ids(v)) for v in range(n)), dtype=np.int64, count=n
-    )
-    adj_indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(degrees, out=adj_indptr[1:])
-    adj = np.fromiter(
-        (u for v in range(n) for u in graph.neighbor_ids(v)),
-        dtype=np.int64,
-        count=int(adj_indptr[-1]),
-    )
-    edge_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    adj_indptr, adj = build_csr_adjacency(graph)
+    edge_owner = edge_owners(adj_indptr, 0, n)
 
     rank_arr = np.asarray(rank, dtype=np.int64)
     order_arr = np.asarray(order, dtype=np.int64)
-
-    # Committed labels: level 0 is every node's self-entry.
-    lab_keys = np.arange(n, dtype=np.int64) * n64 + rank_arr
-    lab_dists = np.zeros(n, dtype=np.int64)
-    lab_indptr = np.arange(n + 1, dtype=np.int64)
-
-    # Frontier: hubs committed in the previous round, per node.
-    fr_indptr = np.arange(n + 1, dtype=np.int64)
-    fr_hubs = rank_arr.copy()
+    lab_keys, lab_dists, lab_indptr, fr_indptr, fr_hubs = init_label_state(rank_arr)
 
     dist_buf = np.full(n, _INF, dtype=np.int64)
     scratch = _Scratch()
@@ -147,6 +294,7 @@ def run_numpy_rounds(
     while True:
         level += 1
         with obs_span("labeling.psl.level", level=level) as level_span:
+            kernel_started = time.perf_counter()
             accepted_keys = _run_round(
                 n64,
                 adj,
@@ -162,42 +310,32 @@ def run_numpy_rounds(
                 scratch,
                 level,
             )
+            kernel_seconds = time.perf_counter() - kernel_started
             if tracing_enabled():
                 level_span.set(additions=int(accepted_keys.size))
         if accepted_keys.size == 0:
+            record_round_stats(stats_out, level, kernel_seconds, 0.0, 0)
             break
 
-        # Synchronous commit: sorted merge into the committed arrays.
-        merged_keys = np.concatenate([lab_keys, accepted_keys])
-        merged_dists = np.concatenate(
-            [lab_dists, np.full(accepted_keys.size, level, dtype=np.int64)]
+        merge_started = time.perf_counter()
+        lab_keys, lab_dists, lab_indptr, fr_indptr, fr_hubs = commit_level(
+            n,
+            lab_keys,
+            lab_dists,
+            accepted_keys,
+            level,
+            budget=budget,
+            budget_exempt=budget_exempt,
         )
-        sort_idx = np.argsort(merged_keys, kind="stable")
-        lab_keys = merged_keys[sort_idx]
-        lab_dists = merged_dists[sort_idx]
-        owner_counts = np.bincount(lab_keys // n64, minlength=n)
-        lab_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(owner_counts, out=lab_indptr[1:])
+        record_round_stats(
+            stats_out,
+            level,
+            kernel_seconds,
+            time.perf_counter() - merge_started,
+            int(accepted_keys.size),
+        )
 
-        # Next round's frontier is exactly what was committed now.
-        accepted_owners = accepted_keys // n64
-        fr_hubs = accepted_keys % n64
-        fr_counts = np.bincount(accepted_owners, minlength=n)
-        fr_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(fr_counts, out=fr_indptr[1:])
-
-        # Budget accounting, in the serial commit's ascending-node order.
-        charge_owners, charge_counts = np.unique(accepted_owners, return_counts=True)
-        for v, count in zip(charge_owners.tolist(), charge_counts.tolist()):
-            if v not in budget_exempt:
-                budget.charge(count)
-
-    hubs = (lab_keys % n64).tolist()
-    dists = lab_dists.tolist()
-    indptr = lab_indptr.tolist()
-    hub_ranks = [hubs[indptr[v] : indptr[v + 1]] for v in range(n)]
-    hub_dists = [dists[indptr[v] : indptr[v + 1]] for v in range(n)]
-    return hub_ranks, hub_dists, level
+    return lab_keys, lab_dists, lab_indptr, level
 
 
 def _expand_runs(

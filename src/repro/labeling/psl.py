@@ -150,6 +150,7 @@ def build_psl(
     workers: int | None = None,
     backend: str = "dict",
     kernel: str = KERNEL_AUTO,
+    pool=None,
 ) -> ParallelShortestPathLabeling:
     """Build a PSL index on an unweighted ``graph``.
 
@@ -159,22 +160,30 @@ def build_psl(
     ``workers`` selects the construction schedule: ``None``/``1`` runs
     the rounds in-process; ``N > 1`` evaluates each round's gather phase
     across ``N`` worker processes (``0`` means one per CPU).  Every
-    schedule commits identical labels — see :mod:`repro.parallel.psl`.
+    schedule commits identical labels — see :mod:`repro.parallel`.
 
     ``backend`` selects the label storage of the returned index
     (``"dict"`` or ``"flat"``); like ``workers``, it never changes an
     answer.
 
-    ``kernel`` selects the *construction* path of the in-process
-    schedule (see :mod:`repro.kernels`): ``"numpy"`` runs every round
-    vectorized over CSR frontier arrays
+    ``kernel`` selects the construction path (see :mod:`repro.kernels`):
+    ``"numpy"`` runs every round vectorized over CSR frontier arrays
     (:mod:`repro.kernels.psl_rounds`), ``"python"`` the per-vertex dict
     rounds, and ``"auto"`` (default) vectorizes when NumPy is installed
-    and the graph is large enough for the arrays to pay off.  With
-    ``workers > 1`` the multiprocess python rounds run regardless —
-    ``kernel`` governs only the in-process path.  Like every other
-    kernel switch it never changes a label: all paths build
-    fingerprint-identical indexes.
+    and the graph is large enough for the arrays to pay off.  The two
+    switches compose: a vectorized build with ``workers > 1`` partitions
+    each round's candidate generation by destination-vertex range across
+    a shared-memory worker pool (:mod:`repro.parallel.shm`) — the
+    persistent pool and shared label blocks replace PR 2's per-round
+    snapshot pickling — while ``workers > 1`` without NumPy (or with
+    ``kernel="python"``) falls back to the multiprocess python rounds of
+    :mod:`repro.parallel.psl`.  Like every other kernel switch, none of
+    this changes a label: all paths build fingerprint-identical indexes.
+
+    ``pool`` (internal) lets :func:`repro.core.construction.construct`
+    share one live :class:`~repro.parallel.shm.ShmBuildPool` across the
+    forest and core phases; without one, a vectorized multi-worker build
+    spins up its own pool for the duration of the call.
     """
     validate_backend(backend)
     if not graph.unweighted:
@@ -195,16 +204,15 @@ def build_psl(
     from repro.parallel.pool import resolve_workers
 
     worker_count = resolve_workers(workers)
-    # With workers > 1 the multiprocess python rounds run; kernel only
-    # governs the in-process schedule.  An explicit "numpy" request
-    # always vectorizes (resolve_kernel raised already if NumPy is
-    # missing); "auto" additionally requires the graph to be big enough
-    # for the array setup to pay off.
+    # An explicit "numpy" request always vectorizes (resolve_kernel
+    # raised already if NumPy is missing); "auto" additionally requires
+    # the graph to be big enough for the array setup to pay off.  A
+    # vectorized build composes with workers > 1 through the
+    # shared-memory fan-out; a python-kernel build with workers > 1
+    # keeps the PR 2 multiprocess rounds.
     resolved = resolve_kernel(kernel, flat=True)
-    vectorize = (
-        resolved == KERNEL_NUMPY
-        and worker_count == 1
-        and (kernel == KERNEL_NUMPY or graph.n >= VECTORIZE_MIN_NODES)
+    vectorize = resolved == KERNEL_NUMPY and (
+        kernel == KERNEL_NUMPY or graph.n >= VECTORIZE_MIN_NODES
     )
 
     rank = [0] * graph.n
@@ -224,16 +232,64 @@ def build_psl(
         kernel=KERNEL_NUMPY if vectorize else "python",
     ) as psl_span:
         if vectorize:
-            from repro.kernels.psl_rounds import run_numpy_rounds
+            round_stats: dict = {}
+            if worker_count > 1:
+                from repro.parallel.shm import ShmBuildPool, run_shm_rounds
 
-            hub_ranks, hub_dists, level = run_numpy_rounds(
-                graph, rank, order, budget=budget, budget_exempt=budget_exempt
-            )
-            labels = HubLabeling(order)
-            for v in graph.nodes():
-                for hub_rank, dist in zip(hub_ranks[v], hub_dists[v]):
-                    labels.append_entry(v, hub_rank, dist)
+                if pool is not None:
+                    lab_keys, lab_dists, lab_indptr, level = run_shm_rounds(
+                        graph,
+                        rank,
+                        order,
+                        pool=pool,
+                        budget=budget,
+                        budget_exempt=budget_exempt,
+                        stats_out=round_stats,
+                    )
+                else:
+                    with ShmBuildPool(worker_count) as own_pool:
+                        lab_keys, lab_dists, lab_indptr, level = run_shm_rounds(
+                            graph,
+                            rank,
+                            order,
+                            pool=own_pool,
+                            budget=budget,
+                            budget_exempt=budget_exempt,
+                            stats_out=round_stats,
+                        )
+            else:
+                from repro.kernels.psl_rounds import run_numpy_rounds_csr
+
+                lab_keys, lab_dists, lab_indptr, level = run_numpy_rounds_csr(
+                    graph,
+                    rank,
+                    order,
+                    budget=budget,
+                    budget_exempt=budget_exempt,
+                    stats_out=round_stats,
+                )
+            if backend == "flat":
+                # The rounds finished in CSR shape; adopt the arrays
+                # instead of replaying millions of append_entry calls.
+                import numpy as np
+
+                from repro.storage.flat_labels import FlatLabelStore
+
+                labels = FlatLabelStore.adopt_numpy_csr(
+                    order, lab_indptr, lab_keys % np.int64(graph.n), lab_dists
+                )
+            else:
+                from repro.kernels.psl_rounds import labels_to_lists
+
+                hub_ranks, hub_dists = labels_to_lists(
+                    graph.n, lab_keys, lab_dists, lab_indptr
+                )
+                labels = HubLabeling(order)
+                for v in graph.nodes():
+                    for hub_rank, dist in zip(hub_ranks[v], hub_dists[v]):
+                        labels.append_entry(v, hub_rank, dist)
         else:
+            round_stats = {}
             # label_maps[v]: rank -> dist, the committed labels of v.
             label_maps: list[dict[int, int]] = [{rank[v]: 0} for v in graph.nodes()]
             # Hubs committed in the previous round, per node.
@@ -291,6 +347,9 @@ def build_psl(
                 for hub_rank in sorted(label_maps[v]):
                     labels.append_entry(v, hub_rank, label_maps[v][hub_rank])
         index = ParallelShortestPathLabeling(graph, labels, order, rounds=level)
+        #: Per-round kernel/merge time split of the vectorized paths
+        #: (None on the python rounds); scale-bench reports it.
+        index.round_stats = round_stats or None
         if backend == "flat":
             index.compact()
         if tracing_enabled():

@@ -34,13 +34,31 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+#: Environment override for the start method (``"fork"`` / ``"spawn"``
+#: / ``"forkserver"``); the test suite parametrizes spawn-safety of the
+#: shared-memory engine through it.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
 def pool_context() -> multiprocessing.context.BaseContext:
     """The multiprocessing context the parallel builders run under.
 
     Prefers ``fork`` so worker processes inherit the master's read-only
     build state instead of re-pickling it; falls back to the platform
-    default elsewhere.
+    default elsewhere.  The :data:`START_METHOD_ENV` environment
+    variable forces a specific method (workers of the shared-memory
+    engine receive all state through queues and shared blocks, so every
+    method is semantically identical — the override exists so tests can
+    pin spawn behaviour on fork platforms).
     """
+    forced = os.environ.get(START_METHOD_ENV)
+    if forced:
+        if forced not in multiprocessing.get_all_start_methods():
+            raise IndexConstructionError(
+                f"{START_METHOD_ENV}={forced!r} is not a start method on "
+                f"this platform; known: {multiprocessing.get_all_start_methods()}"
+            )
+        return multiprocessing.get_context(forced)
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
         return multiprocessing.get_context("fork")

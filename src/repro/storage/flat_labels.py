@@ -164,6 +164,72 @@ class FlatLabelStore:
         return cls(order, rank, offsets, hub_ranks, hub_dists)
 
     @classmethod
+    def adopt_numpy_csr(
+        cls, order, offsets, hub_ranks, hub_dists
+    ) -> "FlatLabelStore":
+        """Adopt NumPy CSR arrays from a vectorized builder — no entry scan.
+
+        The construction-side counterpart of :meth:`adopt_arrays`: the
+        vectorized PSL rounds (:mod:`repro.kernels.psl_rounds`) and the
+        shared-memory fan-out (:mod:`repro.parallel.shm`) finish with
+        the labels already in exactly this CSR shape, sorted and
+        deduplicated by construction, so packing them through the
+        per-entry ``append_entry`` loop would cost more than the rounds
+        themselves on large cores.  The array payloads are copied once
+        (``memcpy`` into the canonical ``array.array`` typecodes, so
+        every downstream consumer — snapshots, fingerprints, kernels —
+        sees native Python scalars, never NumPy ones) and only the
+        cheap structural invariants are re-checked, with the order
+        permutation validated vectorized.
+
+        ``offsets`` must be int64, ``hub_ranks`` any integer dtype with
+        values below ``2**32``, ``hub_dists`` int64 (hop counts).
+        """
+        import numpy as np
+
+        order_np = np.ascontiguousarray(order, dtype=np.int64)
+        offsets_np = np.ascontiguousarray(offsets, dtype=np.int64)
+        ranks_np = np.ascontiguousarray(hub_ranks, dtype=np.uint32)
+        dists_np = np.ascontiguousarray(hub_dists, dtype=np.int64)
+        n = order_np.size
+        if offsets_np.size != n + 1:
+            raise StorageError(
+                f"offset array has {offsets_np.size} slots for {n} nodes "
+                f"(expected {n + 1})"
+            )
+        if ranks_np.size != dists_np.size:
+            raise StorageError(
+                f"{ranks_np.size} hub ranks but {dists_np.size} distances"
+            )
+        if n and (offsets_np[0] != 0 or offsets_np[-1] != ranks_np.size):
+            raise StorageError(
+                f"offsets span [{offsets_np[0]}, {offsets_np[-1]}] "
+                f"but the store holds {ranks_np.size} entries"
+            )
+        seen = np.zeros(n, dtype=bool)
+        if n:
+            if order_np.min() < 0 or order_np.max() >= n:
+                raise StorageError(f"order is not a permutation of 0..{n - 1}")
+            seen[order_np] = True
+            if not seen.all():
+                raise StorageError(f"order is not a permutation of 0..{n - 1}")
+        rank_np = np.empty(n, dtype=np.int64)
+        rank_np[order_np] = np.arange(n, dtype=np.int64)
+
+        def _as_array(typecode: str, arr) -> array:
+            out = array(typecode)
+            out.frombytes(arr.tobytes())
+            return out
+
+        return cls(
+            _as_array(OFFSET_TYPECODE, order_np),
+            _as_array(OFFSET_TYPECODE, rank_np),
+            _as_array(OFFSET_TYPECODE, offsets_np),
+            _as_array(RANK_TYPECODE, ranks_np),
+            _as_array(INT_DIST_TYPECODE, dists_np),
+        )
+
+    @classmethod
     def from_arrays(
         cls, order, offsets, hub_ranks, hub_dists
     ) -> "FlatLabelStore":

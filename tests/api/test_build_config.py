@@ -34,6 +34,9 @@ class TestValidation:
             {"use_equivalence_reduction": 1},
             {"extension_cache_size": -1},
             {"kernel": "gpu"},
+            {"hopdb_order": "random"},
+            {"hopdb_order": "psl-rank"},  # requires core_backend="hopdb"
+            {"hopdb_order": "psl-rank", "core_backend": "psl"},
         ],
     )
     def test_bad_values_raise_eagerly(self, bad):
@@ -46,6 +49,11 @@ class TestValidation:
         assert config.backend == "dict"
         assert config.core_backend == "pll"
         assert config.kernel == "auto"
+        assert config.hopdb_order == "degree"
+
+    def test_psl_rank_valid_with_hopdb_backend(self):
+        config = BuildConfig(core_backend="hopdb", hopdb_order="psl-rank")
+        assert config.hopdb_order == "psl-rank"
 
     def test_replace_revalidates(self):
         config = BuildConfig()
@@ -73,6 +81,7 @@ class TestRoundTrip:
             "use_equivalence_reduction",
             "extension_cache_size",
             "kernel",
+            "hopdb_order",
         ]
         assert BuildConfig.from_dict(json.loads(json.dumps(doc))) == config
 

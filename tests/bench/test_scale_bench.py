@@ -61,10 +61,13 @@ class TestSmallTierSmoke:
         assert entry["config"] == scale_bench.DEFAULT_CONFIG.to_dict()
         assert entry["build_s"] >= 0 and entry["peak_rss_mb"] > 0
         document = json.loads(out.read_text())
-        assert document["schema"] == 1
+        assert document["schema"] == 2
         assert document["entries"][0]["tier"] == "cp-1k"
         assert "recorded_at" in document["entries"][0]
         assert "cp-1k" in text
+        assert entry["workers"] == 1
+        assert entry["speedup_vs_serial"] is None
+        assert "round_split" in entry
 
     def test_custom_config_is_embedded(self, tmp_path):
         config = BuildConfig(bandwidth=8, backend="flat", core_backend="psl")
@@ -76,6 +79,58 @@ class TestSmallTierSmoke:
         run_scale_bench(["cp-1k"], output=out)
         run_scale_bench(["cp-1k"], output=out)
         assert len(json.loads(out.read_text())["entries"]) == 2
+
+
+class TestSchema2:
+    def test_workers_sweep_records_speedup(self, tmp_path):
+        out = tmp_path / "BENCH_scale.json"
+        entries, text = run_scale_bench(["cp-1k"], workers=[1, 2], output=out)
+        assert [e["workers"] for e in entries] == [1, 2]
+        assert entries[0]["speedup_vs_serial"] is None
+        assert isinstance(entries[1]["speedup_vs_serial"], float)
+        assert entries[1]["config"]["workers"] == 2
+        assert "speedup" in text
+
+    def test_hopdb_ablation_appends_gated_pair(self):
+        entries, _ = run_scale_bench(["cp-1k"], hopdb_ablation=True, output=None)
+        ablation = [e for e in entries if e.get("ablation") == "hopdb_order"]
+        assert len(ablation) == 2
+        degree, psl_rank = ablation
+        assert degree["config"]["hopdb_order"] == "degree"
+        assert degree["verify"]["mode"] == "fingerprint"
+        assert psl_rank["config"]["hopdb_order"] == "psl-rank"
+        # A non-degree hub order legitimately changes the bytes, so the
+        # gate must be exactness (BFS), never fingerprint identity.
+        assert psl_rank["verify"]["mode"] == "bfs"
+        assert psl_rank["verify"]["identical"] is True
+
+    def test_schema1_history_upgrades_on_append(self, tmp_path):
+        out = tmp_path / "BENCH_scale.json"
+        legacy_entry = {
+            "tier": "cp-1k",
+            "config": {"workers": None},
+            "verify": {"mode": "fingerprint"},
+        }
+        out.write_text(
+            json.dumps({"schema": 1, "entries": [legacy_entry]}), encoding="utf-8"
+        )
+        run_scale_bench(["cp-1k"], output=out)
+        document = json.loads(out.read_text())
+        assert document["schema"] == 2
+        upgraded = document["entries"][0]
+        assert upgraded["workers"] == 1
+        assert upgraded["round_split"] is None
+        assert upgraded["speedup_vs_serial"] is None
+        assert len(document["entries"]) == 2
+
+    def test_peak_rss_uses_combined_accounting(self, monkeypatch):
+        import repro.bench.memory as memory
+
+        monkeypatch.setattr(memory, "peak_rss_mb", lambda: 100.0)
+        memory.reset_child_peak_rss()
+        memory.record_child_peak_rss(2048)  # 2 MB child
+        assert scale_bench._peak_rss_mb() == pytest.approx(102.0)
+        memory.reset_child_peak_rss()
 
 
 class TestGateFiresBeforeWriting:
